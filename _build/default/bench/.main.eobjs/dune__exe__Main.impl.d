@@ -1,0 +1,1 @@
+bench/main.ml: Algebra Array Attr Codd Deps Domain Float Format List Nullrel Paperdata Plan Pp Predicate Printf Quel Relation Schema Storage String Sys Timing Tuple Tvl Value Workload Xrel

@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Float Hashtbl Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,35 @@
+(* Thin wrapper around Bechamel: measure one thunk, return ns/run. *)
+
+open Bechamel
+
+let quota = ref 0.25
+let limit = ref 500
+
+let fast () =
+  quota := 0.05;
+  limit := 100
+
+let ns_per_run fn =
+  let test = Test.make ~name:"t" (Staged.stage fn) in
+  let cfg =
+    Benchmark.cfg ~limit:!limit ~quota:(Time.second !quota) ~kde:None ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) -> est
+      | _ -> acc)
+    results nan
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)

@@ -1,0 +1,272 @@
+(* nullrel: a command-line front end for relations with null values.
+
+   Relations are CSV files ("-" is the null); the first line names the
+   attributes.  Subcommands expose the generalized algebra and the
+   mini-QUEL evaluator.
+
+     nullrel show r.csv
+     nullrel minimize r.csv
+     nullrel union r1.csv r2.csv
+     nullrel diff r1.csv r2.csv
+     nullrel inter r1.csv r2.csv
+     nullrel join --on ID r1.csv r2.csv
+     nullrel outerjoin --on ID r1.csv r2.csv
+     nullrel divide --quotient S# r.csv divisor.csv
+     nullrel query --rel EMP=emp.csv 'range of e is EMP retrieve (e.NAME)'
+*)
+
+open Nullrel
+open Cmdliner
+
+let load path =
+  try Storage.Csv.read_file path with
+  | Storage.Csv.Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* Column order for printing a result: requested attrs first, then any
+   remaining scope attributes. *)
+let columns_for preferred x =
+  let scope = Xrel.scope x in
+  let in_preferred a = List.exists (Attr.equal a) preferred in
+  preferred @ List.filter (fun a -> not (in_preferred a)) (Attr.Set.elements scope)
+
+let emit ~as_csv attrs x =
+  if as_csv then print_string (Storage.Csv.write_string attrs x)
+  else Format.printf "%a@?" (Pp.table attrs) x
+
+(* ------------------------- arguments ---------------------- *)
+
+let csv_flag =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let file n = Arg.(required & pos n (some file) None & info [] ~docv:"FILE")
+
+let on_arg =
+  let doc = "Comma-separated join attributes." in
+  Arg.(required & opt (some string) None & info [ "on" ] ~doc ~docv:"ATTRS")
+
+let quotient_arg =
+  let doc = "Comma-separated quotient (Y) attributes." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "quotient"; "y" ] ~doc ~docv:"ATTRS")
+
+let attr_set_of_string s_ =
+  Attr.set_of_list (String.split_on_char ',' s_ |> List.map String.trim)
+
+(* ------------------------- commands ----------------------- *)
+
+let show_cmd =
+  let run as_csv path =
+    let attrs, x = load path in
+    emit ~as_csv attrs x
+  in
+  let doc = "Print a relation (as loaded, minimized)." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ csv_flag $ file 0)
+
+let minimize_cmd =
+  let run as_csv path =
+    let attrs, x = load path in
+    (* load already canonicalizes; echoing it shows the minimal form *)
+    emit ~as_csv attrs x;
+    Printf.eprintf "minimal representation: %d tuples\n" (Xrel.cardinal x)
+  in
+  let doc = "Reduce a relation to its minimal representation." in
+  Cmd.v (Cmd.info "minimize" ~doc) Term.(const run $ csv_flag $ file 0)
+
+let binop_cmd name doc op =
+  let run as_csv p1 p2 =
+    let a1, x1 = load p1 in
+    let _, x2 = load p2 in
+    let result = op x1 x2 in
+    emit ~as_csv (columns_for a1 result) result
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_flag $ file 0 $ file 1)
+
+let union_cmd =
+  binop_cmd "union" "Generalized union (lattice least upper bound)."
+    Xrel.union
+
+let diff_cmd =
+  binop_cmd "diff" "Generalized difference, per (4.8)." Xrel.diff
+
+let inter_cmd =
+  binop_cmd "inter" "X-intersection (lattice greatest lower bound)."
+    Xrel.inter
+
+let join_cmd =
+  let run as_csv on p1 p2 =
+    let a1, x1 = load p1 in
+    let _, x2 = load p2 in
+    let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
+    emit ~as_csv (columns_for a1 result) result
+  in
+  let doc = "Equijoin on the given attributes (join columns not repeated)." in
+  Cmd.v (Cmd.info "join" ~doc)
+    Term.(const run $ csv_flag $ on_arg $ file 0 $ file 1)
+
+let outerjoin_cmd =
+  let run as_csv on p1 p2 =
+    let a1, x1 = load p1 in
+    let _, x2 = load p2 in
+    let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
+    emit ~as_csv (columns_for a1 result) result
+  in
+  let doc = "Union-join (the information-preserving outer join)." in
+  Cmd.v (Cmd.info "outerjoin" ~doc)
+    Term.(const run $ csv_flag $ on_arg $ file 0 $ file 1)
+
+let divide_cmd =
+  let run as_csv y p1 p2 =
+    let _, x1 = load p1 in
+    let _, x2 = load p2 in
+    let y = attr_set_of_string y in
+    let result = Algebra.divide y x1 x2 in
+    emit ~as_csv (Attr.Set.elements y) result
+  in
+  let doc = "Y-quotient: dividend / divisor, the 'for sure' division." in
+  Cmd.v (Cmd.info "divide" ~doc)
+    Term.(const run $ csv_flag $ quotient_arg $ file 0 $ file 1)
+
+let project_cmd =
+  let run as_csv attrs path =
+    let _, x = load path in
+    let xs = attr_set_of_string attrs in
+    let result = Algebra.project xs x in
+    emit ~as_csv (Attr.Set.elements xs) result
+  in
+  let doc = "Projection onto the given attributes (re-minimized)." in
+  let attrs_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTRS")
+  in
+  Cmd.v (Cmd.info "project" ~doc)
+    Term.(const run $ csv_flag $ attrs_arg $ file 1)
+
+let query_cmd =
+  let rel_arg =
+    let doc = "Bind a relation: NAME=FILE.csv (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "rel"; "r" ] ~doc ~docv:"NAME=FILE")
+  in
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+  in
+  let run as_csv rels query_src =
+    let db =
+      List.map
+        (fun binding ->
+          match String.index_opt binding '=' with
+          | None ->
+              Printf.eprintf "error: --rel expects NAME=FILE, got %s\n" binding;
+              exit 1
+          | Some idx ->
+              let name = String.sub binding 0 idx in
+              let path =
+                String.sub binding (idx + 1) (String.length binding - idx - 1)
+              in
+              let attrs, x = load path in
+              let schema =
+                Schema.make name
+                  (List.map
+                     (fun a ->
+                       ( Attr.name a,
+                         (* guess the domain from the first non-null value *)
+                         match
+                           List.find_map
+                             (fun r ->
+                               match Tuple.get r a with
+                               | Value.Null -> None
+                               | Value.Int _ -> Some Domain.Ints
+                               | Value.Float _ -> Some Domain.Floats
+                               | Value.Bool _ -> Some Domain.Bools
+                               | Value.Str _ -> Some Domain.Strings)
+                             (Xrel.to_list x)
+                         with
+                         | Some d -> d
+                         | None -> Domain.Strings ))
+                     attrs)
+              in
+              (name, (schema, x)))
+        rels
+    in
+    match Quel.Eval.run_string db query_src with
+    | result -> emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel
+    | exception Quel.Parser.Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | exception Quel.Lexer.Error (msg, pos) ->
+        Printf.eprintf "lexical error at %d: %s\n" pos msg;
+        exit 1
+    | exception Quel.Resolve.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  let doc =
+    "Evaluate a mini-QUEL query (the paper's lower bound ||Q||-)."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ csv_flag $ rel_arg $ query_arg)
+
+let convert_cmd =
+  let run src dst =
+    let load_any path =
+      if Filename.check_suffix path ".nrx" then
+        let x = Storage.Binary.read_file path in
+        (Attr.Set.elements (Xrel.scope x), x)
+      else load path
+    in
+    let attrs, x = load_any src in
+    if Filename.check_suffix dst ".nrx" then Storage.Binary.write_file dst x
+    else Storage.Csv.write_file dst attrs x;
+    Printf.eprintf "%s -> %s (%d tuples)\n" src dst (Xrel.cardinal x)
+  in
+  let doc = "Convert between .csv and the compact .nrx binary format." in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ file 0
+          $ Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"))
+
+let repl_cmd =
+  let run () =
+    print_endline "nullrel shell -- .help for commands, .quit to leave";
+    let rec loop st =
+      if Shell.finished st then ()
+      else begin
+        print_string "> ";
+        match read_line () with
+        | exception End_of_file -> print_newline ()
+        | line ->
+            let st, output = Shell.exec st line in
+            if output <> "" then print_endline output;
+            loop st
+      end
+    in
+    loop Shell.initial
+  in
+  let doc = "Interactive shell: load CSVs, run queries, inspect plans." in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "relational algebra with no-information nulls (Zaniolo 1982)" in
+  let info = Cmd.info "nullrel" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            show_cmd;
+            minimize_cmd;
+            union_cmd;
+            diff_cmd;
+            inter_cmd;
+            join_cmd;
+            outerjoin_cmd;
+            divide_cmd;
+            project_cmd;
+            query_cmd;
+            convert_cmd;
+            repl_cmd;
+          ]))

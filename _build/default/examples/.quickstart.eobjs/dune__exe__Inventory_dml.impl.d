@@ -1,0 +1,1 @@
+examples/inventory_dml.ml: Dml Domain Format Nullrel Plan Pp Quel Schema Storage Tuple Value Xrel

@@ -1,0 +1,1 @@
+examples/outer_join_directory.ml: Algebra Attr Format Nullrel Pp Tuple Value Xrel

@@ -1,0 +1,1 @@
+examples/outer_join_directory.mli:

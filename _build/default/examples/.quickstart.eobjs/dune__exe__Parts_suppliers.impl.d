@@ -1,0 +1,1 @@
+examples/parts_suppliers.ml: Algebra Attr Codd Format List Nullrel Paperdata Pp Predicate Relation Xrel

@@ -1,0 +1,1 @@
+examples/query_bounds.ml: Domain Format Nullrel Pp Quel Schema Tuple Value Xrel

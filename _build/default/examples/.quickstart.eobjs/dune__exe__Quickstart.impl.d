@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Attr Domain Format List Nullrel Pp Predicate Quel Schema Storage Tuple Value Xrel

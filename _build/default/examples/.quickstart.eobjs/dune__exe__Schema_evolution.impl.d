@@ -1,0 +1,1 @@
+examples/schema_evolution.ml: Attr Domain Format Nullrel Paperdata Pp Predicate Quel Relation Schema Storage Tuple Xrel

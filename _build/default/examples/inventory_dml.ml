@@ -1,0 +1,103 @@
+(* A living inventory database: QUEL updates (Section 7's algebraic
+   semantics), views, and aggregate bounds over the incomplete state.
+
+   Run with: dune exec examples/inventory_dml.exe *)
+
+open Nullrel
+
+let printf = Format.printf
+let i n = Value.Int n
+let s x = Value.Str x
+let t = Tuple.of_strings
+
+let schema =
+  Schema.make "STOCK" ~key:[ "SKU" ]
+    [
+      ("SKU", Domain.Strings);
+      ("BIN", Domain.Enum [ "b1"; "b2"; "b3" ]);
+      ("QTY", Domain.Int_range (0, 50));
+    ]
+
+let initial =
+  Xrel.of_list
+    [
+      t [ ("SKU", s "bolt"); ("BIN", s "b1"); ("QTY", i 40) ];
+      t [ ("SKU", s "nut"); ("BIN", s "b2"); ("QTY", i 15) ];
+      (* counted, but the bin was not recorded *)
+      t [ ("SKU", s "cam"); ("QTY", i 12) ];
+      (* located, but never counted *)
+      t [ ("SKU", s "gear"); ("BIN", s "b1") ];
+    ]
+
+let show cat =
+  printf "%a@."
+    (Pp.table_of_schema schema)
+    (Storage.Catalog.relation cat "STOCK")
+
+let run cat stmt =
+  let outcome = Dml.exec_string cat stmt in
+  printf "> %s@.  %s@." stmt
+    (if outcome.Dml.message = "" then "(query)" else outcome.Dml.message);
+  (match outcome.Dml.result with
+  | Some r -> printf "%a@." (Pp.table r.Quel.Eval.attrs) r.Quel.Eval.rel
+  | None -> ());
+  outcome.Dml.catalog
+
+let () =
+  let cat = Storage.Catalog.add Storage.Catalog.empty schema initial in
+  show cat;
+
+  (* Aggregate bounds before any update: how many items sit in bin b1?
+     The sure answer and the cannot-rule-out answer differ because of
+     nut's unknown bin and gear's unknown quantity. *)
+  let db = Storage.Catalog.to_db cat in
+  let q =
+    Quel.Parser.parse
+      "range of v is STOCK retrieve (v.SKU) where v.BIN = \"b1\""
+  in
+  let count = Quel.Aggregate.bounds db q Quel.Aggregate.Count in
+  let qty = Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "QTY")) in
+  printf "SKUs surely/possibly in b1 : %d .. %d@." count.Quel.Aggregate.lower
+    count.Quel.Aggregate.upper;
+  printf "units in b1               : %d .. %d@.@." qty.Quel.Aggregate.lower
+    qty.Quel.Aggregate.upper;
+
+  (* The day's updates, in QUEL. *)
+  let cat = run cat "range of v is STOCK delete v where v.QTY <= 10" in
+  printf "note: nothing matched — in particular 'gear', whose quantity is@.";
+  printf "unknown, is protected: QTY <= 10 is never TRUE for it.@.@.";
+  let cat = run cat "append to STOCK (SKU = \"axle\", BIN = \"b3\", QTY = 5)" in
+  let cat =
+    run cat "range of v is STOCK replace v (QTY = 9) where v.SKU = \"gear\""
+  in
+  let cat = run cat "range of v is STOCK delete v where v.QTY <= 10" in
+  printf "note: once gear's count became known (9), the same delete@.";
+  printf "removed it — and the freshly appended axle (5) with it.@.@.";
+  show cat;
+
+  (* The same numbers after the updates. *)
+  let db = Storage.Catalog.to_db cat in
+  let count = Quel.Aggregate.bounds db q Quel.Aggregate.Count in
+  let qty = Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "QTY")) in
+  printf "SKUs surely/possibly in b1 : %d .. %d@." count.Quel.Aggregate.lower
+    count.Quel.Aggregate.upper;
+  printf "units in b1               : %d .. %d@." qty.Quel.Aggregate.lower
+    qty.Quel.Aggregate.upper;
+
+  (* A view over the updated stock, unfolded at query time. *)
+  let views =
+    [
+      ( "B1",
+        Quel.Parser.parse
+          "range of v is STOCK retrieve (v.SKU, v.QTY) where v.BIN = \"b1\"" );
+    ]
+  in
+  let through_view =
+    Quel.Eval.run db
+      (Plan.View.expand ~views
+         (Quel.Parser.parse "range of b is B1 retrieve (b.SKU) where b.QTY >= 10"))
+  in
+  printf "@.b1 items with >= 10 units (through the B1 view):@.";
+  printf "%a@."
+    (Pp.table through_view.Quel.Eval.attrs)
+    through_view.Quel.Eval.rel

@@ -1,0 +1,61 @@
+(* Section 6's PARTS-SUPPLIERS story: universal quantification with
+   nulls, and why "for sure / for sure" is the only consistent reading.
+
+   Run with: dune exec examples/parts_suppliers.exe *)
+
+open Nullrel
+open Paperdata.Fixtures
+
+let printf = Format.printf
+let y = Attr.set_of_list [ "S#" ]
+let p_only = Attr.set_of_list [ "P#" ]
+
+let parts_of supplier =
+  Algebra.project p_only
+    (Algebra.select_ak (Attr.make "S#") Predicate.Eq (s supplier) ps)
+
+let () =
+  printf "%a@." (Pp.table_s ~title:"PS(S#, P#) -- display (6.6)" [ "S#"; "P#" ])
+    (Xrel.unsafe_of_minimal ps_rel);
+
+  (* Q: find each supplier who supplies every part supplied by s2. *)
+  let ps2 = parts_of "s2" in
+  printf "parts supplied for sure by s2: %a@.@." Xrel.pp ps2;
+
+  let answer = Algebra.divide y ps ps2 in
+  printf "Q: suppliers supplying every part s2 supplies (for sure):@.";
+  printf "%a@." (Pp.table_s [ "S#" ]) answer;
+
+  (* The same through each characterization of division. *)
+  printf "via (6.2) algebraic identity : %a@." Xrel.pp
+    (Algebra.divide_algebraic y ps ps2);
+  printf "via (6.5) image containment  : %a@.@." Xrel.pp
+    (Algebra.divide_via_images y ps ps2);
+
+  (* Codd's TRUE/MAYBE divisions, for contrast. *)
+  let codd_ps2 =
+    Codd.Maybe_algebra.(
+      project p_only
+        (select_true (Predicate.cmp_const "S#" Predicate.Eq (s "s2")) ps_rel))
+  in
+  printf "Codd TRUE division  (A1): %a   -- 'no supplier', the paradox@."
+    Relation.pp
+    (Codd.Maybe_algebra.divide_true ~y ps_rel codd_ps2);
+  printf "Codd MAYBE division (A2): %a@.@." Relation.pp
+    (Codd.Maybe_algebra.divide_maybe ~y ps_rel codd_ps2);
+  printf
+    "Under Codd's reading, even s2 does not 'for sure' supply all the parts@.";
+  printf "s2 supplies.  Our answer A3 = {s1, s2} avoids the paradox.@.@.";
+
+  (* Q4: parts supplied by s1 but not by s2 — difference as universal
+     quantification. *)
+  let q4 = Xrel.diff (parts_of "s1") (parts_of "s2") in
+  printf "Q4: parts supplied by s1 but not s2: %a   (the paper: {p2})@."
+    Xrel.pp q4;
+
+  (* And the images the quotient is built from. *)
+  List.iter
+    (fun sup ->
+      printf "image of %s: %a@." sup Xrel.pp
+        (Algebra.image y p_only (t [ ("S#", s sup) ]) ps))
+    [ "s1"; "s2"; "s3"; "s4" ]

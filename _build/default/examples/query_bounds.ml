@@ -1,0 +1,67 @@
+(* The full spectrum of answers to one query over incomplete data
+   (Section 5): the sure lower bound ||Q||- (the paper's choice), Codd's
+   MAYBE rows, the "unknown"-interpretation lower bound (with tautology
+   detection), and the possible-worlds upper bound ||Q||+.
+
+   Run with: dune exec examples/query_bounds.exe *)
+
+open Nullrel
+
+let printf = Format.printf
+let i n = Value.Int n
+let s x = Value.Str x
+let t = Tuple.of_strings
+
+let schema =
+  Schema.make "SENSOR" ~key:[ "ID" ]
+    [
+      ("ID", Domain.Ints);
+      ("SITE", Domain.Enum [ "north"; "south" ]);
+      ("TEMP", Domain.Int_range (-20, 60));
+    ]
+
+let readings =
+  Xrel.of_list
+    [
+      t [ ("ID", i 1); ("SITE", s "north"); ("TEMP", i 31) ];
+      t [ ("ID", i 2); ("SITE", s "north"); ("TEMP", i 18) ];
+      t [ ("ID", i 3); ("SITE", s "south") ];
+      (* temperature not reported *)
+      t [ ("ID", i 4); ("TEMP", i 35) ];
+      (* site not reported *)
+      t [ ("ID", i 5) ];
+      (* nothing but the id *)
+    ]
+
+let db : Quel.Resolve.db = [ ("SENSOR", (schema, readings)) ]
+
+let show title result =
+  printf "%a@."
+    (Pp.table ~title result.Quel.Eval.attrs)
+    result.Quel.Eval.rel
+
+let () =
+  printf "%a@." (Pp.table_of_schema schema) readings;
+
+  let src = "range of r is SENSOR retrieve (r.ID) where r.TEMP > 30" in
+  printf "query: %s@.@." src;
+  let q = Quel.Parser.parse src in
+
+  show "||Q||- : hot for sure (the paper's answer)" (Quel.Eval.run db q);
+  show "MAYBE rows (Codd): temperature unknown" (Quel.Eval.run_maybe db q);
+  show "||Q||+ : cannot be ruled out" (Quel.Eval.run_upper db q);
+
+  (* A tautologous qualification separates the interpretations. *)
+  let taut = "range of r is SENSOR retrieve (r.ID) \
+              where r.TEMP <= 30 or r.TEMP > 30" in
+  printf "query: %s@.@." taut;
+  let qt = Quel.Parser.parse taut in
+  show "||Q||- under ni: unreported TEMP still excluded"
+    (Quel.Eval.run db qt);
+  show "unknown interpretation: every sensor that HAS a temperature"
+    (Quel.Eval.run_unknown db qt);
+  printf
+    "The ni bound treats the unreported TEMP as possibly nonexistent, so@.";
+  printf
+    "even a tautology does not qualify it; the unknown interpretation@.";
+  printf "must detect the tautology (Appendix) to include it.@."

@@ -1,0 +1,76 @@
+(* Quickstart: build a relation with nulls, query it three ways.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Nullrel
+
+let printf = Format.printf
+
+let () =
+  (* 1. Declare a schema.  Attribute domains drive integrity checking
+     and (for finite domains) the lattice top. *)
+  let schema =
+    Schema.make "STAFF" ~key:[ "ID" ]
+      [
+        ("ID", Domain.Ints);
+        ("NAME", Domain.Strings);
+        ("DEPT", Domain.Enum [ "ENG"; "SALES"; "HR" ]);
+        ("PHONE", Domain.Ints);
+      ]
+  in
+
+  (* 2. Build tuples.  A missing binding IS the no-information null —
+     there is nothing to write for PHONE when we know nothing. *)
+  let v_int n = Value.Int n and v_str s = Value.Str s in
+  let staff =
+    Xrel.of_list
+      [
+        Tuple.of_strings
+          [ ("ID", v_int 1); ("NAME", v_str "ada"); ("DEPT", v_str "ENG");
+            ("PHONE", v_int 5551234) ];
+        Tuple.of_strings
+          [ ("ID", v_int 2); ("NAME", v_str "grace"); ("DEPT", v_str "ENG") ];
+        Tuple.of_strings [ ("ID", v_int 3); ("NAME", v_str "alan") ];
+      ]
+  in
+  (match Schema.check schema staff with
+  | [] -> printf "schema check: ok@."
+  | violations ->
+      List.iter (fun v -> printf "violation: %a@." Schema.pp_violation v)
+        violations);
+  printf "%a@." (Pp.table_of_schema schema) staff;
+
+  (* 3. Query with the algebra: who is in ENG, for sure? *)
+  let eng =
+    Algebra.select_ak (Attr.make "DEPT") Predicate.Eq (v_str "ENG") staff
+  in
+  printf "%a@."
+    (Pp.table_s ~title:"select DEPT = ENG (alan's unknown DEPT excluded)"
+       [ "ID"; "NAME"; "DEPT"; "PHONE" ])
+    eng;
+
+  (* 4. The same through mini-QUEL. *)
+  let db = [ ("STAFF", (schema, staff)) ] in
+  let result =
+    Quel.Eval.run_string db
+      "range of s is STAFF retrieve (s.NAME) where s.DEPT = \"ENG\""
+  in
+  printf "%a@."
+    (Pp.table ~title:"mini-QUEL: retrieve (s.NAME) where s.DEPT = \"ENG\""
+       result.Quel.Eval.attrs)
+    result.Quel.Eval.rel;
+
+  (* 5. Information-wise reasoning: learning grace's phone number makes
+     the database strictly more informative. *)
+  let updated =
+    Storage.Update.insert staff
+      [
+        Tuple.of_strings
+          [ ("ID", v_int 2); ("NAME", v_str "grace"); ("DEPT", v_str "ENG");
+            ("PHONE", v_int 5559876) ];
+      ]
+  in
+  printf "updated properly contains the original: %b@."
+    (Xrel.properly_contains updated staff);
+  printf "and grace's old partial tuple was absorbed: %d tuples (was %d)@."
+    (Xrel.cardinal updated) (Xrel.cardinal staff)

@@ -1,0 +1,51 @@
+(* Section 2's motivating scenario: a column is added to a live schema.
+
+   The database administrator adds TEL# to EMP.  No employee supplied a
+   number yet, so the new column is all nulls — and under the
+   no-information interpretation the database content is EXACTLY as
+   informative as before.  Queries behave sanely throughout.
+
+   Run with: dune exec examples/schema_evolution.exe *)
+
+open Nullrel
+open Paperdata.Fixtures
+
+let printf = Format.printf
+
+let () =
+  printf "--- Before the change: Table I ---@.";
+  printf "%a@." (Pp.table_of_schema emp_schema_v1) emp;
+
+  (* The schema evolves; the stored tuples need no rewrite at all. *)
+  let schema' = Schema.add_column emp_schema_v1 "TEL#" Domain.Ints in
+  printf "--- After adding TEL#: Table II ---@.";
+  printf "%a@." (Pp.table_of_schema schema') emp;
+
+  printf "information-wise equivalent to the old database: %b@.@."
+    (Relation.equiv (Xrel.rep emp) (Xrel.rep emp));
+
+  (* Numbers trickle in as employees report them. *)
+  let report e tel db =
+    Storage.Update.modify
+      ~where:(Predicate.cmp_const "E#" Predicate.Eq (i e))
+      ~using:(fun r -> Tuple.set r (Attr.make "TEL#") (i tel))
+      db
+  in
+  let emp2 = report 1120 2631111 emp in
+  let emp3 = report 4335 2639452 emp2 in
+  printf "--- After SMITH and BROWN report their numbers ---@.";
+  printf "%a@." (Pp.table_of_schema schema') emp3;
+  printf "each report makes the database strictly more informative:@.";
+  printf "  emp < emp2 : %b@." (Xrel.properly_contains emp2 emp);
+  printf "  emp2 < emp3: %b@.@." (Xrel.properly_contains emp3 emp2);
+
+  (* Figure 1's query against the evolving database.  GREEN's number is
+     still unknown: he appears in no lower bound. *)
+  let db3 : Quel.Resolve.db = [ ("EMP", (schema', emp3)) ] in
+  let result = Quel.Eval.run_string db3 qa_verbatim in
+  printf "--- Query QA (Figure 1) on the partially-updated database ---@.";
+  printf "%s@.@." qa_verbatim;
+  printf "%a@." (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel;
+  printf
+    "SMITH qualifies (2631111 < 2634000), BROWN qualifies (F, >= ...),@.";
+  printf "GREEN is excluded: nothing is known about his TEL#.@."

@@ -1,0 +1,1 @@
+lib/codd/maybe_algebra.ml: Attr Nullrel Predicate Relation Seq Subst Tuple Tvl

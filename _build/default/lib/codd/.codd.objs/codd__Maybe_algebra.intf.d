@@ -1,0 +1,1 @@
+lib/codd/maybe_algebra.mli: Attr Domain Nullrel Predicate Relation Tuple Tvl Value

@@ -1,0 +1,1 @@
+lib/codd/subst.ml: Attr Domain List Nullrel Seq Tuple Tvl Value

@@ -1,0 +1,1 @@
+lib/codd/subst.mli: Attr Domain Nullrel Seq Tuple Tvl

@@ -1,0 +1,1 @@
+lib/codd/tautology.ml: Attr List Nullrel Predicate Seq Subst Tuple Value

@@ -1,0 +1,1 @@
+lib/codd/tautology.mli: Attr Domain Nullrel Predicate Tuple

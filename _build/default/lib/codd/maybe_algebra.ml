@@ -1,0 +1,122 @@
+open Nullrel
+
+let eq3 v w = Predicate.apply_comparison Predicate.Eq v w
+
+let tuple_eq3 ~over t r =
+  Attr.Set.fold
+    (fun a acc -> Tvl.and_ acc (eq3 (Tuple.get t a) (Tuple.get r a)))
+    over Tvl.True
+
+let member3 ~over t rel =
+  Relation.fold (fun r acc -> Tvl.or_ acc (tuple_eq3 ~over t r)) rel Tvl.False
+
+let member_sure ~over t rel = Tvl.equal (member3 ~over t rel) Tvl.True
+let member_possible ~over t rel = not (Tvl.equal (member3 ~over t rel) Tvl.False)
+let select_true p rel = Relation.filter (Predicate.holds p) rel
+
+let select_maybe p rel =
+  Relation.filter (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni) rel
+
+let project x rel = Relation.map (fun r -> Tuple.restrict r x) rel
+
+let product r1 r2 =
+  Relation.fold
+    (fun t1 acc ->
+      Relation.fold
+        (fun t2 acc ->
+          match Tuple.join t1 t2 with
+          | Some joined -> Relation.add joined acc
+          | None -> acc)
+        r2 acc)
+    r1 Relation.empty
+
+let join_true a cmp b r1 r2 =
+  select_true (Predicate.Cmp_attrs (a, cmp, b)) (product r1 r2)
+
+let join_maybe a cmp b r1 r2 =
+  select_maybe (Predicate.Cmp_attrs (a, cmp, b)) (product r1 r2)
+
+type set_expr =
+  | Rel of Relation.t
+  | Union of set_expr * set_expr
+  | Inter of set_expr * set_expr
+  | Diff of set_expr * set_expr
+
+(* All substituted (total) values of a set expression: every base
+   occurrence is completed independently, then the set operators apply to
+   the resulting total relations. *)
+let rec substitutions ~domains ~scope expr : Tuple.Set.t Seq.t =
+  match expr with
+  | Rel r ->
+      Seq.map Tuple.Set.of_list
+        (Subst.relation_substitutions ~domains ~over:scope
+           (Relation.to_list r))
+  | Union (e1, e2) -> combine ~domains ~scope Tuple.Set.union e1 e2
+  | Inter (e1, e2) -> combine ~domains ~scope Tuple.Set.inter e1 e2
+  | Diff (e1, e2) -> combine ~domains ~scope Tuple.Set.diff e1 e2
+
+and combine ~domains ~scope op e1 e2 =
+  Seq.concat_map
+    (fun s1 -> Seq.map (fun s2 -> op s1 s2) (substitutions ~domains ~scope e2))
+    (substitutions ~domains ~scope e1)
+
+let quantify_pairs holds pairs =
+  let rec go seen_true seen_false seq =
+    if seen_true && seen_false then Tvl.Ni
+    else
+      match Seq.uncons seq with
+      | None -> if seen_false then Tvl.False else Tvl.True
+      | Some ((s1, s2), rest) ->
+          if holds s1 s2 then go true seen_false rest
+          else go seen_true true rest
+  in
+  go false false pairs
+
+let pairs_of ~domains ~scope e1 e2 =
+  Seq.concat_map
+    (fun s1 -> Seq.map (fun s2 -> (s1, s2)) (substitutions ~domains ~scope e2))
+    (substitutions ~domains ~scope e1)
+
+let contains3 ~domains ~scope e1 e2 =
+  quantify_pairs
+    (fun s1 s2 -> Tuple.Set.subset s2 s1)
+    (pairs_of ~domains ~scope e1 e2)
+
+let equal3 ~domains ~scope e1 e2 =
+  quantify_pairs Tuple.Set.equal (pairs_of ~domains ~scope e1 e2)
+
+(* Division. The divisor tuples live on attributes disjoint from [y], so
+   the combination [y \/ s] always exists. *)
+let divisor_candidates ~y rel =
+  Relation.fold
+    (fun r acc ->
+      if Tuple.is_total_on y r then Relation.add (Tuple.restrict r y) acc
+      else acc)
+    rel Relation.empty
+
+let combined y_value s =
+  match Tuple.join y_value s with
+  | Some t -> t
+  | None -> invalid_arg "Maybe_algebra.divide: divisor overlaps quotient attrs"
+
+let divide_with ~member ~y dividend divisor =
+  let over =
+    Attr.Set.union y
+      (Relation.fold
+         (fun s acc -> Attr.Set.union (Tuple.attrs s) acc)
+         divisor Attr.Set.empty)
+  in
+  Relation.filter
+    (fun cand ->
+      Relation.fold
+        (fun s acc -> acc && member ~over (combined cand s) dividend)
+        divisor true)
+    (divisor_candidates ~y dividend)
+
+let divide_true ~y dividend divisor =
+  divide_with ~member:member_sure ~y dividend divisor
+
+let divide_maybe ~y dividend divisor =
+  let possible = divide_with ~member:member_possible ~y dividend divisor in
+  let sure = divide_true ~y dividend divisor in
+  Relation.filter (fun r -> not (Relation.mem r sure)) possible

@@ -1,0 +1,108 @@
+(** Codd's three-valued (TRUE/MAYBE) treatment of nulls — the baseline
+    the paper argues against (Sections 1, 5, 6).
+
+    Codd \[5\] extends the relational algebra with a three-valued logic
+    whose third value is MAYBE (represented here by [Tvl.Ni] — the truth
+    tables are the same, the interpretation differs). Select, join and
+    divide come in a TRUE version and a MAYBE version; set comparisons
+    are evaluated with the null-substitution principle of {!Subst}.
+
+    Relations here are plain {!Nullrel.Relation} representations: Codd's
+    model has no information-wise equivalence, the null is treated as an
+    ordinary (syntactic) value by the set operations, and no minimization
+    ever happens. *)
+
+open Nullrel
+
+val eq3 : Value.t -> Value.t -> Tvl.t
+(** Codd equality: MAYBE if either value is null. *)
+
+val tuple_eq3 : over:Attr.Set.t -> Tuple.t -> Tuple.t -> Tvl.t
+(** Conjunction of {!eq3} over the attributes [over]. *)
+
+val member3 : over:Attr.Set.t -> Tuple.t -> Relation.t -> Tvl.t
+(** Three-valued membership: the disjunction over the relation's tuples
+    of {!tuple_eq3}. *)
+
+val member_sure : over:Attr.Set.t -> Tuple.t -> Relation.t -> bool
+(** [member3 = True]. *)
+
+val member_possible : over:Attr.Set.t -> Tuple.t -> Relation.t -> bool
+(** [member3 <> False] — the tuple cannot be ruled out. *)
+
+val select_true : Predicate.t -> Relation.t -> Relation.t
+(** The TRUE version of selection — identical to the paper's own
+    lower-bound selection (Section 5 notes the equivalence). *)
+
+val select_maybe : Predicate.t -> Relation.t -> Relation.t
+(** The MAYBE version: the tuples whose qualification evaluates to
+    MAYBE. Low selectivity at high cost is the practical complaint
+    recorded in Section 1. *)
+
+val project : Attr.Set.t -> Relation.t -> Relation.t
+(** Plain projection with syntactic duplicate removal (no
+    minimization). *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Syntactic Cartesian product (operand scopes must not conflict;
+    conflicting pairs are dropped, nulls ride along as values). *)
+
+val join_true :
+  Attr.t -> Predicate.comparison -> Attr.t -> Relation.t -> Relation.t ->
+  Relation.t
+(** Codd's TRUE theta-join: the product rows whose comparison evaluates
+    to TRUE. Coincides with the paper's own theta-join on
+    representations (Section 5 notes the equivalence of the TRUE
+    strategy). *)
+
+val join_maybe :
+  Attr.t -> Predicate.comparison -> Attr.t -> Relation.t -> Relation.t ->
+  Relation.t
+(** Codd's MAYBE theta-join: the product rows whose comparison evaluates
+    to MAYBE — the low-selectivity, high-cost operator Section 1
+    complains about. Disjoint from {!join_true}. *)
+
+(** {1 Set comparisons by the null-substitution principle} *)
+
+type set_expr =
+  | Rel of Relation.t  (** A base relation occurrence. *)
+  | Union of set_expr * set_expr
+  | Inter of set_expr * set_expr
+  | Diff of set_expr * set_expr
+
+(** Each textual occurrence of a base relation is substituted
+    independently, as in the paper's analysis of [PS'' >= PS'] where "the
+    [omega] in PS' and the [omega] in PS''" are replaced separately. *)
+
+val contains3 :
+  domains:(Attr.t -> Domain.t) ->
+  scope:Attr.Set.t ->
+  set_expr ->
+  set_expr ->
+  Tvl.t
+(** [contains3 e1 e2] evaluates [e1 >= e2] (set containment) under every
+    substitution: TRUE if it always holds, FALSE if it never does, MAYBE
+    otherwise. *)
+
+val equal3 :
+  domains:(Attr.t -> Domain.t) ->
+  scope:Attr.Set.t ->
+  set_expr ->
+  set_expr ->
+  Tvl.t
+(** Set equality under the substitution principle. Note: with the two
+    occurrences substituted independently even [PS' = PS'] is MAYBE — the
+    paper's "even more surprisingly" remark. *)
+
+(** {1 TRUE / MAYBE division (Section 6)} *)
+
+val divide_true : y:Attr.Set.t -> Relation.t -> Relation.t -> Relation.t
+(** Codd's TRUE quotient: the Y-values [y] (from the Y-total dividend
+    tuples) such that for {e every} divisor tuple [s] — nulls included —
+    the combined tuple [y \/ s] is {e surely} in the dividend. On the
+    paper's PS example this returns the empty answer A1. *)
+
+val divide_maybe : y:Attr.Set.t -> Relation.t -> Relation.t -> Relation.t
+(** Codd's MAYBE quotient: the [y] such that every [y \/ s] is {e
+    possibly} in the dividend, excluding those surely qualifying. On the
+    paper's PS example this returns A2 = [{s1, s2, s3}]. *)

@@ -1,0 +1,53 @@
+open Nullrel
+
+(* Null slots of a tuple within [over]: attributes to fill. *)
+let null_slots ~over r =
+  Attr.Set.elements
+    (Attr.Set.filter (fun a -> Value.is_null (Tuple.get r a)) over)
+
+let rec fill ~domains r = function
+  | [] -> Seq.return r
+  | a :: rest ->
+      let values = Domain.members (domains a) in
+      Seq.concat_map
+        (fun v -> fill ~domains (Tuple.set r a v) rest)
+        (List.to_seq values)
+
+let tuple_substitutions ~domains ~over r =
+  fill ~domains r (null_slots ~over r)
+
+let relation_substitutions ~domains ~over tuples =
+  List.fold_left
+    (fun acc r ->
+      Seq.concat_map
+        (fun prefix ->
+          Seq.map
+            (fun r' -> r' :: prefix)
+            (tuple_substitutions ~domains ~over r))
+        acc)
+    (Seq.return []) (List.rev tuples)
+
+let count_substitutions ~domains ~over tuples =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc a ->
+          match Domain.cardinal (domains a) with
+          | Some n -> acc * n
+          | None -> raise (Domain.Infinite (Attr.name a)))
+        acc (null_slots ~over r))
+    1 tuples
+
+let quantify holds substitutions =
+  let rec go seen_true seen_false seq =
+    if seen_true && seen_false then Tvl.Ni
+    else
+      match Seq.uncons seq with
+      | None ->
+          if seen_true && seen_false then Tvl.Ni
+          else if seen_false then Tvl.False
+          else Tvl.True
+      | Some (s, rest) ->
+          if holds s then go true seen_false rest else go seen_true true rest
+  in
+  go false false substitutions

@@ -1,0 +1,42 @@
+(** The null-substitution principle (Section 1, after display (1.2)).
+
+    Codd's three-valued comparisons of relations are defined by replacing
+    "each occurrence of [omega] by a possible distinct nonnull value":
+    an expression yielding TRUE (FALSE) under every substitution
+    evaluates to TRUE (FALSE); one yielding both evaluates to MAYBE.
+
+    This module enumerates the substitutions. The enumeration is
+    exponential in the number of null occurrences — this very blowup is
+    one of the paper's arguments against the approach, and it is measured
+    in benchmark E8. *)
+
+open Nullrel
+
+val tuple_substitutions :
+  domains:(Attr.t -> Domain.t) ->
+  over:Attr.Set.t ->
+  Tuple.t ->
+  Tuple.t Seq.t
+(** All total completions of a tuple over the attributes [over]: each
+    attribute of [over] that is null in the tuple ranges over its domain.
+    Raises [Domain.Infinite] if such an attribute has an infinite
+    domain. *)
+
+val relation_substitutions :
+  domains:(Attr.t -> Domain.t) ->
+  over:Attr.Set.t ->
+  Tuple.t list ->
+  Tuple.t list Seq.t
+(** All simultaneous total completions of a list of tuples, every null
+    occurrence substituted independently (possibly by distinct values). *)
+
+val count_substitutions :
+  domains:(Attr.t -> Domain.t) -> over:Attr.Set.t -> Tuple.t list -> int
+(** Number of substitutions {!relation_substitutions} would enumerate
+    (product of domain cardinalities over all null slots). *)
+
+val quantify : (Tuple.t list -> bool) -> Tuple.t list Seq.t -> Tvl.t
+(** [quantify holds substitutions]: [True] if [holds] on every
+    substitution, [False] if on none, [Ni] (read: MAYBE) otherwise.
+    Short-circuits as soon as both a holding and a failing substitution
+    have been seen. [True] on an empty sequence. *)

@@ -1,0 +1,66 @@
+open Nullrel
+
+let brute_force ~domains ?(legal = fun _ -> true) p r =
+  let over = Predicate.attrs p in
+  Seq.for_all
+    (fun r' -> (not (legal r')) || Predicate.holds p r')
+    (Subst.tuple_substitutions ~domains ~over r)
+
+let brute_force_exists ~domains ?(legal = fun _ -> true) p r =
+  let over = Predicate.attrs p in
+  Seq.exists
+    (fun r' -> legal r' && Predicate.holds p r')
+    (Subst.tuple_substitutions ~domains ~over r)
+
+(* Integer constants against which [p] compares the attribute [a], once
+   the tuple's non-null values are folded in. [None] when some atom
+   involving [a] is not an integer comparison we can handle. *)
+let rec constants_against a r p =
+  let const v = match v with Value.Int i -> Some [ i ] | _ -> None in
+  match p with
+  | Predicate.Const _ -> Some []
+  | Predicate.Cmp_const (b, _, k) ->
+      if Attr.equal a b then const k else Some []
+  | Predicate.Cmp_attrs (b, _, c) ->
+      let involves_b = Attr.equal a b and involves_c = Attr.equal a c in
+      if involves_b && involves_c then Some [] (* a cmp a: constant truth *)
+      else if involves_b then const (Tuple.get r c)
+      else if involves_c then const (Tuple.get r b)
+      else Some []
+  | Predicate.And (p, q) | Predicate.Or (p, q) -> (
+      match (constants_against a r p, constants_against a r q) with
+      | Some ks, Some ks' -> Some (ks @ ks')
+      | _ -> None)
+  | Predicate.Not p -> constants_against a r p
+
+(* Shared skeleton: decide a quantified question about the single null
+   attribute by evaluating at the breakpoint samples. [combine] is
+   [List.for_all] for tautology, [List.exists] for satisfiability. *)
+let with_breakpoints combine p r =
+  let mentioned = Predicate.attrs p in
+  let nulls =
+    Attr.Set.filter (fun a -> Value.is_null (Tuple.get r a)) mentioned
+  in
+  match Attr.Set.elements nulls with
+  | [] -> Some (Predicate.holds p r)
+  | [ a ] -> (
+      match constants_against a r p with
+      | None -> None
+      | Some ks ->
+          let samples =
+            match ks with
+            | [] -> [ 0 ]
+            | _ ->
+                let lo = List.fold_left min max_int ks
+                and hi = List.fold_left max min_int ks in
+                (lo - 1) :: (hi + 1)
+                :: List.concat_map (fun k -> [ k - 1; k; k + 1 ]) ks
+          in
+          Some
+            (combine
+               (fun v -> Predicate.holds p (Tuple.set r a (Value.Int v)))
+               samples))
+  | _ :: _ :: _ -> None
+
+let breakpoints p r = with_breakpoints (fun f l -> List.for_all f l) p r
+let breakpoints_exists p r = with_breakpoints (fun f l -> List.exists f l) p r

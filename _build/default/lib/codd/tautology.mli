@@ -1,0 +1,64 @@
+(** Tautology detection for the "unknown" interpretation of nulls
+    (Section 5 and the Appendix).
+
+    Under the "unknown" interpretation, a tuple with nulls must be
+    included in the lower bound [||Q||-] whenever the qualification
+    evaluates to TRUE under {e every legal substitution} of its nulls —
+    i.e. when the tuple {e defines a tautology} for the query. The
+    Appendix argues that detecting this is NP-hard in general, entangled
+    with arithmetic and with the schema's integrity constraints, and
+    therefore impractical; the [ni] interpretation simply never needs it.
+
+    Two detectors are provided:
+    - {!brute_force}: enumerates every legal substitution over finite
+      domains (the Appendix's infeasible-in-general method — benchmarked
+      as E8);
+    - {!breakpoints}: a sound-and-complete symbolic decision for the
+      single-null case over an integer domain, by sampling around the
+      comparison breakpoints (it decides the Appendix's
+      [t.A > 3 /\ (t.B < 12 \/ t.B > t.A)] example); it illustrates how
+      quickly "understanding simple mathematics" becomes necessary. *)
+
+open Nullrel
+
+val brute_force :
+  domains:(Attr.t -> Domain.t) ->
+  ?legal:(Tuple.t -> bool) ->
+  Predicate.t ->
+  Tuple.t ->
+  bool
+(** [brute_force ~domains ~legal p r]: does [p] evaluate to TRUE under
+    every substitution of [r]'s nulls (on the attributes [p] mentions)
+    that satisfies [legal] (the schema's integrity constraints; default:
+    all substitutions are legal)? Vacuously false-friendly: if no
+    substitution is legal the tuple defines a (degenerate) tautology.
+    Cost: product of domain cardinalities over the null slots. *)
+
+val brute_force_exists :
+  domains:(Attr.t -> Domain.t) ->
+  ?legal:(Tuple.t -> bool) ->
+  Predicate.t ->
+  Tuple.t ->
+  bool
+(** The satisfiability dual, needed for the upper bound [||Q||+] of
+    Section 5: does {e some} legal substitution of the nulls make [p]
+    TRUE (i.e. the tuple cannot be ruled out)? Same cost profile as
+    {!brute_force}, short-circuiting on the first witness. *)
+
+val breakpoints : Predicate.t -> Tuple.t -> bool option
+(** Symbolic single-null decision. [Some b] when the tuple has exactly
+    zero or one null attribute among those mentioned by [p], that
+    attribute is only compared against integers (constants or the
+    tuple's own non-null integer values), and the tautology question has
+    answer [b] over the unbounded integer domain. [None] when the
+    fragment does not apply (several nulls, non-integer comparisons).
+    Soundness: the truth of such a predicate as a function of the null
+    is piecewise constant between consecutive mentioned constants, so
+    checking each breakpoint, its neighbours and the two extremes
+    decides universality. *)
+
+val breakpoints_exists : Predicate.t -> Tuple.t -> bool option
+(** Symbolic satisfiability for the same single-null integer fragment:
+    the predicate is satisfiable iff it holds at one of the breakpoint
+    samples (the truth function is piecewise constant, so every piece
+    contains a sample). *)

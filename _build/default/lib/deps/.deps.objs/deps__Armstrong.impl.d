@@ -1,0 +1,1 @@
+lib/deps/armstrong.ml: Attr Fd Format List Nullrel Pp Relation String

@@ -1,0 +1,1 @@
+lib/deps/armstrong.mli: Attr Fd Format Nullrel Relation

@@ -1,0 +1,1 @@
+lib/deps/fd.ml: Attr Codd Format List Nullrel Relation Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/deps/mvd.ml: Attr Fd Format List Nullrel Relation Tuple Value

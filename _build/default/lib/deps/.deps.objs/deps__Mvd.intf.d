@@ -1,0 +1,1 @@
+lib/deps/mvd.mli: Attr Fd Format Nullrel Relation

@@ -1,0 +1,1 @@
+lib/deps/normal.ml: Attr Fd List Nullrel

@@ -1,0 +1,1 @@
+lib/deps/normal.mli: Attr Fd Nullrel

@@ -1,0 +1,120 @@
+open Nullrel
+
+type notion = Relation.t -> Fd.t -> bool
+
+type verdict = {
+  axiom : string;
+  holds : bool;
+  counterexample : (Relation.t * string) option;
+}
+
+let subsets universe =
+  List.fold_left
+    (fun acc a -> acc @ List.map (Attr.Set.add a) acc)
+    [ Attr.Set.empty ]
+    (Attr.Set.elements universe)
+
+let fd lhs rhs = { Fd.lhs; rhs }
+
+let describe label parts =
+  label ^ ": "
+  ^ String.concat ", "
+      (List.map
+         (fun (name, x) -> name ^ " = " ^ Pp.to_string Attr.pp_set x)
+         parts)
+
+let find_counterexample rels cases =
+  List.find_map
+    (fun rel ->
+      List.find_map
+        (fun case ->
+          match case rel with
+          | Some descr -> Some (rel, descr)
+          | None -> None)
+        cases)
+    rels
+
+let verdict axiom = function
+  | None -> { axiom; holds = true; counterexample = None }
+  | Some ce -> { axiom; holds = false; counterexample = Some ce }
+
+let reflexivity notion rels ~universe =
+  let sets = subsets universe in
+  let cases =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if Attr.Set.subset y x then
+              Some
+                (fun rel ->
+                  if notion rel (fd x y) then None
+                  else Some (describe "X -> Y with Y inside X fails"
+                               [ ("X", x); ("Y", y) ]))
+            else None)
+          sets)
+      sets
+  in
+  verdict "reflexivity" (find_counterexample rels cases)
+
+let augmentation notion rels ~universe =
+  let sets = subsets universe in
+  let cases =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun y ->
+            List.map
+              (fun z rel ->
+                if
+                  notion rel (fd x y)
+                  && not
+                       (notion rel
+                          (fd (Attr.Set.union x z) (Attr.Set.union y z)))
+                then
+                  Some
+                    (describe "X -> Y holds but XZ -> YZ fails"
+                       [ ("X", x); ("Y", y); ("Z", z) ])
+                else None)
+              sets)
+          sets)
+      sets
+  in
+  verdict "augmentation" (find_counterexample rels cases)
+
+let transitivity notion rels ~universe =
+  let sets = subsets universe in
+  let cases =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun y ->
+            List.map
+              (fun z rel ->
+                if
+                  notion rel (fd x y) && notion rel (fd y z)
+                  && not (notion rel (fd x z))
+                then
+                  Some
+                    (describe "X -> Y and Y -> Z hold but X -> Z fails"
+                       [ ("X", x); ("Y", y); ("Z", z) ])
+                else None)
+              sets)
+          sets)
+      sets
+  in
+  verdict "transitivity" (find_counterexample rels cases)
+
+let audit notion rels ~universe =
+  [
+    reflexivity notion rels ~universe;
+    augmentation notion rels ~universe;
+    transitivity notion rels ~universe;
+  ]
+
+let pp_verdict ppf v =
+  match v.counterexample with
+  | None -> Format.fprintf ppf "%-13s holds" v.axiom
+  | Some (rel, descr) ->
+      Format.fprintf ppf "%-13s FAILS on %a (%s)" v.axiom Relation.pp rel
+        descr

@@ -1,0 +1,40 @@
+(** Checking the Armstrong properties of an FD-satisfaction notion.
+
+    A {e notion} is any predicate deciding whether a relation satisfies
+    an FD. For classical FDs on total relations, satisfaction is closed
+    under Armstrong's axioms — reflexivity, augmentation and
+    transitivity — which is what makes implication and normalization
+    work. The paper's conclusion observes that no known generalization
+    to nulls keeps all of them; {!audit} checks each axiom for a given
+    notion against a battery of relations and reports the verdicts with
+    counterexamples. *)
+
+open Nullrel
+
+type notion = Relation.t -> Fd.t -> bool
+
+type verdict = {
+  axiom : string;
+  holds : bool;
+  counterexample : (Relation.t * string) option;
+      (** A relation plus a description of the violated implication. *)
+}
+
+val reflexivity : notion -> Relation.t list -> universe:Attr.Set.t -> verdict
+(** [Y subset of X] implies [X -> Y] must be satisfied — by every
+    relation, unconditionally. *)
+
+val augmentation : notion -> Relation.t list -> universe:Attr.Set.t -> verdict
+(** If [X -> Y] is satisfied then [XZ -> YZ] must be. *)
+
+val transitivity : notion -> Relation.t list -> universe:Attr.Set.t -> verdict
+(** If [X -> Y] and [Y -> Z] are satisfied then [X -> Z] must be. *)
+
+val audit :
+  notion -> Relation.t list -> universe:Attr.Set.t -> verdict list
+(** All three, in order. The verdict is [holds = true] when no
+    counterexample was found in the battery — for the failing notions
+    the battery in the callers contains known counterexamples, so a
+    [true] there is meaningful. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

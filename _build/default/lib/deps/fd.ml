@@ -1,0 +1,87 @@
+open Nullrel
+
+type t = { lhs : Attr.Set.t; rhs : Attr.Set.t }
+
+let make lhs rhs = { lhs = Attr.set_of_list lhs; rhs = Attr.set_of_list rhs }
+
+let pp ppf fd =
+  Format.fprintf ppf "%a -> %a" Attr.pp_set fd.lhs Attr.pp_set fd.rhs
+
+let pairs rel f =
+  let tuples = Relation.to_list rel in
+  List.for_all
+    (fun r1 -> List.for_all (fun r2 -> f r1 r2) tuples)
+    tuples
+
+let agree_on x r1 r2 =
+  Attr.Set.for_all (fun a -> Value.equal (Tuple.get r1 a) (Tuple.get r2 a)) x
+
+let satisfies_classical rel fd =
+  pairs rel (fun r1 r2 ->
+      (not (agree_on fd.lhs r1 r2)) || agree_on fd.rhs r1 r2)
+
+let satisfies_total rel fd =
+  let relevant = Attr.Set.union fd.lhs fd.rhs in
+  pairs rel (fun r1 r2 ->
+      (not (Tuple.is_total_on relevant r1 && Tuple.is_total_on relevant r2))
+      || (not (agree_on fd.lhs r1 r2))
+      || agree_on fd.rhs r1 r2)
+
+let joinable_on x r1 r2 =
+  Attr.Set.for_all
+    (fun a ->
+      match (Tuple.get r1 a, Tuple.get r2 a) with
+      | Value.Null, _ | _, Value.Null -> true
+      | v, w -> Value.equal v w)
+    x
+
+let satisfies_no_conflict rel fd =
+  pairs rel (fun r1 r2 ->
+      (not (Tuple.is_total_on fd.lhs r1 && Tuple.is_total_on fd.lhs r2))
+      || (not (agree_on fd.lhs r1 r2))
+      || joinable_on fd.rhs r1 r2)
+
+let satisfies_possible ~domains rel fd =
+  let over = Attr.Set.union fd.lhs fd.rhs in
+  Seq.exists
+    (fun completion ->
+      satisfies_classical (Relation.of_list completion) fd)
+    (Codd.Subst.relation_substitutions ~domains ~over (Relation.to_list rel))
+
+(* ---------------- classical implication machinery --------------- *)
+
+let closure fds x =
+  let step acc =
+    List.fold_left
+      (fun acc fd ->
+        if Attr.Set.subset fd.lhs acc then Attr.Set.union fd.rhs acc else acc)
+      acc fds
+  in
+  let rec fixpoint acc =
+    let next = step acc in
+    if Attr.Set.equal next acc then acc else fixpoint next
+  in
+  fixpoint x
+
+let implies fds fd = Attr.Set.subset fd.rhs (closure fds fd.lhs)
+
+let is_key fds ~all x = Attr.Set.subset all (closure fds x)
+
+let candidate_keys fds ~all =
+  let attrs = Attr.Set.elements all in
+  let rec subsets = function
+    | [] -> [ Attr.Set.empty ]
+    | a :: rest ->
+        let smaller = subsets rest in
+        smaller @ List.map (Attr.Set.add a) smaller
+  in
+  let keys = List.filter (is_key fds ~all) (subsets attrs) in
+  (* keep the minimal ones *)
+  List.filter
+    (fun k ->
+      not
+        (List.exists
+           (fun k' -> Attr.Set.subset k' k && not (Attr.Set.equal k' k))
+           keys))
+    keys
+  |> List.sort_uniq Attr.Set.compare

@@ -1,0 +1,67 @@
+(** Functional dependencies over relations with nulls — the open
+    problem of the paper's conclusion, made executable.
+
+    Section 8: "at the time of this writing, we do not know of any
+    generalization of concepts such as functional or multivalued
+    dependencies, which preserves all the properties that makes them so
+    useful in the formal analysis and design of relational schemas."
+
+    This module implements three natural candidate generalizations of
+    FD satisfaction in the presence of ni nulls, plus the classical
+    machinery (attribute-set closure, implication, key finding) that is
+    sound for total relations. The test suite and benchmark section E14
+    then {e demonstrate} the paper's claim: each candidate loses one of
+    the Armstrong properties (reflexivity / augmentation / transitivity)
+    that make FDs useful. *)
+
+open Nullrel
+
+type t = { lhs : Attr.Set.t; rhs : Attr.Set.t }
+
+val make : string list -> string list -> t
+(** [make ["A"] ["B"; "C"]] is the dependency [A -> B C]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Candidate satisfaction notions under nulls} *)
+
+val satisfies_total : Relation.t -> t -> bool
+(** {e Total satisfaction}: every pair of tuples that are total on
+    [lhs u rhs] and agree on [lhs] also agree on [rhs]. Pairs with any
+    relevant null are exempt. Reflexivity and augmentation survive;
+    transitivity fails (a null on the middle attributes breaks the
+    chain). *)
+
+val satisfies_no_conflict : Relation.t -> t -> bool
+(** {e No-conflict satisfaction}: every pair of tuples total on [lhs]
+    that agree on [lhs] must be {e joinable} on [rhs] — their rhs
+    values must not contradict (a null is compatible with anything).
+    Strictly stronger than {!satisfies_total} on the same pairs; still
+    loses transitivity. *)
+
+val satisfies_possible :
+  domains:(Attr.t -> Domain.t) -> Relation.t -> t -> bool
+(** {e Weak (possible-world) satisfaction}: some completion of the
+    nulls (over the given finite domains) satisfies the FD classically.
+    Exponential in the number of nulls — Section 5's substitution costs
+    all over again. *)
+
+val satisfies_classical : Relation.t -> t -> bool
+(** Classical two-valued satisfaction; meaningful on total relations
+    (on relations with nulls it treats ni as just another constant,
+    which is exactly the mistake the other notions try to avoid). *)
+
+(** {1 Classical implication machinery (sound for total relations)} *)
+
+val closure : t list -> Attr.Set.t -> Attr.Set.t
+(** Attribute-set closure under a set of FDs (Armstrong's axioms). *)
+
+val implies : t list -> t -> bool
+(** [implies fds fd] iff [fd.rhs] is inside the closure of [fd.lhs]. *)
+
+val is_key : t list -> all:Attr.Set.t -> Attr.Set.t -> bool
+(** Does the attribute set determine every attribute of [all]? *)
+
+val candidate_keys : t list -> all:Attr.Set.t -> Attr.Set.t list
+(** The minimal keys (exponential search over subsets; meant for the
+    small schemas of design work). *)

@@ -1,0 +1,43 @@
+open Nullrel
+
+type t = { lhs : Attr.Set.t; rhs : Attr.Set.t }
+
+let make lhs rhs = { lhs = Attr.set_of_list lhs; rhs = Attr.set_of_list rhs }
+
+let pp ppf mvd =
+  Format.fprintf ppf "%a ->> %a" Attr.pp_set mvd.lhs Attr.pp_set mvd.rhs
+
+let complement ~universe mvd =
+  { mvd with rhs = Attr.Set.diff (Attr.Set.diff universe mvd.lhs) mvd.rhs }
+
+let agree_on x r1 r2 =
+  Attr.Set.for_all (fun a -> Value.equal (Tuple.get r1 a) (Tuple.get r2 a)) x
+
+(* The swap of t1 and t2: lhs and rhs from t1, the remaining universe
+   attributes from t2. *)
+let swap ~universe mvd t1 t2 =
+  let z = Attr.Set.diff (Attr.Set.diff universe mvd.lhs) mvd.rhs in
+  Attr.Set.fold
+    (fun a acc -> Tuple.set acc a (Tuple.get t2 a))
+    z
+    (Tuple.restrict t1 (Attr.Set.union mvd.lhs mvd.rhs))
+
+let swap_check ~universe ~relevant rel mvd =
+  let tuples = Relation.to_list rel in
+  List.for_all
+    (fun t1 ->
+      List.for_all
+        (fun t2 ->
+          (not (relevant t1 && relevant t2))
+          || (not (agree_on mvd.lhs t1 t2))
+          || Relation.mem (swap ~universe mvd t1 t2) rel)
+        tuples)
+    tuples
+
+let satisfies_classical ~universe rel mvd =
+  swap_check ~universe ~relevant:(fun _ -> true) rel mvd
+
+let satisfies_total ~universe rel mvd =
+  swap_check ~universe ~relevant:(Tuple.is_total_on universe) rel mvd
+
+let of_fd (fd : Fd.t) = { lhs = fd.Fd.lhs; rhs = fd.Fd.rhs }

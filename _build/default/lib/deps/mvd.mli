@@ -1,0 +1,41 @@
+(** Multivalued dependencies, with and without nulls.
+
+    The paper's introduction credits Lien \[14\] with "formalizing the
+    concept of multivalued dependencies with nulls, for which he derives
+    a complete set of inference rules" under the nonexistent
+    interpretation. This module provides:
+
+    - classical MVD satisfaction on total relations (the exchange/swap
+      characterization);
+    - a total-pairs generalization in the spirit of {!Fd.satisfies_total}
+      — only tuples total on the relevant attributes constrain the
+      relation, so null-bearing tuples are exempt (this matches the
+      spirit of Lien's restriction of the swap requirement to tuples
+      that are defined on the attributes involved);
+    - the classical interplay laws, checked in the tests: an FD implies
+      the MVD, and complementation [X ->> Y iff X ->> U - X - Y]. *)
+
+open Nullrel
+
+type t = { lhs : Attr.Set.t; rhs : Attr.Set.t }
+
+val make : string list -> string list -> t
+val pp : Format.formatter -> t -> unit
+
+val complement : universe:Attr.Set.t -> t -> t
+(** [X ->> U - X - Y]. *)
+
+val satisfies_classical : universe:Attr.Set.t -> Relation.t -> t -> bool
+(** Swap characterization over all attribute values (treats ni as a
+    constant — only meaningful on total relations): for every [t1],
+    [t2] agreeing on [lhs], the tuple taking [rhs] from [t1] and the
+    rest from [t2] is in the relation. *)
+
+val satisfies_total : universe:Attr.Set.t -> Relation.t -> t -> bool
+(** The null-aware restriction: the swap is only required for pairs of
+    tuples that are {e total on the whole universe}. Tuples with nulls
+    neither impose nor witness swaps — the relation's total part must
+    satisfy the classical MVD. *)
+
+val of_fd : Fd.t -> t
+(** Every FD is an MVD. *)

@@ -1,0 +1,62 @@
+open Nullrel
+
+let nontrivial ~all (fd : Fd.t) =
+  (not (Attr.Set.subset fd.Fd.rhs fd.Fd.lhs)) && Attr.Set.subset fd.Fd.rhs all
+  && Attr.Set.subset fd.Fd.lhs all
+
+let bcnf_violation ~fds ~all candidates =
+  List.find_opt
+    (fun fd ->
+      nontrivial ~all fd && not (Fd.is_key fds ~all fd.Fd.lhs))
+    candidates
+
+let is_bcnf ~fds ~all = bcnf_violation ~fds ~all fds = None
+
+let subsets attrs =
+  List.fold_left
+    (fun acc a -> acc @ List.map (Attr.Set.add a) acc)
+    [ Attr.Set.empty ] attrs
+
+let project_fds ~fds ~onto =
+  let candidates =
+    List.filter_map
+      (fun lhs ->
+        let rhs = Attr.Set.inter (Fd.closure fds lhs) onto in
+        let rhs = Attr.Set.diff rhs lhs in
+        if Attr.Set.is_empty rhs then None else Some { Fd.lhs; rhs })
+      (subsets (Attr.Set.elements onto))
+  in
+  (* prune dependencies implied by the others (simple cover reduction) *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+        if Fd.implies (kept @ rest) fd then prune kept rest
+        else prune (fd :: kept) rest
+  in
+  prune [] candidates
+
+let lossless_split ~fds r1 r2 =
+  let common = Attr.Set.inter r1 r2 in
+  let closure = Fd.closure fds common in
+  Attr.Set.subset r1 closure || Attr.Set.subset r2 closure
+
+let bcnf_decompose ~fds ~all =
+  let rec go fragment fds =
+    match bcnf_violation ~fds ~all:fragment fds with
+    | None -> [ fragment ]
+    | Some fd ->
+        let lhs_closure =
+          Attr.Set.inter (Fd.closure fds fd.Fd.lhs) fragment
+        in
+        let left = lhs_closure in
+        let right =
+          Attr.Set.union fd.Fd.lhs (Attr.Set.diff fragment lhs_closure)
+        in
+        if Attr.Set.equal left fragment || Attr.Set.equal right fragment then
+          (* no progress possible (degenerate closure): stop splitting *)
+          [ fragment ]
+        else
+          go left (project_fds ~fds ~onto:left)
+          @ go right (project_fds ~fds ~onto:right)
+  in
+  go all fds

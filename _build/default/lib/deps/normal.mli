@@ -1,0 +1,42 @@
+(** Schema normalization — the "formal analysis and design of
+    relational schemas" the paper's conclusion cites FDs for.
+
+    Classical, design-time machinery over attribute sets and FDs (no
+    data involved): BCNF violation detection, the standard BCNF
+    decomposition by violating-FD splitting, and the binary
+    lossless-join test. Sound for the total-relation reading of the
+    dependencies; the point of {!Armstrong} is that no null-aware
+    satisfaction notion currently supports this machinery in full —
+    which is exactly why it is kept separate from the data-level
+    checks. *)
+
+open Nullrel
+
+val bcnf_violation :
+  fds:Fd.t list -> all:Attr.Set.t -> Fd.t list -> Fd.t option
+(** The first dependency of the given list that violates BCNF for the
+    schema [all] under the implication closure of [fds]: a nontrivial
+    [X -> Y] whose [X] is not a superkey. *)
+
+val is_bcnf : fds:Fd.t list -> all:Attr.Set.t -> bool
+(** No violation among [fds] themselves (the usual practical check —
+    testing all implied FDs is equivalent for violation existence when
+    [fds] is the declared cover, checked on projected dependencies). *)
+
+val bcnf_decompose : fds:Fd.t list -> all:Attr.Set.t -> Attr.Set.t list
+(** Standard BCNF decomposition: repeatedly split on a violating FD
+    [X -> Y] into [X u Y] and [all - (Y - X)], projecting the
+    dependencies (by closure) into each fragment. Always terminates;
+    every returned fragment is in BCNF w.r.t. its projected FDs; the
+    binary splits are lossless. *)
+
+val lossless_split :
+  fds:Fd.t list -> Attr.Set.t -> Attr.Set.t -> bool
+(** The binary lossless-join test: [R1 n R2 -> R1] or [R1 n R2 -> R2]
+    under the closure of [fds]. *)
+
+val project_fds : fds:Fd.t list -> onto:Attr.Set.t -> Fd.t list
+(** The projection of a dependency set onto an attribute subset:
+    [X -> (closure X n onto)] for each [X] inside [onto] (exponential in
+    [onto]; design-time sizes only). Trivial and redundant dependencies
+    are pruned. *)

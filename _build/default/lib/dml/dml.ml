@@ -1,0 +1,108 @@
+open Nullrel
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type outcome = {
+  catalog : Storage.Catalog.t;
+  message : string;
+  result : Quel.Eval.result option;
+}
+
+let flip = function
+  | Predicate.Eq -> Predicate.Eq
+  | Predicate.Neq -> Predicate.Neq
+  | Predicate.Lt -> Predicate.Gt
+  | Predicate.Gt -> Predicate.Lt
+  | Predicate.Le -> Predicate.Ge
+  | Predicate.Ge -> Predicate.Le
+
+(* Compile a single-variable qualification onto the base relation's own
+   attribute names. *)
+let rec base_predicate var = function
+  | Quel.Ast.Cmp (Quel.Ast.Attr (v, a), cmp, Quel.Ast.Attr (w, b))
+    when String.equal v var && String.equal w var ->
+      Predicate.Cmp_attrs (Attr.make a, cmp, Attr.make b)
+  | Quel.Ast.Cmp (Quel.Ast.Attr (v, a), cmp, Quel.Ast.Const k)
+    when String.equal v var ->
+      Predicate.Cmp_const (Attr.make a, cmp, k)
+  | Quel.Ast.Cmp (Quel.Ast.Const k, cmp, Quel.Ast.Attr (v, a))
+    when String.equal v var ->
+      Predicate.Cmp_const (Attr.make a, flip cmp, k)
+  | Quel.Ast.Cmp (Quel.Ast.Const k1, cmp, Quel.Ast.Const k2) ->
+      Predicate.Const (Predicate.apply_comparison cmp k1 k2)
+  | Quel.Ast.Cmp _ ->
+      errorf "the qualification may only reference the variable %s" var
+  | Quel.Ast.And (c1, c2) ->
+      Predicate.And (base_predicate var c1, base_predicate var c2)
+  | Quel.Ast.Or (c1, c2) ->
+      Predicate.Or (base_predicate var c1, base_predicate var c2)
+  | Quel.Ast.Not c -> Predicate.Not (base_predicate var c)
+
+let where_predicate var = function
+  | None -> Predicate.Const Tvl.True
+  | Some c -> base_predicate var c
+
+let relation_of cat rel =
+  match Storage.Catalog.find cat rel with
+  | Some entry -> entry
+  | None -> errorf "unknown relation %s" rel
+
+let tuple_of_assignments schema rel values =
+  List.fold_left
+    (fun t (a, v) ->
+      let attr = Attr.make a in
+      if not (Schema.mem schema attr) then
+        errorf "relation %s has no attribute %s" rel a;
+      if not (Value.is_null (Tuple.get t attr)) then
+        errorf "attribute %s assigned twice" a;
+      Tuple.set t attr v)
+    Tuple.empty values
+
+let plural n noun = Printf.sprintf "%d %s%s" n noun (if n = 1 then "" else "s")
+
+let exec cat statement =
+  match statement with
+  | Quel.Ast.Retrieve q ->
+      let result = Quel.Eval.run (Storage.Catalog.to_db cat) q in
+      { catalog = cat; message = ""; result = Some result }
+  | Quel.Ast.Append { rel; values } ->
+      let schema, x = relation_of cat rel in
+      let tuple = tuple_of_assignments schema rel values in
+      let updated = Storage.Update.insert x [ tuple ] in
+      let grew = Xrel.cardinal updated <> Xrel.cardinal x in
+      {
+        catalog = Storage.Catalog.set_relation cat rel updated;
+        message =
+          (if Xrel.equal updated x then "appended tuple added no information"
+           else if grew then "1 tuple appended"
+           else "1 tuple appended (absorbed less informative rows)");
+        result = None;
+      }
+  | Quel.Ast.Delete { var; rel; where } ->
+      let _, x = relation_of cat rel in
+      let p = where_predicate var where in
+      let updated = Storage.Update.delete_where p x in
+      let removed = Xrel.cardinal x - Xrel.cardinal updated in
+      {
+        catalog = Storage.Catalog.set_relation cat rel updated;
+        message = plural removed "tuple" ^ " deleted";
+        result = None;
+      }
+  | Quel.Ast.Replace { var; rel; values; where } ->
+      let schema, x = relation_of cat rel in
+      let p = where_predicate var where in
+      let patch = tuple_of_assignments schema rel values in
+      let apply r =
+        Tuple.fold (fun a v acc -> Tuple.set acc a v) patch r
+      in
+      let touched = Xrel.cardinal (Algebra.select p x) in
+      let updated = Storage.Update.modify ~where:p ~using:apply x in
+      {
+        catalog = Storage.Catalog.set_relation cat rel updated;
+        message = plural touched "tuple" ^ " replaced";
+        result = None;
+      }
+
+let exec_string cat src = exec cat (Quel.Parser.parse_statement src)

@@ -1,0 +1,28 @@
+(** Executing QUEL update statements against a catalog.
+
+    The semantics are Section 7's: [append] is lattice union, [delete]
+    is difference, [replace] is a deletion followed by an addition.
+    Because the lower-bound discipline extends to updates, [delete] and
+    [replace] touch only the tuples that {e surely} match the
+    qualification — a null never matches, so incomplete tuples are never
+    destroyed by a value-based condition.
+
+    Every executed update re-checks the target relation against its
+    schema ({!Storage.Catalog.Violation} aborts the update; the catalog
+    is unchanged). *)
+
+
+exception Error of string
+(** Unknown relation, unknown attribute in an assignment, or a
+    qualification referencing a variable other than the target. *)
+
+type outcome = {
+  catalog : Storage.Catalog.t;  (** The catalog after the statement. *)
+  message : string;  (** One-line human summary ("2 tuples deleted"). *)
+  result : Quel.Eval.result option;
+      (** The table, for [retrieve] statements only. *)
+}
+
+val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
+val exec_string : Storage.Catalog.t -> string -> outcome
+(** [exec] composed with {!Quel.Parser.parse_statement}. *)

@@ -1,0 +1,1 @@
+lib/marked/mrel.ml: Format Int List Mtuple Mvalue Nullrel Relation Set Tvl

@@ -1,0 +1,1 @@
+lib/marked/mrel.mli: Attr Format Mtuple Mvalue Nullrel Relation Tvl Value

@@ -1,0 +1,1 @@
+lib/marked/mtuple.ml: Attr Format List Mvalue Nullrel Set Tuple Value

@@ -1,0 +1,1 @@
+lib/marked/mtuple.mli: Attr Format Mvalue Nullrel Set Tuple Value

@@ -1,0 +1,1 @@
+lib/marked/mvalue.ml: Format Int Nullrel Tvl Value

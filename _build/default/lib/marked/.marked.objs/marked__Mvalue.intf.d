@@ -1,0 +1,1 @@
+lib/marked/mvalue.mli: Format Nullrel Tvl Value

@@ -1,0 +1,58 @@
+open Nullrel
+
+type t = Mtuple.Set.t
+
+let empty = Mtuple.Set.empty
+let of_list = Mtuple.Set.of_list
+let to_list = Mtuple.Set.elements
+let cardinal = Mtuple.Set.cardinal
+let add = Mtuple.Set.add
+let mem = Mtuple.Set.mem
+
+let select_eq a v r =
+  Mtuple.Set.filter
+    (fun tu -> Tvl.equal (Mvalue.select_eq3 (Mtuple.get tu a) v) Tvl.True)
+    r
+
+let select qualification r =
+  Mtuple.Set.filter (fun tu -> Tvl.equal (qualification tu) Tvl.True) r
+
+let equijoin x r1 r2 =
+  Mtuple.Set.fold
+    (fun t1 acc ->
+      Mtuple.Set.fold
+        (fun t2 acc ->
+          match Mtuple.join_on x t1 t2 with
+          | Some joined -> Mtuple.Set.add joined acc
+          | None -> acc)
+        r2 acc)
+    r1 Mtuple.Set.empty
+
+let project x r = Mtuple.Set.map (fun tu -> Mtuple.restrict tu x) r
+
+let to_plain r =
+  Mtuple.Set.fold
+    (fun tu acc -> Relation.add (Mtuple.to_plain tu) acc)
+    r Relation.empty
+
+let instantiate valuation r = Mtuple.Set.map (Mtuple.instantiate valuation) r
+
+let marks r =
+  let module Int_set = Set.Make (Int) in
+  let collect tu acc =
+    List.fold_left
+      (fun acc (_, v) ->
+        match v with
+        | Mvalue.Marked m -> Int_set.add (m :> int) acc
+        | Mvalue.Const _ -> acc)
+      acc (Mtuple.to_list tu)
+  in
+  Int_set.elements (Mtuple.Set.fold collect r Int_set.empty)
+  |> List.map Mvalue.mark_of_int
+
+let pp ppf r =
+  Format.fprintf ppf "{@[<hv>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Mtuple.pp)
+    (to_list r)

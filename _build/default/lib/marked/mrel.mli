@@ -1,0 +1,50 @@
+(** Relations over marked tuples, with the dual select/join semantics
+    of Section 2's marked-null discussion.
+
+    This is deliberately a thin layer: marked relations support the
+    operations the paper's example needs (selection, equijoin,
+    projection) plus the two bridges back into the core model —
+    {!to_plain} (forget marks) and {!instantiate} (resolve marks).
+    The full lattice theory lives in {!Nullrel.Xrel}; marks are the
+    "more informative interpretation" the conclusion leaves as a
+    trade-off, not a replacement. *)
+
+open Nullrel
+
+type t
+
+val empty : t
+val of_list : Mtuple.t list -> t
+val to_list : t -> Mtuple.t list
+val cardinal : t -> int
+val add : Mtuple.t -> t -> t
+val mem : Mtuple.t -> t -> bool
+
+val select_eq : Attr.t -> Mvalue.t -> t -> t
+(** Selection with the "regular unknown" discipline: keeps tuples whose
+    attribute is {e certainly} equal — a marked null qualifies only
+    against the very same mark, never against a constant. *)
+
+val select : (Mtuple.t -> Tvl.t) -> t -> t
+(** General selection by a three-valued qualification (keeps [True]). *)
+
+val equijoin : Attr.Set.t -> t -> t -> t
+(** Join with the "regular nonnull value" discipline: marks join marks
+    with the same identity, constants join equal constants, plain nulls
+    join nothing. *)
+
+val project : Attr.Set.t -> t -> t
+
+val to_plain : t -> Relation.t
+(** Forgets marks; the resulting representation is a sound
+    no-information approximation of the marked database. *)
+
+val instantiate : (Mvalue.mark -> Value.t option) -> t -> t
+(** Resolves marks pointwise: every occurrence of a bound mark is
+    replaced throughout the relation — the linking behaviour that plain
+    ni nulls cannot express. *)
+
+val marks : t -> Mvalue.mark list
+(** The distinct marks occurring in the relation, in increasing order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+open Nullrel
+
+type t = Mvalue.t Attr.Map.t
+
+let empty = Attr.Map.empty
+
+let is_plain_null = function
+  | Mvalue.Const v -> Value.is_null v
+  | Mvalue.Marked _ -> false
+
+let set r a v = if is_plain_null v then Attr.Map.remove a r else Attr.Map.add a v r
+
+let of_list bindings =
+  List.fold_left (fun r (a, v) -> set r a v) Attr.Map.empty bindings
+
+let of_strings bindings =
+  of_list (List.map (fun (name, v) -> (Attr.make name, v)) bindings)
+
+let to_list r = Attr.Map.bindings r
+
+let get r a =
+  match Attr.Map.find_opt a r with
+  | Some v -> v
+  | None -> Mvalue.Const Value.Null
+
+let attrs r = Attr.Map.fold (fun a _ acc -> Attr.Set.add a acc) r Attr.Set.empty
+let equal r t = Attr.Map.equal Mvalue.equal r t
+let compare r t = Attr.Map.compare Mvalue.compare r t
+let restrict r x = Attr.Map.filter (fun a _ -> Attr.Set.mem a x) r
+
+exception Conflict
+
+let join_on x r1 r2 =
+  let on_x = Attr.Set.for_all (fun a -> Mvalue.join_matches (get r1 a) (get r2 a)) x in
+  if not on_x then None
+  else
+    let merge a v1 v2 =
+      match (v1, v2) with
+      | (Some _ as v), None | None, (Some _ as v) -> v
+      | Some v1, Some v2 ->
+          (* Off the join columns we still refuse contradictions; a
+             shared mark or equal constant merges, anything else
+             conflicts unless one side is absent (handled above). *)
+          if Mvalue.equal v1 v2 then Some v1
+          else if Attr.Set.mem a x then Some v1 (* matched by join_matches *)
+          else raise Conflict
+      | None, None -> None
+    in
+    match Attr.Map.merge merge r1 r2 with
+    | joined -> Some joined
+    | exception Conflict -> None
+
+let to_plain r =
+  Attr.Map.fold (fun a v acc -> Tuple.set acc a (Mvalue.to_plain v)) r
+    Tuple.empty
+
+let instantiate valuation r =
+  Attr.Map.fold
+    (fun a v acc ->
+      let v' =
+        match v with
+        | Mvalue.Marked m -> (
+            match valuation m with
+            | Some value -> Mvalue.Const value
+            | None -> v)
+        | Mvalue.Const _ -> v
+      in
+      set acc a v')
+    r empty
+
+let pp ppf r =
+  let pp_binding ppf (a, v) =
+    Format.fprintf ppf "%a=%a" Attr.pp a Mvalue.pp v
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_binding)
+    (to_list r)
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)

@@ -1,0 +1,39 @@
+(** Tuples over marked values. Canonical form stores neither plain
+    nulls nor nothing-known attributes; marked nulls {e are} stored —
+    a mark is information (it links occurrences), unlike ni. *)
+
+open Nullrel
+
+type t
+
+val empty : t
+val of_list : (Attr.t * Mvalue.t) list -> t
+(** Plain-null bindings are dropped (canonical form); marked bindings
+    are kept. *)
+
+val of_strings : (string * Mvalue.t) list -> t
+val to_list : t -> (Attr.t * Mvalue.t) list
+val get : t -> Attr.t -> Mvalue.t
+(** [Const Value.Null] when unbound. *)
+
+val set : t -> Attr.t -> Mvalue.t -> t
+val attrs : t -> Attr.Set.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val restrict : t -> Attr.Set.t -> t
+
+val join_on : Attr.Set.t -> t -> t -> t option
+(** Combines two tuples when they {!Mvalue.join_matches} on every
+    attribute of the join set (marks match only themselves) and are
+    non-conflicting elsewhere; [None] otherwise. *)
+
+val to_plain : t -> Tuple.t
+(** Forgets all marks, yielding a plain no-information tuple. *)
+
+val instantiate : (Mvalue.mark -> Value.t option) -> t -> t
+(** Replaces each marked null whose mark the valuation binds; unbound
+    marks stay marked. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,53 @@
+open Nullrel
+
+type mark = int
+
+let counter = ref 0
+
+let fresh_mark () =
+  incr counter;
+  !counter
+
+let mark_of_int n = n
+
+type t = Const of Value.t | Marked of mark
+
+let const v = Const v
+let marked m = Marked m
+
+let is_null = function
+  | Const v -> Value.is_null v
+  | Marked _ -> true
+
+let equal a b =
+  match (a, b) with
+  | Const v, Const w -> Value.equal v w
+  | Marked m, Marked n -> Int.equal m n
+  | (Const _ | Marked _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Const v, Const w -> Value.compare v w
+  | Marked m, Marked n -> Int.compare m n
+  | Const _, Marked _ -> -1
+  | Marked _, Const _ -> 1
+
+let select_eq3 a b =
+  match (a, b) with
+  | Marked m, Marked n when Int.equal m n -> Tvl.True
+  | (Marked _ | Const Value.Null), _ | _, (Marked _ | Const Value.Null) ->
+      Tvl.Ni
+  | Const v, Const w -> Tvl.of_bool (Value.equal v w)
+
+let join_matches a b =
+  match (a, b) with
+  | Marked m, Marked n -> Int.equal m n
+  | Const Value.Null, _ | _, Const Value.Null -> false
+  | Const v, Const w -> Value.equal v w
+  | (Const _ | Marked _), _ -> false
+
+let to_plain = function Const v -> v | Marked _ -> Value.Null
+
+let pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Marked m -> Format.fprintf ppf "_%d" m

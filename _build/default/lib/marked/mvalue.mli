@@ -1,0 +1,58 @@
+(** Marked null values — the extension sketched in Section 2.
+
+    The paper's example: "Bob Smith's manager is a woman". The identity
+    of the manager is unknown, but two places in the database refer to
+    {e the same} unknown individual. A {e marked null} (Imielinski &
+    Lipski \[11\], Maier \[17\]) carries a mark linking the occurrences:
+    "while this marked null will be treated as a regular unknown when a
+    select operation is performed, it will be treated as a regular
+    nonnull value when performing a join".
+
+    This module provides the value layer: ordinary values, the
+    no-information null, and marked nulls, with the two comparison
+    disciplines the quote prescribes. *)
+
+open Nullrel
+
+type mark = private int
+(** An opaque mark identifying one unknown individual. *)
+
+val fresh_mark : unit -> mark
+(** A mark never returned before (process-global counter). *)
+
+val mark_of_int : int -> mark
+(** Deterministic marks for tests and serialization. *)
+
+type t =
+  | Const of Value.t  (** An ordinary value; [Const Value.Null] is plain ni. *)
+  | Marked of mark  (** The same unknown value wherever the mark recurs. *)
+
+val const : Value.t -> t
+val marked : mark -> t
+val is_null : t -> bool
+(** [true] on [Const Null] and on every [Marked _] — both are nulls for
+    information-content purposes. *)
+
+val equal : t -> t -> bool
+(** Structural (container) equality: marks compare by identity. *)
+
+val compare : t -> t -> int
+
+val select_eq3 : t -> t -> Tvl.t
+(** Selection-time equality — the "regular unknown" discipline:
+    any null (marked or not) against anything is [ni]; two occurrences
+    of the {e same} mark are certainly equal ([True]); two different
+    marks may or may not denote the same value ([ni]). *)
+
+val join_matches : t -> t -> bool
+(** Join-time matching — the "regular nonnull value" discipline: a mark
+    matches exactly itself; ordinary values match by equality; the plain
+    null matches nothing (it joins no one for sure). *)
+
+val to_plain : t -> Value.t
+(** Forgets marks: [Marked _] becomes the plain ni. This is the
+    projection into the paper's no-information model — marks only add
+    information, so the result is a sound lower approximation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Marked nulls print as [_1], [_2], ...; the plain null as [-]. *)

@@ -1,0 +1,1 @@
+lib/nullrel/algebra.ml: Attr List Predicate Relation Tuple Value Xrel

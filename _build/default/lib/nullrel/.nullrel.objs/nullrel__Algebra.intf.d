@@ -1,0 +1,1 @@
+lib/nullrel/algebra.mli: Attr Predicate Tuple Value Xrel

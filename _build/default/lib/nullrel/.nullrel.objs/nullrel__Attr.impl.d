@@ -1,0 +1,1 @@
+lib/nullrel/attr.ml: Format Hashtbl List Map Set String

@@ -1,0 +1,1 @@
+lib/nullrel/attr.mli: Format Map Set

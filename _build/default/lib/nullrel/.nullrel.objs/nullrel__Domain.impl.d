@@ -1,0 +1,1 @@
+lib/nullrel/domain.ml: Format List String Value

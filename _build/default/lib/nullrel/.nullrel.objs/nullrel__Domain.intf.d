@@ -1,0 +1,1 @@
+lib/nullrel/domain.mli: Format Value

@@ -1,0 +1,1 @@
+lib/nullrel/pp.ml: Attr Buffer Format List Schema String Tuple Value Xrel

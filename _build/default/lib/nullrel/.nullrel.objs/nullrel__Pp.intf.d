@@ -1,0 +1,1 @@
+lib/nullrel/pp.mli: Attr Format Schema Xrel

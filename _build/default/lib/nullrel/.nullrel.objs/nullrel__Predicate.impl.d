@@ -1,0 +1,1 @@
+lib/nullrel/predicate.ml: Attr Format Tuple Tvl Value

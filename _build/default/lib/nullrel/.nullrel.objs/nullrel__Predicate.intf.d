@@ -1,0 +1,1 @@
+lib/nullrel/predicate.mli: Attr Format Tuple Tvl Value

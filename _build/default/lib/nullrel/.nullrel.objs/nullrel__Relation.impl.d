@@ -1,0 +1,1 @@
+lib/nullrel/relation.ml: Attr Format Tuple

@@ -1,0 +1,1 @@
+lib/nullrel/relation.mli: Attr Format Tuple

@@ -1,0 +1,1 @@
+lib/nullrel/schema.ml: Attr Domain Format Hashtbl List Printf Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/nullrel/schema.mli: Attr Domain Format Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/nullrel/tuple.ml: Attr Format Hashtbl List Map Printf Set Value

@@ -1,0 +1,1 @@
+lib/nullrel/tuple.mli: Attr Format Map Set Value

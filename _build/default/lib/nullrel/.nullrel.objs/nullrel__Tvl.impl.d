@@ -1,0 +1,1 @@
+lib/nullrel/tvl.ml: Format Int List

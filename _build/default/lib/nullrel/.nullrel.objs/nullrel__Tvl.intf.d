@@ -1,0 +1,1 @@
+lib/nullrel/tvl.mli: Format

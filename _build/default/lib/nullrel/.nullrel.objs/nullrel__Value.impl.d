@@ -1,0 +1,1 @@
+lib/nullrel/value.ml: Bool Float Format Hashtbl Int Printf String

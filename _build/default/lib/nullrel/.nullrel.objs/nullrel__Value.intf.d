@@ -1,0 +1,1 @@
+lib/nullrel/value.mli: Format

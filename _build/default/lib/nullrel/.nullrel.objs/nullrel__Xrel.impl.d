@@ -1,0 +1,1 @@
+lib/nullrel/xrel.ml: Attr Domain List Relation Tuple

@@ -1,0 +1,1 @@
+lib/nullrel/xrel.mli: Attr Domain Format Relation Tuple

@@ -1,0 +1,23 @@
+type t = string
+
+let make s =
+  if String.length s = 0 then invalid_arg "Attr.make: empty attribute name";
+  s
+
+let name a = a
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf a = Format.pp_print_string ppf a
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list names = Set.of_list (List.map make names)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp)
+    (Set.elements s)

@@ -1,0 +1,40 @@
+let cell r a = Value.to_string (Tuple.get r a)
+
+let table ?title attrs ppf x =
+  let rows = Xrel.to_list x in
+  let header = List.map Attr.name attrs in
+  let body = List.map (fun r -> List.map (cell r) attrs) rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length header)
+      body
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths
+         cells)
+  in
+  (match title with
+  | Some t -> Format.fprintf ppf "%s@\n" t
+  | None -> ());
+  Format.fprintf ppf "%s@\n" (render_row header);
+  Format.fprintf ppf "%s@\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf ppf "%s@\n" (render_row row)) body;
+  Format.fprintf ppf "(%d tuple%s)@\n" (List.length body)
+    (if List.length body = 1 then "" else "s")
+
+let table_s ?title names ppf x = table ?title (List.map Attr.make names) ppf x
+
+let table_of_schema ?title schema ppf x =
+  let title = match title with Some t -> t | None -> Schema.name schema in
+  table ~title (Schema.attrs schema) ppf x
+
+let to_string pp v =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 78;
+  pp ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

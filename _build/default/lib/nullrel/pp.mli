@@ -1,0 +1,22 @@
+(** Paper-style table rendering.
+
+    Renders relations as aligned ASCII tables with ["-"] for nulls,
+    mirroring the tables of the paper (Tables I, II, display (6.6)). *)
+
+val table :
+  ?title:string -> Attr.t list -> Format.formatter -> Xrel.t -> unit
+(** [table ~title attrs ppf x] prints [x] with one column per attribute
+    of [attrs], in order, tuples sorted by their values for stable
+    output. *)
+
+val table_s :
+  ?title:string -> string list -> Format.formatter -> Xrel.t -> unit
+(** {!table} with attribute names as strings. *)
+
+val table_of_schema :
+  ?title:string -> Schema.t -> Format.formatter -> Xrel.t -> unit
+(** {!table} using the schema's declared attribute order and, by default,
+    the schema name as title. *)
+
+val to_string : (Format.formatter -> 'a -> unit) -> 'a -> string
+(** Renders any printer to a string (78-column margin). *)

@@ -1,0 +1,87 @@
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let negate_comparison = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Gt -> Le
+  | Le -> Gt
+
+let sign_matches cmp c =
+  match cmp with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let apply_comparison cmp v w =
+  match Value.compare3 v w with
+  | None -> Tvl.Ni
+  | Some c -> Tvl.of_bool (sign_matches cmp c)
+
+type t =
+  | Cmp_attrs of Attr.t * comparison * Attr.t
+  | Cmp_const of Attr.t * comparison * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Const of Tvl.t
+
+let ( &&& ) p q = And (p, q)
+let ( ||| ) p q = Or (p, q)
+
+let cmp_const name cmp v =
+  if Value.is_null v then
+    invalid_arg "Predicate.cmp_const: the constant must not be ni";
+  Cmp_const (Attr.make name, cmp, v)
+
+let cmp_attrs a cmp b = Cmp_attrs (Attr.make a, cmp, Attr.make b)
+
+let rec eval p r =
+  match p with
+  | Cmp_attrs (a, cmp, b) -> apply_comparison cmp (Tuple.get r a) (Tuple.get r b)
+  | Cmp_const (a, cmp, k) -> apply_comparison cmp (Tuple.get r a) k
+  | And (p, q) -> Tvl.and_ (eval p r) (eval q r)
+  | Or (p, q) -> Tvl.or_ (eval p r) (eval q r)
+  | Not p -> Tvl.not_ (eval p r)
+  | Const v -> v
+
+let holds p r = Tvl.equal (eval p r) Tvl.True
+
+let rec attrs = function
+  | Cmp_attrs (a, _, b) -> Attr.Set.of_list [ a; b ]
+  | Cmp_const (a, _, _) -> Attr.Set.singleton a
+  | And (p, q) | Or (p, q) -> Attr.Set.union (attrs p) (attrs q)
+  | Not p -> attrs p
+  | Const _ -> Attr.Set.empty
+
+let rec map_attrs f = function
+  | Cmp_attrs (a, cmp, b) -> Cmp_attrs (f a, cmp, f b)
+  | Cmp_const (a, cmp, k) -> Cmp_const (f a, cmp, k)
+  | And (p, q) -> And (map_attrs f p, map_attrs f q)
+  | Or (p, q) -> Or (map_attrs f p, map_attrs f q)
+  | Not p -> Not (map_attrs f p)
+  | Const v -> Const v
+
+let rec pp ppf = function
+  | Cmp_attrs (a, cmp, b) ->
+      Format.fprintf ppf "%a %s %a" Attr.pp a (comparison_to_string cmp) Attr.pp
+        b
+  | Cmp_const (a, cmp, k) ->
+      Format.fprintf ppf "%a %s %a" Attr.pp a (comparison_to_string cmp)
+        Value.pp k
+  | And (p, q) -> Format.fprintf ppf "(%a /\\ %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a \\/ %a)" pp p pp q
+  | Not p -> Format.fprintf ppf "~%a" pp p
+  | Const v -> Tvl.pp ppf v

@@ -1,0 +1,49 @@
+type t = Tuple.Set.t
+
+let empty = Tuple.Set.empty
+let of_list = Tuple.Set.of_list
+let of_tuples s = s
+let to_list = Tuple.Set.elements
+let tuples r = r
+let cardinal = Tuple.Set.cardinal
+let is_empty = Tuple.Set.is_empty
+let add = Tuple.Set.add
+let remove = Tuple.Set.remove
+let mem = Tuple.Set.mem
+let x_mem t r = Tuple.Set.exists (fun r' -> Tuple.more_informative r' t) r
+let filter = Tuple.Set.filter
+let fold f r init = Tuple.Set.fold f r init
+let iter = Tuple.Set.iter
+let map = Tuple.Set.map
+let union = Tuple.Set.union
+let equal = Tuple.Set.equal
+let compare = Tuple.Set.compare
+
+let subsumes r1 r2 =
+  Tuple.Set.for_all (fun t -> Tuple.is_null_tuple t || x_mem t r1) r2
+
+let equiv r1 r2 = subsumes r1 r2 && subsumes r2 r1
+
+let minimize r =
+  Tuple.Set.filter
+    (fun t ->
+      (not (Tuple.is_null_tuple t))
+      && not
+           (Tuple.Set.exists
+              (fun r' -> Tuple.strictly_more_informative r' t)
+              r))
+    r
+
+let is_minimal r = equal r (minimize r)
+
+let scope r =
+  Tuple.Set.fold
+    (fun t acc -> Attr.Set.union (Tuple.attrs t) acc)
+    (minimize r) Attr.Set.empty
+
+let pp ppf r =
+  Format.fprintf ppf "{@[<hv>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (to_list r)

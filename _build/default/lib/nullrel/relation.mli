@@ -1,0 +1,63 @@
+(** Relations as sets of tuples, with subsumption, information-wise
+    equivalence and minimal representations (Section 4).
+
+    A value of type {!t} is a {e representation}: an arbitrary finite set
+    of tuples, possibly containing null tuples and tuples less
+    informative than others. Two representations can denote the same
+    x-relation; the quotient type lives in {!Xrel}. *)
+
+type t
+
+val empty : t
+val of_list : Tuple.t list -> t
+val of_tuples : Tuple.Set.t -> t
+val to_list : t -> Tuple.t list
+val tuples : t -> Tuple.Set.t
+val cardinal : t -> int
+val is_empty : t -> bool
+val add : Tuple.t -> t -> t
+val remove : Tuple.t -> t -> t
+
+val mem : Tuple.t -> t -> bool
+(** Ordinary set membership of the representation. *)
+
+val x_mem : Tuple.t -> t -> bool
+(** [x_mem t r]: [t] x-belongs to [r] (Definition 4.5, via
+    Proposition 4.2) — some tuple of [r] is more informative than [t].
+    Note [x_mem Tuple.empty r] holds iff [r] is non-empty. *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val map : (Tuple.t -> Tuple.t) -> t -> t
+val union : t -> t -> t
+(** Plain set union of representations (no minimization). *)
+
+val equal : t -> t -> bool
+(** Structural set equality of representations (not [=~=]; for that see
+    {!equiv}). *)
+
+val compare : t -> t -> int
+
+val subsumes : t -> t -> bool
+(** Definition 4.1: [subsumes r1 r2] when every non-null tuple of [r2]
+    has a more informative tuple in [r1]. Quasi-order on
+    representations. *)
+
+val equiv : t -> t -> bool
+(** Definition 4.2: information-wise equivalence — mutual subsumption. *)
+
+val minimize : t -> t
+(** The minimal representation (Definition 4.6): drops null tuples and
+    every tuple strictly less informative than another tuple. Unique for
+    a given attribute universe; [minimize] is the canonicalization used
+    by {!Xrel}. *)
+
+val is_minimal : t -> bool
+
+val scope : t -> Attr.Set.t
+(** The scope (Definition 4.7): the smallest attribute set over which the
+    relation can be represented — the union of the non-null attribute
+    sets of its minimal representation's tuples. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type foreign_key = { fk_target : string; fk_pairs : (Attr.t * Attr.t) list }
+
+type t = {
+  name : string;
+  columns : (Attr.t * Domain.t) list;
+  key : Attr.Set.t;
+  foreign_keys : foreign_key list;
+}
+
+let make ?(key = []) ?(foreign_keys = []) name columns =
+  let columns = List.map (fun (n, d) -> (Attr.make n, d)) columns in
+  let names = List.map fst columns in
+  let rec dup = function
+    | [] -> None
+    | a :: rest -> if List.exists (Attr.equal a) rest then Some a else dup rest
+  in
+  (match dup names with
+  | Some a ->
+      invalid_arg
+        (Printf.sprintf "Schema.make: duplicate attribute %s" (Attr.name a))
+  | None -> ());
+  let key = Attr.set_of_list key in
+  Attr.Set.iter
+    (fun k ->
+      if not (List.exists (Attr.equal k) names) then
+        invalid_arg
+          (Printf.sprintf "Schema.make: key attribute %s not a column"
+             (Attr.name k)))
+    key;
+  let foreign_keys =
+    List.map
+      (fun (locals, target, targets) ->
+        if List.length locals <> List.length targets then
+          invalid_arg
+            (Printf.sprintf
+               "Schema.make: foreign key to %s has mismatched arity" target);
+        let pair local referenced =
+          let a = Attr.make local in
+          if not (List.exists (fun (c, _) -> Attr.equal c a) columns) then
+            invalid_arg
+              (Printf.sprintf
+                 "Schema.make: foreign-key attribute %s not a column" local);
+          (a, Attr.make referenced)
+        in
+        { fk_target = target; fk_pairs = List.map2 pair locals targets })
+      foreign_keys
+  in
+  { name; columns; key; foreign_keys }
+
+let name s = s.name
+let attrs s = List.map fst s.columns
+let attr_set s = Attr.Set.of_list (attrs s)
+let key s = s.key
+let foreign_keys s = s.foreign_keys
+
+let domain s a =
+  List.find_map
+    (fun (a', d) -> if Attr.equal a a' then Some d else None)
+    s.columns
+
+let mem s a = List.exists (fun (a', _) -> Attr.equal a a') s.columns
+let universe s = s.columns
+
+let add_column s name dom =
+  let a = Attr.make name in
+  if mem s a then
+    invalid_arg (Printf.sprintf "Schema.add_column: %s already exists" name);
+  { s with columns = s.columns @ [ (a, dom) ] }
+
+type violation =
+  | Unknown_attribute of Attr.t
+  | Domain_mismatch of Attr.t * Value.t
+  | Null_in_key of Attr.t
+  | Duplicate_key of Tuple.t
+
+let pp_violation ppf = function
+  | Unknown_attribute a -> Format.fprintf ppf "unknown attribute %a" Attr.pp a
+  | Domain_mismatch (a, v) ->
+      Format.fprintf ppf "value %a outside the domain of %a" Value.pp v Attr.pp
+        a
+  | Null_in_key a -> Format.fprintf ppf "null in key attribute %a" Attr.pp a
+  | Duplicate_key k -> Format.fprintf ppf "duplicate key %a" Tuple.pp k
+
+let check_tuple s r =
+  let domain_violations =
+    Tuple.fold
+      (fun a v acc ->
+        match domain s a with
+        | None -> Unknown_attribute a :: acc
+        | Some d -> if Domain.mem v d then acc else Domain_mismatch (a, v) :: acc)
+      r []
+  in
+  let key_violations =
+    Attr.Set.fold
+      (fun a acc ->
+        if Value.is_null (Tuple.get r a) then Null_in_key a :: acc else acc)
+      s.key []
+  in
+  List.rev_append domain_violations key_violations
+
+let check s x =
+  let per_tuple =
+    List.concat_map (fun r -> check_tuple s r) (Xrel.to_list x)
+  in
+  let duplicates =
+    if Attr.Set.is_empty s.key then []
+    else
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun r ->
+          let k = Tuple.restrict r s.key in
+          let repr = Tuple.to_list k in
+          if Hashtbl.mem seen repr then Some (Duplicate_key k)
+          else (
+            Hashtbl.add seen repr ();
+            None))
+        (Xrel.to_list x)
+  in
+  per_tuple @ duplicates
+
+let pp ppf s =
+  let pp_col ppf (a, d) = Format.fprintf ppf "%a: %a" Attr.pp a Domain.pp d in
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_col)
+    s.columns;
+  if not (Attr.Set.is_empty s.key) then
+    Format.fprintf ppf " key %a" Attr.pp_set s.key

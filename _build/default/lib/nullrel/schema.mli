@@ -1,0 +1,73 @@
+(** Relation schemas: typed attribute lists with key constraints.
+
+    A schema fixes the attribute order (for display), each attribute's
+    domain, and an optional primary key. Following the paper's closing
+    remarks, the basic constraints that extend without trouble to
+    relations with nulls are enforced here: domain conformance, {e entity
+    integrity} (key attributes may not be null) and key uniqueness. *)
+
+type t
+
+type foreign_key = {
+  fk_target : string;  (** Name of the referenced relation. *)
+  fk_pairs : (Attr.t * Attr.t) list;
+      (** [(local, referenced)] attribute pairs, positionally paired
+          from the declaration. *)
+}
+(** Referential integrity under nulls (Section 8: basic constraints
+    "can be extended and enforced in the presence of null values,
+    without major problems"): a reference with {e any} null attribute
+    asserts nothing and is never a violation; a total reference must
+    match a referenced tuple for sure. *)
+
+val make :
+  ?key:string list ->
+  ?foreign_keys:(string list * string * string list) list ->
+  string ->
+  (string * Domain.t) list ->
+  t
+(** [make name columns ~key ~foreign_keys] builds a schema.
+    [foreign_keys] entries are [(local attrs, target relation, target
+    attrs)]. Raises [Invalid_argument] on duplicate attribute names, a
+    key attribute missing from the columns, a foreign-key attribute
+    missing from the columns, or arity mismatch between the two sides
+    of a foreign key. *)
+
+val name : t -> string
+val attrs : t -> Attr.t list
+(** Attributes in declaration order. *)
+
+val attr_set : t -> Attr.Set.t
+val key : t -> Attr.Set.t
+(** The primary key; empty when none was declared. *)
+
+val foreign_keys : t -> foreign_key list
+
+val domain : t -> Attr.t -> Domain.t option
+val mem : t -> Attr.t -> bool
+
+val universe : t -> Xrel.universe
+(** The schema's attributes paired with their domains, in order. *)
+
+val add_column : t -> string -> Domain.t -> t
+(** Schema evolution as in Section 2 (Table I to Table II): appends a new
+    column. Existing tuples need no rewrite — their value on the new
+    attribute is [ni] by convention, and the relation stays
+    information-wise equivalent to what it was. *)
+
+type violation =
+  | Unknown_attribute of Attr.t
+  | Domain_mismatch of Attr.t * Value.t
+  | Null_in_key of Attr.t
+  | Duplicate_key of Tuple.t
+      (** Two distinct tuples share this key value. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_tuple : t -> Tuple.t -> violation list
+(** Domain and entity-integrity violations of one tuple. *)
+
+val check : t -> Xrel.t -> violation list
+(** All violations of a relation, including key uniqueness. *)
+
+val pp : Format.formatter -> t -> unit

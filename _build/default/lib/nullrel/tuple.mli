@@ -1,0 +1,100 @@
+(** Tuples with null values and the "more informative" semilattice
+    (Section 3).
+
+    A tuple is an assignment of values from extended domains to a finite
+    set of attributes. The paper's convention — "if r is an X-value and
+    the attribute A is not in X, then r[A] = ni" — makes a tuple
+    equivalent to every enlargement of it by null columns. We therefore
+    keep tuples in {e canonical form}: only non-null bindings are stored,
+    so information-wise equivalence of tuples coincides with structural
+    equality, and a tuple is simultaneously an X-value for every X
+    containing its non-null attributes.
+
+    The key order is Definition 3.1: [r] is {e more informative} than
+    [t] ([r >= t]) when [r] matches [t] on every non-null value of [t].
+    Under canonical form this order is a genuine partial order; every two
+    tuples have a meet, and joinable tuples have a join (the tuples of
+    [U*] form a meet-semilattice, footnote 5). *)
+
+type t
+
+val empty : t
+(** The null tuple: all attributes null. Bottom of the tuple order. *)
+
+val of_list : (Attr.t * Value.t) list -> t
+(** Builds a tuple from bindings; null bindings are dropped (canonical
+    form), later bindings for the same attribute override earlier ones. *)
+
+val of_strings : (string * Value.t) list -> t
+(** Convenience wrapper over {!of_list} using attribute names. *)
+
+val to_list : t -> (Attr.t * Value.t) list
+(** The non-null bindings in attribute order. *)
+
+val get : t -> Attr.t -> Value.t
+(** [get r a] is [r\[A\]]; [Value.Null] when [a] is unbound. Total by the
+    paper's convention. *)
+
+val set : t -> Attr.t -> Value.t -> t
+(** Functional update; setting [Value.Null] removes the binding. *)
+
+val attrs : t -> Attr.Set.t
+(** The attributes on which the tuple is non-null. *)
+
+val is_null_tuple : t -> bool
+(** True on tuples consisting only of nulls; all such tuples are
+    equivalent to {!empty}. *)
+
+val is_total_on : Attr.Set.t -> t -> bool
+(** [is_total_on x r] iff [r] is X-total: non-null on every attribute of
+    [x]. *)
+
+val equal : t -> t -> bool
+(** Information-wise equivalence of tuples — structural equality of
+    canonical forms. *)
+
+val compare : t -> t -> int
+(** Container order (no semantic meaning). *)
+
+val hash : t -> int
+
+val more_informative : t -> t -> bool
+(** [more_informative r t] is [r >= t] (Definition 3.1): for each
+    non-null value of [t], [r] holds the same value. Reflexive,
+    transitive, antisymmetric on canonical tuples. *)
+
+val strictly_more_informative : t -> t -> bool
+(** [r >= t] and [not (equal r t)]. *)
+
+val meet : t -> t -> t
+(** [meet r1 r2] is [r1 /\ r2]: keeps the bindings on which the two
+    tuples agree. Always exists; it is the greatest lower bound. *)
+
+val joinable : t -> t -> bool
+(** [r1] and [r2] are joinable when they conflict on no attribute: for
+    each [A], if [r1\[A\] <> r2\[A\]] then one of the two is null. *)
+
+val join : t -> t -> t option
+(** [join r1 r2] is [r1 \/ r2] when the tuples are joinable — the least
+    upper bound, taking the more informative value on each attribute —
+    and [None] otherwise. *)
+
+val restrict : t -> Attr.Set.t -> t
+(** [restrict r x] is the X-value [r\[X\]] (used by projection). *)
+
+val remove : t -> Attr.Set.t -> t
+(** [remove r x] drops the attributes of [x] from [r]. *)
+
+val rename : (Attr.t * Attr.t) list -> t -> t
+(** [rename mapping r] renames attributes per [mapping] (old, new);
+    attributes not mentioned are kept. Raises [Invalid_argument] if two
+    distinct non-null bindings collide on a target name. *)
+
+val fold : (Attr.t -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over the non-null bindings in attribute order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(A=1, B=-)]-style binding list (only non-null bindings). *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,36 @@
+type t = True | False | Ni
+
+let equal a b =
+  match (a, b) with
+  | True, True | False, False | Ni, Ni -> true
+  | (True | False | Ni), _ -> false
+
+let rank = function False -> 0 | Ni -> 1 | True -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let of_bool b = if b then True else False
+let to_bool_lower = function True -> true | False | Ni -> false
+let not_ = function True -> False | False -> True | Ni -> Ni
+
+let and_ a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Ni, (True | Ni) | True, Ni -> Ni
+
+let or_ a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Ni, (False | Ni) | False, Ni -> Ni
+
+let conj = List.fold_left and_ True
+let disj = List.fold_left or_ False
+let all = [ True; False; Ni ]
+let to_string = function True -> "TRUE" | False -> "FALSE" | Ni -> "ni"
+
+let to_string_maybe = function
+  | True -> "TRUE"
+  | False -> "FALSE"
+  | Ni -> "MAYBE"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

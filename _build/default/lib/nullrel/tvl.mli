@@ -1,0 +1,44 @@
+(** The three-valued logic of Section 5 (Table III).
+
+    Truth values are [TRUE], [FALSE] and [ni]. A relational expression
+    touching a null evaluates to [ni]; Boolean connectives follow the
+    (Kleene) tables reproduced as Table III of the paper. Query
+    evaluation computes the lower bound [||Q||-] by keeping only tuples
+    whose qualification evaluates to [True] — [False] and [Ni] tuples are
+    both discarded.
+
+    Codd's logic uses the same tables with [Ni] read as [MAYBE]; the
+    difference between the two approaches is in the interpretation and in
+    the treatment of sets, not in the tables (Section 5). *)
+
+type t = True | False | Ni
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_bool : bool -> t
+
+val to_bool_lower : t -> bool
+(** The lower-bound collapse: [True] is [true]; [False] and [Ni] are
+    [false]. This is the paper's query-evaluation discipline. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val conj : t list -> t
+(** n-ary [and_]; [conj [] = True]. *)
+
+val disj : t list -> t
+(** n-ary [or_]; [disj [] = False]. *)
+
+val all : t list
+(** All three truth values, for exhaustive tests and truth tables. *)
+
+val to_string : t -> string
+(** ["TRUE"], ["FALSE"] or ["ni"]. *)
+
+val to_string_maybe : t -> string
+(** Codd's reading: ["TRUE"], ["FALSE"] or ["MAYBE"]. *)
+
+val pp : Format.formatter -> t -> unit

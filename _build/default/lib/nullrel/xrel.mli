@@ -1,0 +1,104 @@
+(** Extended relations (x-relations) and their lattice (Sections 4, 7).
+
+    An x-relation is an equivalence class of relations under
+    information-wise equivalence (Definition 4.3). This module represents
+    each class by its unique {e minimal representation}, so structural
+    equality of representations decides equality of x-relations and every
+    constructor re-canonicalizes.
+
+    X-relations under set containment (Definition 4.4) form a bounded,
+    distributive, pseudo-complemented (dual Brouwerian) lattice:
+    {!union} is the least upper bound (Proposition 4.4), {!inter} — the
+    x-intersection — is the greatest lower bound (Proposition 4.5),
+    {!bottom} is the empty relation, and over a finite universe {!top}
+    is [DOM(A1) x ... x DOM(Ap)] with pseudo-complement
+    [R* = TOP_U - R] (Section 7). The implementations follow the
+    efficient reformulations (4.6)-(4.8) rather than the x-element
+    definitions (4.1)-(4.3). *)
+
+type t
+
+val of_relation : Relation.t -> t
+(** Canonicalizes an arbitrary representation (Definition 4.6). *)
+
+val of_list : Tuple.t list -> t
+val of_tuples : Tuple.Set.t -> t
+
+val unsafe_of_minimal : Relation.t -> t
+(** Wraps a representation the caller guarantees to be already minimal,
+    skipping the quadratic minimization pass. Used by operators that
+    provably preserve minimality (e.g. products with disjoint scopes).
+    Breaking the guarantee breaks {!equal}. *)
+
+val rep : t -> Relation.t
+(** The minimal representation. [rep (of_relation r)] is
+    [Relation.minimize r]. *)
+
+val to_list : t -> Tuple.t list
+val cardinal : t -> int
+(** Number of tuples in the minimal representation. *)
+
+val is_empty : t -> bool
+val scope : t -> Attr.Set.t
+
+val equal : t -> t -> bool
+(** Equality of x-relations: [equal x1 x2] iff the underlying relations
+    are information-wise equivalent (Proposition 4.1 reduces this to
+    mutual containment; minimality reduces it to structural equality). *)
+
+val compare : t -> t -> int
+
+val x_mem : Tuple.t -> t -> bool
+(** x-membership (Definition 4.5 / Proposition 4.2). *)
+
+val contains : t -> t -> bool
+(** Set containment (Definition 4.4): [contains x1 x2] iff [x1]'s
+    representation subsumes [x2]'s. *)
+
+val properly_contains : t -> t -> bool
+
+val union : t -> t -> t
+(** Least upper bound, per (4.6). The scope of the union is the union of
+    the scopes. *)
+
+val inter : t -> t -> t
+(** X-intersection — greatest lower bound, per (4.7): pairwise tuple
+    meets, minimized. {b Not} plain set intersection: the x-intersection
+    of [{(a,b1)}] and [{(a,b2)}] x-contains [(a,-)] (Section 7). *)
+
+val diff : t -> t -> t
+(** Difference, per (4.8): keeps the tuples of the minuend that do not
+    x-belong to the subtrahend. [diff x1 x2] is the smallest x-relation
+    whose union with [x2] contains [x1] when [x1 ental contains x2]
+    (Propositions 4.6-4.7). *)
+
+val bottom : t
+(** The empty x-relation; absorbing for {!inter}. *)
+
+type universe = (Attr.t * Domain.t) list
+(** A finite universe of attributes with their domains, needed by {!top}
+    and {!pseudo_complement}. *)
+
+val top : universe -> t
+(** [TOP_U]: the Cartesian product of all the domains — every total tuple
+    over the universe. Raises [Domain.Infinite] on infinite domains and
+    [Invalid_argument] if the product exceeds [2^20] tuples. *)
+
+val pseudo_complement : universe -> t -> t
+(** [R* = TOP_U - R] (7.1): the smallest x-relation whose union with [R]
+    yields [TOP_U]. [pseudo_complement u x] is always total over [u];
+    pseudo-complements form the Boolean sublattice of U-total
+    x-relations. *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+(** Keeps the tuples of the minimal representation satisfying the
+    predicate. Safe without re-minimization: a subset of a minimal
+    representation is always minimal (Section 4). *)
+
+val set_inter_total : t -> t -> t
+(** Plain set intersection of representations — the meet of the Boolean
+    lattice of U-total x-relations, exhibited in Section 7 as {e
+    different} from {!inter}. Only meaningful on total relations over a
+    common scope. *)
+
+val pp : Format.formatter -> t -> unit

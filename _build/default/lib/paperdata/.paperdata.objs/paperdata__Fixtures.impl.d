@@ -1,0 +1,1 @@
+lib/paperdata/fixtures.ml: Attr Domain Nullrel Relation Schema Tuple Value Xrel

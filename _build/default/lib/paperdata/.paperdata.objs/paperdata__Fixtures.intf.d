@@ -1,0 +1,1 @@
+lib/paperdata/fixtures.mli: Attr Domain Nullrel Relation Schema Tuple Value Xrel

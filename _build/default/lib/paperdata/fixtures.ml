@@ -1,0 +1,68 @@
+open Nullrel
+
+let i n = Value.Int n
+let s x = Value.Str x
+let t bindings = Tuple.of_strings bindings
+
+let emp_schema_v1 =
+  Schema.make "EMP" ~key:[ "E#" ]
+    [
+      ("E#", Domain.Ints);
+      ("NAME", Domain.Strings);
+      ("SEX", Domain.Enum [ "M"; "F" ]);
+      ("MGR#", Domain.Ints);
+    ]
+
+let emp_schema_v2 = Schema.add_column emp_schema_v1 "TEL#" Domain.Ints
+
+let emp_schema_finite_tel =
+  Schema.add_column emp_schema_v1 "TEL#" (Domain.Int_range (2630000, 2639999))
+
+let emp =
+  Xrel.of_list
+    [
+      t [ ("E#", i 1120); ("NAME", s "SMITH"); ("SEX", s "M"); ("MGR#", i 2235) ];
+      t [ ("E#", i 4335); ("NAME", s "BROWN"); ("SEX", s "F"); ("MGR#", i 2235) ];
+      t [ ("E#", i 8799); ("NAME", s "GREEN"); ("SEX", s "M"); ("MGR#", i 1255) ];
+    ]
+
+let ps'_tuples = [ t [ ("S#", s "s1") ]; t [ ("P#", s "p1"); ("S#", s "s2") ] ]
+let ps''_tuples = ps'_tuples @ [ t [ ("P#", s "p2"); ("S#", s "s2") ] ]
+let ps' = Xrel.of_list ps'_tuples
+let ps'' = Xrel.of_list ps''_tuples
+
+let ps_small_domains a =
+  match Attr.name a with
+  | "P#" -> Domain.Enum [ "p1"; "p2" ]
+  | "S#" -> Domain.Enum [ "s1"; "s2" ]
+  | other -> invalid_arg ("Fixtures.ps_small_domains: " ^ other)
+
+let ps_tuples =
+  [
+    t [ ("S#", s "s1"); ("P#", s "p1") ];
+    t [ ("S#", s "s1"); ("P#", s "p2") ];
+    t [ ("S#", s "s1") ];
+    t [ ("S#", s "s2"); ("P#", s "p1") ];
+    t [ ("S#", s "s2") ];
+    t [ ("S#", s "s3") ];
+    t [ ("S#", s "s4"); ("P#", s "p4") ];
+  ]
+
+let ps_rel = Relation.of_list ps_tuples
+let ps = Xrel.of_relation ps_rel
+
+let qa_verbatim =
+  "range of e is EMP\n\
+   retrieve (e.NAME, e.E#)\n\
+   where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)"
+
+let qa_adjusted =
+  "range of e is EMP\n\
+   retrieve (e.NAME, e.E#)\n\
+   where (e.SEX = \"F\" and e.TEL# >= 2634000) or (e.TEL# < 2634000)"
+
+let qb =
+  "range of e is EMP\n\
+   range of m is EMP\n\
+   retrieve (e.NAME)\n\
+   where m.SEX = \"M\" and e.MGR# = m.E# and e.MGR# <> e.E# and e.E# <> m.MGR#"

@@ -1,0 +1,69 @@
+(** The paper's running examples as ready-made relations.
+
+    Everything here is transcribed directly from the paper: Table I /
+    Table II (the EMP relation before and after the TEL# column is
+    added), displays (1.1)/(1.2) (PS' and PS''), and display (6.6) (the
+    PARTS-SUPPLIERS relation of Section 6). Shared by the test suite,
+    the examples and the benchmark harness. *)
+
+open Nullrel
+
+val i : int -> Value.t
+val s : string -> Value.t
+val t : (string * Value.t) list -> Tuple.t
+
+(** {1 Tables I and II — the EMP relation} *)
+
+val emp_schema_v1 : Schema.t
+(** [EMP(E#, NAME, SEX, MGR#)] with key [E#]. *)
+
+val emp_schema_v2 : Schema.t
+(** Schema (2.2): [emp_schema_v1] extended with [TEL#]. *)
+
+val emp_schema_finite_tel : Schema.t
+(** Like [emp_schema_v2] but with a finite TEL# domain
+    ([2630000..2639999]) so brute-force tautology checking can enumerate
+    it (used by the Figure 1 experiments). *)
+
+val emp : Xrel.t
+(** The three employees of Table I (equivalently Table II — the two are
+    information-wise equivalent, which is the point of Section 2). *)
+
+(** {1 Displays (1.1) and (1.2) — PS' and PS''} *)
+
+val ps'_tuples : Tuple.t list
+val ps''_tuples : Tuple.t list
+val ps' : Xrel.t
+val ps'' : Xrel.t
+
+val ps_small_domains : Attr.t -> Domain.t
+(** Finite domains for the PS universe ([P# in {p1,p2}],
+    [S# in {s1,s2}]) used by the null-substitution baseline. *)
+
+(** {1 Display (6.6) — the PARTS-SUPPLIERS relation} *)
+
+val ps_tuples : Tuple.t list
+(** The seven rows exactly as printed (including the less informative
+    tuples the paper deliberately keeps). *)
+
+val ps_rel : Relation.t
+(** The representation with all seven rows — what the Codd baseline
+    operates on. *)
+
+val ps : Xrel.t
+(** The x-relation (minimal representation: five rows). *)
+
+(** {1 Figure 1 and Figure 2 queries} *)
+
+val qa_verbatim : string
+(** Query QA exactly as in Figure 1. Note the paper treats
+    [TEL# > 2634000] and [TEL# < 2634000] as complementary; verbatim
+    they leave the gap [TEL# = 2634000]. *)
+
+val qa_adjusted : string
+(** QA with [>=] so the two conditions are genuinely complementary —
+    the form whose BROWN tuple defines the tautology the paper
+    describes. *)
+
+val qb : string
+(** Query QB of Figure 2. *)

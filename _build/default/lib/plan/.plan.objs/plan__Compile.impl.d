@@ -1,0 +1,1 @@
+lib/plan/compile.ml: Attr Expr List Nullrel Option Quel Rewrite Schema

@@ -1,0 +1,1 @@
+lib/plan/compile.mli: Attr Expr Nullrel Quel

@@ -1,0 +1,1 @@
+lib/plan/cost.ml: Expr Float Nullrel Xrel

@@ -1,0 +1,1 @@
+lib/plan/cost.mli: Expr

@@ -1,0 +1,1 @@
+lib/plan/expr.ml: Algebra Attr Format List Nullrel Predicate String Xrel

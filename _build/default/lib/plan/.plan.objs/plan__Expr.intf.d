@@ -1,0 +1,1 @@
+lib/plan/expr.mli: Attr Format Nullrel Predicate Xrel

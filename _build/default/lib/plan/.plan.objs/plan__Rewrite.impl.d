@@ -1,0 +1,1 @@
+lib/plan/rewrite.ml: Attr Expr List Nullrel Predicate Xrel

@@ -1,0 +1,1 @@
+lib/plan/rewrite.mli: Attr Expr Nullrel

@@ -1,0 +1,1 @@
+lib/plan/view.ml: Attr List Nullrel Option Printf Quel Schema String

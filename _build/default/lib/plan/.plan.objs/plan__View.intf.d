@@ -1,0 +1,1 @@
+lib/plan/view.mli: Nullrel Quel Schema Xrel

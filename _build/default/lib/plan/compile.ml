@@ -1,0 +1,53 @@
+open Nullrel
+
+let prefix_mapping v attrs =
+  List.map (fun a -> (a, Quel.Resolve.prefixed v (Attr.name a))) attrs
+
+let query ~schemas (q : Quel.Ast.query) =
+  let range_plan (v, rel_name) =
+    match schemas rel_name with
+    | None -> raise (Quel.Resolve.Error ("unknown relation " ^ rel_name))
+    | Some attrs -> Expr.Rename (prefix_mapping v attrs, Expr.Rel rel_name)
+  in
+  let source =
+    match List.map range_plan q.Quel.Ast.ranges with
+    | [] -> raise (Quel.Resolve.Error "a query needs at least one range clause")
+    | first :: rest -> List.fold_left (fun acc e -> Expr.Product (acc, e)) first rest
+  in
+  let selected =
+    match q.Quel.Ast.where with
+    | None -> source
+    | Some cond -> Expr.Select (Quel.Eval.predicate_of_cond cond, source)
+  in
+  let prefixed_targets =
+    List.map (fun (v, a) -> Quel.Resolve.prefixed v a) q.Quel.Ast.targets
+  in
+  let output_mapping =
+    List.map2
+      (fun (v, a) prefixed ->
+        (prefixed, Quel.Eval.target_attr q.Quel.Ast.targets (v, a)))
+      q.Quel.Ast.targets prefixed_targets
+  in
+  let projected =
+    Expr.Project (Attr.Set.of_list prefixed_targets, selected)
+  in
+  let needs_rename =
+    List.exists (fun (o, n) -> not (Attr.equal o n)) output_mapping
+  in
+  if needs_rename then Expr.Rename (output_mapping, projected) else projected
+
+let run ?(optimize = true) (db : Quel.Resolve.db) q =
+  Quel.Resolve.check db q;
+  let schemas name =
+    Option.map (fun (schema, _) -> Schema.attrs schema) (List.assoc_opt name db)
+  in
+  let plan = query ~schemas q in
+  let env_scope name =
+    Option.map (fun (schema, _) -> Schema.attr_set schema) (List.assoc_opt name db)
+  in
+  let plan = if optimize then Rewrite.optimize ~env_scope plan else plan in
+  let env name = Option.map snd (List.assoc_opt name db) in
+  let attrs =
+    List.map (Quel.Eval.target_attr q.Quel.Ast.targets) q.Quel.Ast.targets
+  in
+  { Quel.Eval.attrs; rel = Expr.eval ~env plan }

@@ -1,0 +1,24 @@
+(** Compiling mini-QUEL queries into algebra plans.
+
+    This is the paper's Section 8 efficiency claim made concrete: the
+    calculus (mini-QUEL) translates to the generalized algebra, the
+    algebra is optimized by {!Rewrite}, and evaluation happens
+    operator-by-operator. The compiled-and-optimized pipeline computes
+    exactly the lower bound [||Q||-] of {!Quel.Eval.run} (property
+    [test/props_plan.ml]). *)
+
+open Nullrel
+
+val query :
+  schemas:(string -> Attr.t list option) -> Quel.Ast.query -> Expr.t
+(** [query ~schemas q] compiles: each range variable becomes a renamed
+    base relation (attributes prefixed [v.A]), the ranges multiply into
+    a product, the qualification becomes a selection, the target list a
+    projection, and a final rename restores the output column names of
+    {!Quel.Eval.target_attr}. Raises {!Quel.Resolve.Error} on unknown
+    relations (schema lookup failures). *)
+
+val run :
+  ?optimize:bool -> Quel.Resolve.db -> Quel.Ast.query -> Quel.Eval.result
+(** Compile (optimizing by default), then evaluate against the
+    database. Agrees with {!Quel.Eval.run}. *)

@@ -1,0 +1,42 @@
+open Nullrel
+
+let selectivity = 1. /. 3.
+let default_cardinality = 1000.
+let join_selectivity = 0.1
+
+let rec cardinality ~stats = function
+  | Expr.Rel name -> (
+      match stats name with
+      | Some n -> float n
+      | None -> default_cardinality)
+  | Expr.Const x -> float (Xrel.cardinal x)
+  | Expr.Select (_, e) -> selectivity *. cardinality ~stats e
+  | Expr.Project (_, e) -> cardinality ~stats e
+  | Expr.Product (e1, e2) -> cardinality ~stats e1 *. cardinality ~stats e2
+  | Expr.Equijoin (_, e1, e2) ->
+      join_selectivity *. cardinality ~stats e1 *. cardinality ~stats e2
+  | Expr.Union_join (_, e1, e2) ->
+      let n1 = cardinality ~stats e1 and n2 = cardinality ~stats e2 in
+      (join_selectivity *. n1 *. n2) +. n1 +. n2
+  | Expr.Union (e1, e2) -> cardinality ~stats e1 +. cardinality ~stats e2
+  | Expr.Diff (e1, _) -> cardinality ~stats e1
+  | Expr.Inter (e1, e2) ->
+      Float.min (cardinality ~stats e1) (cardinality ~stats e2)
+  | Expr.Divide (_, e1, _) -> selectivity *. cardinality ~stats e1
+  | Expr.Rename (_, e) -> cardinality ~stats e
+
+let rec cost ~stats expr =
+  let card = cardinality ~stats in
+  match expr with
+  | Expr.Rel _ | Expr.Const _ -> 0.
+  | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) ->
+      card e +. cost ~stats e
+  | Expr.Product (e1, e2)
+  | Expr.Equijoin (_, e1, e2)
+  | Expr.Union_join (_, e1, e2)
+  | Expr.Diff (e1, e2)
+  | Expr.Inter (e1, e2)
+  | Expr.Divide (_, e1, e2) ->
+      (card e1 *. card e2) +. cost ~stats e1 +. cost ~stats e2
+  | Expr.Union (e1, e2) ->
+      card e1 +. card e2 +. cost ~stats e1 +. cost ~stats e2

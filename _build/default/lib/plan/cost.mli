@@ -1,0 +1,21 @@
+(** A unit-work cost model for plans.
+
+    Deliberately simple: it exists to make the effect of the rewrite
+    rules measurable (and reportable in the benchmark harness), not to
+    drive a cost-based search. Cardinalities are estimated top-down
+    from base-relation statistics with fixed selectivities; cost is the
+    sum over operator nodes of the work each performs on its estimated
+    inputs (pairwise operators pay the product of their input sizes —
+    the paper's own O(|R1| x |R2|) accounting). *)
+
+val selectivity : float
+(** Estimated fraction of tuples surviving a selection (1/3). *)
+
+val cardinality : stats:(string -> int option) -> Expr.t -> float
+(** Estimated output cardinality. Unknown base relations estimate to
+    {!default_cardinality}. *)
+
+val default_cardinality : float
+
+val cost : stats:(string -> int option) -> Expr.t -> float
+(** Estimated total work of evaluating the plan bottom-up. *)

@@ -1,0 +1,48 @@
+(** Relational-algebra expression trees over x-relations.
+
+    The paper's Section 7 shows x-relations are closed under the
+    complete algebra; this module makes algebra {e expressions} a first-
+    class value so they can be built by the mini-QUEL compiler
+    ({!Compile}), rewritten by the optimizer ({!Rewrite}) and costed
+    ({!Cost}). Evaluation is the straightforward bottom-up application
+    of the operators of {!Nullrel.Xrel} and {!Nullrel.Algebra}. *)
+
+open Nullrel
+
+type t =
+  | Rel of string  (** A named base relation, resolved by the environment. *)
+  | Const of Xrel.t  (** A literal relation. *)
+  | Select of Predicate.t * t
+  | Project of Attr.Set.t * t
+  | Product of t * t
+  | Equijoin of Attr.Set.t * t * t
+  | Union_join of Attr.Set.t * t * t
+  | Union of t * t
+  | Diff of t * t
+  | Inter of t * t
+  | Divide of Attr.Set.t * t * t  (** [Divide (y, dividend, divisor)]. *)
+  | Rename of (Attr.t * Attr.t) list * t
+
+exception Unbound_relation of string
+
+val eval : env:(string -> Xrel.t option) -> t -> Xrel.t
+(** Bottom-up evaluation. Raises {!Unbound_relation} when a [Rel] name
+    is not in the environment. *)
+
+val scope_bound :
+  env_scope:(string -> Attr.Set.t option) -> t -> Attr.Set.t
+(** A static upper bound on the scope of the result (the actual scope
+    can be smaller — e.g. a selection can empty a relation). Used by the
+    pushdown rules to decide which operand a predicate can move into.
+    Raises {!Unbound_relation}. *)
+
+val size : t -> int
+(** Number of operator nodes (for rewrite-termination arguments and
+    tests). *)
+
+val equal : t -> t -> bool
+(** Structural equality of plans (predicates compared structurally). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line algebra rendering, e.g.
+    [project{A}(select[A<=1](R x S))]. *)

@@ -1,0 +1,133 @@
+open Nullrel
+
+let is_empty_const = function Expr.Const x -> Xrel.is_empty x | _ -> false
+
+(* Can the predicate move into an operand with scope bound [mine], next
+   to a sibling with scope bound [other]?  It must be fully covered by
+   [mine] and untouched by [other]: if the sibling can also bind one of
+   the predicate's attributes, a tuple that is null there on our side
+   may still satisfy the predicate after the join supplies the value —
+   pushing the selection would wrongly drop it. *)
+let pushable p ~mine ~other =
+  let needed = Predicate.attrs p in
+  Attr.Set.subset needed mine && Attr.Set.disjoint needed other
+
+let rec rewrite_once ~env_scope expr =
+  let recurse = rewrite_once ~env_scope in
+  let scope e = Expr.scope_bound ~env_scope e in
+  let expr =
+    (* rewrite children first *)
+    match expr with
+    | Expr.Rel _ | Expr.Const _ -> expr
+    | Expr.Select (p, e) -> Expr.Select (p, recurse e)
+    | Expr.Project (x, e) -> Expr.Project (x, recurse e)
+    | Expr.Product (e1, e2) -> Expr.Product (recurse e1, recurse e2)
+    | Expr.Equijoin (x, e1, e2) -> Expr.Equijoin (x, recurse e1, recurse e2)
+    | Expr.Union_join (x, e1, e2) ->
+        Expr.Union_join (x, recurse e1, recurse e2)
+    | Expr.Union (e1, e2) -> Expr.Union (recurse e1, recurse e2)
+    | Expr.Diff (e1, e2) -> Expr.Diff (recurse e1, recurse e2)
+    | Expr.Inter (e1, e2) -> Expr.Inter (recurse e1, recurse e2)
+    | Expr.Divide (y, e1, e2) -> Expr.Divide (y, recurse e1, recurse e2)
+    | Expr.Rename (m, e) -> Expr.Rename (m, recurse e)
+  in
+  match expr with
+  (* --- constant propagation ------------------------------------ *)
+  | Expr.Product (_, k) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Product (k, _) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Equijoin (_, _, k) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Equijoin (_, k, _) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Union (e, k) when is_empty_const k -> e
+  | Expr.Union (k, e) when is_empty_const k -> e
+  | Expr.Inter (_, k) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Inter (k, _) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Diff (k, _) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Diff (e, k) when is_empty_const k -> e
+  | Expr.Select (_, k) when is_empty_const k -> Expr.Const Xrel.bottom
+  | Expr.Project (_, k) when is_empty_const k -> Expr.Const Xrel.bottom
+  (* --- selection rules ------------------------------------------ *)
+  (* split conjunctions so the pieces can push independently;
+     soundness: conjunctive selection = composition (props_algebra) *)
+  | Expr.Select (Predicate.And (p, q), e) ->
+      Expr.Select (p, Expr.Select (q, e))
+  (* select through union (props_algebra: select distributes) *)
+  | Expr.Select (p, Expr.Union (e1, e2)) ->
+      Expr.Union (Expr.Select (p, e1), Expr.Select (p, e2))
+  (* select through the minuend of a difference: both sides filter the
+     minuend's minimal representation by [holds p] and by
+     not-x-member-of-subtrahend — independent conditions *)
+  | Expr.Select (p, Expr.Diff (e1, e2)) ->
+      Expr.Diff (Expr.Select (p, e1), e2)
+  (* select into one side of a product/equijoin when its attributes are
+     exclusively that side's (see [pushable]) *)
+  | Expr.Select (p, Expr.Product (e1, e2))
+    when pushable p ~mine:(scope e1) ~other:(scope e2) ->
+      Expr.Product (Expr.Select (p, e1), e2)
+  | Expr.Select (p, Expr.Product (e1, e2))
+    when pushable p ~mine:(scope e2) ~other:(scope e1) ->
+      Expr.Product (e1, Expr.Select (p, e2))
+  | Expr.Select (p, Expr.Equijoin (x, e1, e2))
+    when pushable p ~mine:(scope e1) ~other:(scope e2) ->
+      Expr.Equijoin (x, Expr.Select (p, e1), e2)
+  | Expr.Select (p, Expr.Equijoin (x, e1, e2))
+    when pushable p ~mine:(scope e2) ~other:(scope e1) ->
+      Expr.Equijoin (x, e1, Expr.Select (p, e2))
+  (* select through a rename: translate the predicate back to the
+     pre-rename attribute names. Only safe when every attribute the
+     predicate mentions is either a rename target (its values come from
+     the unique source) or untouched by the mapping — an attribute that
+     is a {e source} of the rename no longer exists above it, so the
+     inverse translation would change the meaning. Duplicate targets
+     (which merge columns) also disqualify. *)
+  | Expr.Select (p, Expr.Rename (m, e))
+    when
+      let needed = Predicate.attrs p in
+      let targets = List.map snd m in
+      let sources =
+        List.filter_map
+          (fun (o, n) -> if Attr.equal o n then None else Some o)
+          m
+      in
+      let rec unique = function
+        | [] -> true
+        | t :: rest -> (not (List.exists (Attr.equal t) rest)) && unique rest
+      in
+      unique targets
+      && Attr.Set.for_all
+           (fun a ->
+             List.exists (Attr.equal a) targets
+             || not (List.exists (Attr.equal a) sources))
+           needed ->
+      let back a =
+        match List.find_opt (fun (_, n) -> Attr.equal n a) m with
+        | Some (o, _) -> o
+        | None -> a
+      in
+      Expr.Rename (m, Expr.Select (Predicate.map_attrs back p, e))
+  (* select below a projection that keeps the needed attributes:
+     p(r[X]) = p(r) when attrs(p) is inside X *)
+  | Expr.Select (p, Expr.Project (x, e))
+    when Attr.Set.subset (Predicate.attrs p) x ->
+      Expr.Project (x, Expr.Select (p, e))
+  (* --- projection rules ----------------------------------------- *)
+  (* cascade fusion (props_algebra: project X . project Y) *)
+  | Expr.Project (x, Expr.Project (y, e)) ->
+      Expr.Project (Attr.Set.inter x y, e)
+  (* projection distributes over union: projection respects
+     information-wise equivalence, so it is well-defined on the class
+     of the raw union *)
+  | Expr.Project (x, Expr.Union (e1, e2)) ->
+      Expr.Union (Expr.Project (x, e1), Expr.Project (x, e2))
+  (* identity projection: projecting onto (a superset of) the operand's
+     scope bound changes nothing *)
+  | Expr.Project (x, e) when Attr.Set.subset (scope e) x -> e
+  | other -> other
+
+let optimize ~env_scope expr =
+  let rec go n expr =
+    if n = 0 then expr
+    else
+      let expr' = rewrite_once ~env_scope expr in
+      if Expr.equal expr' expr then expr else go (n - 1) expr'
+  in
+  go 64 expr

@@ -1,0 +1,31 @@
+(** Rule-based plan optimization.
+
+    The rewrite rules are exactly the algebraic identities of the
+    generalized operators that the property suite
+    ([test/props_algebra.ml]) verifies — each rule's soundness under
+    x-relation semantics is noted at its implementation:
+
+    - conjunctive selections split into cascades;
+    - selections push through union, through the minuend of a
+      difference, below projections that retain their attributes, and
+      into the operand of a product/equijoin that {e exclusively} covers
+      their attributes (exclusivity matters: with overlapping scopes a
+      join partner can supply the value a null left operand lacks, so
+      pushing would wrongly drop tuples — see the soundness note in the
+      implementation);
+    - projection cascades fuse; projections distribute over union;
+      projections onto (a superset of) the operand scope vanish;
+    - empty constants propagate ([e x {} = {}], [e u {} = e], ...).
+
+    [optimize] iterates to a fixpoint. Rules only ever move selections
+    downward and remove nodes, so the fixpoint exists; a safety bound
+    caps pathological cases. *)
+
+open Nullrel
+
+val rewrite_once :
+  env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
+(** One bottom-up pass applying the first matching rule at each node. *)
+
+val optimize : env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
+(** Fixpoint of {!rewrite_once} (bounded at 64 passes). *)

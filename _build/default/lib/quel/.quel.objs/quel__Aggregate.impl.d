@@ -1,0 +1,1 @@
+lib/quel/aggregate.ml: Ast Attr Codd Eval List Nullrel Predicate Printf Resolve Seq Tuple Tvl Value

@@ -1,0 +1,1 @@
+lib/quel/aggregate.mli: Ast Resolve

@@ -1,0 +1,1 @@
+lib/quel/ast.ml: Format List Nullrel Predicate Value

@@ -1,0 +1,1 @@
+lib/quel/ast.mli: Format Nullrel Predicate Value

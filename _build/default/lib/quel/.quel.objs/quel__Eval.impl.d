@@ -1,0 +1,1 @@
+lib/quel/eval.ml: Ast Attr Codd List Nullrel Option Parser Predicate Resolve Schema String Tuple Tvl Xrel

@@ -1,0 +1,1 @@
+lib/quel/eval.mli: Ast Attr Domain Nullrel Predicate Resolve Tuple Xrel

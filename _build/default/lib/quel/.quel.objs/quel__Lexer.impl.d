@@ -1,0 +1,1 @@
+lib/quel/lexer.ml: Buffer Format List Nullrel Printf String

@@ -1,0 +1,1 @@
+lib/quel/lexer.mli: Format Nullrel

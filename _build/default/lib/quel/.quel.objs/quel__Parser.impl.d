@@ -1,0 +1,1 @@
+lib/quel/parser.ml: Ast Format Lexer List Nullrel Predicate Printf String Value

@@ -1,0 +1,1 @@
+lib/quel/parser.mli: Ast

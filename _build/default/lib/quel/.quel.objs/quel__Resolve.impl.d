@@ -1,0 +1,1 @@
+lib/quel/resolve.ml: Ast Attr Format List Nullrel Schema Xrel

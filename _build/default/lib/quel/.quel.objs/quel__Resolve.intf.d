@@ -1,0 +1,1 @@
+lib/quel/resolve.mli: Ast Attr Nullrel Schema Xrel

@@ -1,0 +1,132 @@
+open Nullrel
+
+type kind =
+  | Count
+  | Sum of Ast.var * string
+  | Min of Ast.var * string
+  | Max of Ast.var * string
+
+type bounds = { lower : int; upper : int; may_be_empty : bool }
+
+exception Not_integer of string
+
+(* Per-row analysis: can the row qualify, can it be excluded, and what
+   range can the aggregated value take among qualifying completions? *)
+type row_info = {
+  can_qualify : bool;
+  can_be_excluded : bool;
+  vmin : int;  (* meaningful only when can_qualify *)
+  vmax : int;
+}
+
+let int_of_value attr = function
+  | Value.Int n -> n
+  | v ->
+      raise
+        (Not_integer
+           (Printf.sprintf "%s is %s, not an integer" (Attr.name attr)
+              (Value.type_name v)))
+
+let analyze_row ~domains ~p ~agg_attr row =
+  let relevant =
+    match agg_attr with
+    | None -> Predicate.attrs p
+    | Some a -> Attr.Set.add a (Predicate.attrs p)
+  in
+  let nulls =
+    Attr.Set.filter (fun a -> Value.is_null (Tuple.get row a)) relevant
+  in
+  if Attr.Set.is_empty nulls then
+    (* fast path: everything relevant is bound *)
+    let qualifies = Predicate.holds p row in
+    let v =
+      match agg_attr with
+      | Some a when qualifies -> int_of_value a (Tuple.get row a)
+      | _ -> 0
+    in
+    {
+      can_qualify = qualifies;
+      can_be_excluded = not qualifies;
+      vmin = v;
+      vmax = v;
+    }
+  else
+    Seq.fold_left
+      (fun acc row' ->
+        if Predicate.holds p row' then
+          let v =
+            match agg_attr with
+            | Some a -> int_of_value a (Tuple.get row' a)
+            | None -> 0
+          in
+          {
+            acc with
+            can_qualify = true;
+            vmin = min acc.vmin v;
+            vmax = max acc.vmax v;
+          }
+        else { acc with can_be_excluded = true })
+      { can_qualify = false; can_be_excluded = false; vmin = max_int; vmax = min_int }
+      (Codd.Subst.tuple_substitutions ~domains ~over:nulls row)
+
+let bounds db q kind =
+  let p =
+    match q.Ast.where with
+    | None -> Predicate.Const Tvl.True
+    | Some c -> Eval.predicate_of_cond c
+  in
+  let domains = Eval.domains_for db q in
+  let agg_attr =
+    match kind with
+    | Count -> None
+    | Sum (v, a) | Min (v, a) | Max (v, a) -> Some (Resolve.prefixed v a)
+  in
+  let infos =
+    List.filter_map
+      (fun row ->
+        let info = analyze_row ~domains ~p ~agg_attr row in
+        if info.can_qualify then Some info else None)
+      (Eval.combined_tuples db q)
+  in
+  let forced = List.filter (fun i -> not i.can_be_excluded) infos in
+  let may_be_empty = forced = [] in
+  match kind with
+  | Count ->
+      { lower = List.length forced; upper = List.length infos; may_be_empty }
+  | Sum _ ->
+      let lower =
+        List.fold_left
+          (fun acc i ->
+            acc + if i.can_be_excluded then min 0 i.vmin else i.vmin)
+          0 infos
+      in
+      let upper =
+        List.fold_left
+          (fun acc i ->
+            acc + if i.can_be_excluded then max 0 i.vmax else i.vmax)
+          0 infos
+      in
+      { lower; upper; may_be_empty }
+  | Min _ ->
+      let lower =
+        List.fold_left (fun acc i -> min acc i.vmin) max_int infos
+      in
+      let upper =
+        if forced <> [] then
+          (* maximize every forced row, exclude everything excludable *)
+          List.fold_left (fun acc i -> min acc i.vmax) max_int forced
+        else
+          (* a non-empty scenario keeps a single, maximized row *)
+          List.fold_left (fun acc i -> max acc i.vmax) min_int infos
+      in
+      { lower; upper; may_be_empty }
+  | Max _ ->
+      let upper =
+        List.fold_left (fun acc i -> max acc i.vmax) min_int infos
+      in
+      let lower =
+        if forced <> [] then
+          List.fold_left (fun acc i -> max acc i.vmin) min_int forced
+        else List.fold_left (fun acc i -> min acc i.vmin) max_int infos
+      in
+      { lower; upper; may_be_empty }

@@ -1,0 +1,40 @@
+(** Aggregate bounds under incomplete information.
+
+    QUEL had aggregate functions; the paper does not treat them, but its
+    Section 5 framework — bracket every answer between what is sure and
+    what cannot be ruled out — extends naturally. For a query [Q] and an
+    integer aggregate, this module computes exact bounds over {e all
+    completions} of the nulls (finite domains required for the
+    enumerated attributes):
+
+    - [lower <= agg(Q under sigma) <= upper] for every completion
+      [sigma] in which the answer set is non-empty, and both ends are
+      attained by some completion;
+    - [may_be_empty] reports whether some completion empties the answer
+      (in which case COUNT attains 0 and MIN/MAX are undefined there).
+
+    Rows complete independently, so the analysis is per combined tuple:
+    for each row we enumerate the completions of the nulls the
+    qualification and the aggregated attribute mention, recording
+    whether the row can qualify, whether it can be excluded, and the
+    range of the aggregated value among qualifying completions. The
+    enumeration is exponential in the per-row null count — the same
+    price tag the Appendix puts on all substitution reasoning. *)
+
+type kind =
+  | Count  (** number of qualifying rows *)
+  | Sum of Ast.var * string  (** sum of [v.A] over qualifying rows *)
+  | Min of Ast.var * string
+  | Max of Ast.var * string
+
+type bounds = { lower : int; upper : int; may_be_empty : bool }
+
+exception Not_integer of string
+(** The aggregated attribute produced a non-integer value. *)
+
+val bounds : Resolve.db -> Ast.query -> kind -> bounds
+(** Raises {!Not_integer}, [Domain.Infinite] when an enumerated
+    attribute has an infinite domain, and {!Resolve.Error} on name
+    errors. For [Min]/[Max] with an answer that is {e always} empty,
+    [lower = max_int] / [upper = min_int] respectively (the neutral
+    elements) and [may_be_empty = true]. *)

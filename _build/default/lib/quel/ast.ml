@@ -1,0 +1,92 @@
+open Nullrel
+
+type var = string
+
+type term = Attr of var * string | Const of Value.t
+
+type cond =
+  | Cmp of term * Predicate.comparison * term
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type query = {
+  ranges : (var * string) list;
+  targets : (var * string) list;
+  where : cond option;
+}
+
+let pp_term ppf = function
+  | Attr (v, a) -> Format.fprintf ppf "%s.%s" v a
+  | Const (Value.Str s) -> Format.fprintf ppf "%S" s
+  | Const v -> Value.pp ppf v
+
+let rec pp_cond ppf = function
+  | Cmp (t1, cmp, t2) ->
+      Format.fprintf ppf "%a %s %a" pp_term t1
+        (Predicate.comparison_to_string cmp)
+        pp_term t2
+  | And (c1, c2) -> Format.fprintf ppf "(%a and %a)" pp_cond c1 pp_cond c2
+  | Or (c1, c2) -> Format.fprintf ppf "(%a or %a)" pp_cond c1 pp_cond c2
+  | Not c -> Format.fprintf ppf "not %a" pp_cond c
+
+let pp ppf q =
+  List.iter
+    (fun (v, rel) -> Format.fprintf ppf "range of %s is %s@\n" v rel)
+    q.ranges;
+  Format.fprintf ppf "retrieve (%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (v, a) -> Format.fprintf ppf "%s.%s" v a))
+    q.targets;
+  match q.where with
+  | Some c -> Format.fprintf ppf "@\nwhere %a" pp_cond c
+  | None -> ()
+
+type assignment = string * Value.t
+
+type statement =
+  | Retrieve of query
+  | Append of { rel : string; values : assignment list }
+  | Delete of { var : var; rel : string; where : cond option }
+  | Replace of {
+      var : var;
+      rel : string;
+      values : assignment list;
+      where : cond option;
+    }
+
+let pp_assignments ppf values =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (a, v) ->
+         match v with
+         | Value.Str s -> Format.fprintf ppf "%s = %S" a s
+         | v -> Format.fprintf ppf "%s = %a" a Value.pp v))
+    values
+
+let pp_where ppf = function
+  | None -> ()
+  | Some c -> Format.fprintf ppf "@\nwhere %a" pp_cond c
+
+let pp_statement ppf = function
+  | Retrieve q -> pp ppf q
+  | Append { rel; values } ->
+      Format.fprintf ppf "append to %s %a" rel pp_assignments values
+  | Delete { var; rel; where } ->
+      Format.fprintf ppf "range of %s is %s@\ndelete %s%a" var rel var
+        pp_where where
+  | Replace { var; rel; values; where } ->
+      Format.fprintf ppf "range of %s is %s@\nreplace %s %a%a" var rel var
+        pp_assignments values pp_where where
+
+let cond_attrs c =
+  let rec go acc = function
+    | Cmp (t1, _, t2) ->
+        let add acc = function Attr (v, a) -> (v, a) :: acc | Const _ -> acc in
+        add (add acc t1) t2
+    | And (c1, c2) | Or (c1, c2) -> go (go acc c1) c2
+    | Not c -> go acc c
+  in
+  List.sort_uniq compare (go [] c)

@@ -1,0 +1,62 @@
+(** Abstract syntax of the mini-QUEL query language.
+
+    The paper uses QUEL (the INGRES language, \[21\]) for its example
+    queries (Figures 1 and 2). A query consists of a [range] clause
+    binding tuple variables to relations, a [retrieve] clause giving the
+    target list, and an optional [where] clause with the qualification. *)
+
+open Nullrel
+
+type var = string
+(** A tuple-variable name ([e], [m], ...). *)
+
+type term =
+  | Attr of var * string  (** [e.NAME] *)
+  | Const of Value.t  (** A literal: int, float, string or bool. *)
+
+type cond =
+  | Cmp of term * Predicate.comparison * term
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type query = {
+  ranges : (var * string) list;
+      (** [range of e is EMP] clauses, in order. *)
+  targets : (var * string) list;
+      (** The target list: attribute references to retrieve. *)
+  where : cond option;
+}
+
+val pp_term : Format.formatter -> term -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp : Format.formatter -> query -> unit
+
+val cond_attrs : cond -> (var * string) list
+(** The attribute references mentioned by a qualification (with
+    duplicates removed). *)
+
+(** {1 Data manipulation (QUEL's update statements)}
+
+    Updates are defined algebraically in Section 7: appending is union,
+    deleting is difference, replacing is a deletion followed by an
+    addition. *)
+
+type assignment = string * Value.t
+(** [ATTR = literal]; a null literal is not expressible — information
+    is removed by saying nothing, not by storing ni explicitly. *)
+
+type statement =
+  | Retrieve of query
+  | Append of { rel : string; values : assignment list }
+      (** [append to REL (A = 1, B = "x")] *)
+  | Delete of { var : var; rel : string; where : cond option }
+      (** [range of v is REL delete v [where ...]] *)
+  | Replace of {
+      var : var;
+      rel : string;
+      values : assignment list;
+      where : cond option;
+    }  (** [range of v is REL replace v (A = 2) [where ...]] *)
+
+val pp_statement : Format.formatter -> statement -> unit

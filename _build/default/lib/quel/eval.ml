@@ -1,0 +1,148 @@
+open Nullrel
+
+type result = { attrs : Attr.t list; rel : Xrel.t }
+
+let target_attr targets (v, a) =
+  let same_attr = List.filter (fun (_, a') -> String.equal a a') targets in
+  if List.length same_attr <= 1 then Attr.make a else Resolve.prefixed v a
+
+let flip = function
+  | Predicate.Eq -> Predicate.Eq
+  | Predicate.Neq -> Predicate.Neq
+  | Predicate.Lt -> Predicate.Gt
+  | Predicate.Gt -> Predicate.Lt
+  | Predicate.Le -> Predicate.Ge
+  | Predicate.Ge -> Predicate.Le
+
+let rec predicate_of_cond = function
+  | Ast.Cmp (Ast.Attr (v, a), cmp, Ast.Attr (w, b)) ->
+      Predicate.Cmp_attrs (Resolve.prefixed v a, cmp, Resolve.prefixed w b)
+  | Ast.Cmp (Ast.Attr (v, a), cmp, Ast.Const k) ->
+      Predicate.Cmp_const (Resolve.prefixed v a, cmp, k)
+  | Ast.Cmp (Ast.Const k, cmp, Ast.Attr (v, a)) ->
+      Predicate.Cmp_const (Resolve.prefixed v a, flip cmp, k)
+  | Ast.Cmp (Ast.Const k1, cmp, Ast.Const k2) ->
+      Predicate.Const (Predicate.apply_comparison cmp k1 k2)
+  | Ast.And (c1, c2) ->
+      Predicate.And (predicate_of_cond c1, predicate_of_cond c2)
+  | Ast.Or (c1, c2) -> Predicate.Or (predicate_of_cond c1, predicate_of_cond c2)
+  | Ast.Not c -> Predicate.Not (predicate_of_cond c)
+
+(* A range variable's tuples, re-keyed onto prefixed attributes. *)
+let prefixed_tuples db (v, rel_name) =
+  let _, x = Resolve.relation db rel_name in
+  List.map
+    (fun r ->
+      Tuple.fold
+        (fun a value acc -> Tuple.set acc (Resolve.prefixed v (Attr.name a)) value)
+        r Tuple.empty)
+    (Xrel.to_list x)
+
+let combined_tuples db q =
+  Resolve.check db q;
+  List.fold_left
+    (fun acc range ->
+      let tuples = prefixed_tuples db range in
+      List.concat_map
+        (fun combined ->
+          List.filter_map (fun r -> Tuple.join combined r) tuples)
+        acc)
+    [ Tuple.empty ] q.Ast.ranges
+
+let project_targets q rows =
+  let attrs = List.map (target_attr q.Ast.targets) q.Ast.targets in
+  let project r =
+    List.fold_left2
+      (fun acc (v, a) out ->
+        Tuple.set acc out (Tuple.get r (Resolve.prefixed v a)))
+      Tuple.empty q.Ast.targets attrs
+  in
+  { attrs; rel = Xrel.of_list (List.map project rows) }
+
+let qualification q =
+  match q.Ast.where with
+  | None -> Predicate.Const Tvl.True
+  | Some c -> predicate_of_cond c
+
+let run db q =
+  let p = qualification q in
+  let rows = List.filter (Predicate.holds p) (combined_tuples db q) in
+  project_targets q rows
+
+let run_string db src = run db (Parser.parse src)
+
+let run_maybe db q =
+  let p = qualification q in
+  let rows =
+    List.filter
+      (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni)
+      (combined_tuples db q)
+  in
+  project_targets q rows
+
+type tautology_strategy = Brute_force | Symbolic_first
+
+(* Domain of a prefixed attribute [v.A], from [v]'s schema. *)
+let domains_for db q =
+  let schemas =
+    List.map (fun (v, rel) -> (v, fst (Resolve.relation db rel))) q.Ast.ranges
+  in
+  fun attr ->
+    let name = Attr.name attr in
+    match String.index_opt name '.' with
+    | None -> invalid_arg ("Eval: unprefixed attribute " ^ name)
+    | Some i -> (
+        let v = String.sub name 0 i in
+        let a = String.sub name (i + 1) (String.length name - i - 1) in
+        match List.assoc_opt v schemas with
+        | None -> invalid_arg ("Eval: unknown variable in " ^ name)
+        | Some schema -> (
+            match Schema.domain schema (Attr.make a) with
+            | Some d -> d
+            | None -> invalid_arg ("Eval: unknown attribute " ^ name)))
+
+(* Shared scaffolding for the bounds that must reason about
+   substitutions: [decide] gets the compiled predicate, the domain
+   oracle and a combined tuple whose qualification evaluated to ni. *)
+let run_with_ni_decision db q decide =
+  let p = qualification q in
+  let domains = domains_for db q in
+  let keep r =
+    match Predicate.eval p r with
+    | Tvl.True -> true
+    | Tvl.False -> false
+    | Tvl.Ni -> decide p domains r
+  in
+  let rows = List.filter keep (combined_tuples db q) in
+  project_targets q rows
+
+let run_upper ?legal db q =
+  let legal_fn = Option.value legal ~default:(fun _ -> true) in
+  run_with_ni_decision db q (fun p domains r ->
+      match (legal, Codd.Tautology.breakpoints_exists p r) with
+      | None, Some answer -> answer
+      | _ -> Codd.Tautology.brute_force_exists ~domains ~legal:legal_fn p r)
+
+let run_unknown ?(strategy = Symbolic_first) ?legal db q =
+  let p = qualification q in
+  let domains = domains_for db q in
+  let legal_fn = Option.value legal ~default:(fun _ -> true) in
+  let brute r = Codd.Tautology.brute_force ~domains ~legal:legal_fn p r in
+  let tautology r =
+    match (strategy, legal) with
+    (* The symbolic checker cannot see integrity constraints; any [legal]
+       forces the brute-force path. *)
+    | Brute_force, _ | Symbolic_first, Some _ -> brute r
+    | Symbolic_first, None -> (
+        match Codd.Tautology.breakpoints p r with
+        | Some answer -> answer
+        | None -> brute r)
+  in
+  let keep r =
+    match Predicate.eval p r with
+    | Tvl.True -> true
+    | Tvl.False -> false
+    | Tvl.Ni -> tautology r
+  in
+  let rows = List.filter keep (combined_tuples db q) in
+  project_targets q rows

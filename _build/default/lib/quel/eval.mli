@@ -1,0 +1,92 @@
+(** Query evaluation (Section 5 and the Appendix).
+
+    The evaluator considers all tuple combinations of the range relations
+    (the Cartesian product), evaluates the where clause on each combined
+    tuple, and projects the target list. Two disciplines are provided:
+
+    - {!run}: the paper's strategy — three-valued evaluation under the
+      [ni] interpretation, keeping only TRUE rows. This computes the
+      correct lower bound [||Q||-] with no tautology machinery.
+    - {!run_unknown}: the "unknown" interpretation — a combined tuple
+      whose qualification evaluates to [ni] is additionally included if
+      it {e defines a tautology} (TRUE under every legal substitution of
+      its nulls). This is the expensive discipline the Appendix
+      dissects. *)
+
+open Nullrel
+
+type result = {
+  attrs : Attr.t list;  (** Output columns, in target-list order. *)
+  rel : Xrel.t;
+}
+
+val target_attr : (Ast.var * string) list -> Ast.var * string -> Attr.t
+(** Output column name for a target: the bare attribute name when
+    unambiguous in the target list, otherwise [v.A]. *)
+
+val predicate_of_cond : Ast.cond -> Predicate.t
+(** Compiles a qualification over combined-tuple attributes ([v.A]).
+    Constant-to-constant comparisons fold to a truth value; comparisons
+    with the constant on the left are flipped. *)
+
+val combined_tuples : Resolve.db -> Ast.query -> Tuple.t list
+(** The Cartesian product of the range relations as combined tuples with
+    prefixed attributes. Exposed for the benchmarks. *)
+
+val domains_for : Resolve.db -> Ast.query -> Attr.t -> Domain.t
+(** Domain oracle for the prefixed attributes ([v.A] resolves through
+    [v]'s schema). Used by the substitution-based evaluators and the
+    aggregate bounds. Raises [Invalid_argument] on unknown names. *)
+
+val run : Resolve.db -> Ast.query -> result
+(** Lower-bound evaluation under the [ni] interpretation. Raises
+    {!Resolve.Error} on name errors. *)
+
+val run_string : Resolve.db -> string -> result
+(** [run] composed with {!Parser.parse}. *)
+
+val run_maybe : Resolve.db -> Ast.query -> result
+(** Codd's MAYBE version of the query: the combined tuples whose
+    qualification evaluates to [ni]/MAYBE (Section 1). Disjoint from
+    {!run}. The paper's practical complaint — low selectivity at full
+    scan cost — is visible directly: with any null-bearing range this
+    returns large, weakly informative results. Note this is {e not} the
+    upper bound [||Q||+] of Section 5, whose correct computation the
+    paper defers (footnote 6); it is the operator Codd's systems
+    actually offered. *)
+
+val run_upper :
+  ?legal:(Tuple.t -> bool) ->
+  Resolve.db ->
+  Ast.query ->
+  result
+(** The upper bound [||Q||+] of Section 5: "the set of objects which may
+    possibly satisfy Q (on the basis of the available information, they
+    cannot be ruled out)". A combined tuple qualifies when its
+    qualification is TRUE, or is [ni] and {e some} legal substitution of
+    its nulls makes it TRUE (symbolic single-null decision first,
+    brute-force enumeration otherwise — finite domains required on the
+    enumerated attributes). The paper notes this bound is "of less
+    practical interest and also the source of some difficult problems"
+    (footnote 6) — here it is exact for finite domains, and the E8
+    benchmark shows what it costs. [run q <= run_upper q] always holds. *)
+
+type tautology_strategy =
+  | Brute_force  (** Enumerate every legal substitution ({!Codd.Tautology.brute_force}). *)
+  | Symbolic_first
+      (** Try {!Codd.Tautology.breakpoints}; fall back to brute force
+          when the symbolic fragment does not apply. *)
+
+val run_unknown :
+  ?strategy:tautology_strategy ->
+  ?legal:(Tuple.t -> bool) ->
+  Resolve.db ->
+  Ast.query ->
+  result
+(** Evaluation under the "unknown" interpretation (default strategy
+    {!Symbolic_first}). [legal] expresses the schema's integrity
+    constraints on fully substituted combined tuples — substitutions
+    violating it are not considered (Appendix, query QB); supplying it
+    forces the brute-force path, since the symbolic checker cannot see
+    constraints. Requires finite domains for the null attributes the
+    qualification touches when brute force is engaged. *)

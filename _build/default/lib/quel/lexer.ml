@@ -1,0 +1,135 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Kw_range
+  | Kw_of
+  | Kw_is
+  | Kw_retrieve
+  | Kw_where
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_append
+  | Kw_to
+  | Kw_delete
+  | Kw_replace
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Cmp of Nullrel.Predicate.comparison
+  | Eof
+
+exception Error of string * int
+
+let keyword s =
+  match String.lowercase_ascii s with
+  | "range" -> Some Kw_range
+  | "of" -> Some Kw_of
+  | "is" -> Some Kw_is
+  | "retrieve" -> Some Kw_retrieve
+  | "where" -> Some Kw_where
+  | "and" -> Some Kw_and
+  | "or" -> Some Kw_or
+  | "not" -> Some Kw_not
+  | "append" -> Some Kw_append
+  | "to" -> Some Kw_to
+  | "delete" -> Some Kw_delete
+  | "replace" -> Some Kw_replace
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '#'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev (Eof :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' when i + 1 >= n || not (is_digit src.[i + 1]) ->
+          go (i + 1) (Dot :: acc)
+      | '=' -> go (i + 1) (Cmp Nullrel.Predicate.Eq :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+          go (i + 2) (Cmp Nullrel.Predicate.Neq :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+          go (i + 2) (Cmp Nullrel.Predicate.Le :: acc)
+      | '<' -> go (i + 1) (Cmp Nullrel.Predicate.Lt :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+          go (i + 2) (Cmp Nullrel.Predicate.Ge :: acc)
+      | '>' -> go (i + 1) (Cmp Nullrel.Predicate.Gt :: acc)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+          go (i + 2) (Cmp Nullrel.Predicate.Neq :: acc)
+      | '"' ->
+          let rec scan j buf =
+            if j >= n then raise (Error ("unterminated string", i))
+            else if src.[j] = '"' then (j + 1, Buffer.contents buf)
+            else (
+              Buffer.add_char buf src.[j];
+              scan (j + 1) buf)
+          in
+          let j, s = scan (i + 1) (Buffer.create 16) in
+          go j (String s :: acc)
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) ->
+          let j = ref (i + 1) in
+          let seen_dot = ref false in
+          while
+            !j < n
+            && (is_digit src.[!j] || (src.[!j] = '.' && not !seen_dot))
+          do
+            if src.[!j] = '.' then seen_dot := true;
+            incr j
+          done;
+          let text = String.sub src i (!j - i) in
+          let tok =
+            if !seen_dot then Float (float_of_string text)
+            else Int (int_of_string text)
+          in
+          go !j (tok :: acc)
+      | c when is_ident_start c ->
+          let j = ref (i + 1) in
+          while !j < n && is_ident_char src.[!j] do
+            incr j
+          done;
+          let text = String.sub src i (!j - i) in
+          let tok =
+            match keyword text with Some kw -> kw | None -> Ident text
+          in
+          go !j (tok :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0 []
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Int i -> Format.fprintf ppf "integer %d" i
+  | Float f -> Format.fprintf ppf "float %g" f
+  | String s -> Format.fprintf ppf "string %S" s
+  | Kw_range -> Format.pp_print_string ppf "'range'"
+  | Kw_of -> Format.pp_print_string ppf "'of'"
+  | Kw_is -> Format.pp_print_string ppf "'is'"
+  | Kw_retrieve -> Format.pp_print_string ppf "'retrieve'"
+  | Kw_where -> Format.pp_print_string ppf "'where'"
+  | Kw_and -> Format.pp_print_string ppf "'and'"
+  | Kw_or -> Format.pp_print_string ppf "'or'"
+  | Kw_not -> Format.pp_print_string ppf "'not'"
+  | Kw_append -> Format.pp_print_string ppf "'append'"
+  | Kw_to -> Format.pp_print_string ppf "'to'"
+  | Kw_delete -> Format.pp_print_string ppf "'delete'"
+  | Kw_replace -> Format.pp_print_string ppf "'replace'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Cmp c ->
+      Format.fprintf ppf "'%s'" (Nullrel.Predicate.comparison_to_string c)
+  | Eof -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,34 @@
+(** Tokenizer for mini-QUEL. *)
+
+type token =
+  | Ident of string  (** Identifier; may contain [#] as in [TEL#]. *)
+  | Int of int
+  | Float of float
+  | String of string  (** Double-quoted literal. *)
+  | Kw_range
+  | Kw_of
+  | Kw_is
+  | Kw_retrieve
+  | Kw_where
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_append
+  | Kw_to
+  | Kw_delete
+  | Kw_replace
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Cmp of Nullrel.Predicate.comparison
+  | Eof
+
+exception Error of string * int
+(** Lexical error with its character position. *)
+
+val tokenize : string -> token list
+(** Tokenizes a query string. Keywords are case-insensitive; identifiers
+    keep their case. Raises {!Error} on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,39 @@
+(** Recursive-descent parser for mini-QUEL.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query    ::= range+ retrieve [where]
+    range    ::= "range" "of" ident "is" ident
+    retrieve ::= "retrieve" "(" target ("," target)* ")"
+    target   ::= ident "." ident
+    where    ::= "where" or-expr
+    or-expr  ::= and-expr ("or" and-expr)*
+    and-expr ::= not-expr ("and" not-expr)*
+    not-expr ::= "not" not-expr | atom
+    atom     ::= "(" or-expr ")" | term cmp term
+    term     ::= ident "." ident | int | float | string
+    cmp      ::= "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+    v} *)
+
+exception Error of string
+(** Parse error with a human-readable message. *)
+
+val parse : string -> Ast.query
+(** Parses a complete query. Raises {!Error} (or {!Lexer.Error}) on
+    malformed input. *)
+
+val parse_cond : string -> Ast.cond
+(** Parses a bare qualification expression (handy in tests). *)
+
+val parse_statement : string -> Ast.statement
+(** Parses a statement — a retrieve query or one of QUEL's update
+    statements:
+    {v
+    statement ::= query
+                | "append" "to" ident assignments
+                | range "delete" ident [where]
+                | range "replace" ident assignments [where]
+    assignments ::= "(" ident "=" literal ("," ident "=" literal)* ")"
+    v}
+    Delete and replace take a single range clause binding their target
+    variable. *)

@@ -1,0 +1,40 @@
+open Nullrel
+
+type db = (string * (Schema.t * Xrel.t)) list
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+let relation db name =
+  match List.assoc_opt name db with
+  | Some entry -> entry
+  | None -> errorf "unknown relation %s" name
+
+let schema_of db q v =
+  match List.assoc_opt v q.Ast.ranges with
+  | None -> errorf "unbound tuple variable %s" v
+  | Some rel -> fst (relation db rel)
+
+let check_ref db q (v, a) =
+  let schema = schema_of db q v in
+  if not (Schema.mem schema (Attr.make a)) then
+    errorf "relation %s has no attribute %s (referenced as %s.%s)"
+      (Schema.name schema) a v a
+
+let check db q =
+  let rec dup_var = function
+    | [] -> ()
+    | (v, _) :: rest ->
+        if List.mem_assoc v rest then errorf "tuple variable %s bound twice" v
+        else dup_var rest
+  in
+  dup_var q.Ast.ranges;
+  List.iter (fun (v, rel) -> ignore (relation db rel) |> fun () -> ignore v)
+    q.Ast.ranges;
+  List.iter (check_ref db q) q.Ast.targets;
+  match q.Ast.where with
+  | None -> ()
+  | Some c -> List.iter (check_ref db q) (Ast.cond_attrs c)
+
+let prefixed v a = Attr.make (v ^ "." ^ a)

@@ -1,0 +1,21 @@
+(** Name resolution for mini-QUEL queries against a database. *)
+
+open Nullrel
+
+type db = (string * (Schema.t * Xrel.t)) list
+(** A database: named relations with their schemas. *)
+
+exception Error of string
+
+val relation : db -> string -> Schema.t * Xrel.t
+(** Looks a relation up by name. Raises {!Error} when absent. *)
+
+val check : db -> Ast.query -> unit
+(** Validates a query: every range relation exists, tuple variables are
+    not bound twice, and every attribute reference (targets and
+    qualification) names a declared attribute of its variable's relation.
+    Raises {!Error} otherwise. *)
+
+val prefixed : Ast.var -> string -> Attr.t
+(** The attribute [v.A] of the combined tuple built by the evaluator for
+    the reference [v.A]. *)

@@ -1,0 +1,199 @@
+open Nullrel
+
+type state = { cat : Storage.Catalog.t; finished : bool }
+
+let initial = { cat = Storage.Catalog.empty; finished = false }
+let catalog st = st.cat
+let finished st = st.finished
+
+let help =
+  ".load NAME FILE.csv    register a CSV file as relation NAME\n\
+   .open DIR              load a saved catalog directory\n\
+   .save DIR              save the catalog\n\
+   .list                  list relations\n\
+   .show NAME             print a relation\n\
+   .schema NAME           print a relation's schema\n\
+   .plan QUERY            show the optimized algebra plan for a query\n\
+   .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
+   .check                 run schema + referential integrity checks\n\
+   .help                  this text\n\
+   .quit                  leave\n\
+   range of ... retrieve (...) [where ...]    evaluate ||Q||-\n\
+   append to REL (A = 1, ...)                 insert (union)\n\
+   range of v is REL delete v [where ...]     delete (difference)\n\
+   range of v is REL replace v (A = 2) [where ...]"
+
+(* Guess per-column domains from the data so the loaded relation gets a
+   usable schema. *)
+let guessed_schema name attrs x =
+  Schema.make name
+    (List.map
+       (fun a ->
+         let domain =
+           List.find_map
+             (fun r ->
+               match Tuple.get r a with
+               | Value.Null -> None
+               | Value.Int _ -> Some Domain.Ints
+               | Value.Float _ -> Some Domain.Floats
+               | Value.Bool _ -> Some Domain.Bools
+               | Value.Str _ -> Some Domain.Strings)
+             (Xrel.to_list x)
+         in
+         (Attr.name a, Option.value domain ~default:Domain.Strings))
+       attrs)
+
+let with_relation st name f =
+  match Storage.Catalog.find st.cat name with
+  | None -> Printf.sprintf "error: no relation %s (try .list)" name
+  | Some (schema, x) -> f schema x
+
+(* Statements: retrieves go through the optimizing planner; updates go
+   through the Section 7 semantics of [Dml]. *)
+let run_statement st src =
+  match Quel.Parser.parse_statement src with
+  | Quel.Ast.Retrieve q ->
+      let db = Storage.Catalog.to_db st.cat in
+      let result = Plan.Compile.run db q in
+      (st, Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel)
+  | statement ->
+      let outcome = Dml.exec st.cat statement in
+      ({ st with cat = outcome.Dml.catalog }, outcome.Dml.message)
+
+let show_plan st src =
+  let db = Storage.Catalog.to_db st.cat in
+  let q = Quel.Parser.parse src in
+  Quel.Resolve.check db q;
+  let schemas name =
+    Option.map (fun (s_, _) -> Schema.attrs s_) (List.assoc_opt name db)
+  in
+  let env_scope name =
+    Option.map (fun (s_, _) -> Schema.attr_set s_) (List.assoc_opt name db)
+  in
+  let raw = Plan.Compile.query ~schemas q in
+  let optimized = Plan.Rewrite.optimize ~env_scope raw in
+  let stats name =
+    Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name db)
+  in
+  Printf.sprintf "raw:       %s\noptimized: %s\nest. cost: %.0f -> %.0f"
+    (Pp.to_string Plan.Expr.pp raw)
+    (Pp.to_string Plan.Expr.pp optimized)
+    (Plan.Cost.cost ~stats raw)
+    (Plan.Cost.cost ~stats optimized)
+
+(* .agg KIND [v.ATTR] QUERY *)
+let run_aggregate st words =
+  let db = Storage.Catalog.to_db st.cat in
+  let parse_ref r =
+    match String.index_opt r '.' with
+    | Some idx ->
+        ( String.sub r 0 idx,
+          String.sub r (idx + 1) (String.length r - idx - 1) )
+    | None -> failwith "aggregate attribute must be written v.ATTR"
+  in
+  let kind, rest =
+    match words with
+    | "count" :: rest -> (Quel.Aggregate.Count, rest)
+    | "sum" :: r :: rest ->
+        let v, a = parse_ref r in
+        (Quel.Aggregate.Sum (v, a), rest)
+    | "min" :: r :: rest ->
+        let v, a = parse_ref r in
+        (Quel.Aggregate.Min (v, a), rest)
+    | "max" :: r :: rest ->
+        let v, a = parse_ref r in
+        (Quel.Aggregate.Max (v, a), rest)
+    | _ -> failwith ".agg count|sum|min|max [v.ATTR] QUERY"
+  in
+  let q = Quel.Parser.parse (String.concat " " rest) in
+  let b = Quel.Aggregate.bounds db q kind in
+  Printf.sprintf "bounds: %d .. %d%s" b.Quel.Aggregate.lower
+    b.Quel.Aggregate.upper
+    (if b.Quel.Aggregate.may_be_empty then "   (the answer may be empty)"
+     else "")
+
+let check st =
+  let schema_issues =
+    List.concat_map
+      (fun (name, (schema, x)) ->
+        List.map
+          (fun v ->
+            Printf.sprintf "%s: %s" name (Pp.to_string Schema.pp_violation v))
+          (Schema.check schema x))
+      (Storage.Catalog.to_db st.cat)
+  in
+  let reference_issues =
+    List.map
+      (Pp.to_string Storage.Catalog.pp_reference_violation)
+      (Storage.Catalog.check_references st.cat)
+  in
+  match schema_issues @ reference_issues with
+  | [] -> "ok: no violations"
+  | issues -> String.concat "\n" issues
+
+let split_words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+
+let exec st line =
+  let line = String.trim line in
+  try
+    if line = "" then (st, "")
+    else if line.[0] <> '.' then run_statement st line
+    else
+      match split_words line with
+      | [ ".quit" ] | [ ".exit" ] -> ({ st with finished = true }, "bye")
+      | [ ".help" ] -> (st, help)
+      | [ ".list" ] -> (
+          match Storage.Catalog.names st.cat with
+          | [] -> (st, "(no relations loaded)")
+          | names -> (st, String.concat "\n" names))
+      | [ ".load"; name; file ] ->
+          let attrs, x = Storage.Csv.read_file file in
+          let schema = guessed_schema name attrs x in
+          ( { st with cat = Storage.Catalog.add st.cat schema x },
+            Printf.sprintf "loaded %s (%d tuples)" name (Xrel.cardinal x) )
+      | [ ".open"; dir ] ->
+          let cat = Storage.Persist.load ~dir in
+          ( { st with cat },
+            Printf.sprintf "opened %s (%d relations)" dir
+              (List.length (Storage.Catalog.names cat)) )
+      | [ ".save"; dir ] ->
+          Storage.Persist.save ~dir st.cat;
+          (st, Printf.sprintf "saved to %s" dir)
+      | [ ".show"; name ] ->
+          ( st,
+            with_relation st name (fun schema x ->
+                Pp.to_string (Pp.table_of_schema schema) x) )
+      | [ ".schema"; name ] ->
+          ( st,
+            with_relation st name (fun schema _ ->
+                Pp.to_string Schema.pp schema) )
+      | ".plan" :: rest when rest <> [] ->
+          (st, show_plan st (String.concat " " rest))
+      | ".agg" :: rest when rest <> [] -> (st, run_aggregate st rest)
+      | [ ".check" ] -> (st, check st)
+      | cmd :: _ -> (st, Printf.sprintf "error: unknown command %s (try .help)" cmd)
+      | [] -> (st, "")
+  with
+  | Quel.Parser.Error msg -> (st, "parse error: " ^ msg)
+  | Quel.Lexer.Error (msg, pos) ->
+      (st, Printf.sprintf "lexical error at %d: %s" pos msg)
+  | Quel.Resolve.Error msg -> (st, "error: " ^ msg)
+  | Storage.Csv.Error msg -> (st, "csv error: " ^ msg)
+  | Storage.Persist.Error msg -> (st, "error: " ^ msg)
+  | Storage.Catalog.Violation violations ->
+      ( st,
+        "integrity violations:\n"
+        ^ String.concat "\n"
+            (List.map (Pp.to_string Schema.pp_violation) violations) )
+  | Value.Type_error msg -> (st, "type error: " ^ msg)
+  | Dml.Error msg -> (st, "error: " ^ msg)
+  | Quel.Aggregate.Not_integer msg -> (st, "error: " ^ msg)
+  | Domain.Infinite what ->
+      ( st,
+        Printf.sprintf
+          "error: %s has an infinite domain; substitution reasoning needs \
+           finite domains (intrange/enum in the schema)"
+          what )
+  | Failure msg -> (st, "error: " ^ msg)
+  | Sys_error msg -> (st, "error: " ^ msg)

@@ -1,0 +1,35 @@
+(** The interactive shell's engine: a pure command interpreter over a
+    catalog, independent of any terminal so it can be tested by feeding
+    strings.
+
+    Inputs are either dot-commands or mini-QUEL queries:
+    {v
+    .load NAME FILE.csv    register a CSV file as relation NAME
+    .open DIR              load a saved catalog directory
+    .save DIR              save the catalog
+    .list                  list relations
+    .show NAME             print a relation
+    .schema NAME           print a relation's schema
+    .plan QUERY            show the optimized algebra plan for a query
+    .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)
+    .check                 run schema + referential integrity checks
+    .help                  this text
+    .quit                  leave
+    range of ... retrieve (...) [where ...]    evaluate ||Q||-
+    append to REL (A = 1, ...)                 insert (union)
+    range of v is REL delete v [where ...]     delete (difference)
+    range of v is REL replace v (A = 2) [where ...]
+    v} *)
+
+type state
+
+val initial : state
+val catalog : state -> Storage.Catalog.t
+val finished : state -> bool
+(** True after [.quit]. *)
+
+val exec : state -> string -> state * string
+(** Executes one input (command or query); returns the new state and
+    the text to display. Never raises: errors come back as text. *)
+
+val help : string

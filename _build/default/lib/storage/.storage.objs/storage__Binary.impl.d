@@ -1,0 +1,1 @@
+lib/storage/binary.ml: Array Attr Buffer Char Fun Hashtbl Int64 List Nullrel Printf String Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/storage/binary.mli: Nullrel Xrel

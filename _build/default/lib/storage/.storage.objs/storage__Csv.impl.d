@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Attr Buffer Domain Fun List Nullrel Printf Schema String Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Attr Hashtbl List Nullrel Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/join.ml: Hashtbl List Nullrel Option Relation Tuple Xrel

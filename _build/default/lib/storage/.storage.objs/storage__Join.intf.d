@@ -1,0 +1,1 @@
+lib/storage/join.mli: Attr Nullrel Xrel

@@ -1,0 +1,1 @@
+lib/storage/persist.ml: Array Attr Buffer Catalog Csv Domain Filename Fun List Nullrel Printf Schema String Sys

@@ -1,0 +1,1 @@
+lib/storage/persist.mli: Catalog Nullrel

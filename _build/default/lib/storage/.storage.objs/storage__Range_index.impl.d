@@ -1,0 +1,1 @@
+lib/storage/range_index.ml: Array Attr List Nullrel Predicate Relation Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/storage/range_index.mli: Attr Nullrel Predicate Value Xrel

@@ -1,0 +1,1 @@
+lib/storage/update.ml: List Nullrel Predicate Xrel

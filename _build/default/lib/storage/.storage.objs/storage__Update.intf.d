@@ -1,0 +1,1 @@
+lib/storage/update.mli: Nullrel Predicate Tuple Xrel

@@ -1,0 +1,34 @@
+(** A compact binary format for relations.
+
+    CSV is the interchange format; this is the storage format: an
+    attribute dictionary written once, then one record per tuple listing
+    only its non-null bindings (the canonical form pays off on sparse
+    data — nulls occupy zero bytes). Integers are zigzag-LEB128
+    varints; floats are 8-byte IEEE bit patterns; strings and the
+    dictionary are length-prefixed.
+
+    Layout:
+    {v
+    magic "NRX1"
+    attr-count:varint  (attr-name:str)*
+    tuple-count:varint
+    tuple ::= binding-count:varint (attr-index:varint value)*
+    value ::= 0x00 int:zigzag-varint
+            | 0x01 float:8 bytes LE
+            | 0x02 str:varint-len bytes
+            | 0x03 bool:1 byte
+    v} *)
+
+open Nullrel
+
+exception Corrupt of string
+(** Bad magic, truncated input, unknown tags, out-of-range dictionary
+    references. *)
+
+val encode : Xrel.t -> string
+val decode : string -> Xrel.t
+(** [decode (encode x) = x]; decoding re-canonicalizes, so hand-made
+    inputs with redundant tuples still produce a valid x-relation. *)
+
+val write_file : string -> Xrel.t -> unit
+val read_file : string -> Xrel.t

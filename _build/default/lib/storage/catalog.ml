@@ -1,0 +1,78 @@
+open Nullrel
+module String_map = Map.Make (String)
+
+type t = (Schema.t * Xrel.t) String_map.t
+
+exception Violation of Schema.violation list
+
+let empty = String_map.empty
+
+let add cat schema x =
+  match Schema.check schema x with
+  | [] -> String_map.add (Schema.name schema) (schema, x) cat
+  | violations -> raise (Violation violations)
+
+let add_unchecked cat schema x =
+  String_map.add (Schema.name schema) (schema, x) cat
+
+let find cat name = String_map.find_opt name cat
+let get cat name = String_map.find name cat
+let relation cat name = snd (get cat name)
+let schema cat name = fst (get cat name)
+let names cat = List.map fst (String_map.bindings cat)
+let mem cat name = String_map.mem name cat
+let remove cat name = String_map.remove name cat
+
+let set_relation cat name x =
+  let schema, _ = get cat name in
+  add cat schema x
+
+let to_db cat = String_map.bindings cat
+
+type reference_violation = {
+  relation : string;
+  fk : Schema.foreign_key;
+  tuple : Tuple.t;
+}
+
+let pp_reference_violation ppf v =
+  Format.fprintf ppf "%s: tuple %a references no tuple of %s" v.relation
+    Tuple.pp v.tuple v.fk.Schema.fk_target
+
+(* A total reference (local attrs all bound) must be matched by a target
+   tuple carrying the referenced values; partial references assert
+   nothing. *)
+let fk_violations cat rel_name fk x =
+  let target = find cat fk.Schema.fk_target in
+  let reference_of r =
+    List.fold_left
+      (fun acc (local, referenced) ->
+        match acc with
+        | None -> None
+        | Some t -> (
+            match Tuple.get r local with
+            | Value.Null -> None
+            | v -> Some (Tuple.set t referenced v)))
+      (Some Tuple.empty) fk.Schema.fk_pairs
+  in
+  List.filter_map
+    (fun r ->
+      match reference_of r with
+      | None -> None
+      | Some reference ->
+          let matched =
+            match target with
+            | None -> false
+            | Some (_, target_x) -> Xrel.x_mem reference target_x
+          in
+          if matched then None else Some { relation = rel_name; fk; tuple = r })
+    (Xrel.to_list x)
+
+let check_references cat =
+  String_map.fold
+    (fun rel_name (schema, x) acc ->
+      List.concat_map
+        (fun fk -> fk_violations cat rel_name fk x)
+        (Schema.foreign_keys schema)
+      @ acc)
+    cat []

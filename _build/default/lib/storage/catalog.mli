@@ -1,0 +1,51 @@
+(** A catalog of named relations with schema enforcement.
+
+    Functional (persistent) — updating returns a new catalog, mirroring
+    the algebraic definition of updates in Section 7. *)
+
+open Nullrel
+
+type t
+
+exception Violation of Schema.violation list
+(** Raised by the checked update operations. *)
+
+val empty : t
+
+val add : t -> Schema.t -> Xrel.t -> t
+(** Registers (or replaces) a relation under its schema's name. Raises
+    {!Violation} if the relation violates the schema. *)
+
+val add_unchecked : t -> Schema.t -> Xrel.t -> t
+
+val find : t -> string -> (Schema.t * Xrel.t) option
+val get : t -> string -> Schema.t * Xrel.t
+(** Like {!find} but raises [Not_found]. *)
+
+val relation : t -> string -> Xrel.t
+val schema : t -> string -> Schema.t
+val names : t -> string list
+val mem : t -> string -> bool
+val remove : t -> string -> t
+
+val set_relation : t -> string -> Xrel.t -> t
+(** Replaces the relation stored under a name, re-checking its schema. *)
+
+val to_db : t -> (string * (Schema.t * Xrel.t)) list
+(** Export in the shape the {!Quel.Resolve} evaluator consumes. *)
+
+type reference_violation = {
+  relation : string;  (** Referencing relation. *)
+  fk : Schema.foreign_key;
+  tuple : Tuple.t;  (** The dangling referencing tuple. *)
+}
+
+val pp_reference_violation : Format.formatter -> reference_violation -> unit
+
+val check_references : t -> reference_violation list
+(** Referential integrity across the whole catalog, with the null
+    semantics of {!Schema.foreign_key}: a referencing tuple that is
+    null on {e any} foreign-key attribute asserts nothing and passes; a
+    total reference must be matched, for sure, by some tuple of the
+    target relation. A foreign key whose target relation is absent
+    flags every total reference. *)

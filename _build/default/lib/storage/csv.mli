@@ -1,0 +1,28 @@
+(** CSV import/export for relations.
+
+    The dialect is RFC-4180-ish: comma separator, double-quote quoting
+    with [""] escapes, one header line naming the attributes. The null
+    value is written and read as the unquoted cell [-], matching the
+    paper's tables; a quoted ["-"] is the one-character string. Values
+    are parsed by {!Nullrel.Value.of_string_guess} unless a schema pins
+    the column types. *)
+
+open Nullrel
+
+exception Error of string
+
+val parse : string -> string list list
+(** Raw CSV parsing into rows of cells. Raises {!Error} on unterminated
+    quotes or stray characters after a closing quote. *)
+
+val read_string : ?schema:Schema.t -> string -> Attr.t list * Xrel.t
+(** Parses a relation: first row is the header. With [schema], cells are
+    coerced to the declared column domains (ints for integer domains,
+    strings for enums, ...) and unknown headers are an {!Error}. *)
+
+val read_file : ?schema:Schema.t -> string -> Attr.t list * Xrel.t
+
+val write_string : Attr.t list -> Xrel.t -> string
+(** Renders a relation with the given column order. Nulls become [-]. *)
+
+val write_file : string -> Attr.t list -> Xrel.t -> unit

@@ -1,0 +1,52 @@
+(** Hash-accelerated subsumption probes.
+
+    The paper notes after (4.6)-(4.8) that the naive implementations of
+    difference and reduction to minimal form are quadratic, and that
+    "more sophisticated techniques, such as combinatorial hashing, can
+    provide more efficient solutions". This module is that technique:
+    tuples are bucketed by their restriction to the probe's attribute
+    set, so the inner universal quantification of (4.8) becomes an
+    expected-constant-time lookup.
+
+    The key observation: [t >= r] iff [t] agrees with [r] on [attrs r] —
+    in particular [t] is total on [attrs r] and its restriction there
+    equals [r]. So all subsumption probes for tuples with non-null
+    attribute set [pi] are answered by one hash table keyed on
+    [pi]-restrictions, shared across the (usually few) null patterns of
+    the data. Tables are built lazily, one per distinct probe
+    signature. *)
+
+open Nullrel
+
+type t
+(** An index over a fixed relation. *)
+
+val build : Relation.t -> t
+(** Indexes a relation. O(n) now; probe tables are built on first use. *)
+
+val count_at : t -> Tuple.t -> int
+(** [count_at idx r]: how many indexed tuples are more informative than
+    or equal to [r] (i.e. agree with [r] on [attrs r]). *)
+
+val subsuming_exists : t -> Tuple.t -> bool
+(** [count_at idx r > 0] — is [r] an x-element of the indexed relation? *)
+
+val strictly_subsuming_exists : t -> Tuple.t -> bool
+(** Is some indexed tuple {e strictly} more informative than [r]? When
+    [r] itself is indexed this is [count_at idx r >= 2] (distinct set
+    elements with equal restrictions must differ elsewhere); otherwise it
+    checks the candidates directly. *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+(** Indexed difference per (4.8): keeps the minuend tuples with no
+    subsuming tuple in the subtrahend. Expected O(|R1| + |R2|), vs the
+    naive O(|R1| x |R2|) of [Xrel.diff]. *)
+
+val minimize : Relation.t -> Relation.t
+(** Indexed reduction to minimal form (Definition 4.6). Expected
+    O(n x s) with [s] the number of distinct null patterns. Agrees with
+    [Relation.minimize]. *)
+
+val x_mem : Relation.t -> Tuple.t -> bool
+(** One-shot indexed x-membership (builds a throwaway index; prefer
+    {!build} + {!subsuming_exists} for repeated probes). *)

@@ -1,0 +1,36 @@
+open Nullrel
+
+(* Bucket an operand's X-total tuples by their canonical X-restriction. *)
+let partition x rel =
+  let table = Hashtbl.create (Xrel.cardinal rel) in
+  List.iter
+    (fun r ->
+      if Tuple.is_total_on x r then begin
+        let key = Tuple.to_list (Tuple.restrict r x) in
+        Hashtbl.replace table key
+          (r :: Option.value (Hashtbl.find_opt table key) ~default:[])
+      end)
+    (Xrel.to_list rel);
+  table
+
+let hash_equijoin x r1 r2 =
+  let buckets2 = partition x r2 in
+  let joined =
+    List.fold_left
+      (fun acc t1 ->
+        if not (Tuple.is_total_on x t1) then acc
+        else
+          let key = Tuple.to_list (Tuple.restrict t1 x) in
+          List.fold_left
+            (fun acc t2 ->
+              match Tuple.join t1 t2 with
+              | Some j -> Relation.add j acc
+              | None -> acc)
+            acc
+            (Option.value (Hashtbl.find_opt buckets2 key) ~default:[]))
+      Relation.empty (Xrel.to_list r1)
+  in
+  Xrel.of_relation joined
+
+let hash_union_join x r1 r2 =
+  Xrel.union (hash_equijoin x r1 r2) (Xrel.union r1 r2)

@@ -1,0 +1,18 @@
+(** Physical join operators.
+
+    {!Nullrel.Algebra.equijoin} is the textbook nested loop —
+    O(|R1| x |R2|). This module provides a hash-partitioned
+    implementation of the same operator: only X-total tuples participate
+    (Section 5's definition), so partitioning both operands by their
+    X-restriction makes each bucket pair small; expected cost
+    O(|R1| + |R2| + |output|). Agreement with the logical operator is
+    property-tested; the speedup is benchmark E13. *)
+
+open Nullrel
+
+val hash_equijoin : Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t
+(** [hash_equijoin x r1 r2] = [Algebra.equijoin x r1 r2], computed by
+    hash partitioning on the X-restrictions. *)
+
+val hash_union_join : Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t
+(** The union-join (outer join) on top of {!hash_equijoin}. *)

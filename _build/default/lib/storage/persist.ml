@@ -1,0 +1,130 @@
+open Nullrel
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+(* ------------------------ schema format ----------------------- *)
+
+let domain_fields = function
+  | Domain.Ints -> [ "int" ]
+  | Domain.Floats -> [ "float" ]
+  | Domain.Strings -> [ "string" ]
+  | Domain.Bools -> [ "bool" ]
+  | Domain.Int_range (lo, hi) ->
+      [ "intrange"; string_of_int lo; string_of_int hi ]
+  | Domain.Enum values -> "enum" :: values
+
+let domain_of_fields = function
+  | [ "int" ] -> Domain.Ints
+  | [ "float" ] -> Domain.Floats
+  | [ "string" ] -> Domain.Strings
+  | [ "bool" ] -> Domain.Bools
+  | [ "intrange"; lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Domain.Int_range (lo, hi)
+      | _ -> errorf "bad intrange bounds %s..%s" lo hi)
+  | "enum" :: values -> Domain.Enum values
+  | fields -> errorf "unknown domain %s" (String.concat " " fields)
+
+let schema_to_string schema =
+  let buf = Buffer.create 256 in
+  let line fields =
+    Buffer.add_string buf (String.concat "\t" fields);
+    Buffer.add_char buf '\n'
+  in
+  line [ "relation"; Schema.name schema ];
+  List.iter
+    (fun (a, d) -> line (("column" :: [ Attr.name a ]) @ domain_fields d))
+    (Schema.universe schema);
+  (if not (Attr.Set.is_empty (Schema.key schema)) then
+     line
+       ("key" :: List.map Attr.name (Attr.Set.elements (Schema.key schema))));
+  List.iter
+    (fun fk ->
+      let pairs =
+        List.concat_map
+          (fun (local, referenced) -> [ Attr.name local; Attr.name referenced ])
+          fk.Schema.fk_pairs
+      in
+      line (("fk" :: [ fk.Schema.fk_target ]) @ pairs))
+    (Schema.foreign_keys schema);
+  Buffer.contents buf
+
+let schema_of_string text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  let parse_line acc line =
+    let name, columns, key, fks = acc in
+    match String.split_on_char '\t' line with
+    | [ "relation"; n ] -> (Some n, columns, key, fks)
+    | "column" :: attr :: domain ->
+        (name, (attr, domain_of_fields domain) :: columns, key, fks)
+    | "key" :: attrs -> (name, columns, attrs, fks)
+    | "fk" :: target :: pairs ->
+        let rec pair_up = function
+          | [] -> ([], [])
+          | local :: referenced :: rest ->
+              let locals, refs = pair_up rest in
+              (local :: locals, referenced :: refs)
+          | [ _ ] -> errorf "fk line has an odd number of attributes"
+        in
+        let locals, refs = pair_up pairs in
+        (name, columns, key, (locals, target, refs) :: fks)
+    | _ -> errorf "unparseable schema line: %s" line
+  in
+  let name, columns, key, fks =
+    List.fold_left parse_line (None, [], [], []) lines
+  in
+  match name with
+  | None -> errorf "schema file has no 'relation' line"
+  | Some name ->
+      Schema.make ~key ~foreign_keys:(List.rev fks) name (List.rev columns)
+
+(* --------------------------- files ---------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let save ~dir cat =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, (schema, x)) ->
+      write_file (Filename.concat dir (name ^ ".schema"))
+        (schema_to_string schema);
+      write_file
+        (Filename.concat dir (name ^ ".csv"))
+        (Csv.write_string (Schema.attrs schema) x))
+    (Catalog.to_db cat)
+
+let load ~dir =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun cat entry ->
+      if Filename.check_suffix entry ".schema" then begin
+        let schema =
+          schema_of_string (read_file (Filename.concat dir entry))
+        in
+        let csv_path =
+          Filename.concat dir (Filename.chop_suffix entry ".schema" ^ ".csv")
+        in
+        if not (Sys.file_exists csv_path) then
+          errorf "missing data file for %s" entry;
+        let _, x = Csv.read_file ~schema csv_path in
+        Catalog.add cat schema x
+      end
+      else cat)
+    Catalog.empty entries

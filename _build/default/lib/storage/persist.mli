@@ -1,0 +1,34 @@
+(** Saving and loading a catalog to a directory.
+
+    Each relation [NAME] is stored as two files:
+    - [NAME.schema] — a line-oriented, tab-separated description:
+      {v
+      relation <TAB> NAME
+      column <TAB> ATTR <TAB> int|float|string|bool
+      column <TAB> ATTR <TAB> intrange <TAB> LO <TAB> HI
+      column <TAB> ATTR <TAB> enum <TAB> V1 <TAB> V2 ...
+      key <TAB> ATTR ...
+      fk <TAB> TARGET <TAB> LOCAL <TAB> REFERENCED [<TAB> LOCAL <TAB> REFERENCED ...]
+      v}
+    - [NAME.csv] — the relation in the {!Csv} dialect ([-] for nulls),
+      written in the schema's column order.
+
+    Loading re-validates every relation against its schema
+    ({!Catalog.add}); cross-relation references are {e not} checked at
+    load time (a catalog may legitimately be loaded before its targets
+    exist) — call {!Catalog.check_references} afterwards. *)
+
+exception Error of string
+
+val save : dir:string -> Catalog.t -> unit
+(** Writes every relation. Creates [dir] if needed; overwrites existing
+    files for the saved names, leaves other files alone. *)
+
+val load : dir:string -> Catalog.t
+(** Loads every [*.schema]/[*.csv] pair of the directory. Raises
+    {!Error} on malformed schema files, {!Csv.Error} on malformed data,
+    and {!Catalog.Violation} if a relation violates its own schema. *)
+
+val schema_to_string : Nullrel.Schema.t -> string
+val schema_of_string : string -> Nullrel.Schema.t
+(** The [NAME.schema] format, exposed for tests and tooling. *)

@@ -1,0 +1,11 @@
+open Nullrel
+
+let insert x tuples = Xrel.union x (Xrel.of_list tuples)
+let delete x removed = Xrel.diff x removed
+
+let delete_where p x = Xrel.filter (fun r -> not (Predicate.holds p r)) x
+
+let modify ~where ~using x =
+  let matching = Xrel.filter (Predicate.holds where) x in
+  let updated = List.map using (Xrel.to_list matching) in
+  insert (delete_where where x) updated

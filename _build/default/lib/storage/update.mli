@@ -1,0 +1,31 @@
+(** Database updates, defined algebraically (Section 7).
+
+    "The result of adding a set of tuples to a relation is defined as the
+    union of the set with the relation; likewise deletion is defined by
+    set difference; a modification can be viewed as a deletion followed
+    by an addition."
+
+    Because union is the lattice least upper bound, these definitions
+    give updates the monotonicity the paper's introduction demands: after
+    an insertion the new database always {e contains} the old one
+    ([contains (insert x ts) x] holds as a matter of fact, not of
+    MAYBE). *)
+
+open Nullrel
+
+val insert : Xrel.t -> Tuple.t list -> Xrel.t
+(** Union with the inserted tuples. Inserting a tuple already subsumed by
+    the relation is a no-op (the information is already there). *)
+
+val delete : Xrel.t -> Xrel.t -> Xrel.t
+(** Set difference: removes the tuples x-belonging to the second
+    argument. *)
+
+val delete_where : Predicate.t -> Xrel.t -> Xrel.t
+(** Deletes the tuples whose qualification is TRUE — the lower-bound
+    discipline applies to updates too: a tuple is only deleted when it
+    {e surely} matches. *)
+
+val modify : where:Predicate.t -> using:(Tuple.t -> Tuple.t) -> Xrel.t -> Xrel.t
+(** Deletion of the matching tuples followed by insertion of their
+    images. *)

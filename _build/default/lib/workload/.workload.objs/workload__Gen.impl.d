@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Attr Domain List Nullrel Printf Prng Relation Tuple Value Xrel

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Attr Nullrel Prng Relation Tuple Xrel

@@ -1,0 +1,32 @@
+open Nullrel
+
+type spec = {
+  arity : int;
+  rows : int;
+  domain_size : int;
+  null_density : float;
+}
+
+let default = { arity = 4; rows = 1000; domain_size = 1000; null_density = 0.1 }
+
+let attrs spec =
+  List.init spec.arity (fun i -> Attr.make (Printf.sprintf "A%d" (i + 1)))
+
+let universe spec =
+  List.map (fun a -> (a, Domain.Int_range (0, spec.domain_size - 1))) (attrs spec)
+
+let tuple_with g spec ~nulls =
+  List.fold_left
+    (fun t a ->
+      if nulls && Prng.bool g spec.null_density then t
+      else Tuple.set t a (Value.Int (Prng.int g spec.domain_size)))
+    Tuple.empty (attrs spec)
+
+let tuple g spec = tuple_with g spec ~nulls:true
+let tuples g spec = List.init spec.rows (fun _ -> tuple g spec)
+let relation g spec = Relation.of_list (tuples g spec)
+let xrel g spec = Xrel.of_relation (relation g spec)
+
+let total_relation g spec =
+  Relation.of_list
+    (List.init spec.rows (fun _ -> tuple_with g spec ~nulls:false))

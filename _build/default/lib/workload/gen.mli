@@ -1,0 +1,42 @@
+(** Random relation generators for the benchmarks (experiments E7/E8).
+
+    Relations are generated over integer columns [A1 .. Ak] with
+    controllable cardinality, arity, per-column domain size and null
+    density — null density is the probability that any given cell holds
+    [ni]. Deterministic given the seed. *)
+
+open Nullrel
+
+type spec = {
+  arity : int;  (** Number of columns [A1..Ak]. *)
+  rows : int;  (** Tuples to draw (duplicates collapse; see {!relation}). *)
+  domain_size : int;  (** Each cell value is uniform in [0..domain_size-1]. *)
+  null_density : float;  (** Probability that a cell is null. *)
+}
+
+val default : spec
+(** 4 columns, 1000 rows, domain 1000, 10% nulls. *)
+
+val attrs : spec -> Attr.t list
+(** The column attributes [A1 .. Ak]. *)
+
+val universe : spec -> Xrel.universe
+(** The columns paired with their [Int_range] domains. *)
+
+val tuple : Prng.t -> spec -> Tuple.t
+(** One random tuple. *)
+
+val tuples : Prng.t -> spec -> Tuple.t list
+(** [spec.rows] random tuples (before set collapse). *)
+
+val relation : Prng.t -> spec -> Relation.t
+(** A random representation — {e not} minimized, so it can contain
+    subsumed tuples; feed to [Relation.minimize]/[Xrel.of_relation] to
+    canonicalize. *)
+
+val xrel : Prng.t -> spec -> Xrel.t
+(** A random x-relation (minimized). *)
+
+val total_relation : Prng.t -> spec -> Relation.t
+(** A random fully-defined (null-free) representation, whatever
+    [spec.null_density] says. *)

@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit
+     native int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  raw mod bound
+
+let float g =
+  let raw = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool g p = float g < p
+
+let choose g items =
+  match items with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth items (int g (List.length items))
+
+let split g = { state = next g }

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Benchmarks and property tests need reproducible inputs independent of
+    the stdlib [Random] state; splitmix64 is small, fast and
+    well-distributed. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically. *)
+
+val next : t -> int64
+(** Next raw 64-bit output (mutates the state). *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0 .. bound-1]. [bound] must be
+    positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool g p] is true with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val split : t -> t
+(** A new generator statistically independent of the parent. *)

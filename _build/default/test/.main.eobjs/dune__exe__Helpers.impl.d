@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Attr Nullrel Paperdata Relation Tuple Tvl Value Xrel

@@ -1,0 +1,1 @@
+test/props_aggregate.ml: Attr Codd Domain List Nullrel Pp Printf QCheck Qgen Quel Relation Schema Seq Tuple Value Xrel

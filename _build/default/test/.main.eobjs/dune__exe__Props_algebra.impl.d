@@ -1,0 +1,1 @@
+test/props_algebra.ml: Algebra Attr List Nullrel Predicate QCheck Qgen Relation Storage Tuple Value Xrel

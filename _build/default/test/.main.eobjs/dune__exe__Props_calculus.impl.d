@@ -1,0 +1,1 @@
+test/props_calculus.ml: Algebra Attr Domain List Nullrel Predicate QCheck Qgen Quel Schema Tvl Value Xrel

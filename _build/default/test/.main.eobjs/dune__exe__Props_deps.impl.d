@@ -1,0 +1,1 @@
+test/props_deps.ml: Attr Deps Fun List Nullrel Pp QCheck Qgen String Xrel

@@ -1,0 +1,1 @@
+test/props_embedding.ml: Algebra Attr List Nullrel Predicate QCheck Qgen Relation Tuple Value Xrel

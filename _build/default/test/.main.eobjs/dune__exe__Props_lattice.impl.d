@@ -1,0 +1,1 @@
+test/props_lattice.ml: Attr List Nullrel QCheck Qgen Relation Tuple Xrel

@@ -1,0 +1,1 @@
+test/props_marked.ml: Algebra Attr List Marked Nullrel Pp Predicate QCheck Qgen Value Xrel

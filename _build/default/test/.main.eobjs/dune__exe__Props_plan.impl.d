@@ -1,0 +1,1 @@
+test/props_plan.ml: Attr Domain List Nullrel Plan Pp Predicate QCheck Qgen Quel Schema Value Xrel

@@ -1,0 +1,1 @@
+test/props_quel.ml: Attr Domain List Nullrel Pp Predicate QCheck Qgen Quel Schema Tuple Value Xrel

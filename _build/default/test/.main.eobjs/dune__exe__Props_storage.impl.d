@@ -1,0 +1,1 @@
+test/props_storage.ml: Attr Domain List Nullrel Pp Printf QCheck Qgen Relation Schema Storage String Tuple Value Xrel

@@ -1,0 +1,1 @@
+test/props_tuple.ml: Attr List Nullrel QCheck Qgen Tuple Value

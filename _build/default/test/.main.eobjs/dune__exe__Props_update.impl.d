@@ -1,0 +1,1 @@
+test/props_update.ml: Algebra Attr List Nullrel Pp Predicate QCheck Qgen Relation Storage Tuple Value Xrel

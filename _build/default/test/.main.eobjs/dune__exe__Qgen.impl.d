@@ -1,0 +1,1 @@
+test/qgen.ml: Attr Domain List Nullrel Pp QCheck QCheck_alcotest Relation Tuple Value Xrel

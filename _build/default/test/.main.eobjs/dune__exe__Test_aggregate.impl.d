@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Codd Domain Helpers List Nullrel Quel Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_codd.ml: Alcotest Attr Codd Domain Helpers List Nullrel Predicate Relation Seq Tuple Tvl Value

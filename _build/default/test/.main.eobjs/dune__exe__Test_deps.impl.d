@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Attr Deps Domain Helpers List Nullrel Relation

@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Array Dml Filename Fun Helpers List Nullrel Paperdata Printf Quel Random Shell Storage String Sys Value Xrel

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algebra Array Domain Filename Fun Helpers List Nullrel Plan Predicate Printf Quel Random Schema Shell Storage String Sys Tuple Xrel

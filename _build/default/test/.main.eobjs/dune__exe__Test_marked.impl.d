@@ -1,0 +1,1 @@
+test/test_marked.ml: Alcotest Attr Helpers List Marked Nullrel Relation Tvl Value

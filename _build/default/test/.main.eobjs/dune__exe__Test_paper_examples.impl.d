@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Algebra Attr Codd Domain Helpers List Nullrel Predicate Quel Relation Schema Storage Tuple Tvl Value Xrel

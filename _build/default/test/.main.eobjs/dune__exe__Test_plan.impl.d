@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Algebra Attr Helpers List Nullrel Option Paperdata Plan Predicate Quel Schema String Xrel

@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Helpers List Nullrel Printf String Xrel

@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Helpers List Nullrel Predicate Tuple Tvl Value

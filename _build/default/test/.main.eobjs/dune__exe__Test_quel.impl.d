@@ -1,0 +1,1 @@
+test/test_quel.ml: Alcotest Attr Domain Helpers List Nullrel Predicate Quel Schema Tuple Value Xrel

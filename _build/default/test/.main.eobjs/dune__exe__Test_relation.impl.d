@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Attr Helpers Nullrel Relation Tuple

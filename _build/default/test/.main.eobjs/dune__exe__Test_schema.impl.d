@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Attr Domain Helpers List Nullrel Schema

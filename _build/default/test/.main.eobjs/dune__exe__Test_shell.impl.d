@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Array Filename Fun Helpers List Paperdata Printf Random Shell Storage String Sys

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Attr Domain Filename Fun Helpers List Nullrel Predicate Printf Quel Random Relation Schema Storage String Sys Tuple Value Workload Xrel

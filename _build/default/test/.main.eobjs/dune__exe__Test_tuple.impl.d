@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Attr Helpers List Nullrel Tuple Value

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Attr Domain Helpers List Nullrel Plan Quel Schema

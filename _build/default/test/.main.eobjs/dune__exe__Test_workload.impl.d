@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Attr Domain Helpers List Nullrel Relation Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_xrel.ml: Alcotest Domain Helpers Nullrel Relation Tuple Value Xrel

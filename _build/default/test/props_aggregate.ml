@@ -1,0 +1,128 @@
+(* Property tests: the aggregate bounds really bracket every completion
+   — validated against exhaustive enumeration on randomly generated
+   small relations. *)
+
+open Nullrel
+open Qgen
+
+let count = 100
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let schema =
+  Schema.make "T"
+    (List.map (fun n -> (n, Domain.Int_range (0, 3))) universe_attrs)
+
+(* Small relations with a bounded number of nulls so full enumeration
+   stays cheap: at most 4 tuples over {A, B, C} with values 0..3. *)
+let small_rel_gen =
+  QCheck.Gen.(map Relation.of_list (list_size (int_range 0 4) tuple_gen))
+
+let arbitrary_small = QCheck.make ~print:(Pp.to_string Relation.pp) small_rel_gen
+
+let q = Quel.Parser.parse "range of v is T retrieve (v.A) where v.B >= 2"
+
+let domains _ = Domain.Int_range (0, 3)
+let over = Attr.set_of_list universe_attrs
+
+let qualifies row =
+  match Tuple.get row (Attr.make "B") with
+  | Value.Int n -> n >= 2
+  | _ -> false
+
+let completions rel =
+  Codd.Subst.relation_substitutions ~domains ~over (Relation.to_list rel)
+
+let classical_agg agg rel_tuples =
+  let rows = List.filter qualifies rel_tuples in
+  match agg with
+  | `Count -> Some (List.length rows)
+  | `Sum ->
+      Some
+        (List.fold_left
+           (fun acc row ->
+             match Tuple.get row (Attr.make "C") with
+             | Value.Int n -> acc + n
+             | _ -> acc)
+           0 rows)
+  | `Min ->
+      if rows = [] then None
+      else
+        Some
+          (List.fold_left
+             (fun acc row ->
+               match Tuple.get row (Attr.make "C") with
+               | Value.Int n -> min acc n
+               | _ -> acc)
+             max_int rows)
+  | `Max ->
+      if rows = [] then None
+      else
+        Some
+          (List.fold_left
+             (fun acc row ->
+               match Tuple.get row (Attr.make "C") with
+               | Value.Int n -> max acc n
+               | _ -> acc)
+             min_int rows)
+
+let kind_of = function
+  | `Count -> Quel.Aggregate.Count
+  | `Sum -> Quel.Aggregate.Sum ("v", "C")
+  | `Min -> Quel.Aggregate.Min ("v", "C")
+  | `Max -> Quel.Aggregate.Max ("v", "C")
+
+let sandwich agg =
+  test
+    (Printf.sprintf "bounds are exact for %s"
+       (match agg with
+       | `Count -> "COUNT"
+       | `Sum -> "SUM"
+       | `Min -> "MIN"
+       | `Max -> "MAX"))
+    arbitrary_small
+    (fun rel ->
+      let db : Quel.Resolve.db = [ ("T", (schema, Xrel.unsafe_of_minimal (Relation.minimize rel))) ] in
+      (* bounds are computed on the minimal representation; ground truth
+         enumerates the same representation's completions *)
+      let minimal = Relation.minimize rel in
+      let ground =
+        List.filter_map (classical_agg agg) (List.of_seq (completions minimal))
+      in
+      let b = Quel.Aggregate.bounds db q (kind_of agg) in
+      match ground with
+      | [] -> b.Quel.Aggregate.may_be_empty || Relation.is_empty minimal
+      | _ ->
+          let lo = List.fold_left min max_int ground in
+          let hi = List.fold_left max min_int ground in
+          (* sound: every completion's value is inside the bounds *)
+          b.Quel.Aggregate.lower <= lo
+          && hi <= b.Quel.Aggregate.upper
+          (* tight: both ends attained *)
+          && b.Quel.Aggregate.lower = lo
+          && b.Quel.Aggregate.upper = hi)
+
+let may_be_empty_correct =
+  test "may_be_empty iff some completion empties the answer"
+    arbitrary_small (fun rel ->
+      let minimal = Relation.minimize rel in
+      let db : Quel.Resolve.db =
+        [ ("T", (schema, Xrel.unsafe_of_minimal minimal)) ]
+      in
+      let b = Quel.Aggregate.bounds db q Quel.Aggregate.Count in
+      let some_empty =
+        Seq.exists
+          (fun completion -> not (List.exists qualifies completion))
+          (completions minimal)
+      in
+      b.Quel.Aggregate.may_be_empty = some_empty)
+
+let suite =
+  List.map to_alcotest
+    [
+      sandwich `Count;
+      sandwich `Sum;
+      sandwich `Min;
+      sandwich `Max;
+      may_be_empty_correct;
+    ]

@@ -1,0 +1,123 @@
+(* Property tests: dependency machinery — Armstrong soundness of the
+   closure on total relations, closure laws, and the null-aware notions'
+   monotonicity. *)
+
+open Nullrel
+open Qgen
+
+let count = 200
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let attr_subset_gen =
+  QCheck.Gen.(
+    map
+      (fun picks ->
+        Attr.set_of_list
+          (List.filteri (fun k _ -> List.nth picks k) universe_attrs
+          |> List.map Fun.id))
+      (list_repeat (List.length universe_attrs) bool))
+
+let fd_gen =
+  QCheck.Gen.(
+    map2 (fun lhs rhs -> { Deps.Fd.lhs; rhs }) attr_subset_gen attr_subset_gen)
+
+let fds_gen = QCheck.Gen.(list_size (int_range 0 4) fd_gen)
+
+let pp_fds fds =
+  String.concat "; " (List.map (Pp.to_string Deps.Fd.pp) fds)
+
+let arbitrary_fds = QCheck.make ~print:pp_fds fds_gen
+
+let universe_set = Attr.set_of_list universe_attrs
+
+let closure_extensive =
+  test "closure is extensive" (QCheck.pair arbitrary_fds (QCheck.make attr_subset_gen))
+    (fun (fds, x) -> Attr.Set.subset x (Deps.Fd.closure fds x))
+
+let closure_idempotent =
+  test "closure is idempotent"
+    (QCheck.pair arbitrary_fds (QCheck.make attr_subset_gen)) (fun (fds, x) ->
+      let c = Deps.Fd.closure fds x in
+      Attr.Set.equal c (Deps.Fd.closure fds c))
+
+let closure_monotone =
+  test "closure is monotone"
+    (QCheck.triple arbitrary_fds (QCheck.make attr_subset_gen)
+       (QCheck.make attr_subset_gen)) (fun (fds, x, y) ->
+      let small = Attr.Set.inter x y in
+      Attr.Set.subset (Deps.Fd.closure fds small) (Deps.Fd.closure fds x))
+
+let implication_sound_on_totals =
+  (* Armstrong soundness: if the closure derives X -> Y from a set of
+     FDs, then every TOTAL relation satisfying the set satisfies
+     X -> Y. *)
+  test "implication is sound on total relations"
+    (QCheck.triple arbitrary_fds (QCheck.make fd_gen) arbitrary_total_xrel)
+    (fun (fds, candidate, x1) ->
+      let rel = Xrel.rep x1 in
+      if
+        Deps.Fd.implies fds candidate
+        && List.for_all (Deps.Fd.satisfies_classical rel) fds
+      then Deps.Fd.satisfies_classical rel candidate
+      else true)
+
+let total_notion_weaker_than_classical =
+  (* On arbitrary (null-bearing) relations, classical satisfaction
+     (null as constant) of both the FD and its attributes being total
+     implies the total-pairs notion. *)
+  test "classical satisfaction implies total-pairs satisfaction"
+    (QCheck.pair (QCheck.make fd_gen) arbitrary_xrel) (fun (fd, x1) ->
+      let rel = Xrel.rep x1 in
+      if Deps.Fd.satisfies_classical rel fd then
+        Deps.Fd.satisfies_total rel fd
+      else true)
+
+let no_conflict_stronger_than_total =
+  test "no-conflict satisfaction implies total-pairs satisfaction"
+    (QCheck.pair (QCheck.make fd_gen) arbitrary_xrel) (fun (fd, x1) ->
+      let rel = Xrel.rep x1 in
+      if Deps.Fd.satisfies_no_conflict rel fd then
+        Deps.Fd.satisfies_total rel fd
+      else true)
+
+let notions_coincide_on_totals =
+  test "all notions coincide on total relations"
+    (QCheck.pair (QCheck.make fd_gen) arbitrary_total_xrel) (fun (fd, x1) ->
+      let rel = Xrel.rep x1 in
+      let a = Deps.Fd.satisfies_classical rel fd in
+      let b = Deps.Fd.satisfies_total rel fd in
+      let c = Deps.Fd.satisfies_no_conflict rel fd in
+      a = b && b = c)
+
+let keys_are_superkeys =
+  test "candidate keys determine the universe" arbitrary_fds (fun fds ->
+      List.for_all
+        (fun k -> Deps.Fd.is_key fds ~all:universe_set k)
+        (Deps.Fd.candidate_keys fds ~all:universe_set))
+
+let decomposition_covers_and_normalizes =
+  test "BCNF decomposition covers the universe with BCNF fragments"
+    arbitrary_fds (fun fds ->
+      let fragments = Deps.Normal.bcnf_decompose ~fds ~all:universe_set in
+      Attr.Set.equal universe_set
+        (List.fold_left Attr.Set.union Attr.Set.empty fragments)
+      && List.for_all
+           (fun frag ->
+             let projected = Deps.Normal.project_fds ~fds ~onto:frag in
+             Deps.Normal.is_bcnf ~fds:projected ~all:frag)
+           fragments)
+
+let suite =
+  List.map to_alcotest
+    [
+      closure_extensive;
+      closure_idempotent;
+      closure_monotone;
+      implication_sound_on_totals;
+      total_notion_weaker_than_classical;
+      no_conflict_stronger_than_total;
+      notions_coincide_on_totals;
+      keys_are_superkeys;
+      decomposition_covers_and_normalizes;
+    ]

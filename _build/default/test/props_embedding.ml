@@ -1,0 +1,143 @@
+(* Property tests: the Section 7 embedding theorem.
+
+   Total x-relations are in one-to-one correspondence with Codd
+   relations, and the correspondence preserves union, difference,
+   containment, Cartesian product, selection and projection (claims
+   (1)-(5) of Section 7). The reference implementations below are the
+   classical two-valued operators on plain tuple sets. *)
+
+open Nullrel
+open Qgen
+
+let count = 200
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let eq = Xrel.equal
+let embed (r : Relation.t) = Xrel.of_relation r
+
+(* ---- classical reference operators on total relations ---- *)
+
+let codd_union = Tuple.Set.union
+let codd_diff = Tuple.Set.diff
+let codd_subset r1 r2 = Tuple.Set.subset r2 r1 (* r1 contains r2 *)
+
+let codd_select p r = Tuple.Set.filter (fun tu -> Predicate.holds p tu) r
+
+let codd_project x r = Tuple.Set.map (fun tu -> Tuple.restrict tu x) r
+
+let codd_product r1 r2 =
+  Tuple.Set.fold
+    (fun t1 acc ->
+      Tuple.Set.fold
+        (fun t2 acc ->
+          match Tuple.join t1 t2 with
+          | Some j -> Tuple.Set.add j acc
+          | None -> acc)
+        r2 acc)
+    r1 Tuple.Set.empty
+
+let pair_total = QCheck.pair arbitrary_total_xrel arbitrary_total_xrel
+
+let as_set x1 = Relation.tuples (Xrel.rep x1)
+
+let embedding_injective =
+  test "the embedding is one-to-one" pair_total (fun (x1, x2) ->
+      (* distinct total relations map to distinct x-relations *)
+      Tuple.Set.equal (as_set x1) (as_set x2) = eq x1 x2)
+
+let total_relations_are_fixed =
+  test "total relations are their own minimal representation"
+    arbitrary_total_xrel (fun x1 ->
+      (* tuples all share the scope, so no subsumption can occur *)
+      let r = as_set x1 in
+      Tuple.Set.equal r (Relation.tuples (Relation.minimize (Relation.of_tuples r))))
+
+let preserves_union =
+  test "claim (1a): union is preserved" pair_total (fun (x1, x2) ->
+      eq
+        (Xrel.union x1 x2)
+        (embed (Relation.of_tuples (codd_union (as_set x1) (as_set x2)))))
+
+let preserves_difference =
+  test "claim (1b): difference is preserved" pair_total (fun (x1, x2) ->
+      eq
+        (Xrel.diff x1 x2)
+        (embed (Relation.of_tuples (codd_diff (as_set x1) (as_set x2)))))
+
+let preserves_containment =
+  test "claim (1c): containment is preserved" pair_total (fun (x1, x2) ->
+      (* check both on the raw sets and through the lattice *)
+      let forced = Xrel.union x1 x2 in
+      codd_subset (as_set forced) (as_set x2)
+      = Xrel.contains forced x2
+      && codd_subset (as_set x1) (as_set x2) = Xrel.contains x1 x2)
+
+let preserves_product =
+  test "claim (2): Cartesian product is preserved" pair_total
+    (fun (x1, x2) ->
+      let x2' = Algebra.rename
+          (List.map (fun n -> (Attr.make n, Attr.make (n ^ "2"))) universe_attrs)
+          x2
+      in
+      eq
+        (Algebra.product x1 x2')
+        (embed (Relation.of_tuples (codd_product (as_set x1) (as_set x2')))))
+
+let preserves_selection_const =
+  test "claim (3): constant selection is preserved" arbitrary_total_xrel
+    (fun x1 ->
+      let p = Predicate.cmp_const "A" Predicate.Ge (Value.Int 2) in
+      eq
+        (Algebra.select p x1)
+        (embed (Relation.of_tuples (codd_select p (as_set x1)))))
+
+let preserves_selection_attrs =
+  test "claim (4): attribute selection is preserved" arbitrary_total_xrel
+    (fun x1 ->
+      let p = Predicate.cmp_attrs "A" Predicate.Lt "B" in
+      eq
+        (Algebra.select p x1)
+        (embed (Relation.of_tuples (codd_select p (as_set x1)))))
+
+let preserves_projection =
+  test "claim (5): projection is preserved" arbitrary_total_xrel (fun x1 ->
+      let x = Attr.set_of_list [ "A"; "B" ] in
+      eq
+        (Algebra.project x x1)
+        (embed (Relation.of_tuples (codd_project x (as_set x1)))))
+
+let preserves_division =
+  (* Division is derived from the five (Section 6), so its preservation
+     follows; checked directly anyway. *)
+  test "division is preserved" pair_total (fun (x1, x2) ->
+      let y = Attr.set_of_list [ "A" ] in
+      let divisor = Algebra.project (Attr.set_of_list [ "B"; "C" ]) x2 in
+      let classic =
+        (* y-values whose image covers the divisor *)
+        Tuple.Set.filter
+          (fun yv ->
+            Tuple.Set.for_all
+              (fun z ->
+                match Tuple.join yv z with
+                | Some j -> Tuple.Set.exists (fun r -> Tuple.more_informative r j) (as_set x1)
+                | None -> false)
+              (as_set divisor))
+          (as_set (Algebra.project y x1))
+      in
+      eq (Algebra.divide y x1 divisor) (embed (Relation.of_tuples classic)))
+
+let suite =
+  List.map to_alcotest
+    [
+      embedding_injective;
+      total_relations_are_fixed;
+      preserves_union;
+      preserves_difference;
+      preserves_containment;
+      preserves_product;
+      preserves_selection_const;
+      preserves_selection_attrs;
+      preserves_projection;
+      preserves_division;
+    ]

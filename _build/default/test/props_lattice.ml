@@ -1,0 +1,206 @@
+(* Property tests: the lattice of x-relations (Sections 4 and 7). *)
+
+open Nullrel
+open Qgen
+
+let count = 300
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let eq = Xrel.equal
+let ( <= ) a b = Xrel.contains b a
+
+let containment_partial_order =
+  test "containment is a partial order" pair_xrel (fun (x1, x2) ->
+      Xrel.contains x1 x1
+      && if Xrel.contains x1 x2 && Xrel.contains x2 x1 then eq x1 x2 else true)
+
+let containment_transitive =
+  test "containment is transitive" triple_xrel (fun (x1, x2, x3) ->
+      let a = Xrel.inter x1 x2 in
+      (* a <= x1 and anything containing x1 contains a *)
+      if x1 <= x3 then a <= x3 else true)
+
+let union_commutative =
+  test "union commutes" pair_xrel (fun (x1, x2) ->
+      eq (Xrel.union x1 x2) (Xrel.union x2 x1))
+
+let union_associative =
+  test "union associates" triple_xrel (fun (x1, x2, x3) ->
+      eq (Xrel.union (Xrel.union x1 x2) x3) (Xrel.union x1 (Xrel.union x2 x3)))
+
+let union_idempotent =
+  test "union is idempotent" arbitrary_xrel (fun x1 -> eq (Xrel.union x1 x1) x1)
+
+let inter_commutative =
+  test "x-intersection commutes" pair_xrel (fun (x1, x2) ->
+      eq (Xrel.inter x1 x2) (Xrel.inter x2 x1))
+
+let inter_associative =
+  test "x-intersection associates" triple_xrel (fun (x1, x2, x3) ->
+      eq (Xrel.inter (Xrel.inter x1 x2) x3) (Xrel.inter x1 (Xrel.inter x2 x3)))
+
+let inter_idempotent =
+  test "x-intersection is idempotent" arbitrary_xrel (fun x1 ->
+      eq (Xrel.inter x1 x1) x1)
+
+let absorption_laws =
+  test "absorption laws" pair_xrel (fun (x1, x2) ->
+      eq (Xrel.union x1 (Xrel.inter x1 x2)) x1
+      && eq (Xrel.inter x1 (Xrel.union x1 x2)) x1)
+
+let union_is_lub =
+  test "union is the least upper bound (Prop 4.4)" triple_xrel
+    (fun (x1, x2, upper) ->
+      let u = Xrel.union x1 x2 in
+      x1 <= u && x2 <= u
+      && if x1 <= upper && x2 <= upper then u <= upper else true)
+
+let inter_is_glb =
+  test "x-intersection is the greatest lower bound (Prop 4.5)" triple_xrel
+    (fun (x1, x2, lower) ->
+      let g = Xrel.inter x1 x2 in
+      g <= x1 && g <= x2
+      && if lower <= x1 && lower <= x2 then lower <= g else true)
+
+let distributivity =
+  test "distributivity (4.4)/(4.5)" triple_xrel (fun (x1, x2, x3) ->
+      eq
+        (Xrel.inter x1 (Xrel.union x2 x3))
+        (Xrel.union (Xrel.inter x1 x2) (Xrel.inter x1 x3))
+      && eq
+           (Xrel.union x1 (Xrel.inter x2 x3))
+           (Xrel.inter (Xrel.union x1 x2) (Xrel.union x1 x3)))
+
+let substitution_property =
+  (* Proposition 4.3: operations are well-defined on equivalence
+     classes — adding subsumed junk to a representation changes
+     nothing. *)
+  let inflate x1 =
+    let tuples = Xrel.to_list x1 in
+    let junk = List.map (fun r -> Tuple.restrict r (Attr.set_of_list [ "A" ])) tuples in
+    Xrel.of_list (tuples @ junk @ [ Tuple.empty ])
+  in
+  test "substitution property (Prop 4.3)" pair_xrel (fun (x1, x2) ->
+      let x1' = inflate x1 in
+      eq x1 x1'
+      && eq (Xrel.union x1' x2) (Xrel.union x1 x2)
+      && eq (Xrel.inter x1' x2) (Xrel.inter x1 x2)
+      && eq (Xrel.diff x1' x2) (Xrel.diff x1 x2)
+      && eq (Xrel.diff x2 x1') (Xrel.diff x2 x1))
+
+let diff_prop_4_6 =
+  test "Prop 4.6: (x1 - x2) u x2 = x1 when x1 >= x2" pair_xrel
+    (fun (base, extra) ->
+      (* force containment by construction *)
+      let x1 = Xrel.union base extra in
+      let x2 = base in
+      eq (Xrel.union (Xrel.diff x1 x2) x2) x1)
+
+let diff_prop_4_7 =
+  test "Prop 4.7: x u x2 >= x1 implies x >= x1 - x2" triple_xrel
+    (fun (x1, x2, candidate) ->
+      if x1 <= Xrel.union candidate x2 then Xrel.diff x1 x2 <= candidate
+      else true)
+
+let diff_self_empty =
+  test "x - x = bottom" arbitrary_xrel (fun x1 ->
+      Xrel.is_empty (Xrel.diff x1 x1))
+
+let diff_below_minuend =
+  test "x1 - x2 <= x1" pair_xrel (fun (x1, x2) -> Xrel.diff x1 x2 <= x1)
+
+let diff_disjoint_from_subtrahend =
+  (* Every tuple kept by (4.8) is not an x-element of the subtrahend. *)
+  test "x1 - x2 shares no x-element witness with x2" pair_xrel
+    (fun (x1, x2) ->
+      List.for_all
+        (fun r -> not (Xrel.x_mem r x2))
+        (Xrel.to_list (Xrel.diff x1 x2)))
+
+let x_mem_monotone =
+  test "x-membership is monotone in the relation"
+    (QCheck.pair arbitrary_tuple pair_xrel) (fun (r, (x1, x2)) ->
+      if Xrel.x_mem r x1 && x1 <= x2 then Xrel.x_mem r x2 else true)
+
+let x_mem_downward =
+  test "x-membership is downward closed in the tuple"
+    (QCheck.pair (QCheck.pair arbitrary_tuple arbitrary_tuple) arbitrary_xrel)
+    (fun ((r, t), x1) ->
+      if Xrel.x_mem r x1 && Tuple.more_informative r t then Xrel.x_mem t x1
+      else true)
+
+let pseudo_complement_laws =
+  test "pseudo-complement laws over the finite universe" arbitrary_xrel
+    (fun x1 ->
+      let top = Xrel.top universe in
+      let star = Xrel.pseudo_complement universe in
+      let x1s = star x1 in
+      eq (Xrel.union x1 x1s) top
+      && x1s <= top
+      && (* R* = R*** *)
+      eq x1s (star (star x1s)))
+
+let pseudo_complements_boolean =
+  test "pseudo-complements form a Boolean sublattice" pair_xrel
+    (fun (x1, x2) ->
+      let star = Xrel.pseudo_complement universe in
+      let a = star x1 and b = star x2 in
+      (* closed under union: (a u b) is again a pseudo-complement
+         (of a* n b* in the Boolean algebra) — check a u b = (a u b)**. *)
+      let u = Xrel.union a b in
+      eq u (star (star u)))
+
+let scope_laws =
+  (* Section 4, after (4.8): "the scope of a union is the union of the
+     scopes of its operands; the scope of an x-intersection is not
+     larger than the intersection of the scopes; the scope of a
+     difference is not larger than the scope of the minuend." *)
+  test "scope laws of the set operations" pair_xrel (fun (x1, x2) ->
+      Attr.Set.equal
+        (Xrel.scope (Xrel.union x1 x2))
+        (Attr.Set.union (Xrel.scope x1) (Xrel.scope x2))
+      && Attr.Set.subset
+           (Xrel.scope (Xrel.inter x1 x2))
+           (Attr.Set.inter (Xrel.scope x1) (Xrel.scope x2))
+      && Attr.Set.subset (Xrel.scope (Xrel.diff x1 x2)) (Xrel.scope x1))
+
+let minimal_invariant =
+  test "all operations yield minimal representations" triple_xrel
+    (fun (x1, x2, x3) ->
+      List.for_all
+        (fun xr -> Relation.is_minimal (Xrel.rep xr))
+        [
+          Xrel.union x1 x2;
+          Xrel.inter x2 x3;
+          Xrel.diff x1 x3;
+          Xrel.union (Xrel.inter x1 x2) (Xrel.diff x3 x1);
+        ])
+
+let suite =
+  List.map to_alcotest
+    [
+      containment_partial_order;
+      containment_transitive;
+      union_commutative;
+      union_associative;
+      union_idempotent;
+      inter_commutative;
+      inter_associative;
+      inter_idempotent;
+      absorption_laws;
+      union_is_lub;
+      inter_is_glb;
+      distributivity;
+      substitution_property;
+      diff_prop_4_6;
+      diff_prop_4_7;
+      diff_self_empty;
+      diff_below_minuend;
+      diff_disjoint_from_subtrahend;
+      x_mem_monotone;
+      x_mem_downward;
+      pseudo_complement_laws;
+      pseudo_complements_boolean;
+      scope_laws;
+    ]

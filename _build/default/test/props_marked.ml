@@ -1,0 +1,123 @@
+(* Property tests: the marked-null extension is a sound refinement of
+   the plain ni model. *)
+
+open Nullrel
+open Qgen
+
+let count = 300
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let mvalue_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Marked.Mvalue.const (Value.Int n)) (int_range 0 2));
+        (1, return (Marked.Mvalue.const Value.Null));
+        ( 2,
+          map
+            (fun m -> Marked.Mvalue.marked (Marked.Mvalue.mark_of_int m))
+            (int_range 1 3) );
+      ])
+
+let mtuple_gen =
+  QCheck.Gen.(
+    List.fold_left
+      (fun acc name ->
+        acc >>= fun t ->
+        map (fun v -> Marked.Mtuple.set t (Attr.make name) v) mvalue_gen)
+      (return Marked.Mtuple.empty) universe_attrs)
+
+let mrel_gen =
+  QCheck.Gen.(map Marked.Mrel.of_list (list_size (int_range 0 6) mtuple_gen))
+
+let arbitrary_mrel =
+  QCheck.make ~print:(Pp.to_string Marked.Mrel.pp) mrel_gen
+
+let a_attr = Attr.make "A"
+let x_set = Attr.set_of_list [ "A" ]
+
+let plain_x m = Xrel.of_relation (Marked.Mrel.to_plain m)
+
+let select_is_sound =
+  (* Whatever the plain model can prove, the marked model can too:
+     plain selection of the forgotten relation is contained in the
+     forgotten marked selection. *)
+  test "plain select <= forgotten marked select" arbitrary_mrel (fun m ->
+      let v = Marked.Mvalue.const (Value.Int 1) in
+      let marked_sel =
+        Xrel.of_relation
+          (Marked.Mrel.to_plain (Marked.Mrel.select_eq a_attr v m))
+      in
+      let plain_sel =
+        Algebra.select_ak a_attr Predicate.Eq (Value.Int 1) (plain_x m)
+      in
+      Xrel.contains marked_sel plain_sel)
+
+let instantiation_adds_information =
+  test "instantiation only adds information" arbitrary_mrel (fun m ->
+      let valuation (mk : Marked.Mvalue.mark) =
+        if (mk :> int) mod 2 = 1 then Some (Value.Int 2) else None
+      in
+      let resolved = Marked.Mrel.instantiate valuation m in
+      Xrel.contains
+        (Xrel.of_relation (Marked.Mrel.to_plain resolved))
+        (plain_x m))
+
+let instantiate_none_is_identity =
+  test "empty valuation is the identity" arbitrary_mrel (fun m ->
+      let same = Marked.Mrel.instantiate (fun _ -> None) m in
+      Marked.Mrel.cardinal same = Marked.Mrel.cardinal m
+      && List.for_all2 Marked.Mtuple.equal (Marked.Mrel.to_list same)
+           (Marked.Mrel.to_list m))
+
+let join_refines_plain =
+  (* Every join the plain model finds (both sides constant on X) is
+     also found by the marked join. *)
+  test "plain equijoin <= forgotten marked equijoin"
+    (QCheck.pair arbitrary_mrel arbitrary_mrel) (fun (m1, m2) ->
+      (* avoid colliding non-X attrs: restrict both to A plus disjoint
+         extras by projecting m2 onto A only *)
+      let m2 = Marked.Mrel.project x_set m2 in
+      let marked_join =
+        Xrel.of_relation
+          (Marked.Mrel.to_plain (Marked.Mrel.equijoin x_set m1 m2))
+      in
+      let plain_join = Algebra.equijoin x_set (plain_x m1) (plain_x m2) in
+      Xrel.contains marked_join plain_join)
+
+let marks_listing_complete =
+  test "marks lists every mark in play" arbitrary_mrel (fun m ->
+      let listed = List.map (fun (mk : Marked.Mvalue.mark) -> (mk :> int))
+          (Marked.Mrel.marks m) in
+      List.for_all
+        (fun tu ->
+          List.for_all
+            (fun (_, v) ->
+              match v with
+              | Marked.Mvalue.Marked mk -> List.mem ((mk :> int)) listed
+              | Marked.Mvalue.Const _ -> true)
+            (Marked.Mtuple.to_list tu))
+        (Marked.Mrel.to_list m))
+
+let select_same_mark_certain =
+  test "selection on a mark finds its own tuples" arbitrary_mrel (fun m ->
+      (* every tuple whose A is the mark k is kept by select A = mark k *)
+      List.for_all
+        (fun tu ->
+          match Marked.Mtuple.get tu a_attr with
+          | Marked.Mvalue.Marked _ as v ->
+              Marked.Mrel.mem tu (Marked.Mrel.select_eq a_attr v m)
+          | Marked.Mvalue.Const _ -> true)
+        (Marked.Mrel.to_list m))
+
+let suite =
+  List.map to_alcotest
+    [
+      select_is_sound;
+      instantiation_adds_information;
+      instantiate_none_is_identity;
+      join_refines_plain;
+      marks_listing_complete;
+      select_same_mark_certain;
+    ]

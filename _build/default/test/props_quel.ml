@@ -1,0 +1,153 @@
+(* Property tests: the mini-QUEL front end — printing and re-parsing
+   random queries and statements is the identity. *)
+
+open Nullrel
+open Qgen
+
+let count = 300
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let var_gen = QCheck.Gen.oneofl [ "e"; "m" ]
+let attr_name_gen = QCheck.Gen.oneofl [ "A"; "B"; "C"; "TEL#" ]
+
+let term_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun v a -> Quel.Ast.Attr (v, a)) var_gen attr_name_gen);
+        (1, map (fun n -> Quel.Ast.Const (Value.Int n)) (int_range (-5) 20));
+        (1, map (fun s -> Quel.Ast.Const (Value.Str s))
+             (oneofl [ "F"; "M"; "x y"; "" ]));
+      ])
+
+let cmp_gen =
+  QCheck.Gen.oneofl Predicate.[ Eq; Neq; Lt; Le; Gt; Ge ]
+
+let rec cond_gen depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      map3 (fun t1 c t2 -> Quel.Ast.Cmp (t1, c, t2)) term_gen cmp_gen term_gen
+    else
+      frequency
+        [
+          (2, map3 (fun t1 c t2 -> Quel.Ast.Cmp (t1, c, t2)) term_gen cmp_gen term_gen);
+          (1, map2 (fun a b -> Quel.Ast.And (a, b)) (cond_gen (depth - 1)) (cond_gen (depth - 1)));
+          (1, map2 (fun a b -> Quel.Ast.Or (a, b)) (cond_gen (depth - 1)) (cond_gen (depth - 1)));
+          (1, map (fun a -> Quel.Ast.Not a) (cond_gen (depth - 1)));
+        ])
+
+let query_gen =
+  QCheck.Gen.(
+    let* two_ranges = bool in
+    let ranges =
+      if two_ranges then [ ("e", "R"); ("m", "S") ] else [ ("e", "R") ]
+    in
+    let target_var = if two_ranges then var_gen else return "e" in
+    let* targets = list_size (int_range 1 3) (pair target_var attr_name_gen) in
+    let* where = opt (cond_gen 2) in
+    (* restrict conditions to bound variables *)
+    let bound v = List.mem_assoc v ranges in
+    let rec cond_ok = function
+      | Quel.Ast.Cmp (t1, _, t2) ->
+          let term_ok = function
+            | Quel.Ast.Attr (v, _) -> bound v
+            | Quel.Ast.Const _ -> true
+          in
+          term_ok t1 && term_ok t2
+      | Quel.Ast.And (a, b) | Quel.Ast.Or (a, b) -> cond_ok a && cond_ok b
+      | Quel.Ast.Not a -> cond_ok a
+    in
+    let where =
+      match where with Some c when cond_ok c -> Some c | _ -> None
+    in
+    return { Quel.Ast.ranges; targets; where })
+
+let arbitrary_query =
+  QCheck.make ~print:(Pp.to_string Quel.Ast.pp) query_gen
+
+let query_pp_roundtrip =
+  test "parse . print = id on queries" arbitrary_query (fun q ->
+      Quel.Parser.parse (Pp.to_string Quel.Ast.pp q) = q)
+
+let statement_gen =
+  QCheck.Gen.(
+    let assignment_gen =
+      pair attr_name_gen
+        (oneof
+           [
+             map (fun n -> Value.Int n) (int_range (-9) 99);
+             map (fun s -> Value.Str s) (oneofl [ "a"; "b c" ]);
+           ])
+    in
+    frequency
+      [
+        (2, map (fun q -> Quel.Ast.Retrieve q) query_gen);
+        ( 1,
+          map
+            (fun values -> Quel.Ast.Append { rel = "R"; values })
+            (list_size (int_range 1 3) assignment_gen) );
+        ( 1,
+          map
+            (fun where -> Quel.Ast.Delete { var = "e"; rel = "R"; where })
+            (opt
+               (map3
+                  (fun a c n ->
+                    Quel.Ast.Cmp (Quel.Ast.Attr ("e", a), c, Quel.Ast.Const (Value.Int n)))
+                  attr_name_gen cmp_gen (int_range 0 9))) );
+        ( 1,
+          map2
+            (fun values where ->
+              Quel.Ast.Replace { var = "e"; rel = "R"; values; where })
+            (list_size (int_range 1 2) assignment_gen)
+            (opt
+               (map3
+                  (fun a c n ->
+                    Quel.Ast.Cmp (Quel.Ast.Attr ("e", a), c, Quel.Ast.Const (Value.Int n)))
+                  attr_name_gen cmp_gen (int_range 0 9))) );
+      ])
+
+let arbitrary_statement =
+  QCheck.make ~print:(Pp.to_string Quel.Ast.pp_statement) statement_gen
+
+let statement_pp_roundtrip =
+  test "parse . print = id on statements" arbitrary_statement (fun st ->
+      Quel.Parser.parse_statement (Pp.to_string Quel.Ast.pp_statement st) = st)
+
+(* Evaluation is a function of the x-relation, not the representation:
+   evaluating against an inflated representation gives the same answer. *)
+let eval_respects_equivalence =
+  test "evaluation respects information-wise equivalence"
+    (QCheck.pair arbitrary_query pair_xrel) (fun (q, (x1, x2)) ->
+      let schema name =
+        Schema.make name
+          (List.map
+             (fun n -> (n, Domain.Int_range (0, 3)))
+             (universe_attrs @ [ "TEL#" ]))
+      in
+      let inflate x_ =
+        Xrel.of_list
+          (Xrel.to_list x_
+          @ List.map
+              (fun r -> Tuple.restrict r (Attr.set_of_list [ "A" ]))
+              (Xrel.to_list x_))
+      in
+      let db1 : Quel.Resolve.db =
+        [ ("R", (schema "R", x1)); ("S", (schema "S", x2)) ]
+      in
+      let db2 : Quel.Resolve.db =
+        [ ("R", (schema "R", inflate x1)); ("S", (schema "S", inflate x2)) ]
+      in
+      match
+        ( (Quel.Eval.run db1 q).Quel.Eval.rel,
+          (Quel.Eval.run db2 q).Quel.Eval.rel )
+      with
+      | r1, r2 -> Xrel.equal r1 r2
+      | exception Value.Type_error _ ->
+          (* a random string-vs-int comparison: ill-typed queries raise
+             the same way on both databases *)
+          true)
+
+let suite =
+  List.map to_alcotest
+    [ query_pp_roundtrip; statement_pp_roundtrip; eval_respects_equivalence ]

@@ -1,0 +1,127 @@
+(* Property tests: the storage substrate — serialization roundtrips and
+   index/operator agreement on random data. *)
+
+open Nullrel
+open Qgen
+
+let count = 200
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let attrs = List.map Attr.make universe_attrs
+
+let csv_roundtrip =
+  test "CSV write . read = id" arbitrary_xrel (fun x1 ->
+      let _, back = Storage.Csv.read_string (Storage.Csv.write_string attrs x1) in
+      Xrel.equal x1 back)
+
+let binary_roundtrip =
+  test "binary encode . decode = id" arbitrary_xrel (fun x1 ->
+      Xrel.equal x1 (Storage.Binary.decode (Storage.Binary.encode x1)))
+
+(* Strings that stress the CSV quoting rules. *)
+let tricky_string_gen =
+  QCheck.Gen.(
+    oneofl
+      [ "plain"; "a,b"; "say \"hi\""; "line\nbreak"; "-"; ""; "trailing,";
+        "\"quoted\""; "semi;colon"; "sp ace" ])
+
+let tricky_xrel_gen =
+  QCheck.Gen.(
+    map
+      (fun cells ->
+        Xrel.of_list
+          (List.map
+             (fun (a, b) ->
+               Tuple.of_strings [ ("A", Value.Str a); ("B", Value.Str b) ])
+             cells))
+      (list_size (int_range 0 6) (pair tricky_string_gen tricky_string_gen)))
+
+let arbitrary_tricky =
+  QCheck.make ~print:(Pp.to_string Xrel.pp) tricky_xrel_gen
+
+let csv_quoting_roundtrip =
+  test "CSV roundtrips hostile strings" arbitrary_tricky (fun x1 ->
+      let cols = [ Attr.make "A"; Attr.make "B" ] in
+      let _, back = Storage.Csv.read_string (Storage.Csv.write_string cols x1) in
+      Xrel.equal x1 back)
+
+let binary_tricky_roundtrip =
+  test "binary roundtrips hostile strings" arbitrary_tricky (fun x1 ->
+      Xrel.equal x1 (Storage.Binary.decode (Storage.Binary.encode x1)))
+
+let int_extremes_gen =
+  QCheck.Gen.(
+    map
+      (fun ns ->
+        Xrel.of_list
+          (List.mapi
+             (fun k n ->
+               Tuple.of_strings [ ("K", Value.Int k); ("N", Value.Int n) ])
+             ns))
+      (list_size (int_range 0 5)
+         (oneofl [ 0; 1; -1; max_int; min_int; 0x7fffffff; -0x80000000 ])))
+
+let binary_int_extremes =
+  test "binary roundtrips integer extremes"
+    (QCheck.make ~print:(Pp.to_string Xrel.pp) int_extremes_gen) (fun x1 ->
+      Xrel.equal x1 (Storage.Binary.decode (Storage.Binary.encode x1)))
+
+let hash_index_diff_agrees =
+  test "indexed diff = naive diff" pair_xrel (fun (x1, x2) ->
+      Relation.equal
+        (Storage.Hash_index.diff (Xrel.rep x1) (Xrel.rep x2))
+        (Xrel.rep (Xrel.diff x1 x2)))
+
+let hash_index_minimize_agrees =
+  test "indexed minimize = naive minimize" arbitrary_relation (fun r ->
+      Relation.equal (Storage.Hash_index.minimize r) (Relation.minimize r))
+
+let hash_index_x_mem_agrees =
+  test "indexed x_mem = naive x_mem"
+    (QCheck.pair arbitrary_tuple arbitrary_relation) (fun (t, r) ->
+      Storage.Hash_index.x_mem r t = Relation.x_mem t r)
+
+let persist_schema_roundtrip =
+  (* schemas drawn from a few shapes *)
+  let schema_gen =
+    QCheck.Gen.(
+      map2
+        (fun pick_key cols ->
+          let cols =
+            List.mapi
+              (fun k d -> (Printf.sprintf "C%d" k, d))
+              (List.filteri (fun k _ -> k < 4) cols)
+          in
+          match cols with
+          | [] -> Schema.make "R" [ ("C0", Domain.Ints) ]
+          | (first, _) :: _ ->
+              Schema.make "R" ~key:(if pick_key then [ first ] else []) cols)
+        bool
+        (list_size (int_range 1 4)
+           (oneofl
+              [
+                Domain.Ints; Domain.Floats; Domain.Strings; Domain.Bools;
+                Domain.Int_range (-5, 17); Domain.Enum [ "x"; "y z" ];
+              ])))
+  in
+  test "schema serialization roundtrips"
+    (QCheck.make ~print:Storage.Persist.schema_to_string schema_gen)
+    (fun schema ->
+      let text = Storage.Persist.schema_to_string schema in
+      String.equal text
+        (Storage.Persist.schema_to_string (Storage.Persist.schema_of_string text)))
+
+let suite =
+  List.map to_alcotest
+    [
+      csv_roundtrip;
+      binary_roundtrip;
+      csv_quoting_roundtrip;
+      binary_tricky_roundtrip;
+      binary_int_extremes;
+      hash_index_diff_agrees;
+      hash_index_minimize_agrees;
+      hash_index_x_mem_agrees;
+      persist_schema_roundtrip;
+    ]

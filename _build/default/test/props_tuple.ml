@@ -1,0 +1,140 @@
+(* Property tests: the tuple semilattice of Section 3. *)
+
+open Nullrel
+open Qgen
+
+let count = 500
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let ge = Tuple.more_informative
+
+let reflexive =
+  test "more_informative is reflexive" arbitrary_tuple (fun r -> ge r r)
+
+let antisymmetric =
+  test "more_informative is antisymmetric"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      if ge r t && ge t r then Tuple.equal r t else true)
+
+let transitive =
+  test "more_informative is transitive"
+    (QCheck.triple arbitrary_tuple arbitrary_tuple arbitrary_tuple)
+    (fun (r, t, u) -> if ge r t && ge t u then ge r u else true)
+
+let null_tuple_is_bottom =
+  test "null tuple is the bottom" arbitrary_tuple (fun r -> ge r Tuple.empty)
+
+let meet_commutative =
+  test "meet commutes" (QCheck.pair arbitrary_tuple arbitrary_tuple)
+    (fun (r, t) -> Tuple.equal (Tuple.meet r t) (Tuple.meet t r))
+
+let meet_associative =
+  test "meet associates"
+    (QCheck.triple arbitrary_tuple arbitrary_tuple arbitrary_tuple)
+    (fun (r, t, u) ->
+      Tuple.equal
+        (Tuple.meet (Tuple.meet r t) u)
+        (Tuple.meet r (Tuple.meet t u)))
+
+let meet_idempotent =
+  test "meet is idempotent" arbitrary_tuple (fun r ->
+      Tuple.equal (Tuple.meet r r) r)
+
+let meet_is_glb =
+  test "meet is the greatest lower bound"
+    (QCheck.triple arbitrary_tuple arbitrary_tuple arbitrary_tuple)
+    (fun (r, t, l) ->
+      let m = Tuple.meet r t in
+      ge r m && ge t m && if ge r l && ge t l then ge m l else true)
+
+let join_commutative =
+  test "join commutes" (QCheck.pair arbitrary_tuple arbitrary_tuple)
+    (fun (r, t) ->
+      match (Tuple.join r t, Tuple.join t r) with
+      | Some a, Some b -> Tuple.equal a b
+      | None, None -> true
+      | _ -> false)
+
+let join_is_lub =
+  test "join is the least upper bound"
+    (QCheck.triple arbitrary_tuple arbitrary_tuple arbitrary_tuple)
+    (fun (r, t, u) ->
+      match Tuple.join r t with
+      | None -> true
+      | Some j ->
+          ge j r && ge j t && if ge u r && ge u t then ge u j else true)
+
+let joinable_iff_upper_bound =
+  test "joinable iff a common upper bound exists"
+    (QCheck.pair arbitrary_tuple arbitrary_total_tuple) (fun (r, u) ->
+      (* every tuple below a total tuple is joinable with every other
+         tuple below it *)
+      let t = Tuple.meet r u in
+      Tuple.joinable t u)
+
+let order_via_meet_join =
+  test "r >= t iff meet r t = t iff join r t = r"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      let via_meet = Tuple.equal (Tuple.meet r t) t in
+      let via_join =
+        match Tuple.join r t with Some j -> Tuple.equal j r | None -> false
+      in
+      let direct = ge r t in
+      direct = via_meet && direct = via_join)
+
+let absorption =
+  test "absorption: meet r (join r t) = r"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      match Tuple.join r t with
+      | None -> true
+      | Some j -> Tuple.equal (Tuple.meet r j) r)
+
+let restrict_monotone =
+  test "restriction is monotone"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      let x = Attr.set_of_list [ "A"; "B" ] in
+      (* force comparability: meet r t <= r *)
+      ge (Tuple.restrict r x) (Tuple.restrict (Tuple.meet r t) x))
+
+let restrict_distributes_over_meet =
+  test "restriction distributes over meet"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      let x = Attr.set_of_list [ "A"; "C" ] in
+      Tuple.equal
+        (Tuple.restrict (Tuple.meet r t) x)
+        (Tuple.meet (Tuple.restrict r x) (Tuple.restrict t x)))
+
+let canonical_no_nulls =
+  test "canonical form stores no nulls" arbitrary_tuple (fun r ->
+      Tuple.fold (fun _ v acc -> acc && not (Value.is_null v)) r true)
+
+let meet_in_u_star =
+  (* Footnote: if r' ~ r then r' /\ t ~ r /\ t — trivial under canonical
+     forms, kept as a regression anchor. *)
+  test "meet respects canonical equality"
+    (QCheck.pair arbitrary_tuple arbitrary_tuple) (fun (r, t) ->
+      let r' = Tuple.set (Tuple.set r (Attr.make "Z") (Value.Int 1)) (Attr.make "Z") Value.Null in
+      Tuple.equal (Tuple.meet r' t) (Tuple.meet r t))
+
+let suite =
+  List.map to_alcotest
+    [
+      reflexive;
+      antisymmetric;
+      transitive;
+      null_tuple_is_bottom;
+      meet_commutative;
+      meet_associative;
+      meet_idempotent;
+      meet_is_glb;
+      join_commutative;
+      join_is_lub;
+      joinable_iff_upper_bound;
+      order_via_meet_join;
+      absorption;
+      restrict_monotone;
+      restrict_distributes_over_meet;
+      canonical_no_nulls;
+      meet_in_u_star;
+    ]

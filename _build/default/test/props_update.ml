@@ -1,0 +1,86 @@
+(* Property tests: the algebraic update semantics of Section 7. *)
+
+open Nullrel
+open Qgen
+
+let count = 300
+
+let test name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let p_a = Predicate.cmp_const "A" Predicate.Le (Value.Int 1)
+
+let tuples_arb =
+  QCheck.make
+    ~print:(fun ts -> Pp.to_string Relation.pp (Relation.of_list ts))
+    QCheck.Gen.(list_size (int_range 0 4) tuple_gen)
+
+let insert_monotone =
+  test "insertion contains the old database"
+    (QCheck.pair arbitrary_xrel tuples_arb) (fun (x1, ts) ->
+      Xrel.contains (Storage.Update.insert x1 ts) x1)
+
+let insert_contains_new =
+  test "insertion contains the inserted tuples"
+    (QCheck.pair arbitrary_xrel tuples_arb) (fun (x1, ts) ->
+      Xrel.contains (Storage.Update.insert x1 ts) (Xrel.of_list ts))
+
+let insert_idempotent =
+  test "re-inserting is a no-op" (QCheck.pair arbitrary_xrel tuples_arb)
+    (fun (x1, ts) ->
+      let once = Storage.Update.insert x1 ts in
+      Xrel.equal once (Storage.Update.insert once ts))
+
+let delete_shrinks =
+  test "deletion is contained in the old database" pair_xrel (fun (x1, x2) ->
+      Xrel.contains x1 (Storage.Update.delete x1 x2))
+
+let delete_removes =
+  test "deleted tuples are gone" pair_xrel (fun (x1, x2) ->
+      let remaining = Storage.Update.delete x1 x2 in
+      List.for_all
+        (fun r -> not (Xrel.x_mem r x2))
+        (Xrel.to_list remaining))
+
+let delete_insert_restores =
+  test "delete then union restores containment (Prop 4.6)" pair_xrel
+    (fun (base, extra) ->
+      let x1 = Xrel.union base extra in
+      Xrel.equal (Xrel.union (Storage.Update.delete x1 base) base) x1)
+
+let delete_where_is_diff_of_select =
+  test "delete_where = diff with the selection" arbitrary_xrel (fun x1 ->
+      Xrel.equal
+        (Storage.Update.delete_where p_a x1)
+        (Xrel.diff x1 (Algebra.select p_a x1)))
+
+let delete_where_partitions =
+  test "select and delete_where partition the relation" arbitrary_xrel
+    (fun x1 ->
+      Xrel.equal x1
+        (Xrel.union (Algebra.select p_a x1) (Storage.Update.delete_where p_a x1)))
+
+let modify_identity =
+  test "modification with the identity is a no-op" arbitrary_xrel (fun x1 ->
+      Xrel.equal x1 (Storage.Update.modify ~where:p_a ~using:(fun r -> r) x1))
+
+let modify_unmatched_rows_survive =
+  test "modification leaves non-matching rows alone" arbitrary_xrel
+    (fun x1 ->
+      let bump r = Tuple.set r (Attr.make "C") (Value.Int 3) in
+      let modified = Storage.Update.modify ~where:p_a ~using:bump x1 in
+      Xrel.contains modified (Storage.Update.delete_where p_a x1))
+
+let suite =
+  List.map to_alcotest
+    [
+      insert_monotone;
+      insert_contains_new;
+      insert_idempotent;
+      delete_shrinks;
+      delete_removes;
+      delete_insert_restores;
+      delete_where_is_diff_of_select;
+      delete_where_partitions;
+      modify_identity;
+      modify_unmatched_rows_survive;
+    ]

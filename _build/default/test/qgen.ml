@@ -1,0 +1,64 @@
+(* QCheck generators for tuples, relations and x-relations over a small
+   universe {A, B, C} with integer values 0..3 — small on purpose, so
+   subsumption, meets and joins actually occur. *)
+
+open Nullrel
+
+let universe_attrs = [ "A"; "B"; "C" ]
+let universe : Xrel.universe =
+  List.map (fun n -> (Attr.make n, Domain.Int_range (0, 3))) universe_attrs
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (3, map (fun i -> Value.Int i) (int_range 0 3));
+      ])
+
+let tuple_gen =
+  QCheck.Gen.(
+    let bind_attr t name =
+      map (fun v -> Tuple.set t (Attr.make name) v) value_gen
+    in
+    List.fold_left
+      (fun acc name -> acc >>= fun t -> bind_attr t name)
+      (return Tuple.empty) universe_attrs)
+
+let total_tuple_gen =
+  QCheck.Gen.(
+    let bind_attr t name =
+      map
+        (fun i -> Tuple.set t (Attr.make name) (Value.Int i))
+        (int_range 0 3)
+    in
+    List.fold_left
+      (fun acc name -> acc >>= fun t -> bind_attr t name)
+      (return Tuple.empty) universe_attrs)
+
+let tuple_print = Pp.to_string Tuple.pp
+
+let arbitrary_tuple = QCheck.make ~print:tuple_print tuple_gen
+let arbitrary_total_tuple = QCheck.make ~print:tuple_print total_tuple_gen
+
+let relation_gen =
+  QCheck.Gen.(map Relation.of_list (list_size (int_range 0 8) tuple_gen))
+
+let total_relation_gen =
+  QCheck.Gen.(map Relation.of_list (list_size (int_range 0 8) total_tuple_gen))
+
+let xrel_gen = QCheck.Gen.map Xrel.of_relation relation_gen
+let total_xrel_gen = QCheck.Gen.map Xrel.of_relation total_relation_gen
+
+let relation_print = Pp.to_string Relation.pp
+let xrel_print = Pp.to_string Xrel.pp
+
+let arbitrary_relation = QCheck.make ~print:relation_print relation_gen
+let arbitrary_xrel = QCheck.make ~print:xrel_print xrel_gen
+let arbitrary_total_xrel = QCheck.make ~print:xrel_print total_xrel_gen
+
+(* Pairs and triples with independent components. *)
+let pair_xrel = QCheck.pair arbitrary_xrel arbitrary_xrel
+let triple_xrel = QCheck.triple arbitrary_xrel arbitrary_xrel arbitrary_xrel
+
+let to_alcotest = QCheck_alcotest.to_alcotest

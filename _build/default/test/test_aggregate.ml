@@ -1,0 +1,193 @@
+(* Aggregate bounds: COUNT / SUM / MIN / MAX bracketed over all
+   completions of the nulls. *)
+
+open Nullrel
+open Helpers
+
+let schema =
+  Schema.make "R" ~key:[ "K" ]
+    [ ("K", Domain.Ints); ("Q", Domain.Int_range (0, 10)); ("G", Domain.Int_range (0, 10)) ]
+
+(* Three rows: a sure one, one with an unknown aggregated value, one
+   whose qualification is unknown. *)
+let r =
+  x
+    [
+      t [ ("K", i 1); ("Q", i 5); ("G", i 3) ];
+      (* qualifies (Q >= 5), G unknown: contributes 0..10 *)
+      t [ ("K", i 2); ("Q", i 7) ];
+      (* Q unknown: may or may not qualify; G = 4 *)
+      t [ ("K", i 3); ("G", i 4) ];
+    ]
+
+let db : Quel.Resolve.db = [ ("R", (schema, r)) ]
+let q = Quel.Parser.parse "range of v is R retrieve (v.K) where v.Q >= 5"
+
+let check_bounds label expected actual =
+  Alcotest.(check (triple int int bool))
+    label expected
+    Quel.Aggregate.(actual.lower, actual.upper, actual.may_be_empty)
+
+let test_count () =
+  check_bounds "count in [2, 3], never empty" (2, 3, false)
+    (Quel.Aggregate.bounds db q Quel.Aggregate.Count)
+
+let test_sum () =
+  (* sure: G=3; row 2: G in 0..10; row 3: qualifies only for Q in 5..10,
+     then contributes 4, else 0. *)
+  check_bounds "sum in [3, 17]" (3, 17, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "G")))
+
+let test_min () =
+  (* lower: row 2 could have G = 0; upper: exclude row 3, maximize row 2
+     to 10, row 1 fixed at 3 -> min is 3. *)
+  check_bounds "min in [0, 3]" (0, 3, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Min ("v", "G")))
+
+let test_max () =
+  (* upper: row 2 at G = 10; lower: rows 1 and 2 forced, minimize both
+     (3 and 0), exclude row 3 -> max = 3. *)
+  check_bounds "max in [3, 10]" (3, 10, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Max ("v", "G")))
+
+let test_total_relation_degenerates () =
+  (* With no nulls the bounds collapse to the classical values. *)
+  let total =
+    x
+      [
+        t [ ("K", i 1); ("Q", i 5); ("G", i 3) ];
+        t [ ("K", i 2); ("Q", i 9); ("G", i 7) ];
+        t [ ("K", i 3); ("Q", i 1); ("G", i 9) ];
+      ]
+  in
+  let db : Quel.Resolve.db = [ ("R", (schema, total)) ] in
+  check_bounds "count exact" (2, 2, false)
+    (Quel.Aggregate.bounds db q Quel.Aggregate.Count);
+  check_bounds "sum exact" (10, 10, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "G")));
+  check_bounds "min exact" (3, 3, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Min ("v", "G")));
+  check_bounds "max exact" (7, 7, false)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Max ("v", "G")))
+
+let test_possibly_empty () =
+  let only_unknown = x [ t [ ("K", i 3); ("G", i 4) ] ] in
+  let db : Quel.Resolve.db = [ ("R", (schema, only_unknown)) ] in
+  let b = Quel.Aggregate.bounds db q Quel.Aggregate.Count in
+  check_bounds "count in [0, 1], may be empty" (0, 1, true) b
+
+let test_never_qualifying () =
+  let never = x [ t [ ("K", i 1); ("Q", i 0); ("G", i 2) ] ] in
+  let db : Quel.Resolve.db = [ ("R", (schema, never)) ] in
+  check_bounds "count is zero" (0, 0, true)
+    (Quel.Aggregate.bounds db q Quel.Aggregate.Count);
+  check_bounds "sum is zero" (0, 0, true)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "G")))
+
+let test_correlated_value_and_qualification () =
+  (* The aggregated attribute IS the filtered attribute: a null Q row
+     qualifies only with Q in 5..10, so its contribution range is
+     5..10, not 0..10. *)
+  let corr = x [ t [ ("K", i 1) ] ] in
+  let db : Quel.Resolve.db = [ ("R", (schema, corr)) ] in
+  check_bounds "sum of Q respects the filter" (0, 10, true)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "Q")));
+  check_bounds "min of Q respects the filter" (5, 10, true)
+    (Quel.Aggregate.bounds db q (Quel.Aggregate.Min ("v", "Q")))
+
+let test_exhaustive_against_enumeration () =
+  (* Ground truth by enumerating every completion of the whole relation
+     (tiny domains). *)
+  let tiny_schema =
+    Schema.make "T" ~key:[ "K" ]
+      [ ("K", Domain.Ints); ("Q", Domain.Int_range (0, 2)); ("G", Domain.Int_range (0, 2)) ]
+  in
+  let rel_tuples =
+    [
+      t [ ("K", i 1); ("Q", i 2); ("G", i 1) ];
+      t [ ("K", i 2); ("G", i 2) ];
+      t [ ("K", i 3); ("Q", i 1) ];
+    ]
+  in
+  let db : Quel.Resolve.db =
+    [ ("T", (tiny_schema, x rel_tuples)) ]
+  in
+  let q = Quel.Parser.parse "range of v is T retrieve (v.K) where v.Q >= 1" in
+  let domains _ = Domain.Int_range (0, 2) in
+  let over = aset [ "Q"; "G" ] in
+  let completions =
+    List.of_seq
+      (Codd.Subst.relation_substitutions ~domains ~over rel_tuples)
+  in
+  let ground agg_of =
+    List.filter_map
+      (fun completion ->
+        let qualifying =
+          List.filter
+            (fun row ->
+              match Tuple.get row (a_ "Q") with
+              | Value.Int n -> n >= 1
+              | _ -> false)
+            completion
+        in
+        agg_of qualifying)
+      completions
+  in
+  let check_against label kind agg_of =
+    let expected = ground agg_of in
+    let b = Quel.Aggregate.bounds db q kind in
+    Alcotest.(check int) (label ^ " lower") (List.fold_left min max_int expected)
+      b.Quel.Aggregate.lower;
+    Alcotest.(check int) (label ^ " upper") (List.fold_left max min_int expected)
+      b.Quel.Aggregate.upper
+  in
+  check_against "count" Quel.Aggregate.Count (fun rows ->
+      Some (List.length rows));
+  check_against "sum" (Quel.Aggregate.Sum ("v", "G")) (fun rows ->
+      Some
+        (List.fold_left
+           (fun acc row ->
+             match Tuple.get row (a_ "G") with
+             | Value.Int n -> acc + n
+             | _ -> acc)
+           0 rows));
+  check_against "min" (Quel.Aggregate.Min ("v", "G")) (fun rows ->
+      match rows with
+      | [] -> None
+      | _ ->
+          Some
+            (List.fold_left
+               (fun acc row ->
+                 match Tuple.get row (a_ "G") with
+                 | Value.Int n -> min acc n
+                 | _ -> acc)
+               max_int rows))
+
+let test_type_guard () =
+  let sch = Schema.make "S" [ ("NAME", Domain.Strings) ] in
+  let db : Quel.Resolve.db =
+    [ ("S", (sch, x [ t [ ("NAME", s "x") ] ])) ]
+  in
+  let q = Quel.Parser.parse "range of v is S retrieve (v.NAME)" in
+  Alcotest.(check bool) "non-integer aggregate rejected" true
+    (try
+       ignore (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "NAME")));
+       false
+     with Quel.Aggregate.Not_integer _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "count bounds" `Quick test_count;
+    Alcotest.test_case "sum bounds" `Quick test_sum;
+    Alcotest.test_case "min bounds" `Quick test_min;
+    Alcotest.test_case "max bounds" `Quick test_max;
+    Alcotest.test_case "total relations are exact" `Quick
+      test_total_relation_degenerates;
+    Alcotest.test_case "possibly empty answers" `Quick test_possibly_empty;
+    Alcotest.test_case "never-qualifying rows" `Quick test_never_qualifying;
+    Alcotest.test_case "value/qualification correlation" `Quick
+      test_correlated_value_and_qualification;
+    Alcotest.test_case "exhaustive ground truth" `Quick
+      test_exhaustive_against_enumeration;
+    Alcotest.test_case "type guard" `Quick test_type_guard;
+  ]

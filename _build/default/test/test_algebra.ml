@@ -1,0 +1,270 @@
+(* The generalized algebra: selection, product, joins, union-join,
+   projection, division (Sections 5-6). *)
+
+open Nullrel
+open Helpers
+
+let supplier name city = t [ ("S#", s name); ("CITY", s city) ]
+
+let suppliers =
+  x
+    [
+      supplier "s1" "Paris";
+      supplier "s2" "London";
+      t [ ("S#", s "s3") ];
+      (* city unknown *)
+    ]
+
+let orders =
+  x
+    [
+      t [ ("O#", i 1); ("OS#", s "s1"); ("QTY", i 100) ];
+      t [ ("O#", i 2); ("OS#", s "s2"); ("QTY", i 200) ];
+      t [ ("O#", i 3); ("QTY", i 50) ];
+      (* supplier unknown *)
+    ]
+
+let test_select_ak () =
+  check_xrel "equality select"
+    (x [ supplier "s1" "Paris" ])
+    (Algebra.select_ak (a_ "CITY") Predicate.Eq (s "Paris") suppliers);
+  (* s3's unknown city is not Paris for sure: excluded. *)
+  check_xrel "inequality select also drops nulls"
+    (x [ supplier "s2" "London" ])
+    (Algebra.select_ak (a_ "CITY") Predicate.Neq (s "Paris") suppliers);
+  Alcotest.check_raises "null constant rejected"
+    (Invalid_argument "Algebra.select_ak: the constant must not be ni")
+    (fun () ->
+      ignore (Algebra.select_ak (a_ "CITY") Predicate.Eq Value.Null suppliers))
+
+let test_select_ab () =
+  let r =
+    x
+      [
+        t [ ("A", i 1); ("B", i 2) ];
+        t [ ("A", i 5); ("B", i 2) ];
+        t [ ("A", i 9) ];
+      ]
+  in
+  check_xrel "A < B keeps A,B-total satisfying rows"
+    (x [ t [ ("A", i 1); ("B", i 2) ] ])
+    (Algebra.select_ab (a_ "A") Predicate.Lt (a_ "B") r);
+  check_xrel "A > B"
+    (x [ t [ ("A", i 5); ("B", i 2) ] ])
+    (Algebra.select_ab (a_ "A") Predicate.Gt (a_ "B") r)
+
+let test_select_preserves_minimality () =
+  let sel = Algebra.select_ak (a_ "CITY") Predicate.Eq (s "Paris") suppliers in
+  Alcotest.(check bool) "result minimal" true (Relation.is_minimal (Xrel.rep sel))
+
+let test_general_select () =
+  let p =
+    Predicate.(cmp_const "QTY" Gt (i 75) &&& cmp_const "OS#" Eq (s "s1"))
+  in
+  check_xrel "conjunctive qualification"
+    (x [ t [ ("O#", i 1); ("OS#", s "s1"); ("QTY", i 100) ] ])
+    (Algebra.select p orders)
+
+let test_product_disjoint () =
+  let left = x [ t [ ("A", i 1) ]; t [ ("A", i 2) ] ] in
+  let right = x [ t [ ("B", i 7) ] ] in
+  let prod = Algebra.product left right in
+  check_xrel "2 x 1 product"
+    (x [ t [ ("A", i 1); ("B", i 7) ]; t [ ("A", i 2); ("B", i 7) ] ])
+    prod;
+  check_xrel "product with bottom" Xrel.bottom
+    (Algebra.product left Xrel.bottom)
+
+let test_product_with_nulls () =
+  (* (5.3): null columns just stay null in the combined tuples. *)
+  let left = x [ t [ ("A", i 1) ] ] in
+  let right = x [ t [ ("B", i 7); ("C", i 8) ]; t [ ("B", i 9) ] ] in
+  check_xrel "null-bearing product"
+    (x
+       [
+         t [ ("A", i 1); ("B", i 7); ("C", i 8) ];
+         t [ ("A", i 1); ("B", i 9) ];
+       ])
+    (Algebra.product left right)
+
+let test_product_overlapping_scopes () =
+  (* With a shared column the product behaves like a natural join:
+     conflicting pairs drop, agreeing pairs merge. *)
+  let left = x [ t [ ("A", i 1); ("B", i 2) ] ] in
+  let right = x [ t [ ("B", i 2); ("C", i 3) ]; t [ ("B", i 9); ("C", i 4) ] ] in
+  check_xrel "only the agreeing pair survives"
+    (x [ t [ ("A", i 1); ("B", i 2); ("C", i 3) ] ])
+    (Algebra.product left right)
+
+let test_theta_join () =
+  let joined =
+    Algebra.theta_join (a_ "S#") Predicate.Eq (a_ "OS#") suppliers orders
+  in
+  check_xrel "equality theta-join"
+    (x
+       [
+         t [ ("S#", s "s1"); ("CITY", s "Paris"); ("O#", i 1); ("OS#", s "s1"); ("QTY", i 100) ];
+         t [ ("S#", s "s2"); ("CITY", s "London"); ("O#", i 2); ("OS#", s "s2"); ("QTY", i 200) ];
+       ])
+    joined
+
+let test_equijoin () =
+  let left = x [ t [ ("X", i 1); ("L", s "a") ]; t [ ("L", s "dangling") ] ] in
+  let right = x [ t [ ("X", i 1); ("R", s "b") ]; t [ ("X", i 2); ("R", s "c") ] ] in
+  check_xrel "join on X"
+    (x [ t [ ("X", i 1); ("L", s "a"); ("R", s "b") ] ])
+    (Algebra.equijoin (aset [ "X" ]) left right);
+  (* Tuples that are not X-total never participate (Section 5). *)
+  check_xrel "non-X-total tuples don't join"
+    (x [ t [ ("X", i 1); ("L", s "a"); ("R", s "b") ] ])
+    (Algebra.equijoin (aset [ "X" ]) left right)
+
+let test_semijoin_antijoin () =
+  let left = x [ t [ ("X", i 1); ("L", s "a") ]; t [ ("X", i 3); ("L", s "d") ]; t [ ("L", s "nox") ] ] in
+  let right = x [ t [ ("X", i 1); ("R", s "b") ]; t [ ("X", i 2); ("R", s "c") ] ] in
+  check_xrel "semijoin keeps the matched tuple"
+    (x [ t [ ("X", i 1); ("L", s "a") ] ])
+    (Algebra.semijoin (aset [ "X" ]) left right);
+  check_xrel "antijoin keeps the dangles (incl. non-X-total)"
+    (x [ t [ ("X", i 3); ("L", s "d") ]; t [ ("L", s "nox") ] ])
+    (Algebra.antijoin (aset [ "X" ]) left right);
+  check_xrel "semijoin u antijoin = left" left
+    (Xrel.union
+       (Algebra.semijoin (aset [ "X" ]) left right)
+       (Algebra.antijoin (aset [ "X" ]) left right))
+
+let test_union_join () =
+  let left = x [ t [ ("X", i 1); ("L", s "a") ]; t [ ("X", i 3); ("L", s "d") ] ] in
+  let right = x [ t [ ("X", i 1); ("R", s "b") ]; t [ ("X", i 2); ("R", s "c") ] ] in
+  let uj = Algebra.union_join (aset [ "X" ]) left right in
+  check_xrel "outer join keeps dangling tuples"
+    (x
+       [
+         t [ ("X", i 1); ("L", s "a"); ("R", s "b") ];
+         t [ ("X", i 3); ("L", s "d") ];
+         t [ ("X", i 2); ("R", s "c") ];
+       ])
+    uj;
+  (* Information preservation: both operands are contained in it. *)
+  Alcotest.(check bool) "contains left" true (Xrel.contains uj left);
+  Alcotest.(check bool) "contains right" true (Xrel.contains uj right)
+
+let test_union_join_total_match () =
+  (* When every tuple participates, the union-join IS the equijoin. *)
+  let left = x [ t [ ("X", i 1); ("L", s "a") ] ] in
+  let right = x [ t [ ("X", i 1); ("R", s "b") ] ] in
+  check_xrel "no dangles"
+    (Algebra.equijoin (aset [ "X" ]) left right)
+    (Algebra.union_join (aset [ "X" ]) left right)
+
+let test_project () =
+  check_xrel "project suppliers to city"
+    (x [ t [ ("CITY", s "Paris") ]; t [ ("CITY", s "London") ] ])
+    (Algebra.project (aset [ "CITY" ]) suppliers);
+  (* Projection re-minimizes: s3's projection is the null tuple. *)
+  check_xrel "project to missing column is bottom" Xrel.bottom
+    (Algebra.project (aset [ "ZZZ" ]) suppliers);
+  check_xrel "project to scope is identity" suppliers
+    (Algebra.project (aset [ "S#"; "CITY" ]) suppliers)
+
+let test_project_merges_subsumed () =
+  let r = x [ t [ ("A", i 1); ("B", i 1) ]; t [ ("A", i 1); ("B", i 2) ] ] in
+  check_xrel "two tuples collapse to one"
+    (x [ t [ ("A", i 1) ] ])
+    (Algebra.project (aset [ "A" ]) r)
+
+let test_rename () =
+  check_xrel "rename S# to SUP"
+    (x
+       [
+         t [ ("SUP", s "s1"); ("CITY", s "Paris") ];
+         t [ ("SUP", s "s2"); ("CITY", s "London") ];
+         t [ ("SUP", s "s3") ];
+       ])
+    (Algebra.rename [ (a_ "S#", a_ "SUP") ] suppliers)
+
+let test_image () =
+  let img =
+    Algebra.image (aset [ "S#" ]) (aset [ "P#" ]) (t [ ("S#", s "s1") ]) ps
+  in
+  check_xrel "P#-image of s1"
+    (x [ t [ ("P#", s "p1") ]; t [ ("P#", s "p2") ] ])
+    img;
+  check_xrel "image of unknown supplier" Xrel.bottom
+    (Algebra.image (aset [ "S#" ]) (aset [ "P#" ]) (t [ ("S#", s "zz") ]) ps)
+
+let test_divide_edge_cases () =
+  let y = aset [ "S#" ] in
+  (* Empty divisor: every Y-total Y-value qualifies. *)
+  check_xrel "empty divisor"
+    (Algebra.project y ps)
+    (Algebra.divide y ps Xrel.bottom);
+  (* Empty dividend: empty quotient. *)
+  check_xrel "empty dividend" Xrel.bottom
+    (Algebra.divide y Xrel.bottom (x [ t [ ("P#", s "p1") ] ]));
+  (* Divisor nobody covers. *)
+  check_xrel "impossible divisor" Xrel.bottom
+    (Algebra.divide y ps (x [ t [ ("P#", s "p1") ]; t [ ("P#", s "p4") ] ]))
+
+let test_divide_total_classical () =
+  (* On total relations the quotient is the classical one. *)
+  let r =
+    x
+      [
+        t [ ("S#", s "a"); ("P#", i 1) ];
+        t [ ("S#", s "a"); ("P#", i 2) ];
+        t [ ("S#", s "b"); ("P#", i 1) ];
+      ]
+  in
+  let divisor = x [ t [ ("P#", i 1) ]; t [ ("P#", i 2) ] ] in
+  check_xrel "classical division"
+    (x [ t [ ("S#", s "a") ] ])
+    (Algebra.divide (aset [ "S#" ]) r divisor)
+
+let test_closure () =
+  (* Section 7: x-relations are closed — all operators apply regardless
+     of attribute sets. Codd relations would reject these operands. *)
+  let odd = x [ t [ ("A", i 1) ]; t [ ("B", i 2); ("C", i 3) ] ] in
+  let other = x [ t [ ("D", i 4) ] ] in
+  List.iter
+    (fun xr -> Alcotest.(check bool) "operation yields a valid x-relation" true
+        (Relation.is_minimal (Xrel.rep xr)))
+    [
+      Xrel.union odd other;
+      Xrel.inter odd other;
+      Xrel.diff odd other;
+      Algebra.product odd other;
+      Algebra.project (aset [ "A"; "D" ]) (Xrel.union odd other);
+      Algebra.select_ak (a_ "A") Predicate.Eq (i 1) odd;
+      Algebra.union_join (aset [ "A" ]) odd other;
+      Algebra.divide (aset [ "A" ]) odd other;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "select A theta k" `Quick test_select_ak;
+    Alcotest.test_case "select A theta B" `Quick test_select_ab;
+    Alcotest.test_case "selection preserves minimality" `Quick
+      test_select_preserves_minimality;
+    Alcotest.test_case "general selection" `Quick test_general_select;
+    Alcotest.test_case "product (disjoint scopes)" `Quick
+      test_product_disjoint;
+    Alcotest.test_case "product with nulls" `Quick test_product_with_nulls;
+    Alcotest.test_case "product with overlapping scopes" `Quick
+      test_product_overlapping_scopes;
+    Alcotest.test_case "theta-join" `Quick test_theta_join;
+    Alcotest.test_case "equijoin" `Quick test_equijoin;
+    Alcotest.test_case "semijoin and antijoin" `Quick test_semijoin_antijoin;
+    Alcotest.test_case "union-join keeps dangles" `Quick test_union_join;
+    Alcotest.test_case "union-join without dangles" `Quick
+      test_union_join_total_match;
+    Alcotest.test_case "projection" `Quick test_project;
+    Alcotest.test_case "projection re-minimizes" `Quick
+      test_project_merges_subsumed;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "image" `Quick test_image;
+    Alcotest.test_case "division edge cases" `Quick test_divide_edge_cases;
+    Alcotest.test_case "division on total relations" `Quick
+      test_divide_total_classical;
+    Alcotest.test_case "closure property" `Quick test_closure;
+  ]

@@ -1,0 +1,294 @@
+(* The Codd baseline: substitution enumeration, TRUE/MAYBE operators,
+   tautology detectors. Paper-specific answers live in
+   test_paper_examples.ml; this suite covers the machinery itself. *)
+
+open Nullrel
+open Helpers
+
+let small_domains a =
+  match Attr.name a with
+  | "A" -> Domain.Int_range (0, 2)
+  | "B" -> Domain.Int_range (0, 1)
+  | other -> invalid_arg other
+
+let over_ab = aset [ "A"; "B" ]
+
+(* ------------------------- Subst -------------------------- *)
+
+let test_tuple_substitutions () =
+  let partial = t [ ("A", i 1) ] in
+  let subs =
+    List.of_seq
+      (Codd.Subst.tuple_substitutions ~domains:small_domains ~over:over_ab
+         partial)
+  in
+  Alcotest.(check int) "B ranges over 2 values" 2 (List.length subs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "total over A,B" true (Tuple.is_total_on over_ab r);
+      Alcotest.check value "A untouched" (i 1) (Tuple.get r (a_ "A")))
+    subs;
+  (* A total tuple has exactly one substitution: itself. *)
+  let total = t [ ("A", i 0); ("B", i 1) ] in
+  Alcotest.(check (list tuple)) "total tuple fixed" [ total ]
+    (List.of_seq
+       (Codd.Subst.tuple_substitutions ~domains:small_domains ~over:over_ab
+          total))
+
+let test_relation_substitutions () =
+  let tuples = [ t [ ("A", i 1) ]; t [ ("B", i 0) ] ] in
+  (* First tuple: B free (2 choices); second: A free (3 choices). *)
+  Alcotest.(check int) "2 x 3 combinations" 6
+    (Seq.length
+       (Codd.Subst.relation_substitutions ~domains:small_domains ~over:over_ab
+          tuples));
+  Alcotest.(check int) "count matches enumeration" 6
+    (Codd.Subst.count_substitutions ~domains:small_domains ~over:over_ab tuples);
+  (* The null tuple alone: 3 x 2 completions. *)
+  Alcotest.(check int) "null tuple count" 6
+    (Codd.Subst.count_substitutions ~domains:small_domains ~over:over_ab
+       [ Tuple.empty ])
+
+let test_quantify () =
+  (* Encode booleans as tuples so the quantifier sees substitution
+     instances. *)
+  let of_bools bools =
+    List.to_seq
+      (List.map (fun b -> [ (if b then t [ ("B", i 1) ] else Tuple.empty) ]) bools)
+  in
+  let holds = function [ r ] -> not (Tuple.is_null_tuple r) | _ -> false in
+  check_tvl "all true" Tvl.True (Codd.Subst.quantify holds (of_bools [ true; true ]));
+  check_tvl "all false" Tvl.False
+    (Codd.Subst.quantify holds (of_bools [ false; false ]));
+  check_tvl "mixed is MAYBE" Tvl.Ni
+    (Codd.Subst.quantify holds (of_bools [ true; false ]));
+  check_tvl "empty is TRUE" Tvl.True (Codd.Subst.quantify holds (of_bools []))
+
+(* --------------------- Maybe_algebra ---------------------- *)
+
+let test_eq3 () =
+  check_tvl "equal values" Tvl.True (Codd.Maybe_algebra.eq3 (i 1) (i 1));
+  check_tvl "unequal values" Tvl.False (Codd.Maybe_algebra.eq3 (i 1) (i 2));
+  check_tvl "null left is MAYBE" Tvl.Ni (Codd.Maybe_algebra.eq3 Value.Null (i 1));
+  check_tvl "null both is MAYBE" Tvl.Ni
+    (Codd.Maybe_algebra.eq3 Value.Null Value.Null)
+
+let test_member3 () =
+  let r = rel [ t [ ("A", i 1); ("B", i 0) ]; t [ ("A", i 2) ] ] in
+  check_tvl "exact member" Tvl.True
+    (Codd.Maybe_algebra.member3 ~over:over_ab (t [ ("A", i 1); ("B", i 0) ]) r);
+  check_tvl "possible via null" Tvl.Ni
+    (Codd.Maybe_algebra.member3 ~over:over_ab (t [ ("A", i 2); ("B", i 1) ]) r);
+  check_tvl "ruled out" Tvl.False
+    (Codd.Maybe_algebra.member3 ~over:over_ab (t [ ("A", i 0); ("B", i 0) ]) r);
+  Alcotest.(check bool) "member_sure" true
+    (Codd.Maybe_algebra.member_sure ~over:over_ab
+       (t [ ("A", i 1); ("B", i 0) ])
+       r);
+  Alcotest.(check bool) "member_possible" true
+    (Codd.Maybe_algebra.member_possible ~over:over_ab
+       (t [ ("A", i 2); ("B", i 1) ])
+       r)
+
+let test_select_variants () =
+  let r =
+    rel [ t [ ("A", i 1); ("B", i 0) ]; t [ ("B", i 1) ]; t [ ("A", i 0) ] ]
+  in
+  let p = Predicate.cmp_const "A" Predicate.Eq (i 1) in
+  Alcotest.check relation "TRUE selection"
+    (rel [ t [ ("A", i 1); ("B", i 0) ] ])
+    (Codd.Maybe_algebra.select_true p r);
+  Alcotest.check relation "MAYBE selection"
+    (rel [ t [ ("B", i 1) ] ])
+    (Codd.Maybe_algebra.select_maybe p r);
+  (* TRUE and MAYBE partitions are disjoint, FALSE is the rest. *)
+  Alcotest.(check int) "partition sizes" 3
+    (Relation.cardinal (Codd.Maybe_algebra.select_true p r)
+    + Relation.cardinal (Codd.Maybe_algebra.select_maybe p r)
+    + 1)
+
+let test_product_and_joins () =
+  let left = rel [ t [ ("A", i 1) ]; t [ ("A", i 2) ] ] in
+  let right = rel [ t [ ("B", i 1) ]; t [ ("B", i 9) ]; t [] ] in
+  (* product rides nulls along as values; the null tuple contributes
+     bare copies of the left rows *)
+  Alcotest.(check int) "product size" 6
+    (Relation.cardinal (Codd.Maybe_algebra.product left right));
+  let jt =
+    Codd.Maybe_algebra.join_true (a_ "A") Predicate.Eq (a_ "B") left right
+  in
+  Alcotest.check relation "TRUE join keeps the sure match"
+    (rel [ t [ ("A", i 1); ("B", i 1) ] ])
+    jt;
+  let jm =
+    Codd.Maybe_algebra.join_maybe (a_ "A") Predicate.Eq (a_ "B") left right
+  in
+  (* the rows with a null B are the MAYBE matches *)
+  Alcotest.check relation "MAYBE join keeps the null-B rows"
+    (rel [ t [ ("A", i 1) ]; t [ ("A", i 2) ] ])
+    jm;
+  (* TRUE and MAYBE joins are disjoint *)
+  Alcotest.(check bool) "disjoint" true
+    (Relation.is_empty
+       (Relation.filter (fun r -> Relation.mem r jt) jm))
+
+let test_project_syntactic () =
+  (* Codd projection keeps the null tuple — no minimization. *)
+  let r = rel [ t [ ("A", i 1); ("B", i 0) ]; t [ ("B", i 1) ] ] in
+  Alcotest.check relation "projection keeps nulls"
+    (rel [ t [ ("A", i 1) ]; Tuple.empty ])
+    (Codd.Maybe_algebra.project (aset [ "A" ]) r)
+
+let test_contains3_totals () =
+  (* On total relations the substitution principle degenerates to plain
+     two-valued containment. *)
+  let r1 = rel [ t [ ("A", i 1); ("B", i 0) ]; t [ ("A", i 2); ("B", i 1) ] ] in
+  let r2 = rel [ t [ ("A", i 1); ("B", i 0) ] ] in
+  let e r = Codd.Maybe_algebra.Rel r in
+  check_tvl "total containment TRUE" Tvl.True
+    (Codd.Maybe_algebra.contains3 ~domains:small_domains ~scope:over_ab (e r1)
+       (e r2));
+  check_tvl "total containment FALSE" Tvl.False
+    (Codd.Maybe_algebra.contains3 ~domains:small_domains ~scope:over_ab (e r2)
+       (e r1));
+  check_tvl "total equality TRUE" Tvl.True
+    (Codd.Maybe_algebra.equal3 ~domains:small_domains ~scope:over_ab (e r2)
+       (e r2))
+
+let test_contains3_with_nulls () =
+  let r1 = rel [ t [ ("A", i 1) ] ] in
+  (* {(1,-)} contains {(1,0)}? Depends on the substitution: MAYBE. *)
+  let r2 = rel [ t [ ("A", i 1); ("B", i 0) ] ] in
+  let e r = Codd.Maybe_algebra.Rel r in
+  check_tvl "null containment MAYBE" Tvl.Ni
+    (Codd.Maybe_algebra.contains3 ~domains:small_domains ~scope:over_ab (e r1)
+       (e r2))
+
+(* ----------------------- Tautology ------------------------ *)
+
+let taut_p =
+  (* B < 1 or B >= 1: a genuine tautology over the integers. *)
+  Predicate.(cmp_const "B" Lt (i 1) ||| cmp_const "B" Ge (i 1))
+
+let gap_p =
+  (* B < 1 or B > 1: leaves the gap B = 1. *)
+  Predicate.(cmp_const "B" Lt (i 1) ||| cmp_const "B" Gt (i 1))
+
+let null_b = t [ ("A", i 0) ]
+
+let test_brute_force () =
+  Alcotest.(check bool) "tautology detected" true
+    (Codd.Tautology.brute_force ~domains:small_domains taut_p null_b);
+  Alcotest.(check bool) "gap detected" false
+    (Codd.Tautology.brute_force ~domains:small_domains gap_p null_b);
+  (* Constraints can close the gap: forbid B = 1. *)
+  Alcotest.(check bool) "constraint closes the gap" true
+    (Codd.Tautology.brute_force ~domains:small_domains
+       ~legal:(fun r -> not (Value.equal (Tuple.get r (a_ "B")) (i 1)))
+       gap_p null_b)
+
+let test_breakpoints () =
+  Alcotest.(check (option bool)) "tautology detected" (Some true)
+    (Codd.Tautology.breakpoints taut_p null_b);
+  Alcotest.(check (option bool)) "gap detected" (Some false)
+    (Codd.Tautology.breakpoints gap_p null_b);
+  (* No nulls: direct evaluation. *)
+  Alcotest.(check (option bool)) "total tuple direct" (Some true)
+    (Codd.Tautology.breakpoints taut_p (t [ ("B", i 7) ]));
+  (* Two nulls: outside the fragment. *)
+  let two_null_p = Predicate.(cmp_attrs "B" Lt "C" ||| cmp_attrs "B" Ge "C") in
+  Alcotest.(check (option bool)) "two nulls unsupported" None
+    (Codd.Tautology.breakpoints two_null_p Tuple.empty)
+
+let test_breakpoints_appendix_example () =
+  (* The Appendix's example: A > 3 and (B < 12 or B > A).
+     With A known and 3 < A < 12 the B-null tuple is a tautology;
+     with A >= 12 it is not (B = 12 falsifies both disjuncts). *)
+  let p =
+    Predicate.(
+      cmp_const "A" Gt (i 3) &&& (cmp_const "B" Lt (i 12) ||| cmp_attrs "B" Gt "A"))
+  in
+  Alcotest.(check (option bool)) "A = 5: tautology" (Some true)
+    (Codd.Tautology.breakpoints p (t [ ("A", i 5) ]));
+  Alcotest.(check (option bool)) "A = 11: tautology" (Some true)
+    (Codd.Tautology.breakpoints p (t [ ("A", i 11) ]));
+  Alcotest.(check (option bool)) "A = 12: not a tautology" (Some false)
+    (Codd.Tautology.breakpoints p (t [ ("A", i 12) ]));
+  Alcotest.(check (option bool)) "A = 2: qualification false" (Some false)
+    (Codd.Tautology.breakpoints p (t [ ("A", i 2) ]))
+
+let test_exists_detectors () =
+  (* Satisfiability duals: the gap predicate IS satisfiable (everywhere
+     but B = 1), a contradiction is not. *)
+  let contradiction = Predicate.(cmp_const "B" Gt (i 5) &&& cmp_const "B" Lt (i 3)) in
+  Alcotest.(check bool) "gap is satisfiable" true
+    (Codd.Tautology.brute_force_exists ~domains:small_domains gap_p null_b);
+  Alcotest.(check bool) "contradiction is not" false
+    (Codd.Tautology.brute_force_exists ~domains:small_domains contradiction
+       null_b);
+  Alcotest.(check (option bool)) "symbolic: gap satisfiable" (Some true)
+    (Codd.Tautology.breakpoints_exists gap_p null_b);
+  Alcotest.(check (option bool)) "symbolic: contradiction unsatisfiable"
+    (Some false)
+    (Codd.Tautology.breakpoints_exists contradiction null_b);
+  (* legal constraints restrict the witnesses *)
+  Alcotest.(check bool) "constraint can kill the witness" false
+    (Codd.Tautology.brute_force_exists ~domains:small_domains
+       ~legal:(fun r -> Value.equal (Tuple.get r (a_ "B")) (i 1))
+       gap_p null_b)
+
+let test_breakpoints_agrees_with_brute_force () =
+  (* Cross-validate the two detectors on a family of predicates over a
+     domain wide enough to include all breakpoints. *)
+  let wide a =
+    match Attr.name a with
+    | "A" | "B" -> Domain.Int_range (-20, 20)
+    | other -> invalid_arg other
+  in
+  let predicates =
+    Predicate.
+      [
+        cmp_const "B" Lt (i 5) ||| cmp_const "B" Ge (i 5);
+        cmp_const "B" Lt (i 5) ||| cmp_const "B" Gt (i 5);
+        cmp_const "B" Le (i 5) &&& cmp_const "B" Ge (i (-5));
+        Not (cmp_const "B" Eq (i 0));
+        cmp_const "B" Neq (i 0) ||| cmp_const "B" Eq (i 0);
+        cmp_const "A" Gt (i 3) &&& (cmp_const "B" Lt (i 12) ||| cmp_attrs "B" Gt "A");
+      ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun r ->
+          match Codd.Tautology.breakpoints p r with
+          | None -> ()
+          | Some symbolic ->
+              Alcotest.(check bool)
+                (Nullrel.Pp.to_string Predicate.pp p)
+                (Codd.Tautology.brute_force ~domains:wide p r)
+                symbolic)
+        [ t [ ("A", i 5) ]; t [ ("A", i 15) ]; Tuple.empty; t [ ("B", i 3) ] ])
+    predicates
+
+let suite =
+  [
+    Alcotest.test_case "tuple substitutions" `Quick test_tuple_substitutions;
+    Alcotest.test_case "relation substitutions" `Quick
+      test_relation_substitutions;
+    Alcotest.test_case "quantify" `Quick test_quantify;
+    Alcotest.test_case "eq3" `Quick test_eq3;
+    Alcotest.test_case "member3" `Quick test_member3;
+    Alcotest.test_case "TRUE/MAYBE selection" `Quick test_select_variants;
+    Alcotest.test_case "product and TRUE/MAYBE joins" `Quick
+      test_product_and_joins;
+    Alcotest.test_case "syntactic projection" `Quick test_project_syntactic;
+    Alcotest.test_case "contains3 on totals" `Quick test_contains3_totals;
+    Alcotest.test_case "contains3 with nulls" `Quick test_contains3_with_nulls;
+    Alcotest.test_case "brute-force tautology" `Quick test_brute_force;
+    Alcotest.test_case "breakpoint tautology" `Quick test_breakpoints;
+    Alcotest.test_case "satisfiability duals" `Quick test_exists_detectors;
+    Alcotest.test_case "Appendix example" `Quick
+      test_breakpoints_appendix_example;
+    Alcotest.test_case "detectors agree" `Quick
+      test_breakpoints_agrees_with_brute_force;
+  ]

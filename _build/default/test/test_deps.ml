@@ -1,0 +1,342 @@
+(* Functional dependencies under nulls: the candidate satisfaction
+   notions, their Armstrong audit (the Section 8 open problem), and the
+   classical implication machinery. *)
+
+open Nullrel
+open Helpers
+
+let fd = Deps.Fd.make
+
+(* A total relation satisfying A -> B but not B -> A. *)
+let total_ab =
+  rel
+    [
+      t [ ("A", i 1); ("B", i 10) ];
+      t [ ("A", i 2); ("B", i 10) ];
+      t [ ("A", i 3); ("B", i 30) ];
+    ]
+
+let test_classical_on_totals () =
+  Alcotest.(check bool) "A -> B holds" true
+    (Deps.Fd.satisfies_classical total_ab (fd [ "A" ] [ "B" ]));
+  Alcotest.(check bool) "B -> A fails" false
+    (Deps.Fd.satisfies_classical total_ab (fd [ "B" ] [ "A" ]));
+  (* on totals, all notions coincide *)
+  List.iter
+    (fun (name, notion) ->
+      Alcotest.(check bool) (name ^ ": A -> B") true
+        (notion total_ab (fd [ "A" ] [ "B" ]));
+      Alcotest.(check bool) (name ^ ": B -> A") false
+        (notion total_ab (fd [ "B" ] [ "A" ])))
+    [
+      ("total", Deps.Fd.satisfies_total);
+      ("no-conflict", Deps.Fd.satisfies_no_conflict);
+    ]
+
+(* Nulls separate the notions.  Agreeing A, one null B, one bound B. *)
+let null_b = rel [ t [ ("A", i 1); ("B", i 10) ]; t [ ("A", i 1) ] ]
+
+(* Agreeing A, two contradictory bound Bs... via a third attribute the
+   pair is null on. *)
+let conflict_b =
+  rel [ t [ ("A", i 1); ("B", i 10) ]; t [ ("A", i 1); ("B", i 20) ] ]
+
+let test_notions_differ_on_nulls () =
+  (* total: the null pair is exempt. *)
+  Alcotest.(check bool) "total: exempt pair" true
+    (Deps.Fd.satisfies_total null_b (fd [ "A" ] [ "B" ]));
+  (* no-conflict: a null is compatible with 10. *)
+  Alcotest.(check bool) "no-conflict: compatible" true
+    (Deps.Fd.satisfies_no_conflict null_b (fd [ "A" ] [ "B" ]));
+  (* classical (null as constant): 10 <> ni, so it fails. *)
+  Alcotest.(check bool) "classical treats ni as a value" false
+    (Deps.Fd.satisfies_classical null_b (fd [ "A" ] [ "B" ]));
+  (* a genuine conflict fails both meaningful notions *)
+  Alcotest.(check bool) "total: conflict" false
+    (Deps.Fd.satisfies_total conflict_b (fd [ "A" ] [ "B" ]));
+  Alcotest.(check bool) "no-conflict: conflict" false
+    (Deps.Fd.satisfies_no_conflict conflict_b (fd [ "A" ] [ "B" ]))
+
+let small_domains _ = Domain.Int_range (0, 3)
+
+let test_possible_world_notion () =
+  let rel_ok =
+    rel [ t [ ("A", i 1); ("B", i 2) ]; t [ ("A", i 1) ] ]
+  in
+  Alcotest.(check bool) "completion B := 2 works" true
+    (Deps.Fd.satisfies_possible ~domains:small_domains rel_ok
+       (fd [ "A" ] [ "B" ]));
+  let rel_bad =
+    rel [ t [ ("A", i 1); ("B", i 2) ]; t [ ("A", i 1); ("B", i 3) ] ]
+  in
+  Alcotest.(check bool) "no completion fixes a hard conflict" false
+    (Deps.Fd.satisfies_possible ~domains:small_domains rel_bad
+       (fd [ "A" ] [ "B" ]))
+
+(* The transitivity counterexample of the conclusion's claim: B is null
+   everywhere, so A -> B and B -> C hold vacuously while A -> C fails. *)
+let transitivity_breaker =
+  rel [ t [ ("A", i 1); ("C", i 1) ]; t [ ("A", i 1); ("C", i 2) ] ]
+
+let battery =
+  [ total_ab; null_b; conflict_b; transitivity_breaker;
+    rel [ t [ ("A", i 1); ("B", i 1); ("C", i 1) ] ]; Relation.empty ]
+
+let universe = aset [ "A"; "B"; "C" ]
+
+let test_armstrong_audit_total () =
+  let verdicts = Deps.Armstrong.audit Deps.Fd.satisfies_total battery ~universe in
+  (match verdicts with
+  | [ refl; aug; trans ] ->
+      Alcotest.(check bool) "reflexivity holds" true refl.Deps.Armstrong.holds;
+      Alcotest.(check bool) "augmentation holds" true aug.Deps.Armstrong.holds;
+      Alcotest.(check bool) "transitivity FAILS" false
+        trans.Deps.Armstrong.holds
+  | _ -> Alcotest.fail "expected three verdicts");
+  (* the counterexample is the one constructed above *)
+  match verdicts with
+  | [ _; _; { Deps.Armstrong.counterexample = Some (r, _); _ } ] ->
+      Alcotest.(check bool) "counterexample found in the battery" true
+        (List.exists (Relation.equal r) battery)
+  | _ -> Alcotest.fail "expected a transitivity counterexample"
+
+let test_armstrong_audit_no_conflict () =
+  match
+    Deps.Armstrong.audit Deps.Fd.satisfies_no_conflict battery ~universe
+  with
+  | [ refl; aug; trans ] ->
+      Alcotest.(check bool) "reflexivity holds" true refl.Deps.Armstrong.holds;
+      Alcotest.(check bool) "augmentation holds" true aug.Deps.Armstrong.holds;
+      Alcotest.(check bool) "transitivity FAILS" false trans.Deps.Armstrong.holds
+  | _ -> Alcotest.fail "expected three verdicts"
+
+let test_armstrong_audit_possible_world () =
+  (* The weak (possible-world) notion over tiny domains: reflexivity
+     holds; transitivity fails on the same vacuous-middle battery. *)
+  let tiny _ = Domain.Int_range (0, 1) in
+  let notion r fd_ = Deps.Fd.satisfies_possible ~domains:tiny r fd_ in
+  let small_battery =
+    [
+      rel [ t [ ("A", i 0); ("C", i 0) ]; t [ ("A", i 0); ("C", i 1) ] ];
+      rel [ t [ ("A", i 0); ("B", i 1) ]; t [ ("A", i 0) ] ];
+      Relation.empty;
+    ]
+  in
+  match Deps.Armstrong.audit notion small_battery ~universe with
+  | [ refl; _; trans ] ->
+      Alcotest.(check bool) "reflexivity holds" true refl.Deps.Armstrong.holds;
+      Alcotest.(check bool) "transitivity FAILS" false
+        trans.Deps.Armstrong.holds
+  | _ -> Alcotest.fail "expected three verdicts"
+
+let test_armstrong_classical_on_totals () =
+  (* Restricted to total relations, the classical notion passes the
+     whole audit — the baseline sanity check. *)
+  let totals =
+    [ total_ab; rel [ t [ ("A", i 1); ("B", i 1); ("C", i 1) ] ];
+      Relation.empty ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v.Deps.Armstrong.axiom ^ " holds on totals") true
+        v.Deps.Armstrong.holds)
+    (Deps.Armstrong.audit Deps.Fd.satisfies_classical totals ~universe)
+
+let test_closure_and_keys () =
+  let fds = [ fd [ "A" ] [ "B" ]; fd [ "B" ] [ "C" ] ] in
+  Alcotest.check attr_set "closure of A is ABC" (aset [ "A"; "B"; "C" ])
+    (Deps.Fd.closure fds (aset [ "A" ]));
+  Alcotest.check attr_set "closure of B is BC" (aset [ "B"; "C" ])
+    (Deps.Fd.closure fds (aset [ "B" ]));
+  Alcotest.(check bool) "A -> C implied" true
+    (Deps.Fd.implies fds (fd [ "A" ] [ "C" ]));
+  Alcotest.(check bool) "C -> A not implied" false
+    (Deps.Fd.implies fds (fd [ "C" ] [ "A" ]));
+  Alcotest.(check bool) "A is a key" true
+    (Deps.Fd.is_key fds ~all:universe (aset [ "A" ]));
+  Alcotest.(check (list (list string))) "candidate keys"
+    [ [ "A" ] ]
+    (List.map
+       (fun k -> List.map Attr.name (Attr.Set.elements k))
+       (Deps.Fd.candidate_keys fds ~all:universe))
+
+let test_candidate_keys_composite () =
+  (* AB and C are both keys: A -> C-ish setup. *)
+  let fds = [ fd [ "A"; "B" ] [ "C" ]; fd [ "C" ] [ "A"; "B" ] ] in
+  Alcotest.(check (list (list string))) "two candidate keys"
+    [ [ "A"; "B" ]; [ "C" ] ]
+    (List.map
+       (fun k -> List.map Attr.name (Attr.Set.elements k))
+       (Deps.Fd.candidate_keys fds ~all:universe))
+
+(* ----------------------------- MVDs ------------------------------ *)
+
+let mvd_universe = aset [ "A"; "B"; "C" ]
+
+(* The canonical MVD example: course (A) ->> teacher (B), independent of
+   book (C). *)
+let courses =
+  rel
+    [
+      t [ ("A", i 1); ("B", i 10); ("C", i 100) ];
+      t [ ("A", i 1); ("B", i 20); ("C", i 200) ];
+      t [ ("A", i 1); ("B", i 10); ("C", i 200) ];
+      t [ ("A", i 1); ("B", i 20); ("C", i 100) ];
+    ]
+
+let test_mvd_classical () =
+  Alcotest.(check bool) "A ->> B holds on the full product" true
+    (Deps.Mvd.satisfies_classical ~universe:mvd_universe courses
+       (Deps.Mvd.make [ "A" ] [ "B" ]));
+  (* drop one swap witness and it fails *)
+  let broken =
+    rel
+      [
+        t [ ("A", i 1); ("B", i 10); ("C", i 100) ];
+        t [ ("A", i 1); ("B", i 20); ("C", i 200) ];
+      ]
+  in
+  Alcotest.(check bool) "missing swap detected" false
+    (Deps.Mvd.satisfies_classical ~universe:mvd_universe broken
+       (Deps.Mvd.make [ "A" ] [ "B" ]))
+
+let test_mvd_complement () =
+  let m = Deps.Mvd.make [ "A" ] [ "B" ] in
+  let c = Deps.Mvd.complement ~universe:mvd_universe m in
+  Alcotest.check attr_set "complement rhs" (aset [ "C" ]) c.Deps.Mvd.rhs;
+  (* complementation: satisfaction coincides *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "X ->> Y iff X ->> U-X-Y"
+        (Deps.Mvd.satisfies_classical ~universe:mvd_universe r m)
+        (Deps.Mvd.satisfies_classical ~universe:mvd_universe r c))
+    [
+      courses;
+      rel [ t [ ("A", i 1); ("B", i 10); ("C", i 100) ] ];
+      rel
+        [
+          t [ ("A", i 1); ("B", i 10); ("C", i 100) ];
+          t [ ("A", i 1); ("B", i 20); ("C", i 200) ];
+        ];
+    ]
+
+let test_fd_implies_mvd () =
+  (* On every relation where the FD A -> B holds (classically), the MVD
+     A ->> B holds. *)
+  List.iter
+    (fun r ->
+      if Deps.Fd.satisfies_classical r (fd [ "A" ] [ "B" ]) then
+        Alcotest.(check bool) "FD implies MVD" true
+          (Deps.Mvd.satisfies_classical ~universe:mvd_universe r
+             (Deps.Mvd.of_fd (fd [ "A" ] [ "B" ]))))
+    [
+      total_ab;
+      rel
+        [
+          t [ ("A", i 1); ("B", i 10); ("C", i 100) ];
+          t [ ("A", i 1); ("B", i 10); ("C", i 200) ];
+          t [ ("A", i 2); ("B", i 30); ("C", i 100) ];
+        ];
+    ]
+
+let test_mvd_total_notion_exempts_nulls () =
+  (* A null-bearing tuple neither requires nor provides swaps. *)
+  let with_null = Relation.add (t [ ("A", i 1); ("B", i 30) ]) courses in
+  Alcotest.(check bool) "null tuple exempt under the total notion" true
+    (Deps.Mvd.satisfies_total ~universe:mvd_universe with_null
+       (Deps.Mvd.make [ "A" ] [ "B" ]));
+  Alcotest.(check bool) "classical reading (ni as constant) breaks" false
+    (Deps.Mvd.satisfies_classical ~universe:mvd_universe with_null
+       (Deps.Mvd.make [ "A" ] [ "B" ]))
+
+(* -------------------------- Normalization ------------------------ *)
+
+(* The textbook example: LOT(id, city, lot#, area, price) with
+   id -> everything, city+lot# -> id, area -> price. *)
+let lot_universe = aset [ "ID"; "CITY"; "LOT"; "AREA"; "PRICE" ]
+
+let lot_fds =
+  [
+    fd [ "ID" ] [ "CITY"; "LOT"; "AREA"; "PRICE" ];
+    fd [ "CITY"; "LOT" ] [ "ID" ];
+    fd [ "AREA" ] [ "PRICE" ];
+  ]
+
+let test_bcnf_detection () =
+  Alcotest.(check bool) "LOT is not BCNF (AREA -> PRICE)" false
+    (Deps.Normal.is_bcnf ~fds:lot_fds ~all:lot_universe);
+  (match Deps.Normal.bcnf_violation ~fds:lot_fds ~all:lot_universe lot_fds with
+  | Some v -> Alcotest.check attr_set "the violator" (aset [ "AREA" ]) v.Deps.Fd.lhs
+  | None -> Alcotest.fail "expected a violation");
+  Alcotest.(check bool) "a key-only schema is BCNF" true
+    (Deps.Normal.is_bcnf
+       ~fds:[ fd [ "ID" ] [ "CITY" ] ]
+       ~all:(aset [ "ID"; "CITY" ]))
+
+let test_bcnf_decompose () =
+  let fragments = Deps.Normal.bcnf_decompose ~fds:lot_fds ~all:lot_universe in
+  (* every fragment is BCNF under its projected dependencies *)
+  List.iter
+    (fun frag ->
+      let projected = Deps.Normal.project_fds ~fds:lot_fds ~onto:frag in
+      Alcotest.(check bool)
+        (Nullrel.Pp.to_string Attr.pp_set frag ^ " is BCNF")
+        true
+        (Deps.Normal.is_bcnf ~fds:projected ~all:frag))
+    fragments;
+  (* the fragments cover the universe *)
+  Alcotest.check attr_set "attributes preserved" lot_universe
+    (List.fold_left Attr.Set.union Attr.Set.empty fragments);
+  (* AREA-PRICE was split out *)
+  Alcotest.(check bool) "AREA/PRICE fragment exists" true
+    (List.exists (Attr.Set.equal (aset [ "AREA"; "PRICE" ])) fragments)
+
+let test_lossless_split () =
+  Alcotest.(check bool) "split on AREA -> PRICE is lossless" true
+    (Deps.Normal.lossless_split ~fds:lot_fds
+       (aset [ "AREA"; "PRICE" ])
+       (aset [ "ID"; "CITY"; "LOT"; "AREA" ]));
+  Alcotest.(check bool) "an unguided split is lossy" false
+    (Deps.Normal.lossless_split ~fds:lot_fds
+       (aset [ "CITY"; "PRICE" ])
+       (aset [ "ID"; "LOT"; "AREA" ]))
+
+let test_project_fds () =
+  let projected =
+    Deps.Normal.project_fds ~fds:lot_fds ~onto:(aset [ "AREA"; "PRICE" ])
+  in
+  Alcotest.(check bool) "AREA -> PRICE survives projection" true
+    (Deps.Fd.implies projected (fd [ "AREA" ] [ "PRICE" ]));
+  Alcotest.(check bool) "PRICE -> AREA not invented" false
+    (Deps.Fd.implies projected (fd [ "PRICE" ] [ "AREA" ]))
+
+let suite =
+  [
+    Alcotest.test_case "classical FDs on totals" `Quick
+      test_classical_on_totals;
+    Alcotest.test_case "MVD: classical swap" `Quick test_mvd_classical;
+    Alcotest.test_case "MVD: complementation" `Quick test_mvd_complement;
+    Alcotest.test_case "MVD: FD implies MVD" `Quick test_fd_implies_mvd;
+    Alcotest.test_case "MVD: nulls exempt under total notion" `Quick
+      test_mvd_total_notion_exempts_nulls;
+    Alcotest.test_case "BCNF detection" `Quick test_bcnf_detection;
+    Alcotest.test_case "BCNF decomposition" `Quick test_bcnf_decompose;
+    Alcotest.test_case "lossless split" `Quick test_lossless_split;
+    Alcotest.test_case "FD projection" `Quick test_project_fds;
+    Alcotest.test_case "notions differ on nulls" `Quick
+      test_notions_differ_on_nulls;
+    Alcotest.test_case "possible-world satisfaction" `Quick
+      test_possible_world_notion;
+    Alcotest.test_case "Armstrong audit: total notion" `Quick
+      test_armstrong_audit_total;
+    Alcotest.test_case "Armstrong audit: no-conflict notion" `Quick
+      test_armstrong_audit_no_conflict;
+    Alcotest.test_case "Armstrong audit: possible-world notion" `Quick
+      test_armstrong_audit_possible_world;
+    Alcotest.test_case "Armstrong audit: classical on totals" `Quick
+      test_armstrong_classical_on_totals;
+    Alcotest.test_case "closure, implication, keys" `Quick
+      test_closure_and_keys;
+    Alcotest.test_case "composite candidate keys" `Quick
+      test_candidate_keys_composite;
+  ]

@@ -1,0 +1,233 @@
+(* QUEL update statements: parsing and Section 7 execution semantics. *)
+
+open Nullrel
+open Helpers
+
+let fresh_catalog () =
+  Storage.Catalog.add Storage.Catalog.empty Paperdata.Fixtures.emp_schema_v2
+    Paperdata.Fixtures.emp
+
+let emp_of cat = Storage.Catalog.relation cat "EMP"
+
+(* ------------------------- parsing ------------------------ *)
+
+let test_parse_statements () =
+  (match Quel.Parser.parse_statement "range of e is EMP retrieve (e.NAME)" with
+  | Quel.Ast.Retrieve _ -> ()
+  | _ -> Alcotest.fail "expected retrieve");
+  (match
+     Quel.Parser.parse_statement "append to EMP (E# = 1, NAME = \"X\")"
+   with
+  | Quel.Ast.Append { rel = "EMP"; values = [ ("E#", Value.Int 1); ("NAME", Value.Str "X") ] } ->
+      ()
+  | _ -> Alcotest.fail "expected append");
+  (match
+     Quel.Parser.parse_statement
+       "range of e is EMP delete e where e.E# = 1120"
+   with
+  | Quel.Ast.Delete { var = "e"; rel = "EMP"; where = Some _ } -> ()
+  | _ -> Alcotest.fail "expected delete");
+  match
+    Quel.Parser.parse_statement
+      "range of e is EMP replace e (TEL# = 2631111) where e.E# = 1120"
+  with
+  | Quel.Ast.Replace { var = "e"; rel = "EMP"; values = [ ("TEL#", Value.Int 2631111) ]; where = Some _ } ->
+      ()
+  | _ -> Alcotest.fail "expected replace"
+
+let test_parse_statement_errors () =
+  let fails src =
+    try
+      ignore (Quel.Parser.parse_statement src);
+      false
+    with Quel.Parser.Error _ -> true
+  in
+  Alcotest.(check bool) "delete without range" true (fails "delete e");
+  Alcotest.(check bool) "mismatched delete variable" true
+    (fails "range of e is EMP delete f");
+  Alcotest.(check bool) "two ranges for replace" true
+    (fails "range of e is EMP range of f is EMP replace e (A = 1)");
+  Alcotest.(check bool) "append without assignments" true
+    (fails "append to EMP");
+  Alcotest.(check bool) "assignment needs a literal" true
+    (fails "append to EMP (A = e.B)")
+
+let test_statement_pp_roundtrip () =
+  List.iter
+    (fun src ->
+      let st = Quel.Parser.parse_statement src in
+      let printed = Nullrel.Pp.to_string Quel.Ast.pp_statement st in
+      Alcotest.(check bool) (src ^ " roundtrips") true
+        (Quel.Parser.parse_statement printed = st))
+    [
+      "append to EMP (E# = 1, NAME = \"X\")";
+      "range of e is EMP delete e where e.E# = 1120";
+      "range of e is EMP replace e (TEL# = 5) where e.SEX = \"F\"";
+      "range of e is EMP retrieve (e.NAME) where e.E# > 2000";
+    ]
+
+(* ------------------------ execution ----------------------- *)
+
+let test_append () =
+  let cat = fresh_catalog () in
+  let outcome =
+    Dml.exec_string cat
+      "append to EMP (E# = 9999, NAME = \"NEW\", SEX = \"F\")"
+  in
+  Alcotest.(check string) "message" "1 tuple appended" outcome.Dml.message;
+  let updated = emp_of outcome.Dml.catalog in
+  Alcotest.(check int) "four employees" 4 (Xrel.cardinal updated);
+  Alcotest.(check bool) "monotone" true
+    (Xrel.properly_contains updated Paperdata.Fixtures.emp)
+
+let test_append_absorbs () =
+  let cat = fresh_catalog () in
+  (* Learning BROWN's TEL# replaces her old, less informative row. *)
+  let outcome =
+    Dml.exec_string cat
+      "append to EMP (E# = 4335, NAME = \"BROWN\", SEX = \"F\", MGR# = 2235, \
+       TEL# = 2639452)"
+  in
+  let updated = emp_of outcome.Dml.catalog in
+  Alcotest.(check int) "still three employees" 3 (Xrel.cardinal updated);
+  Alcotest.(check bool) "strictly more informative" true
+    (Xrel.properly_contains updated Paperdata.Fixtures.emp)
+
+let test_append_guards () =
+  let cat = fresh_catalog () in
+  Alcotest.(check bool) "unknown attribute" true
+    (try
+       ignore (Dml.exec_string cat "append to EMP (NOPE = 1)");
+       false
+     with Dml.Error _ -> true);
+  Alcotest.(check bool) "unknown relation" true
+    (try
+       ignore (Dml.exec_string cat "append to NOPE (A = 1)");
+       false
+     with Dml.Error _ -> true);
+  (* A key violation aborts: the catalog is unchanged. *)
+  Alcotest.(check bool) "duplicate key rejected" true
+    (try
+       ignore (Dml.exec_string cat "append to EMP (E# = 1120, NAME = \"DUP\")");
+       false
+     with Storage.Catalog.Violation _ -> true)
+
+let test_delete () =
+  let cat = fresh_catalog () in
+  let outcome =
+    Dml.exec_string cat "range of e is EMP delete e where e.SEX = \"M\""
+  in
+  Alcotest.(check string) "message" "2 tuples deleted" outcome.Dml.message;
+  check_xrel "only BROWN remains"
+    (x
+       [
+         t [ ("E#", i 4335); ("NAME", s "BROWN"); ("SEX", s "F"); ("MGR#", i 2235) ];
+       ])
+    (emp_of outcome.Dml.catalog)
+
+let test_delete_never_touches_null_rows () =
+  (* The lower-bound discipline: a tuple whose TEL# is unknown is never
+     deleted by a TEL#-based condition. *)
+  let cat = fresh_catalog () in
+  let outcome =
+    Dml.exec_string cat "range of e is EMP delete e where e.TEL# < 9999999"
+  in
+  Alcotest.(check string) "nothing surely matches" "0 tuples deleted"
+    outcome.Dml.message;
+  check_xrel "unchanged" Paperdata.Fixtures.emp (emp_of outcome.Dml.catalog)
+
+let test_delete_all () =
+  let cat = fresh_catalog () in
+  let outcome = Dml.exec_string cat "range of e is EMP delete e" in
+  Alcotest.(check string) "all deleted" "3 tuples deleted" outcome.Dml.message;
+  Alcotest.(check bool) "empty" true
+    (Xrel.is_empty (emp_of outcome.Dml.catalog))
+
+let test_replace () =
+  let cat = fresh_catalog () in
+  let outcome =
+    Dml.exec_string cat
+      "range of e is EMP replace e (TEL# = 2631111) where e.E# = 1120"
+  in
+  Alcotest.(check string) "message" "1 tuple replaced" outcome.Dml.message;
+  let updated = emp_of outcome.Dml.catalog in
+  Alcotest.(check bool) "SMITH now has a TEL#" true
+    (Xrel.x_mem
+       (t
+          [
+            ("E#", i 1120); ("NAME", s "SMITH"); ("SEX", s "M");
+            ("MGR#", i 2235); ("TEL#", i 2631111);
+          ])
+       updated);
+  Alcotest.(check bool) "replacement added information" true
+    (Xrel.properly_contains updated Paperdata.Fixtures.emp)
+
+let test_replace_qualification_scope () =
+  let cat = fresh_catalog () in
+  Alcotest.(check bool) "foreign variable rejected" true
+    (try
+       ignore
+         (Dml.exec_string cat
+            "range of e is EMP replace e (TEL# = 1) where f.E# = 1");
+       false
+     with Dml.Error _ -> true)
+
+let test_retrieve_statement () =
+  let cat = fresh_catalog () in
+  let outcome =
+    Dml.exec_string cat "range of e is EMP retrieve (e.NAME) where e.SEX = \"F\""
+  in
+  match outcome.Dml.result with
+  | Some result ->
+      check_xrel "retrieve works through exec"
+        (x [ t [ ("NAME", s "BROWN") ] ])
+        result.Quel.Eval.rel
+  | None -> Alcotest.fail "expected a result table"
+
+let test_through_the_shell () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullrel_dml_%d" (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Storage.Persist.save ~dir (fresh_catalog ());
+      let feed st line = fst (Shell.exec st line) in
+      let st = feed Shell.initial (".open " ^ dir) in
+      let st = feed st "range of e is EMP delete e where e.E# = 8799" in
+      let st, out = Shell.exec st "range of e is EMP retrieve (e.NAME)" in
+      ignore st;
+      let contains needle =
+        let nh = String.length out and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "GREEN deleted via the shell" true
+        (contains "SMITH" && contains "BROWN" && not (contains "GREEN")))
+
+let suite =
+  [
+    Alcotest.test_case "statement parsing" `Quick test_parse_statements;
+    Alcotest.test_case "statement parse errors" `Quick
+      test_parse_statement_errors;
+    Alcotest.test_case "statement pp roundtrip" `Quick
+      test_statement_pp_roundtrip;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "append absorbs" `Quick test_append_absorbs;
+    Alcotest.test_case "append guards" `Quick test_append_guards;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "delete spares null rows" `Quick
+      test_delete_never_touches_null_rows;
+    Alcotest.test_case "delete all" `Quick test_delete_all;
+    Alcotest.test_case "replace" `Quick test_replace;
+    Alcotest.test_case "replace qualification scope" `Quick
+      test_replace_qualification_scope;
+    Alcotest.test_case "retrieve through exec" `Quick test_retrieve_statement;
+    Alcotest.test_case "DML through the shell" `Quick test_through_the_shell;
+  ]

@@ -1,0 +1,65 @@
+(* Attribute domains: finiteness, enumeration, membership. *)
+
+open Nullrel
+open Helpers
+
+let test_finiteness () =
+  Alcotest.(check bool) "range finite" true (Domain.is_finite (Domain.Int_range (0, 5)));
+  Alcotest.(check bool) "enum finite" true (Domain.is_finite (Domain.Enum [ "a" ]));
+  Alcotest.(check bool) "bools finite" true (Domain.is_finite Domain.Bools);
+  Alcotest.(check bool) "ints infinite" false (Domain.is_finite Domain.Ints);
+  Alcotest.(check bool) "floats infinite" false (Domain.is_finite Domain.Floats);
+  Alcotest.(check bool) "strings infinite" false (Domain.is_finite Domain.Strings)
+
+let test_cardinal () =
+  Alcotest.(check (option int)) "range" (Some 6) (Domain.cardinal (Domain.Int_range (0, 5)));
+  Alcotest.(check (option int)) "singleton" (Some 1) (Domain.cardinal (Domain.Int_range (3, 3)));
+  Alcotest.(check (option int)) "empty range" (Some 0) (Domain.cardinal (Domain.Int_range (5, 0)));
+  Alcotest.(check (option int)) "enum" (Some 2) (Domain.cardinal (Domain.Enum [ "a"; "b" ]));
+  Alcotest.(check (option int)) "bools" (Some 2) (Domain.cardinal Domain.Bools);
+  Alcotest.(check (option int)) "ints" None (Domain.cardinal Domain.Ints)
+
+let test_members () =
+  Alcotest.(check (list value)) "range members" [ i 2; i 3; i 4 ]
+    (Domain.members (Domain.Int_range (2, 4)));
+  Alcotest.(check (list value)) "enum members" [ s "x"; s "y" ]
+    (Domain.members (Domain.Enum [ "x"; "y" ]));
+  Alcotest.(check (list value)) "bool members"
+    [ Value.Bool false; Value.Bool true ]
+    (Domain.members Domain.Bools);
+  Alcotest.(check (list value)) "empty range members" []
+    (Domain.members (Domain.Int_range (1, 0)));
+  Alcotest.check_raises "infinite enumeration" (Domain.Infinite "Ints")
+    (fun () -> ignore (Domain.members Domain.Ints))
+
+let test_mem () =
+  Alcotest.(check bool) "in range" true (Domain.mem (i 3) (Domain.Int_range (0, 5)));
+  Alcotest.(check bool) "below range" false (Domain.mem (i (-1)) (Domain.Int_range (0, 5)));
+  Alcotest.(check bool) "above range" false (Domain.mem (i 6) (Domain.Int_range (0, 5)));
+  Alcotest.(check bool) "any int in Ints" true (Domain.mem (i 12345) Domain.Ints);
+  Alcotest.(check bool) "enum member" true (Domain.mem (s "M") (Domain.Enum [ "M"; "F" ]));
+  Alcotest.(check bool) "enum non-member" false (Domain.mem (s "X") (Domain.Enum [ "M"; "F" ]));
+  Alcotest.(check bool) "type mismatch" false (Domain.mem (s "3") (Domain.Int_range (0, 5)));
+  Alcotest.(check bool) "null in no domain" false (Domain.mem Value.Null Domain.Ints);
+  Alcotest.(check bool) "null not in enum" false
+    (Domain.mem Value.Null (Domain.Enum [ "-" ]))
+
+let test_members_consistent_with_mem () =
+  List.iter
+    (fun dom ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "every member is a member" true
+            (Domain.mem v dom))
+        (Domain.members dom))
+    [ Domain.Int_range (-2, 3); Domain.Enum [ "a"; "b"; "c" ]; Domain.Bools ]
+
+let suite =
+  [
+    Alcotest.test_case "finiteness" `Quick test_finiteness;
+    Alcotest.test_case "cardinal" `Quick test_cardinal;
+    Alcotest.test_case "members" `Quick test_members;
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "members consistent with mem" `Quick
+      test_members_consistent_with_mem;
+  ]

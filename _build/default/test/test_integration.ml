@@ -1,0 +1,275 @@
+(* End-to-end integration: a three-relation suppliers/parts/shipments
+   database with nulls, exercised through the catalog, integrity
+   checking, both query evaluators, the planner, updates, persistence
+   and the shell — the workflow a downstream user would run. *)
+
+open Nullrel
+open Helpers
+
+(* ------------------------- the database -------------------------- *)
+
+let suppliers_schema =
+  Schema.make "S" ~key:[ "S#" ]
+    [
+      ("S#", Domain.Strings);
+      ("SNAME", Domain.Strings);
+      ("STATUS", Domain.Int_range (0, 100));
+      ("CITY", Domain.Enum [ "London"; "Paris"; "Athens" ]);
+    ]
+
+let parts_schema =
+  Schema.make "P" ~key:[ "P#" ]
+    [
+      ("P#", Domain.Strings);
+      ("PNAME", Domain.Strings);
+      ("COLOR", Domain.Enum [ "Red"; "Green"; "Blue" ]);
+      ("WEIGHT", Domain.Int_range (1, 100));
+    ]
+
+let shipments_schema =
+  Schema.make "SP" ~key:[ "S#"; "P#" ]
+    ~foreign_keys:
+      [ ([ "S#" ], "S", [ "S#" ]); ([ "P#" ], "P", [ "P#" ]) ]
+    [ ("S#", Domain.Strings); ("P#", Domain.Strings); ("QTY", Domain.Ints) ]
+
+let suppliers =
+  x
+    [
+      t [ ("S#", s "s1"); ("SNAME", s "Smith"); ("STATUS", i 20); ("CITY", s "London") ];
+      t [ ("S#", s "s2"); ("SNAME", s "Jones"); ("STATUS", i 10); ("CITY", s "Paris") ];
+      t [ ("S#", s "s3"); ("SNAME", s "Blake"); ("STATUS", i 30) ];
+      (* city unknown *)
+      t [ ("S#", s "s4"); ("SNAME", s "Clark"); ("CITY", s "London") ];
+      (* status unknown *)
+    ]
+
+let parts =
+  x
+    [
+      t [ ("P#", s "p1"); ("PNAME", s "Nut"); ("COLOR", s "Red"); ("WEIGHT", i 12) ];
+      t [ ("P#", s "p2"); ("PNAME", s "Bolt"); ("COLOR", s "Green"); ("WEIGHT", i 17) ];
+      t [ ("P#", s "p3"); ("PNAME", s "Screw"); ("WEIGHT", i 17) ];
+      (* color unknown *)
+      t [ ("P#", s "p4"); ("PNAME", s "Cam"); ("COLOR", s "Red") ];
+      (* weight unknown *)
+    ]
+
+let shipments =
+  x
+    [
+      t [ ("S#", s "s1"); ("P#", s "p1"); ("QTY", i 300) ];
+      t [ ("S#", s "s1"); ("P#", s "p2"); ("QTY", i 200) ];
+      t [ ("S#", s "s1"); ("P#", s "p3") ];
+      (* quantity unknown *)
+      t [ ("S#", s "s2"); ("P#", s "p1"); ("QTY", i 300) ];
+      t [ ("S#", s "s2"); ("P#", s "p2"); ("QTY", i 400) ];
+      t [ ("S#", s "s3"); ("P#", s "p2"); ("QTY", i 200) ];
+      t [ ("S#", s "s4"); ("P#", s "p4"); ("QTY", i 100) ];
+    ]
+
+let catalog =
+  List.fold_left
+    (fun cat (schema, x_) -> Storage.Catalog.add cat schema x_)
+    Storage.Catalog.empty
+    [
+      (suppliers_schema, suppliers);
+      (parts_schema, parts);
+      (shipments_schema, shipments);
+    ]
+
+let db = Storage.Catalog.to_db catalog
+
+(* --------------------------- checks ------------------------------ *)
+
+let test_integrity () =
+  Alcotest.(check int) "no reference violations" 0
+    (List.length (Storage.Catalog.check_references catalog));
+  (* Break a reference and see it flagged. *)
+  let broken =
+    Storage.Catalog.set_relation catalog "SP"
+      (Storage.Update.insert shipments
+         [ t [ ("S#", s "s9"); ("P#", s "p1"); ("QTY", i 5) ] ])
+  in
+  Alcotest.(check int) "dangling supplier flagged" 1
+    (List.length (Storage.Catalog.check_references broken))
+
+let run src = (Quel.Eval.run db (Quel.Parser.parse src)).Quel.Eval.rel
+let run_planned src = (Plan.Compile.run db (Quel.Parser.parse src)).Quel.Eval.rel
+
+let queries_and_answers =
+  [
+    ( (* simple select with a null column: s4's status is unknown *)
+      "range of u is S retrieve (u.S#) where u.STATUS >= 20",
+      [ t [ ("S#", s "s1") ]; t [ ("S#", s "s3") ] ] );
+    ( (* join through shipments: suppliers of red parts, for sure *)
+      "range of sp is SP range of p is P retrieve (sp.S#) \
+       where sp.P# = p.P# and p.COLOR = \"Red\"",
+      [ t [ ("S#", s "s1") ]; t [ ("S#", s "s2") ]; t [ ("S#", s "s4") ] ] );
+    ( (* three-way join with two qualifications *)
+      "range of u is S range of sp is SP range of p is P \
+       retrieve (u.SNAME, p.PNAME) \
+       where u.S# = sp.S# and sp.P# = p.P# and u.CITY = \"London\" \
+       and p.WEIGHT >= 15",
+      [ t [ ("SNAME", s "Smith"); ("PNAME", s "Bolt") ];
+        t [ ("SNAME", s "Smith"); ("PNAME", s "Screw") ] ] );
+    ( (* null QTY never sure: which shipments surely exceed 250? *)
+      "range of sp is SP retrieve (sp.S#, sp.P#) where sp.QTY > 250",
+      [ t [ ("S#", s "s1"); ("P#", s "p1") ];
+        t [ ("S#", s "s2"); ("P#", s "p1") ];
+        t [ ("S#", s "s2"); ("P#", s "p2") ] ] );
+  ]
+
+let test_queries_interpreter () =
+  List.iter
+    (fun (src, expected) -> check_xrel src (x expected) (run src))
+    queries_and_answers
+
+let test_queries_planner_agrees () =
+  List.iter
+    (fun (src, _) -> check_xrel src (run src) (run_planned src))
+    queries_and_answers
+
+let test_division_who_supplies_everything_red () =
+  (* Suppliers supplying, for sure, every red part. *)
+  let red_parts =
+    Algebra.project (aset [ "P#" ])
+      (Algebra.select_ak (a_ "COLOR") Predicate.Eq (s "Red") parts)
+  in
+  check_xrel "red parts" (x [ t [ ("P#", s "p1") ]; t [ ("P#", s "p4") ] ])
+    red_parts;
+  let quotient =
+    Algebra.divide (aset [ "S#" ])
+      (Algebra.project (aset [ "S#"; "P#" ]) shipments)
+      red_parts
+  in
+  (* Nobody ships both p1 and p4 for sure. *)
+  check_xrel "no supplier covers all red parts" Xrel.bottom quotient;
+  (* Whereas every supplier of p2 (green) alone: *)
+  let green = x [ t [ ("P#", s "p2") ] ] in
+  check_xrel "suppliers of every green part"
+    (x [ t [ ("S#", s "s1") ]; t [ ("S#", s "s2") ]; t [ ("S#", s "s3") ] ])
+    (Algebra.divide (aset [ "S#" ])
+       (Algebra.project (aset [ "S#"; "P#" ]) shipments)
+       green)
+
+let test_outer_join_report () =
+  (* A supplier report that keeps the supplier even when no shipment is
+     known: union-join of S and SP on S#. *)
+  let report = Algebra.union_join (aset [ "S#" ]) suppliers shipments in
+  Alcotest.(check bool) "every supplier is represented" true
+    (Xrel.contains report suppliers);
+  (* Hash-based physical operator agrees. *)
+  check_xrel "hash union-join agrees" report
+    (Storage.Join.hash_union_join (aset [ "S#" ]) suppliers shipments)
+
+let test_update_workflow () =
+  (* Blake's city becomes known: strictly more information. *)
+  let learned =
+    Storage.Update.modify
+      ~where:(Predicate.cmp_const "S#" Predicate.Eq (s "s3"))
+      ~using:(fun r -> Tuple.set r (a_ "CITY") (s "Athens"))
+      suppliers
+  in
+  Alcotest.(check bool) "strictly more informative" true
+    (Xrel.properly_contains learned suppliers);
+  (* The updated relation still satisfies the schema. *)
+  Alcotest.(check int) "still valid" 0
+    (List.length (Schema.check suppliers_schema learned));
+  (* Deleting Paris suppliers: only sure matches go. *)
+  let pruned =
+    Storage.Update.delete_where
+      (Predicate.cmp_const "CITY" Predicate.Eq (s "Paris"))
+      learned
+  in
+  Alcotest.(check int) "one supplier deleted" 3 (Xrel.cardinal pruned)
+
+let test_bounds_ordering () =
+  (* lower <= upper on every query of the battery. *)
+  List.iter
+    (fun (src, _) ->
+      let q = Quel.Parser.parse src in
+      let lower = (Quel.Eval.run db q).Quel.Eval.rel in
+      let upper = (Quel.Eval.run_upper db q).Quel.Eval.rel in
+      Alcotest.(check bool) (src ^ ": lower <= upper") true
+        (Xrel.contains upper lower))
+    queries_and_answers;
+  (* And on the QTY query the unknown shipment appears in the upper
+     bound only. *)
+  let q = Quel.Parser.parse
+      "range of sp is SP retrieve (sp.S#, sp.P#) where sp.QTY > 250"
+  in
+  let upper = (Quel.Eval.run_upper db q).Quel.Eval.rel in
+  Alcotest.(check bool) "possible shipment included above" true
+    (Xrel.x_mem (t [ ("S#", s "s1"); ("P#", s "p3") ]) upper)
+
+let test_persistence_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullrel_spj_%d" (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Storage.Persist.save ~dir catalog;
+      let back = Storage.Persist.load ~dir in
+      Alcotest.(check int) "references intact after reload" 0
+        (List.length (Storage.Catalog.check_references back));
+      (* the reloaded database answers the battery identically *)
+      let db' = Storage.Catalog.to_db back in
+      List.iter
+        (fun (src, _) ->
+          check_xrel (src ^ " after reload")
+            (run src)
+            (Quel.Eval.run db' (Quel.Parser.parse src)).Quel.Eval.rel)
+        queries_and_answers)
+
+let test_through_the_shell () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullrel_spj_shell_%d" (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Storage.Persist.save ~dir catalog;
+      let st, _ = Shell.exec Shell.initial (".open " ^ dir) in
+      let _, out =
+        Shell.exec st
+          "range of sp is SP range of p is P retrieve (sp.S#) \
+           where sp.P# = p.P# and p.COLOR = \"Red\""
+      in
+      let contains needle =
+        let nh = String.length out and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "shell answers the join" true
+        (contains "s1" && contains "s2" && contains "s4"
+        && not (contains "s3")))
+
+let suite =
+  [
+    Alcotest.test_case "integrity across relations" `Quick test_integrity;
+    Alcotest.test_case "query battery (interpreter)" `Quick
+      test_queries_interpreter;
+    Alcotest.test_case "query battery (planner agrees)" `Quick
+      test_queries_planner_agrees;
+    Alcotest.test_case "division report" `Quick
+      test_division_who_supplies_everything_red;
+    Alcotest.test_case "outer-join report" `Quick test_outer_join_report;
+    Alcotest.test_case "update workflow" `Quick test_update_workflow;
+    Alcotest.test_case "bounds ordering" `Quick test_bounds_ordering;
+    Alcotest.test_case "persistence roundtrip" `Quick
+      test_persistence_roundtrip;
+    Alcotest.test_case "through the shell" `Quick test_through_the_shell;
+  ]

@@ -1,0 +1,168 @@
+(* Marked nulls (Section 2's discussion): "Bob Smith's manager is a
+   woman" — selection treats the mark as unknown, join treats it as a
+   value, and resolving the mark updates every occurrence at once. *)
+
+open Nullrel
+open Helpers
+
+let mv v = Marked.Mvalue.const v
+let mrel = Alcotest.testable Marked.Mrel.pp (fun a b ->
+    Marked.Mrel.cardinal a = Marked.Mrel.cardinal b
+    && List.for_all2 Marked.Mtuple.equal (Marked.Mrel.to_list a)
+         (Marked.Mrel.to_list b))
+
+(* The unknown manager: one mark, two occurrences. *)
+let omega = Marked.Mvalue.mark_of_int 101
+let m_omega = Marked.Mvalue.marked omega
+
+let emp =
+  Marked.Mrel.of_list
+    [
+      (* Bob Smith, whose manager is the unknown individual. *)
+      Marked.Mtuple.of_strings
+        [ ("E#", mv (i 1120)); ("NAME", mv (s "SMITH")); ("SEX", mv (s "M"));
+          ("MGR#", m_omega) ];
+      (* The unknown individual herself: number unknown, sex known. *)
+      Marked.Mtuple.of_strings
+        [ ("E#", m_omega); ("SEX", mv (s "F")) ];
+      (* An unrelated, fully known employee. *)
+      Marked.Mtuple.of_strings
+        [ ("E#", mv (i 4335)); ("NAME", mv (s "BROWN")); ("SEX", mv (s "F"));
+          ("MGR#", mv (i 2235)) ];
+    ]
+
+let test_value_disciplines () =
+  let other = Marked.Mvalue.marked (Marked.Mvalue.mark_of_int 102) in
+  (* Selection: unknown. *)
+  check_tvl "mark vs constant is ni" Tvl.Ni
+    (Marked.Mvalue.select_eq3 m_omega (mv (i 2235)));
+  check_tvl "same mark is certainly equal" Tvl.True
+    (Marked.Mvalue.select_eq3 m_omega m_omega);
+  check_tvl "different marks are ni" Tvl.Ni
+    (Marked.Mvalue.select_eq3 m_omega other);
+  check_tvl "plain null is ni" Tvl.Ni
+    (Marked.Mvalue.select_eq3 (mv Value.Null) (mv (i 1)));
+  (* Join: a regular nonnull value. *)
+  Alcotest.(check bool) "mark joins itself" true
+    (Marked.Mvalue.join_matches m_omega m_omega);
+  Alcotest.(check bool) "mark does not join a constant" false
+    (Marked.Mvalue.join_matches m_omega (mv (i 2235)));
+  Alcotest.(check bool) "mark does not join another mark" false
+    (Marked.Mvalue.join_matches m_omega other);
+  Alcotest.(check bool) "plain null joins nothing" false
+    (Marked.Mvalue.join_matches (mv Value.Null) (mv Value.Null))
+
+let test_select_is_unknown () =
+  (* Who has employee number 1120? Only Smith — the marked tuple does
+     not qualify for any constant. *)
+  let result = Marked.Mrel.select_eq (a_ "E#") (mv (i 1120)) emp in
+  Alcotest.(check int) "one certain answer" 1 (Marked.Mrel.cardinal result);
+  (* Who is the unknown individual? Selecting on the mark itself finds
+     her for sure. *)
+  let by_mark = Marked.Mrel.select_eq (a_ "E#") m_omega emp in
+  Alcotest.(check int) "the marked tuple is certain of itself" 1
+    (Marked.Mrel.cardinal by_mark)
+
+let test_join_links_occurrences () =
+  (* Join employees to their managers: e.MGR# = m.E#.  Rename the
+     manager side first. *)
+  let rename_mgr tu =
+    Marked.Mtuple.of_list
+      (List.map
+         (fun (a, v) -> (Attr.make ("M_" ^ Attr.name a), v))
+         (Marked.Mtuple.to_list tu))
+  in
+  let managers = Marked.Mrel.of_list (List.map rename_mgr (Marked.Mrel.to_list emp)) in
+  (* Build pairs where MGR# join-matches M_E#. *)
+  let pairs =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (fun m ->
+            if
+              Marked.Mvalue.join_matches
+                (Marked.Mtuple.get e (a_ "MGR#"))
+                (Marked.Mtuple.get m (a_ "M_E#"))
+            then Marked.Mtuple.join_on Attr.Set.empty e m
+            else None)
+          (Marked.Mrel.to_list managers))
+      (Marked.Mrel.to_list emp)
+  in
+  (* Smith joins the marked manager (mark matches mark); nobody joins
+     Brown's manager 2235 because no tuple carries E# = 2235. *)
+  Alcotest.(check int) "exactly Smith finds his manager" 1 (List.length pairs);
+  match pairs with
+  | [ joined ] ->
+      Alcotest.(check string) "the pair is Smith + the woman" "SMITH"
+        (match Marked.Mtuple.get joined (a_ "NAME") with
+        | Marked.Mvalue.Const (Value.Str n) -> n
+        | _ -> "?");
+      check_tvl "and her sex is F, for sure" Tvl.True
+        (Marked.Mvalue.select_eq3
+           (Marked.Mtuple.get joined (a_ "M_SEX"))
+           (mv (s "F")))
+  | _ -> Alcotest.fail "expected exactly one joined tuple"
+
+let test_to_plain_is_sound () =
+  (* Forgetting marks yields the paper's model: both occurrences of the
+     mark become ni, and the F-row collapses to (SEX=F). *)
+  let plain = Marked.Mrel.to_plain emp in
+  Alcotest.(check bool) "Smith's MGR# became ni" true
+    (Relation.mem
+       (t [ ("E#", i 1120); ("NAME", s "SMITH"); ("SEX", s "M") ])
+       plain);
+  Alcotest.(check bool) "the woman's row became (SEX=F)" true
+    (Relation.mem (t [ ("SEX", s "F") ]) plain)
+
+let test_instantiate_links () =
+  (* Learning that the unknown manager is 2235 updates BOTH
+     occurrences — exactly what plain ni cannot do. *)
+  let valuation m = if m = omega then Some (i 2235) else None in
+  let resolved = Marked.Mrel.instantiate valuation emp in
+  let plain = Marked.Mrel.to_plain resolved in
+  Alcotest.(check bool) "Smith's manager is now 2235" true
+    (Relation.mem
+       (t [ ("E#", i 1120); ("NAME", s "SMITH"); ("SEX", s "M"); ("MGR#", i 2235) ])
+       plain);
+  Alcotest.(check bool) "the woman now has E# 2235" true
+    (Relation.mem (t [ ("E#", i 2235); ("SEX", s "F") ]) plain);
+  (* Unbound marks survive instantiation. *)
+  let untouched = Marked.Mrel.instantiate (fun _ -> None) emp in
+  Alcotest.check mrel "no-op valuation" emp untouched
+
+let test_marks_listing () =
+  Alcotest.(check (list int)) "one mark in play" [ 101 ]
+    (List.map
+       (fun (m : Marked.Mvalue.mark) -> (m :> int))
+       (Marked.Mrel.marks emp))
+
+let test_equijoin_mrel () =
+  (* The packaged equijoin over a shared column. *)
+  let left =
+    Marked.Mrel.of_list
+      [ Marked.Mtuple.of_strings [ ("K", m_omega); ("L", mv (s "left")) ] ]
+  in
+  let right =
+    Marked.Mrel.of_list
+      [
+        Marked.Mtuple.of_strings [ ("K", m_omega); ("R", mv (s "right")) ];
+        Marked.Mtuple.of_strings [ ("K", mv (i 7)); ("R", mv (s "other")) ];
+      ]
+  in
+  let joined = Marked.Mrel.equijoin (aset [ "K" ]) left right in
+  Alcotest.(check int) "mark-to-mark join only" 1 (Marked.Mrel.cardinal joined)
+
+let suite =
+  [
+    Alcotest.test_case "value disciplines" `Quick test_value_disciplines;
+    Alcotest.test_case "selection treats marks as unknown" `Quick
+      test_select_is_unknown;
+    Alcotest.test_case "join links occurrences" `Quick
+      test_join_links_occurrences;
+    Alcotest.test_case "forgetting marks is sound" `Quick
+      test_to_plain_is_sound;
+    Alcotest.test_case "instantiation updates all occurrences" `Quick
+      test_instantiate_links;
+    Alcotest.test_case "marks listing" `Quick test_marks_listing;
+    Alcotest.test_case "equijoin over marks" `Quick test_equijoin_mrel;
+  ]

@@ -1,0 +1,83 @@
+(* Table rendering: the paper's "-" convention, alignment, footers. *)
+
+open Nullrel
+open Helpers
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_rendering () =
+  let out =
+    Nullrel.Pp.to_string (Nullrel.Pp.table_of_schema emp_schema_v2) emp_table2
+  in
+  Alcotest.(check bool) "title present" true (contains out "EMP");
+  let lines = String.split_on_char '\n' out in
+  let data_lines =
+    List.filter
+      (fun l -> List.exists (contains l) [ "SMITH"; "BROWN"; "GREEN" ])
+      lines
+  in
+  Alcotest.(check int) "three data rows" 3 (List.length data_lines);
+  (* Every data row renders the null TEL# as a trailing dash. *)
+  List.iter
+    (fun l ->
+      let trimmed = String.trim l in
+      Alcotest.(check bool) "row ends with the null dash" true
+        (String.length trimmed > 0
+        && trimmed.[String.length trimmed - 1] = '-'))
+    data_lines
+
+let test_alignment () =
+  let out =
+    Nullrel.Pp.to_string
+      (Nullrel.Pp.table_s [ "NAME"; "E#" ])
+      (x [ t [ ("NAME", s "A"); ("E#", i 1) ]; t [ ("NAME", s "LONGNAME"); ("E#", i 2) ] ])
+  in
+  let lines =
+    List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' out)
+  in
+  (* Header, separator and both rows share one width. *)
+  match lines with
+  | header :: sep :: rows ->
+      List.iter
+        (fun row ->
+          Alcotest.(check int) "consistent row width" (String.length sep)
+            (String.length (Printf.sprintf "%-*s" (String.length sep) row)))
+        rows;
+      Alcotest.(check bool) "separator is dashes" true
+        (String.for_all (fun c -> c = '-' || c = ' ') sep);
+      Alcotest.(check bool) "header labels present" true
+        (contains header "NAME" && contains header "E#")
+  | _ -> Alcotest.fail "expected at least header and separator"
+
+let test_tuple_count_line () =
+  let out = Nullrel.Pp.to_string (Nullrel.Pp.table_s [ "S#"; "P#" ]) ps in
+  Alcotest.(check bool) "count footer" true (contains out "(5 tuples)");
+  let one =
+    Nullrel.Pp.to_string (Nullrel.Pp.table_s [ "A" ]) (x [ t [ ("A", i 1) ] ])
+  in
+  Alcotest.(check bool) "singular footer" true (contains one "(1 tuple)")
+
+let test_empty_table () =
+  let out = Nullrel.Pp.to_string (Nullrel.Pp.table_s [ "A"; "B" ]) Xrel.bottom in
+  Alcotest.(check bool) "header still there" true (contains out "A");
+  Alcotest.(check bool) "zero count" true (contains out "(0 tuples)")
+
+let test_custom_title () =
+  let out =
+    Nullrel.Pp.to_string
+      (Nullrel.Pp.table_of_schema ~title:"Table I" emp_schema_v1)
+      emp_table1
+  in
+  Alcotest.(check bool) "custom title wins" true (contains out "Table I")
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "column alignment" `Quick test_alignment;
+    Alcotest.test_case "tuple count footer" `Quick test_tuple_count_line;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+    Alcotest.test_case "custom title" `Quick test_custom_title;
+  ]

@@ -1,0 +1,112 @@
+(* Selection predicates: three-valued evaluation against tuples
+   (Section 5). *)
+
+open Nullrel
+open Helpers
+open Predicate
+
+let emp =
+  t [ ("E#", i 4335); ("NAME", s "BROWN"); ("SEX", s "F"); ("MGR#", i 2235) ]
+
+let test_cmp_const () =
+  check_tvl "equal string" Tvl.True (eval (cmp_const "SEX" Eq (s "F")) emp);
+  check_tvl "unequal string" Tvl.False (eval (cmp_const "SEX" Eq (s "M")) emp);
+  check_tvl "null attr gives ni" Tvl.Ni
+    (eval (cmp_const "TEL#" Gt (i 2634000)) emp);
+  check_tvl "int less-than" Tvl.True (eval (cmp_const "E#" Gt (i 4000)) emp);
+  check_tvl "int ge boundary" Tvl.True (eval (cmp_const "E#" Ge (i 4335)) emp);
+  check_tvl "neq on null is ni" Tvl.Ni (eval (cmp_const "TEL#" Neq (i 0)) emp)
+
+let test_cmp_attrs () =
+  check_tvl "E# > MGR#" Tvl.True (eval (cmp_attrs "E#" Gt "MGR#") emp);
+  check_tvl "attr vs itself" Tvl.True (eval (cmp_attrs "E#" Eq "E#") emp);
+  check_tvl "null on either side" Tvl.Ni (eval (cmp_attrs "E#" Eq "TEL#") emp);
+  check_tvl "both null" Tvl.Ni (eval (cmp_attrs "TEL#" Eq "PHONE") emp)
+
+let test_null_never_satisfies () =
+  (* Section 5: a nonexistent/unknown value satisfies no relational
+     expression — all six operators give ni on a null. *)
+  List.iter
+    (fun cmp ->
+      check_tvl
+        (comparison_to_string cmp ^ " on null")
+        Tvl.Ni
+        (eval (cmp_const "TEL#" cmp (i 7)) emp))
+    [ Eq; Neq; Lt; Le; Gt; Ge ]
+
+let test_connectives () =
+  let p_true = cmp_const "SEX" Eq (s "F") in
+  let p_false = cmp_const "SEX" Eq (s "M") in
+  let p_ni = cmp_const "TEL#" Gt (i 0) in
+  check_tvl "T and ni" Tvl.Ni (eval (p_true &&& p_ni) emp);
+  check_tvl "F and ni" Tvl.False (eval (p_false &&& p_ni) emp);
+  check_tvl "T or ni" Tvl.True (eval (p_true ||| p_ni) emp);
+  check_tvl "F or ni" Tvl.Ni (eval (p_false ||| p_ni) emp);
+  check_tvl "not ni" Tvl.Ni (eval (Not p_ni) emp);
+  check_tvl "const short-circuit" Tvl.True (eval (Const Tvl.True) emp)
+
+let test_excluded_middle_fails_on_null () =
+  (* The QA phenomenon in miniature: p or not p is ni on a null. *)
+  let p = cmp_const "TEL#" Lt (i 2634000) in
+  check_tvl "p or ~p is ni" Tvl.Ni (eval (p ||| Not p) emp);
+  (* ...but TRUE on a total tuple. *)
+  let total = Tuple.set emp (a_ "TEL#") (i 2639452) in
+  check_tvl "p or ~p is TRUE when total" Tvl.True (eval (p ||| Not p) total)
+
+let test_negate_comparison () =
+  let total = Tuple.set emp (a_ "TEL#") (i 5) in
+  List.iter
+    (fun cmp ->
+      let p = cmp_const "TEL#" cmp (i 7) in
+      let q = cmp_const "TEL#" (negate_comparison cmp) (i 7) in
+      check_tvl
+        ("negated " ^ comparison_to_string cmp)
+        (Tvl.not_ (eval p total))
+        (eval q total);
+      (* On nulls both are ni — negation does not resurrect information. *)
+      check_tvl
+        ("negated " ^ comparison_to_string cmp ^ " on null")
+        Tvl.Ni
+        (eval q emp))
+    [ Eq; Neq; Lt; Le; Gt; Ge ]
+
+let test_holds () =
+  Alcotest.(check bool) "True holds" true
+    (holds (cmp_const "SEX" Eq (s "F")) emp);
+  Alcotest.(check bool) "ni does not hold" false
+    (holds (cmp_const "TEL#" Eq (i 0)) emp);
+  Alcotest.(check bool) "False does not hold" false
+    (holds (cmp_const "SEX" Eq (s "M")) emp)
+
+let test_attrs () =
+  let p = cmp_attrs "A" Lt "B" &&& (cmp_const "C" Eq (i 1) ||| Not (cmp_attrs "A" Eq "D")) in
+  Alcotest.check attr_set "mentioned attributes" (aset [ "A"; "B"; "C"; "D" ])
+    (Predicate.attrs p)
+
+let test_constants_must_be_nonnull () =
+  Alcotest.check_raises "cmp_const rejects ni"
+    (Invalid_argument "Predicate.cmp_const: the constant must not be ni")
+    (fun () -> ignore (cmp_const "A" Eq Value.Null))
+
+let test_type_error_propagates () =
+  Alcotest.check_raises "string vs int comparison"
+    (Value.Type_error "cannot compare string with int") (fun () ->
+      ignore (eval (cmp_const "NAME" Lt (i 3)) emp))
+
+let suite =
+  [
+    Alcotest.test_case "attribute vs constant" `Quick test_cmp_const;
+    Alcotest.test_case "attribute vs attribute" `Quick test_cmp_attrs;
+    Alcotest.test_case "nulls satisfy no comparison" `Quick
+      test_null_never_satisfies;
+    Alcotest.test_case "connectives" `Quick test_connectives;
+    Alcotest.test_case "excluded middle fails on null" `Quick
+      test_excluded_middle_fails_on_null;
+    Alcotest.test_case "negate_comparison" `Quick test_negate_comparison;
+    Alcotest.test_case "holds (lower bound)" `Quick test_holds;
+    Alcotest.test_case "mentioned attributes" `Quick test_attrs;
+    Alcotest.test_case "non-null constants enforced" `Quick
+      test_constants_must_be_nonnull;
+    Alcotest.test_case "type errors propagate" `Quick
+      test_type_error_propagates;
+  ]

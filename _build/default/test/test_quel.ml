@@ -1,0 +1,327 @@
+(* Mini-QUEL: lexer, parser, resolution and evaluation mechanics.
+   Figure 1/2 reproductions live in test_paper_examples.ml. *)
+
+open Nullrel
+open Helpers
+
+(* ------------------------- Lexer -------------------------- *)
+
+let test_lexer_basics () =
+  let toks = Quel.Lexer.tokenize "range of e is EMP" in
+  Alcotest.(check int) "token count incl. eof" 6 (List.length toks);
+  Alcotest.(check bool) "keywords recognized" true
+    (match toks with
+    | [ Kw_range; Kw_of; Ident "e"; Kw_is; Ident "EMP"; Eof ] -> true
+    | _ -> false)
+
+let test_lexer_attributes_with_hash () =
+  Alcotest.(check bool) "TEL# is one identifier" true
+    (match Quel.Lexer.tokenize "e.TEL#" with
+    | [ Ident "e"; Dot; Ident "TEL#"; Eof ] -> true
+    | _ -> false)
+
+let test_lexer_literals () =
+  Alcotest.(check bool) "int, float, string" true
+    (match Quel.Lexer.tokenize "42 2.5 \"F\"" with
+    | [ Int 42; Float 2.5; String "F"; Eof ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative int" true
+    (match Quel.Lexer.tokenize "-7" with [ Int (-7); Eof ] -> true | _ -> false)
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "all comparison operators" true
+    (match Quel.Lexer.tokenize "= <> != < <= > >=" with
+    | [
+        Cmp Predicate.Eq;
+        Cmp Predicate.Neq;
+        Cmp Predicate.Neq;
+        Cmp Predicate.Lt;
+        Cmp Predicate.Le;
+        Cmp Predicate.Gt;
+        Cmp Predicate.Ge;
+        Eof;
+      ] ->
+        true
+    | _ -> false)
+
+let test_lexer_case_insensitive_keywords () =
+  Alcotest.(check bool) "RANGE = range" true
+    (match Quel.Lexer.tokenize "RANGE Of iS" with
+    | [ Kw_range; Kw_of; Kw_is; Eof ] -> true
+    | _ -> false)
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string raises" true
+    (try
+       ignore (Quel.Lexer.tokenize "\"oops");
+       false
+     with Quel.Lexer.Error _ -> true);
+  Alcotest.(check bool) "stray character raises" true
+    (try
+       ignore (Quel.Lexer.tokenize "a @ b");
+       false
+     with Quel.Lexer.Error _ -> true)
+
+(* ------------------------- Parser ------------------------- *)
+
+let fig1 =
+  "range of e is EMP\n\
+   retrieve (e.NAME, e.E#)\n\
+   where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)"
+
+let test_parse_fig1 () =
+  let q = Quel.Parser.parse fig1 in
+  Alcotest.(check int) "one range" 1 (List.length q.Quel.Ast.ranges);
+  Alcotest.(check int) "two targets" 2 (List.length q.Quel.Ast.targets);
+  Alcotest.(check bool) "where parsed" true (q.Quel.Ast.where <> None)
+
+let test_parse_fig2 () =
+  let q =
+    Quel.Parser.parse
+      "range of e is EMP\n\
+       range of m is EMP\n\
+       retrieve (e.NAME)\n\
+       where m.SEX = \"M\" and e.MGR# = m.E# and e.MGR# <> e.E# and e.E# <> \
+       m.MGR#"
+  in
+  Alcotest.(check (list (pair string string))) "two ranges"
+    [ ("e", "EMP"); ("m", "EMP") ]
+    q.Quel.Ast.ranges
+
+let test_parse_precedence () =
+  (* and binds tighter than or. *)
+  let c = Quel.Parser.parse_cond "e.A = 1 or e.B = 2 and e.C = 3" in
+  Alcotest.(check bool) "or of (cmp, and)" true
+    (match c with
+    | Quel.Ast.Or (Quel.Ast.Cmp _, Quel.Ast.And (Quel.Ast.Cmp _, Quel.Ast.Cmp _))
+      ->
+        true
+    | _ -> false);
+  (* parentheses override. *)
+  let c2 = Quel.Parser.parse_cond "(e.A = 1 or e.B = 2) and e.C = 3" in
+  Alcotest.(check bool) "and of (or, cmp)" true
+    (match c2 with
+    | Quel.Ast.And (Quel.Ast.Or _, Quel.Ast.Cmp _) -> true
+    | _ -> false)
+
+let test_parse_not () =
+  let c = Quel.Parser.parse_cond "not e.A = 1 and e.B = 2" in
+  Alcotest.(check bool) "not binds tightest" true
+    (match c with
+    | Quel.Ast.And (Quel.Ast.Not (Quel.Ast.Cmp _), Quel.Ast.Cmp _) -> true
+    | _ -> false)
+
+let test_parse_errors () =
+  let fails src =
+    try
+      ignore (Quel.Parser.parse src);
+      false
+    with Quel.Parser.Error _ -> true
+  in
+  Alcotest.(check bool) "missing retrieve" true (fails "range of e is EMP");
+  Alcotest.(check bool) "no ranges" true (fails "retrieve (e.A)");
+  Alcotest.(check bool) "trailing garbage" true
+    (fails "range of e is EMP retrieve (e.A) extra");
+  Alcotest.(check bool) "bad where" true
+    (fails "range of e is EMP retrieve (e.A) where e.A")
+
+let test_roundtrip_pp () =
+  let q = Quel.Parser.parse fig1 in
+  let printed = Nullrel.Pp.to_string Quel.Ast.pp q in
+  let q2 = Quel.Parser.parse printed in
+  Alcotest.(check bool) "parse . print . parse is stable" true (q = q2)
+
+(* ----------------------- Resolution ----------------------- *)
+
+let r_schema =
+  Schema.make "R" [ ("A", Domain.Ints); ("B", Domain.Int_range (0, 9)) ]
+
+let s_schema = Schema.make "S" [ ("C", Domain.Ints) ]
+
+let db : Quel.Resolve.db =
+  [
+    ("R", (r_schema, x [ t [ ("A", i 1); ("B", i 2) ]; t [ ("A", i 3) ] ]));
+    ("S", (s_schema, x [ t [ ("C", i 1) ]; t [ ("C", i 9) ] ]));
+  ]
+
+let resolve_fails src =
+  try
+    ignore (Quel.Eval.run db (Quel.Parser.parse src));
+    false
+  with Quel.Resolve.Error _ -> true
+
+let test_resolution_errors () =
+  Alcotest.(check bool) "unknown relation" true
+    (resolve_fails "range of e is NOPE retrieve (e.A)");
+  Alcotest.(check bool) "unknown attribute" true
+    (resolve_fails "range of e is R retrieve (e.ZZ)");
+  Alcotest.(check bool) "unbound variable in where" true
+    (resolve_fails "range of e is R retrieve (e.A) where q.A = 1");
+  Alcotest.(check bool) "duplicate variable" true
+    (resolve_fails "range of e is R range of e is S retrieve (e.A)")
+
+(* ----------------------- Evaluation ----------------------- *)
+
+let run src = (Quel.Eval.run db (Quel.Parser.parse src)).Quel.Eval.rel
+
+let test_eval_single_range () =
+  check_xrel "select on A"
+    (x [ t [ ("A", i 1) ] ])
+    (run "range of e is R retrieve (e.A) where e.A < 2");
+  check_xrel "null B never qualifies"
+    (x [ t [ ("A", i 1) ] ])
+    (run "range of e is R retrieve (e.A) where e.B >= 0");
+  check_xrel "projection may expose nulls"
+    (x [ t [ ("B", i 2) ] ])
+    (run "range of e is R retrieve (e.B)")
+
+let test_eval_no_where () =
+  check_xrel "full scan"
+    (x [ t [ ("A", i 1); ("B", i 2) ]; t [ ("A", i 3) ] ])
+    (run "range of e is R retrieve (e.A, e.B)")
+
+let test_eval_join () =
+  check_xrel "two-variable join"
+    (x [ t [ ("A", i 1); ("C", i 1) ] ])
+    (run "range of e is R range of f is S retrieve (e.A, f.C) where e.A = f.C")
+
+let test_eval_cartesian_count () =
+  let rows = Quel.Eval.combined_tuples db (Quel.Parser.parse
+    "range of e is R range of f is S retrieve (e.A)") in
+  Alcotest.(check int) "2 x 2 combinations" 4 (List.length rows)
+
+let test_eval_flipped_constant () =
+  check_xrel "constant on the left"
+    (x [ t [ ("A", i 3) ] ])
+    (run "range of e is R retrieve (e.A) where 2 < e.A")
+
+let test_eval_ambiguous_targets () =
+  (* Two targets with the same attribute name get var-qualified columns. *)
+  let result =
+    Quel.Eval.run db
+      (Quel.Parser.parse
+         "range of e is R range of f is R retrieve (e.A, f.A) where e.A < f.A")
+  in
+  Alcotest.(check (list string)) "qualified columns" [ "e.A"; "f.A" ]
+    (List.map Attr.name result.Quel.Eval.attrs);
+  check_xrel "one qualifying pair"
+    (x [ t [ ("e.A", i 1); ("f.A", i 3) ] ])
+    result.Quel.Eval.rel
+
+let test_run_maybe () =
+  (* Codd's MAYBE retrieval: rows whose qualification is ni.  R's
+     second tuple (A=3, B null) is the only maybe-answer for B >= 0. *)
+  let q = Quel.Parser.parse "range of e is R retrieve (e.A) where e.B >= 0" in
+  check_xrel "MAYBE rows"
+    (x [ t [ ("A", i 3) ] ])
+    (Quel.Eval.run_maybe db q).Quel.Eval.rel;
+  (* TRUE and MAYBE answers are disjoint. *)
+  let sure = (Quel.Eval.run db q).Quel.Eval.rel in
+  let maybe = (Quel.Eval.run_maybe db q).Quel.Eval.rel in
+  Alcotest.(check bool) "disjoint answers" true
+    (Xrel.is_empty
+       (Xrel.filter (fun r -> Xrel.x_mem r maybe) sure))
+
+let test_run_upper () =
+  (* Upper bound ||Q||+: rows that cannot be ruled out.  For B >= 0 over
+     domain 0..9, the null-B tuple may satisfy it: included. *)
+  let q = Quel.Parser.parse "range of e is R retrieve (e.A) where e.B >= 0" in
+  let lower = (Quel.Eval.run db q).Quel.Eval.rel in
+  let upper = (Quel.Eval.run_upper db q).Quel.Eval.rel in
+  check_xrel "upper includes the possible row"
+    (x [ t [ ("A", i 1) ]; t [ ("A", i 3) ] ])
+    upper;
+  Alcotest.(check bool) "lower <= upper" true (Xrel.contains upper lower);
+  (* An unsatisfiable qualification rules the null row out even in the
+     upper bound. *)
+  let q2 =
+    Quel.Parser.parse
+      "range of e is R retrieve (e.A) where e.B > 5 and e.B < 3"
+  in
+  check_xrel "contradiction is ruled out" Xrel.bottom
+    (Quel.Eval.run_upper db q2).Quel.Eval.rel;
+  (* Constraints narrow the upper bound: with every legal B at least 5,
+     the null-B row can no longer satisfy B < 3; the row whose B = 2 is
+     stored (a sure TRUE) is untouched by substitution reasoning. *)
+  let legal r =
+    match Tuple.get r (Attr.make "e.B") with
+    | Value.Int b -> b >= 5
+    | _ -> true
+  in
+  let q3 = Quel.Parser.parse "range of e is R retrieve (e.A) where e.B < 3" in
+  check_xrel "unconstrained upper keeps the null row"
+    (x [ t [ ("A", i 1) ]; t [ ("A", i 3) ] ])
+    (Quel.Eval.run_upper db q3).Quel.Eval.rel;
+  check_xrel "legal substitutions exclude the null row"
+    (x [ t [ ("A", i 1) ] ])
+    (Quel.Eval.run_upper ~legal db q3).Quel.Eval.rel
+
+let test_run_unknown_requires_finite_domain () =
+  (* A's domain is infinite: when a null A must be enumerated, the
+     brute-force tautology path must fail loudly, not silently guess. *)
+  let t_schema = Schema.make "T" [ ("A", Domain.Ints); ("B", Domain.Ints) ] in
+  let db2 : Quel.Resolve.db =
+    [ ("T", (t_schema, x [ t [ ("B", i 1) ] ])) ]
+  in
+  Alcotest.(check bool) "infinite domain raises" true
+    (try
+       ignore
+         (Quel.Eval.run_unknown ~strategy:Quel.Eval.Brute_force db2
+            (Quel.Parser.parse
+               "range of e is T retrieve (e.B) where e.A = 1 or e.A <> 1"));
+       false
+     with Domain.Infinite _ | Invalid_argument _ -> true);
+  (* The symbolic strategy handles the same query without enumeration. *)
+  check_xrel "symbolic needs no enumeration"
+    (x [ t [ ("B", i 1) ] ])
+    (Quel.Eval.run_unknown ~strategy:Quel.Eval.Symbolic_first db2
+       (Quel.Parser.parse
+          "range of e is T retrieve (e.B) where e.A = 1 or e.A <> 1"))
+      .Quel.Eval.rel
+
+let test_run_unknown_symbolic () =
+  (* B = 1 or B <> 1 is a tautology; the A-total tuple with null B is
+     included under the unknown interpretation, excluded under ni. *)
+  let q =
+    Quel.Parser.parse "range of e is R retrieve (e.A) where e.B = 1 or e.B <> 1"
+  in
+  check_xrel "ni excludes the null row"
+    (x [ t [ ("A", i 1) ] ])
+    (Quel.Eval.run db q).Quel.Eval.rel;
+  check_xrel "unknown includes it"
+    (x [ t [ ("A", i 1) ]; t [ ("A", i 3) ] ])
+    (Quel.Eval.run_unknown db q).Quel.Eval.rel
+
+let suite =
+  [
+    Alcotest.test_case "lexer: basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer: # identifiers" `Quick
+      test_lexer_attributes_with_hash;
+    Alcotest.test_case "lexer: literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer: operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer: keyword case" `Quick
+      test_lexer_case_insensitive_keywords;
+    Alcotest.test_case "lexer: errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser: Figure 1" `Quick test_parse_fig1;
+    Alcotest.test_case "parser: Figure 2" `Quick test_parse_fig2;
+    Alcotest.test_case "parser: precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser: not" `Quick test_parse_not;
+    Alcotest.test_case "parser: errors" `Quick test_parse_errors;
+    Alcotest.test_case "parser: print/parse roundtrip" `Quick
+      test_roundtrip_pp;
+    Alcotest.test_case "resolution errors" `Quick test_resolution_errors;
+    Alcotest.test_case "eval: single range" `Quick test_eval_single_range;
+    Alcotest.test_case "eval: no where clause" `Quick test_eval_no_where;
+    Alcotest.test_case "eval: join" `Quick test_eval_join;
+    Alcotest.test_case "eval: cartesian size" `Quick test_eval_cartesian_count;
+    Alcotest.test_case "eval: flipped constant" `Quick
+      test_eval_flipped_constant;
+    Alcotest.test_case "eval: ambiguous targets" `Quick
+      test_eval_ambiguous_targets;
+    Alcotest.test_case "eval: MAYBE version" `Quick test_run_maybe;
+    Alcotest.test_case "eval: upper bound" `Quick test_run_upper;
+    Alcotest.test_case "unknown: infinite domain" `Quick
+      test_run_unknown_requires_finite_domain;
+    Alcotest.test_case "unknown: symbolic tautology" `Quick
+      test_run_unknown_symbolic;
+  ]

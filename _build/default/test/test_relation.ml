@@ -1,0 +1,114 @@
+(* Relations as representations: subsumption, equivalence, minimal form,
+   scope and x-membership (Section 4). *)
+
+open Nullrel
+open Helpers
+
+let ab = t [ ("A", i 1); ("B", i 2) ]
+let a1 = t [ ("A", i 1) ]
+let a2 = t [ ("A", i 2) ]
+let b2 = t [ ("B", i 2) ]
+
+let test_set_basics () =
+  let r = rel [ ab; a1; ab ] in
+  Alcotest.(check int) "duplicates collapse" 2 (Relation.cardinal r);
+  Alcotest.(check bool) "mem" true (Relation.mem ab r);
+  Alcotest.(check bool) "not mem" false (Relation.mem a2 r);
+  Alcotest.(check bool) "empty" true (Relation.is_empty Relation.empty);
+  Alcotest.check relation "add/remove roundtrip" r
+    (Relation.remove b2 (Relation.add b2 r))
+
+let test_x_mem () =
+  let r = rel [ ab ] in
+  Alcotest.(check bool) "less informative tuple x-belongs" true
+    (Relation.x_mem a1 r);
+  Alcotest.(check bool) "projection x-belongs" true (Relation.x_mem b2 r);
+  Alcotest.(check bool) "itself x-belongs" true (Relation.x_mem ab r);
+  Alcotest.(check bool) "conflicting does not" false (Relation.x_mem a2 r);
+  Alcotest.(check bool) "null tuple x-belongs to non-empty" true
+    (Relation.x_mem Tuple.empty r);
+  Alcotest.(check bool) "nothing x-belongs to empty" false
+    (Relation.x_mem Tuple.empty Relation.empty)
+
+let test_subsumes () =
+  let big = rel [ ab; a2 ] in
+  let small = rel [ a1 ] in
+  Alcotest.(check bool) "big subsumes small" true (Relation.subsumes big small);
+  Alcotest.(check bool) "small does not subsume big" false
+    (Relation.subsumes small big);
+  Alcotest.(check bool) "reflexive" true (Relation.subsumes big big);
+  Alcotest.(check bool) "anything subsumes empty" true
+    (Relation.subsumes Relation.empty Relation.empty);
+  (* Null tuples are ignored by Definition 4.1. *)
+  Alcotest.(check bool) "null tuples don't matter" true
+    (Relation.subsumes Relation.empty (rel [ Tuple.empty ]))
+
+let test_subsumes_transitive () =
+  let r1 = rel [ ab ] and r2 = rel [ a1; b2 ] and r3 = rel [ a1 ] in
+  Alcotest.(check bool) "r1 subsumes r2" true (Relation.subsumes r1 r2);
+  Alcotest.(check bool) "r2 subsumes r3" true (Relation.subsumes r2 r3);
+  Alcotest.(check bool) "r1 subsumes r3" true (Relation.subsumes r1 r3)
+
+let test_equiv () =
+  (* A representation with redundant tuples is equivalent to its minimal
+     form. *)
+  let redundant = rel [ ab; a1; b2; Tuple.empty ] in
+  let minimal = rel [ ab ] in
+  Alcotest.(check bool) "redundant equiv minimal" true
+    (Relation.equiv redundant minimal);
+  Alcotest.(check bool) "not equiv to something else" false
+    (Relation.equiv redundant (rel [ a2 ]))
+
+let test_minimize () =
+  let redundant = rel [ ab; a1; b2; Tuple.empty; a2 ] in
+  let expected = rel [ ab; a2 ] in
+  Alcotest.check relation "minimize drops subsumed and null" expected
+    (Relation.minimize redundant);
+  Alcotest.(check bool) "result is minimal" true
+    (Relation.is_minimal (Relation.minimize redundant));
+  Alcotest.check relation "minimize is idempotent"
+    (Relation.minimize redundant)
+    (Relation.minimize (Relation.minimize redundant));
+  Alcotest.check relation "already minimal untouched" expected
+    (Relation.minimize expected)
+
+let test_minimize_preserves_equivalence () =
+  let redundant = rel [ ab; a1; b2; Tuple.empty; a2 ] in
+  Alcotest.(check bool) "minimize equiv original" true
+    (Relation.equiv redundant (Relation.minimize redundant))
+
+let test_scope () =
+  Alcotest.check attr_set "scope of minimal" (aset [ "A"; "B" ])
+    (Relation.scope (rel [ ab ]));
+  (* Scope is computed on the minimal representation: the subsumed tuple
+     with attribute C... does not exist; a null-extended column does not
+     widen the scope. *)
+  Alcotest.check attr_set "subsumed tuples don't widen scope"
+    (aset [ "A"; "B" ])
+    (Relation.scope (rel [ ab; a1 ]));
+  Alcotest.check attr_set "empty scope" Attr.Set.empty
+    (Relation.scope Relation.empty);
+  Alcotest.check attr_set "null tuple contributes nothing" Attr.Set.empty
+    (Relation.scope (rel [ Tuple.empty ]))
+
+let test_scope_union_law () =
+  (* "The scope of a union is the union of the scopes" (Section 4). *)
+  let r1 = rel [ a1 ] and r2 = rel [ b2 ] in
+  Alcotest.check attr_set "scope union"
+    (Attr.Set.union (Relation.scope r1) (Relation.scope r2))
+    (Relation.scope (Relation.union r1 r2))
+
+let suite =
+  [
+    Alcotest.test_case "set basics" `Quick test_set_basics;
+    Alcotest.test_case "x-membership" `Quick test_x_mem;
+    Alcotest.test_case "subsumption" `Quick test_subsumes;
+    Alcotest.test_case "subsumption is transitive" `Quick
+      test_subsumes_transitive;
+    Alcotest.test_case "information-wise equivalence" `Quick test_equiv;
+    Alcotest.test_case "minimal representation" `Quick test_minimize;
+    Alcotest.test_case "minimize preserves equivalence" `Quick
+      test_minimize_preserves_equivalence;
+    Alcotest.test_case "scope" `Quick test_scope;
+    Alcotest.test_case "scope of union" `Quick test_scope_union_law;
+  ]

@@ -1,0 +1,90 @@
+(* Schemas: construction, evolution, integrity checking. *)
+
+open Nullrel
+open Helpers
+
+let violation = Alcotest.testable Schema.pp_violation ( = )
+
+let parts =
+  Schema.make "PARTS" ~key:[ "P#" ]
+    [
+      ("P#", Domain.Enum [ "p1"; "p2"; "p3" ]);
+      ("WEIGHT", Domain.Int_range (0, 100));
+      ("COLOR", Domain.Strings);
+    ]
+
+let test_make () =
+  Alcotest.(check string) "name" "PARTS" (Schema.name parts);
+  Alcotest.(check (list string)) "attrs in order" [ "P#"; "WEIGHT"; "COLOR" ]
+    (List.map Attr.name (Schema.attrs parts));
+  Alcotest.check attr_set "key" (aset [ "P#" ]) (Schema.key parts);
+  Alcotest.(check bool) "mem" true (Schema.mem parts (a_ "WEIGHT"));
+  Alcotest.(check bool) "not mem" false (Schema.mem parts (a_ "ZZ"));
+  Alcotest.(check bool) "domain lookup" true
+    (Schema.domain parts (a_ "WEIGHT") = Some (Domain.Int_range (0, 100)));
+  Alcotest.(check int) "universe size" 3 (List.length (Schema.universe parts))
+
+let test_make_rejects () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Schema.make: duplicate attribute A") (fun () ->
+      ignore (Schema.make "R" [ ("A", Domain.Ints); ("A", Domain.Ints) ]));
+  Alcotest.check_raises "key not a column"
+    (Invalid_argument "Schema.make: key attribute K not a column") (fun () ->
+      ignore (Schema.make "R" ~key:[ "K" ] [ ("A", Domain.Ints) ]))
+
+let test_add_column () =
+  let evolved = Schema.add_column parts "ORIGIN" Domain.Strings in
+  Alcotest.(check (list string)) "appended"
+    [ "P#"; "WEIGHT"; "COLOR"; "ORIGIN" ]
+    (List.map Attr.name (Schema.attrs evolved));
+  Alcotest.check attr_set "key preserved" (aset [ "P#" ]) (Schema.key evolved);
+  Alcotest.check_raises "existing column rejected"
+    (Invalid_argument "Schema.add_column: P# already exists") (fun () ->
+      ignore (Schema.add_column parts "P#" Domain.Strings))
+
+let good = t [ ("P#", s "p1"); ("WEIGHT", i 10); ("COLOR", s "red") ]
+
+let test_check_tuple () =
+  Alcotest.(check (list violation)) "valid tuple" [] (Schema.check_tuple parts good);
+  Alcotest.(check (list violation)) "null key"
+    [ Schema.Null_in_key (a_ "P#") ]
+    (Schema.check_tuple parts (t [ ("WEIGHT", i 10) ]));
+  Alcotest.(check (list violation)) "out-of-domain value"
+    [ Schema.Domain_mismatch (a_ "WEIGHT", i 500) ]
+    (Schema.check_tuple parts (t [ ("P#", s "p1"); ("WEIGHT", i 500) ]));
+  Alcotest.(check (list violation)) "unknown attribute"
+    [ Schema.Unknown_attribute (a_ "ZZ") ]
+    (Schema.check_tuple parts (t [ ("P#", s "p1"); ("ZZ", i 0) ]));
+  (* Nulls in non-key columns are always fine: that is the point. *)
+  Alcotest.(check (list violation)) "null non-key ok" []
+    (Schema.check_tuple parts (t [ ("P#", s "p2") ]))
+
+let test_check_relation () =
+  let ok = x [ good; t [ ("P#", s "p2"); ("WEIGHT", i 5) ] ] in
+  Alcotest.(check (list violation)) "clean relation" [] (Schema.check parts ok);
+  let dup =
+    x
+      [
+        t [ ("P#", s "p1"); ("WEIGHT", i 10) ];
+        t [ ("P#", s "p1"); ("COLOR", s "blue") ];
+      ]
+  in
+  Alcotest.(check (list violation)) "duplicate key detected"
+    [ Schema.Duplicate_key (t [ ("P#", s "p1") ]) ]
+    (Schema.check parts dup)
+
+let test_keyless_schema () =
+  let keyless = Schema.make "LOG" [ ("MSG", Domain.Strings) ] in
+  Alcotest.(check bool) "empty key" true (Attr.Set.is_empty (Schema.key keyless));
+  Alcotest.(check (list violation)) "no key checks" []
+    (Schema.check keyless (x [ t [ ("MSG", s "a") ]; t [ ("MSG", s "b") ] ]))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_make;
+    Alcotest.test_case "construction guards" `Quick test_make_rejects;
+    Alcotest.test_case "schema evolution" `Quick test_add_column;
+    Alcotest.test_case "tuple checking" `Quick test_check_tuple;
+    Alcotest.test_case "relation checking" `Quick test_check_relation;
+    Alcotest.test_case "keyless schema" `Quick test_keyless_schema;
+  ]

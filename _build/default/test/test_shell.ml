@@ -1,0 +1,167 @@
+(* The interactive shell engine, driven by feeding input strings. *)
+
+
+open Helpers
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let feed inputs =
+  List.fold_left
+    (fun (st, outputs) input ->
+      let st, out = Shell.exec st input in
+      (st, out :: outputs))
+    (Shell.initial, []) inputs
+  |> fun (st, outputs) -> (st, List.rev outputs)
+
+let with_ps_csv f =
+  let path = Filename.temp_file "nullrel_shell" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.Csv.write_file path
+        [ a_ "S#"; a_ "P#" ]
+        Paperdata.Fixtures.ps;
+      f path)
+
+let test_help_and_quit () =
+  let st, outputs = feed [ ".help"; ".quit" ] in
+  Alcotest.(check bool) "finished after quit" true (Shell.finished st);
+  (match outputs with
+  | [ help; bye ] ->
+      Alcotest.(check bool) "help mentions .load" true (contains help ".load");
+      Alcotest.(check string) "bye" "bye" bye
+  | _ -> Alcotest.fail "expected two outputs")
+
+let test_load_list_show_query () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".list";
+            ".show PS";
+            "range of p is PS retrieve (p.S#) where p.P# = \"p1\"";
+          ]
+      in
+      match outputs with
+      | [ loaded; listed; shown; queried ] ->
+          Alcotest.(check bool) "loaded 5 tuples" true
+            (contains loaded "5 tuples");
+          Alcotest.(check string) "list" "PS" listed;
+          Alcotest.(check bool) "show prints the table" true
+            (contains shown "s4" && contains shown "p4");
+          Alcotest.(check bool) "query answers s1 and s2" true
+            (contains queried "s1" && contains queried "s2"
+            && not (contains queried "s3"))
+      | _ -> Alcotest.fail "expected four outputs")
+
+let test_plan_command () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".plan range of p is PS retrieve (p.S#) where p.P# = \"p1\"";
+          ]
+      in
+      match outputs with
+      | [ _; planned ] ->
+          Alcotest.(check bool) "shows raw and optimized" true
+            (contains planned "raw:" && contains planned "optimized:");
+          Alcotest.(check bool) "selection pushed to the base" true
+            (contains planned "select[P# = p1](PS)")
+      | _ -> Alcotest.fail "expected two outputs")
+
+let test_errors_are_text () =
+  let _, outputs =
+    feed
+      [
+        ".show NOPE";
+        ".load X /nonexistent/file.csv";
+        "range of e is NOPE retrieve (e.A)";
+        "range of";
+        ".bogus";
+      ]
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) "every failure reports as text" true
+        (contains out "error" || contains out "parse error"))
+    outputs
+
+let test_save_open_roundtrip () =
+  with_ps_csv (fun path ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "nullrel_shell_%d" (Random.int 1_000_000))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists dir then begin
+            Array.iter
+              (fun e -> Sys.remove (Filename.concat dir e))
+              (Sys.readdir dir);
+            Sys.rmdir dir
+          end)
+        (fun () ->
+          let _, outputs =
+            feed
+              [
+                Printf.sprintf ".load PS %s" path;
+                Printf.sprintf ".save %s" dir;
+                ".quit";
+              ]
+          in
+          Alcotest.(check bool) "saved" true
+            (match outputs with [ _; saved; _ ] -> contains saved "saved" | _ -> false);
+          let _, outputs =
+            feed [ Printf.sprintf ".open %s" dir; ".check"; ".list" ]
+          in
+          match outputs with
+          | [ opened; checked; listed ] ->
+              Alcotest.(check bool) "opened one relation" true
+                (contains opened "1 relations");
+              Alcotest.(check bool) "integrity ok" true (contains checked "ok");
+              Alcotest.(check string) "PS is back" "PS" listed
+          | _ -> Alcotest.fail "expected three outputs"))
+
+let test_agg_command () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".agg count range of p is PS retrieve (p.P#) where p.S# = \"s1\"";
+            ".agg count range of p is PS retrieve (p.S#) where p.P# = \"p1\"";
+            ".agg bogus range of p is PS retrieve (p.S#)";
+          ]
+      in
+      match outputs with
+      | [ _; counted; infinite; bad ] ->
+          Alcotest.(check bool) "count bounds printed" true
+            (contains counted "bounds: 2 .. 2");
+          Alcotest.(check bool) "infinite domain reported" true
+            (contains infinite "infinite domain");
+          Alcotest.(check bool) "bad kind reported" true (contains bad "error")
+      | _ -> Alcotest.fail "expected four outputs")
+
+let test_empty_input () =
+  let st, out = Shell.exec Shell.initial "" in
+  Alcotest.(check string) "empty input, empty output" "" out;
+  Alcotest.(check bool) "not finished" false (Shell.finished st)
+
+let suite =
+  [
+    Alcotest.test_case "help and quit" `Quick test_help_and_quit;
+    Alcotest.test_case "load, list, show, query" `Quick
+      test_load_list_show_query;
+    Alcotest.test_case ".plan" `Quick test_plan_command;
+    Alcotest.test_case "errors come back as text" `Quick test_errors_are_text;
+    Alcotest.test_case "save / open roundtrip" `Quick
+      test_save_open_roundtrip;
+    Alcotest.test_case ".agg" `Quick test_agg_command;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+  ]

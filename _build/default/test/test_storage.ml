@@ -1,0 +1,446 @@
+(* Storage substrate: hash indexes, CSV, catalog and algebraic updates. *)
+
+open Nullrel
+open Helpers
+
+(* ----------------------- Hash_index ----------------------- *)
+
+let ab = t [ ("A", i 1); ("B", i 2) ]
+let abc = t [ ("A", i 1); ("B", i 2); ("C", i 3) ]
+let a1 = t [ ("A", i 1) ]
+let a2 = t [ ("A", i 2) ]
+
+let test_index_probes () =
+  let idx = Storage.Hash_index.build (rel [ ab; a2 ]) in
+  Alcotest.(check int) "count at a1: ab matches" 1
+    (Storage.Hash_index.count_at idx a1);
+  Alcotest.(check int) "count at ab" 1 (Storage.Hash_index.count_at idx ab);
+  Alcotest.(check int) "count at a2" 1 (Storage.Hash_index.count_at idx a2);
+  Alcotest.(check int) "no match" 0
+    (Storage.Hash_index.count_at idx (t [ ("A", i 9) ]));
+  Alcotest.(check bool) "subsuming exists" true
+    (Storage.Hash_index.subsuming_exists idx a1);
+  Alcotest.(check bool) "strictly subsuming (a1 < ab)" true
+    (Storage.Hash_index.strictly_subsuming_exists idx a1);
+  Alcotest.(check bool) "ab not strictly subsumed" false
+    (Storage.Hash_index.strictly_subsuming_exists idx ab)
+
+let test_index_strict_with_member () =
+  (* a1 is itself indexed: its own presence must not count as a strict
+     subsumer, but ab's must. *)
+  let idx = Storage.Hash_index.build (rel [ a1; ab ]) in
+  Alcotest.(check int) "two tuples agree on A=1" 2
+    (Storage.Hash_index.count_at idx a1);
+  Alcotest.(check bool) "a1 strictly subsumed by ab" true
+    (Storage.Hash_index.strictly_subsuming_exists idx a1);
+  let idx_alone = Storage.Hash_index.build (rel [ a1; a2 ]) in
+  Alcotest.(check bool) "a1 alone not strictly subsumed" false
+    (Storage.Hash_index.strictly_subsuming_exists idx_alone a1)
+
+let test_index_diff_agrees () =
+  let r1 = rel [ ab; a2; t [ ("B", i 9) ] ] in
+  let r2 = rel [ abc; t [ ("A", i 2) ] ] in
+  let naive =
+    Relation.filter (fun r -> not (Relation.x_mem r r2)) r1
+  in
+  Alcotest.check relation "indexed diff = naive diff" naive
+    (Storage.Hash_index.diff r1 r2)
+
+let test_index_minimize_agrees () =
+  let redundant = rel [ ab; abc; a1; a2; Tuple.empty; t [ ("C", i 3) ] ] in
+  Alcotest.check relation "indexed minimize = naive minimize"
+    (Relation.minimize redundant)
+    (Storage.Hash_index.minimize redundant)
+
+let test_index_randomized_agreement () =
+  (* Cross-validate on generated relations with nulls. *)
+  let g = Workload.Prng.create 42 in
+  let spec =
+    { Workload.Gen.arity = 3; rows = 120; domain_size = 4; null_density = 0.3 }
+  in
+  for _ = 1 to 10 do
+    let r1 = Workload.Gen.relation g spec in
+    let r2 = Workload.Gen.relation g spec in
+    Alcotest.check relation "diff agreement"
+      (Relation.filter (fun r -> not (Relation.x_mem r r2)) r1)
+      (Storage.Hash_index.diff r1 r2);
+    Alcotest.check relation "minimize agreement" (Relation.minimize r1)
+      (Storage.Hash_index.minimize r1)
+  done
+
+let test_index_x_mem () =
+  Alcotest.(check bool) "one-shot x_mem" true
+    (Storage.Hash_index.x_mem (rel [ ab ]) a1);
+  Alcotest.(check bool) "one-shot x_mem negative" false
+    (Storage.Hash_index.x_mem (rel [ ab ]) a2)
+
+(* --------------------------- Csv -------------------------- *)
+
+let emp_csv = "E#,NAME,SEX,MGR#,TEL#\n1120,SMITH,M,2235,-\n4335,BROWN,F,2235,-\n8799,GREEN,M,1255,-\n"
+
+let test_csv_read () =
+  let attrs, x1 = Storage.Csv.read_string emp_csv in
+  Alcotest.(check (list string)) "header"
+    [ "E#"; "NAME"; "SEX"; "MGR#"; "TEL#" ]
+    (List.map Attr.name attrs);
+  check_xrel "Table II roundtrips from CSV" emp_table1 x1
+
+let test_csv_roundtrip () =
+  let attrs = Schema.attrs emp_schema_v2 in
+  let out = Storage.Csv.write_string attrs emp_table2 in
+  let _, back = Storage.Csv.read_string out in
+  check_xrel "write . read = id" emp_table2 back
+
+let test_csv_quoting () =
+  let tricky =
+    x
+      [
+        t [ ("A", s "a,b"); ("B", s "say \"hi\"") ];
+        t [ ("A", s "-") ];
+        (* the string dash, not the null *)
+        t [ ("B", s "line1") ];
+      ]
+  in
+  let out = Storage.Csv.write_string [ a_ "A"; a_ "B" ] tricky in
+  let _, back = Storage.Csv.read_string out in
+  check_xrel "quoting roundtrips" tricky back
+
+let test_csv_with_schema () =
+  let schema =
+    Schema.make "R" [ ("A", Domain.Int_range (0, 99)); ("B", Domain.Strings) ]
+  in
+  let _, x1 = Storage.Csv.read_string ~schema "A,B\n7,42\n" in
+  (* With the schema, B's 42 stays a string. *)
+  check_xrel "typed parse" (x [ t [ ("A", i 7); ("B", s "42") ] ]) x1
+
+let test_csv_errors () =
+  let fails src =
+    try
+      ignore (Storage.Csv.read_string src);
+      false
+    with Storage.Csv.Error _ -> true
+  in
+  Alcotest.(check bool) "ragged row" true (fails "A,B\n1\n");
+  Alcotest.(check bool) "empty input" true (fails "");
+  Alcotest.(check bool) "unterminated quote" true (fails "A\n\"oops\n")
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "nullrel" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.Csv.write_file path (Schema.attrs emp_schema_v1) emp_table1;
+      let _, back = Storage.Csv.read_file path in
+      check_xrel "file roundtrip" emp_table1 back)
+
+(* ------------------------- Catalog ------------------------ *)
+
+let test_catalog_basics () =
+  let cat = Storage.Catalog.add Storage.Catalog.empty emp_schema_v1 emp_table1 in
+  Alcotest.(check bool) "mem" true (Storage.Catalog.mem cat "EMP");
+  Alcotest.(check (list string)) "names" [ "EMP" ] (Storage.Catalog.names cat);
+  check_xrel "relation back" emp_table1 (Storage.Catalog.relation cat "EMP");
+  Alcotest.(check string) "schema back" "EMP"
+    (Schema.name (Storage.Catalog.schema cat "EMP"));
+  Alcotest.(check bool) "remove" false
+    (Storage.Catalog.mem (Storage.Catalog.remove cat "EMP") "EMP")
+
+let test_catalog_checks () =
+  (* A duplicate key must be rejected at registration. *)
+  let dup =
+    x
+      [
+        t [ ("E#", i 1); ("NAME", s "X"); ("SEX", s "M") ];
+        t [ ("E#", i 1); ("NAME", s "Y"); ("SEX", s "F") ];
+      ]
+  in
+  Alcotest.(check bool) "violation raised" true
+    (try
+       ignore (Storage.Catalog.add Storage.Catalog.empty emp_schema_v1 dup);
+       false
+     with Storage.Catalog.Violation _ -> true);
+  (* add_unchecked lets it through. *)
+  Alcotest.(check bool) "unchecked accepts" true
+    (Storage.Catalog.mem
+       (Storage.Catalog.add_unchecked Storage.Catalog.empty emp_schema_v1 dup)
+       "EMP")
+
+let test_catalog_to_db () =
+  let cat = Storage.Catalog.add Storage.Catalog.empty emp_schema_v1 emp_table1 in
+  let db = Storage.Catalog.to_db cat in
+  let result =
+    Quel.Eval.run db
+      (Quel.Parser.parse "range of e is EMP retrieve (e.NAME) where e.SEX = \"M\"")
+  in
+  check_xrel "query through catalog"
+    (x [ t [ ("NAME", s "SMITH") ]; t [ ("NAME", s "GREEN") ] ])
+    result.Quel.Eval.rel
+
+let orders_schema =
+  Schema.make "ORDERS" ~key:[ "O#" ]
+    ~foreign_keys:[ ([ "CUST" ], "EMP", [ "E#" ]) ]
+    [ ("O#", Domain.Ints); ("CUST", Domain.Ints) ]
+
+let test_referential_integrity () =
+  let orders ok_cust =
+    x
+      [
+        t [ ("O#", i 1); ("CUST", i ok_cust) ];
+        t [ ("O#", i 2) ];
+        (* customer unknown: asserts nothing, never a violation *)
+      ]
+  in
+  let cat =
+    Storage.Catalog.add
+      (Storage.Catalog.add Storage.Catalog.empty emp_schema_v1 emp_table1)
+      orders_schema (orders 1120)
+  in
+  Alcotest.(check int) "valid references" 0
+    (List.length (Storage.Catalog.check_references cat));
+  (* A dangling total reference is flagged. *)
+  let bad =
+    Storage.Catalog.set_relation cat "ORDERS" (orders 9999)
+  in
+  let violations = Storage.Catalog.check_references bad in
+  Alcotest.(check int) "one dangling reference" 1 (List.length violations);
+  (match violations with
+  | [ v ] ->
+      Alcotest.(check string) "names the referencing relation" "ORDERS"
+        v.Storage.Catalog.relation
+  | _ -> Alcotest.fail "expected one violation");
+  (* A missing target relation flags every total reference. *)
+  let orphan =
+    Storage.Catalog.add Storage.Catalog.empty orders_schema (orders 1120)
+  in
+  Alcotest.(check int) "absent target flags the reference" 1
+    (List.length (Storage.Catalog.check_references orphan))
+
+let test_foreign_key_declaration_guards () =
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       ignore
+         (Schema.make "R"
+            ~foreign_keys:[ ([ "A" ], "S", [ "X"; "Y" ]) ]
+            [ ("A", Domain.Ints) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown local attribute rejected" true
+    (try
+       ignore
+         (Schema.make "R"
+            ~foreign_keys:[ ([ "Z" ], "S", [ "X" ]) ]
+            [ ("A", Domain.Ints) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------- Binary ------------------------- *)
+
+let test_binary_roundtrip () =
+  List.iter
+    (fun x_ ->
+      check_xrel "decode . encode = id" x_
+        (Storage.Binary.decode (Storage.Binary.encode x_)))
+    [
+      emp_table1;
+      ps;
+      Xrel.bottom;
+      x [ t [ ("A", Value.Float 1.5); ("B", Value.Bool true) ] ];
+      x [ t [ ("S", s "with,comma\"quote\nnewline") ] ];
+      x [ t [ ("N", i (-123456789)) ]; t [ ("N", i max_int) ] ];
+    ]
+
+let test_binary_randomized () =
+  let g = Workload.Prng.create 99 in
+  for _ = 1 to 20 do
+    let spec =
+      { Workload.Gen.arity = 4; rows = 50; domain_size = 1000; null_density = 0.4 }
+    in
+    let x_ = Workload.Gen.xrel g spec in
+    check_xrel "randomized roundtrip" x_
+      (Storage.Binary.decode (Storage.Binary.encode x_))
+  done
+
+let test_binary_corruption () =
+  let good = Storage.Binary.encode emp_table1 in
+  let fails data =
+    try
+      ignore (Storage.Binary.decode data);
+      false
+    with Storage.Binary.Corrupt _ -> true
+  in
+  Alcotest.(check bool) "bad magic" true (fails ("XXXX" ^ String.sub good 4 (String.length good - 4)));
+  Alcotest.(check bool) "truncated" true
+    (fails (String.sub good 0 (String.length good - 3)));
+  Alcotest.(check bool) "trailing bytes" true (fails (good ^ "!"));
+  Alcotest.(check bool) "empty input" true (fails "")
+
+let test_binary_file_roundtrip () =
+  let path = Filename.temp_file "nullrel" ".nrx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.Binary.write_file path ps;
+      check_xrel "file roundtrip" ps (Storage.Binary.read_file path))
+
+let test_binary_compactness () =
+  (* Sparse data: nulls cost nothing in the binary form. *)
+  let g = Workload.Prng.create 123 in
+  let spec =
+    { Workload.Gen.arity = 6; rows = 300; domain_size = 100; null_density = 0.6 }
+  in
+  let x_ = Workload.Gen.xrel g spec in
+  let attrs = Workload.Gen.attrs spec in
+  let csv = Storage.Csv.write_string attrs x_ in
+  let bin = Storage.Binary.encode x_ in
+  Alcotest.(check bool) "binary smaller than CSV on sparse data" true
+    (String.length bin < String.length csv)
+
+(* ------------------------- Update ------------------------- *)
+
+let test_insert_monotone () =
+  let inserted = Storage.Update.insert ps' [ t [ ("P#", s "p9"); ("S#", s "s9") ] ] in
+  Alcotest.(check bool) "new contains old" true (Xrel.contains inserted ps');
+  (* Inserting already-subsumed information is a no-op. *)
+  check_xrel "subsumed insert is identity" ps'
+    (Storage.Update.insert ps' [ t [ ("S#", s "s2") ] ])
+
+let test_delete () =
+  check_xrel "delete a tuple"
+    (x [ t [ ("S#", s "s1") ] ])
+    (Storage.Update.delete ps' (x [ t [ ("P#", s "p1"); ("S#", s "s2") ] ]));
+  (* Deleting with a less informative tuple removes everything it
+     subsumes... nothing here, since (S#=s2) is less informative. *)
+  check_xrel "less informative delete keeps the tuple" ps'
+    (Storage.Update.delete ps' (x [ t [ ("P#", s "p9"); ("S#", s "s2") ] ]))
+
+let test_delete_where () =
+  let remaining =
+    Storage.Update.delete_where
+      (Predicate.cmp_const "S#" Predicate.Eq (s "s2"))
+      ps'
+  in
+  check_xrel "only the sure match goes" (x [ t [ ("S#", s "s1") ] ]) remaining
+
+(* ------------------------- Persist ------------------------ *)
+
+let test_schema_roundtrip () =
+  List.iter
+    (fun schema ->
+      let text = Storage.Persist.schema_to_string schema in
+      let back = Storage.Persist.schema_of_string text in
+      Alcotest.(check string) "same serialization"
+        text
+        (Storage.Persist.schema_to_string back))
+    [ emp_schema_v1; emp_schema_v2; orders_schema;
+      Schema.make "PLAIN" [ ("X", Domain.Bools); ("Y", Domain.Floats) ] ]
+
+let test_schema_parse_errors () =
+  let fails text =
+    try
+      ignore (Storage.Persist.schema_of_string text);
+      false
+    with Storage.Persist.Error _ -> true
+  in
+  Alcotest.(check bool) "no relation line" true (fails "column\tA\tint\n");
+  Alcotest.(check bool) "bad domain" true
+    (fails "relation\tR\ncolumn\tA\tzorp\n");
+  Alcotest.(check bool) "odd fk" true
+    (fails "relation\tR\ncolumn\tA\tint\nfk\tS\tA\n")
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullrel_test_%d" (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_catalog_roundtrip () =
+  with_temp_dir (fun dir ->
+      let cat =
+        Storage.Catalog.add
+          (Storage.Catalog.add Storage.Catalog.empty emp_schema_v1 emp_table1)
+          orders_schema
+          (x [ t [ ("O#", i 1); ("CUST", i 1120) ]; t [ ("O#", i 2) ] ])
+      in
+      Storage.Persist.save ~dir cat;
+      let back = Storage.Persist.load ~dir in
+      Alcotest.(check (list string)) "names preserved"
+        (Storage.Catalog.names cat)
+        (Storage.Catalog.names back);
+      List.iter
+        (fun name ->
+          check_xrel (name ^ " preserved")
+            (Storage.Catalog.relation cat name)
+            (Storage.Catalog.relation back name);
+          Alcotest.(check string) (name ^ " schema preserved")
+            (Storage.Persist.schema_to_string (Storage.Catalog.schema cat name))
+            (Storage.Persist.schema_to_string
+               (Storage.Catalog.schema back name)))
+        (Storage.Catalog.names cat);
+      Alcotest.(check int) "references still valid" 0
+        (List.length (Storage.Catalog.check_references back)))
+
+let test_modify () =
+  let modified =
+    Storage.Update.modify
+      ~where:(Predicate.cmp_const "S#" Predicate.Eq (s "s2"))
+      ~using:(fun r -> Tuple.set r (a_ "P#") (s "p7"))
+      ps'
+  in
+  check_xrel "modification rewrites the matching tuple"
+    (x [ t [ ("S#", s "s1") ]; t [ ("P#", s "p7"); ("S#", s "s2") ] ])
+    modified
+
+let suite =
+  [
+    Alcotest.test_case "index: probes" `Quick test_index_probes;
+    Alcotest.test_case "index: strictness bookkeeping" `Quick
+      test_index_strict_with_member;
+    Alcotest.test_case "index: diff agrees with naive" `Quick
+      test_index_diff_agrees;
+    Alcotest.test_case "index: minimize agrees with naive" `Quick
+      test_index_minimize_agrees;
+    Alcotest.test_case "index: randomized agreement" `Quick
+      test_index_randomized_agreement;
+    Alcotest.test_case "index: one-shot x_mem" `Quick test_index_x_mem;
+    Alcotest.test_case "csv: read" `Quick test_csv_read;
+    Alcotest.test_case "csv: roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv: quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "csv: schema-typed parse" `Quick test_csv_with_schema;
+    Alcotest.test_case "csv: errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv: file roundtrip" `Quick test_csv_file_roundtrip;
+    Alcotest.test_case "catalog: basics" `Quick test_catalog_basics;
+    Alcotest.test_case "catalog: schema enforcement" `Quick
+      test_catalog_checks;
+    Alcotest.test_case "catalog: to_db" `Quick test_catalog_to_db;
+    Alcotest.test_case "catalog: referential integrity" `Quick
+      test_referential_integrity;
+    Alcotest.test_case "catalog: foreign-key guards" `Quick
+      test_foreign_key_declaration_guards;
+    Alcotest.test_case "update: insert is monotone" `Quick
+      test_insert_monotone;
+    Alcotest.test_case "update: delete" `Quick test_delete;
+    Alcotest.test_case "update: delete_where" `Quick test_delete_where;
+    Alcotest.test_case "update: modify" `Quick test_modify;
+    Alcotest.test_case "persist: schema roundtrip" `Quick
+      test_schema_roundtrip;
+    Alcotest.test_case "persist: schema parse errors" `Quick
+      test_schema_parse_errors;
+    Alcotest.test_case "persist: catalog roundtrip" `Quick
+      test_catalog_roundtrip;
+    Alcotest.test_case "binary: roundtrip" `Quick test_binary_roundtrip;
+    Alcotest.test_case "binary: randomized roundtrip" `Quick
+      test_binary_randomized;
+    Alcotest.test_case "binary: corruption detected" `Quick
+      test_binary_corruption;
+    Alcotest.test_case "binary: file roundtrip" `Quick
+      test_binary_file_roundtrip;
+    Alcotest.test_case "binary: compactness" `Quick test_binary_compactness;
+  ]

@@ -1,0 +1,152 @@
+(* Tuples: canonical form, the more-informative order, meet/join
+   (Section 3), restriction and renaming. *)
+
+open Nullrel
+open Helpers
+
+let ab = t [ ("A", i 1); ("B", i 2) ]
+let a_only = t [ ("A", i 1) ]
+let b_only = t [ ("B", i 2) ]
+let conflicting = t [ ("A", i 9); ("B", i 2) ]
+
+let test_canonical_form () =
+  Alcotest.check tuple "nulls dropped on build" a_only
+    (t [ ("A", i 1); ("B", Value.Null) ]);
+  Alcotest.check tuple "set to null removes" a_only
+    (Tuple.set ab (a_ "B") Value.Null);
+  Alcotest.check value "unbound attribute reads as ni" Value.Null
+    (Tuple.get a_only (a_ "ZZZ"));
+  Alcotest.(check bool) "empty is the null tuple" true
+    (Tuple.is_null_tuple Tuple.empty);
+  Alcotest.(check bool) "all-null build is the null tuple" true
+    (Tuple.is_null_tuple (t [ ("A", Value.Null); ("B", Value.Null) ]))
+
+let test_attrs_and_totality () =
+  Alcotest.check attr_set "attrs of ab" (aset [ "A"; "B" ]) (Tuple.attrs ab);
+  Alcotest.(check bool) "ab is A,B-total" true
+    (Tuple.is_total_on (aset [ "A"; "B" ]) ab);
+  Alcotest.(check bool) "a_only is not B-total" false
+    (Tuple.is_total_on (aset [ "B" ]) a_only);
+  Alcotest.(check bool) "every tuple is {}-total" true
+    (Tuple.is_total_on Attr.Set.empty Tuple.empty)
+
+let test_order_basics () =
+  Alcotest.(check bool) "ab >= a_only" true (Tuple.more_informative ab a_only);
+  Alcotest.(check bool) "ab >= b_only" true (Tuple.more_informative ab b_only);
+  Alcotest.(check bool) "a_only not >= ab" false
+    (Tuple.more_informative a_only ab);
+  Alcotest.(check bool) "everything >= null tuple" true
+    (Tuple.more_informative a_only Tuple.empty);
+  Alcotest.(check bool) "null tuple >= only itself" false
+    (Tuple.more_informative Tuple.empty a_only);
+  Alcotest.(check bool) "reflexive" true (Tuple.more_informative ab ab);
+  Alcotest.(check bool) "strict excludes equal" false
+    (Tuple.strictly_more_informative ab ab);
+  Alcotest.(check bool) "strict on proper extension" true
+    (Tuple.strictly_more_informative ab a_only);
+  Alcotest.(check bool) "conflicting values incomparable" false
+    (Tuple.more_informative conflicting ab
+    || Tuple.more_informative ab conflicting)
+
+let test_antisymmetry () =
+  (* On canonical tuples, mutual informativeness is equality
+     (footnote 3's equivalence collapses to identity). *)
+  let r = t [ ("A", i 1); ("C", s "x") ] in
+  let t' = t [ ("C", s "x"); ("A", i 1) ] in
+  Alcotest.(check bool) "r >= t and t >= r" true
+    (Tuple.more_informative r t' && Tuple.more_informative t' r);
+  Alcotest.check tuple "then r = t" r t'
+
+let test_meet () =
+  Alcotest.check tuple "meet with disjoint attrs is null tuple" Tuple.empty
+    (Tuple.meet a_only b_only);
+  Alcotest.check tuple "meet keeps agreements" a_only
+    (Tuple.meet ab (t [ ("A", i 1); ("B", i 99) ]));
+  Alcotest.check tuple "meet with itself" ab (Tuple.meet ab ab);
+  Alcotest.check tuple "meet commutes" (Tuple.meet ab conflicting)
+    (Tuple.meet conflicting ab);
+  (* Footnote 4: whether ni = ni is immaterial — meets never bind nulls. *)
+  Alcotest.check tuple "meet of null-extended tuples" b_only
+    (Tuple.meet (t [ ("B", i 2) ]) (t [ ("B", i 2); ("C", Value.Null) ]))
+
+let test_meet_is_glb () =
+  let m = Tuple.meet ab conflicting in
+  Alcotest.(check bool) "meet below left" true (Tuple.more_informative ab m);
+  Alcotest.(check bool) "meet below right" true
+    (Tuple.more_informative conflicting m);
+  Alcotest.check tuple "the common part" b_only m
+
+let test_joinable () =
+  Alcotest.(check bool) "disjoint tuples joinable" true
+    (Tuple.joinable a_only b_only);
+  Alcotest.(check bool) "agreeing tuples joinable" true
+    (Tuple.joinable ab a_only);
+  Alcotest.(check bool) "conflicting tuples not joinable" false
+    (Tuple.joinable ab conflicting);
+  Alcotest.(check bool) "null tuple joinable with all" true
+    (Tuple.joinable Tuple.empty conflicting)
+
+let test_join () =
+  Alcotest.(check (option tuple)) "join of parts" (Some ab)
+    (Tuple.join a_only b_only);
+  Alcotest.(check (option tuple)) "join with subsumed" (Some ab)
+    (Tuple.join ab a_only);
+  Alcotest.(check (option tuple)) "join of conflict" None
+    (Tuple.join ab conflicting);
+  Alcotest.(check (option tuple)) "join with null tuple" (Some ab)
+    (Tuple.join ab Tuple.empty)
+
+let test_join_is_lub () =
+  match Tuple.join a_only b_only with
+  | None -> Alcotest.fail "expected joinable"
+  | Some j ->
+      Alcotest.(check bool) "join above left" true
+        (Tuple.more_informative j a_only);
+      Alcotest.(check bool) "join above right" true
+        (Tuple.more_informative j b_only);
+      (* Least: any upper bound of both is above the join. *)
+      let upper = t [ ("A", i 1); ("B", i 2); ("C", i 3) ] in
+      Alcotest.(check bool) "join is least" true
+        (Tuple.more_informative upper j)
+
+let test_restrict_remove () =
+  Alcotest.check tuple "restrict to A" a_only (Tuple.restrict ab (aset [ "A" ]));
+  Alcotest.check tuple "restrict to absent attr" Tuple.empty
+    (Tuple.restrict ab (aset [ "Z" ]));
+  Alcotest.check tuple "remove B" a_only (Tuple.remove ab (aset [ "B" ]));
+  Alcotest.check tuple "remove nothing" ab (Tuple.remove ab Attr.Set.empty)
+
+let test_rename () =
+  let renamed = Tuple.rename [ (a_ "A", a_ "X") ] ab in
+  Alcotest.check tuple "A renamed to X" (t [ ("X", i 1); ("B", i 2) ]) renamed;
+  Alcotest.check tuple "swap via disjoint targets"
+    (t [ ("B", i 1); ("C", i 2) ])
+    (Tuple.rename [ (a_ "A", a_ "B"); (a_ "B", a_ "C") ] ab);
+  Alcotest.check_raises "collision rejected"
+    (Invalid_argument "Tuple.rename: collision on attribute B") (fun () ->
+      ignore (Tuple.rename [ (a_ "A", a_ "B") ] conflicting))
+
+let test_fold_to_list () =
+  Alcotest.(check int) "fold counts bindings" 2
+    (Tuple.fold (fun _ _ n -> n + 1) ab 0);
+  Alcotest.(check int) "to_list length" 2 (List.length (Tuple.to_list ab));
+  (* bindings come out in attribute order *)
+  Alcotest.(check (list string)) "attribute order" [ "A"; "B" ]
+    (List.map (fun (a, _) -> Attr.name a) (Tuple.to_list ab))
+
+let suite =
+  [
+    Alcotest.test_case "canonical form" `Quick test_canonical_form;
+    Alcotest.test_case "attrs and X-totality" `Quick test_attrs_and_totality;
+    Alcotest.test_case "more-informative order" `Quick test_order_basics;
+    Alcotest.test_case "antisymmetry on canonical form" `Quick
+      test_antisymmetry;
+    Alcotest.test_case "meet" `Quick test_meet;
+    Alcotest.test_case "meet is the glb" `Quick test_meet_is_glb;
+    Alcotest.test_case "joinability" `Quick test_joinable;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "join is the lub" `Quick test_join_is_lub;
+    Alcotest.test_case "restrict and remove" `Quick test_restrict_remove;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "fold and to_list" `Quick test_fold_to_list;
+  ]

@@ -1,0 +1,146 @@
+(* Table III of the paper, checked cell by cell, plus the algebraic laws
+   of the three-valued connectives. *)
+
+open Nullrel
+open Helpers
+
+let tt = Tvl.True
+let ff = Tvl.False
+let ni = Tvl.Ni
+
+(* Table III, AND:       TRUE  FALSE  ni *)
+let and_table =
+  [
+    (tt, [ (tt, tt); (ff, ff); (ni, ni) ]);
+    (ff, [ (tt, ff); (ff, ff); (ni, ff) ]);
+    (ni, [ (tt, ni); (ff, ff); (ni, ni) ]);
+  ]
+
+(* Table III, OR. *)
+let or_table =
+  [
+    (tt, [ (tt, tt); (ff, tt); (ni, tt) ]);
+    (ff, [ (tt, tt); (ff, ff); (ni, ni) ]);
+    (ni, [ (tt, tt); (ff, ni); (ni, ni) ]);
+  ]
+
+(* Table III, NOT. *)
+let not_table = [ (tt, ff); (ff, tt); (ni, ni) ]
+
+let test_and_table () =
+  List.iter
+    (fun (a, row) ->
+      List.iter
+        (fun (b, expected) ->
+          check_tvl
+            (Printf.sprintf "%s and %s" (Tvl.to_string a) (Tvl.to_string b))
+            expected (Tvl.and_ a b))
+        row)
+    and_table
+
+let test_or_table () =
+  List.iter
+    (fun (a, row) ->
+      List.iter
+        (fun (b, expected) ->
+          check_tvl
+            (Printf.sprintf "%s or %s" (Tvl.to_string a) (Tvl.to_string b))
+            expected (Tvl.or_ a b))
+        row)
+    or_table
+
+let test_not_table () =
+  List.iter
+    (fun (a, expected) ->
+      check_tvl (Printf.sprintf "not %s" (Tvl.to_string a)) expected (Tvl.not_ a))
+    not_table
+
+let for_all_pairs f = List.iter (fun a -> List.iter (f a) Tvl.all) Tvl.all
+
+let for_all_triples f =
+  List.iter
+    (fun a -> List.iter (fun b -> List.iter (f a b) Tvl.all) Tvl.all)
+    Tvl.all
+
+let test_commutativity () =
+  for_all_pairs (fun a b ->
+      check_tvl "and commutes" (Tvl.and_ a b) (Tvl.and_ b a);
+      check_tvl "or commutes" (Tvl.or_ a b) (Tvl.or_ b a))
+
+let test_associativity () =
+  for_all_triples (fun a b c ->
+      check_tvl "and associates"
+        (Tvl.and_ (Tvl.and_ a b) c)
+        (Tvl.and_ a (Tvl.and_ b c));
+      check_tvl "or associates"
+        (Tvl.or_ (Tvl.or_ a b) c)
+        (Tvl.or_ a (Tvl.or_ b c)))
+
+let test_de_morgan () =
+  for_all_pairs (fun a b ->
+      check_tvl "~(a and b) = ~a or ~b"
+        (Tvl.not_ (Tvl.and_ a b))
+        (Tvl.or_ (Tvl.not_ a) (Tvl.not_ b));
+      check_tvl "~(a or b) = ~a and ~b"
+        (Tvl.not_ (Tvl.or_ a b))
+        (Tvl.and_ (Tvl.not_ a) (Tvl.not_ b)))
+
+let test_double_negation () =
+  List.iter (fun a -> check_tvl "~~a = a" a (Tvl.not_ (Tvl.not_ a))) Tvl.all
+
+let test_distributivity () =
+  for_all_triples (fun a b c ->
+      check_tvl "and over or"
+        (Tvl.and_ a (Tvl.or_ b c))
+        (Tvl.or_ (Tvl.and_ a b) (Tvl.and_ a c)))
+
+let test_no_excluded_middle () =
+  (* The law of excluded middle fails at ni — the source of the tautology
+     problem under the "unknown" interpretation (Section 5). *)
+  check_tvl "ni or ~ni = ni" ni (Tvl.or_ ni (Tvl.not_ ni));
+  check_tvl "ni and ~ni = ni" ni (Tvl.and_ ni (Tvl.not_ ni))
+
+let test_identities () =
+  List.iter
+    (fun a ->
+      check_tvl "TRUE is and-identity" a (Tvl.and_ tt a);
+      check_tvl "FALSE is or-identity" a (Tvl.or_ ff a);
+      check_tvl "FALSE is and-absorbing" ff (Tvl.and_ ff a);
+      check_tvl "TRUE is or-absorbing" tt (Tvl.or_ tt a))
+    Tvl.all
+
+let test_nary () =
+  check_tvl "conj []" tt (Tvl.conj []);
+  check_tvl "disj []" ff (Tvl.disj []);
+  check_tvl "conj [T;ni;T]" ni (Tvl.conj [ tt; ni; tt ]);
+  check_tvl "conj [T;ni;F]" ff (Tvl.conj [ tt; ni; ff ]);
+  check_tvl "disj [F;ni]" ni (Tvl.disj [ ff; ni ]);
+  check_tvl "disj [F;ni;T]" tt (Tvl.disj [ ff; ni; tt ])
+
+let test_lower_bound_collapse () =
+  Alcotest.(check bool) "True collapses to true" true (Tvl.to_bool_lower tt);
+  Alcotest.(check bool) "False collapses to false" false (Tvl.to_bool_lower ff);
+  Alcotest.(check bool) "ni collapses to false" false (Tvl.to_bool_lower ni)
+
+let test_strings () =
+  Alcotest.(check string) "ni prints" "ni" (Tvl.to_string ni);
+  Alcotest.(check string) "Codd reading" "MAYBE" (Tvl.to_string_maybe ni);
+  Alcotest.(check string) "TRUE stable" "TRUE" (Tvl.to_string_maybe tt)
+
+let suite =
+  [
+    Alcotest.test_case "Table III: and" `Quick test_and_table;
+    Alcotest.test_case "Table III: or" `Quick test_or_table;
+    Alcotest.test_case "Table III: not" `Quick test_not_table;
+    Alcotest.test_case "commutativity" `Quick test_commutativity;
+    Alcotest.test_case "associativity" `Quick test_associativity;
+    Alcotest.test_case "De Morgan" `Quick test_de_morgan;
+    Alcotest.test_case "double negation" `Quick test_double_negation;
+    Alcotest.test_case "distributivity" `Quick test_distributivity;
+    Alcotest.test_case "no excluded middle at ni" `Quick
+      test_no_excluded_middle;
+    Alcotest.test_case "identities and absorption" `Quick test_identities;
+    Alcotest.test_case "n-ary conj/disj" `Quick test_nary;
+    Alcotest.test_case "lower-bound collapse" `Quick test_lower_bound_collapse;
+    Alcotest.test_case "string renderings" `Quick test_strings;
+  ]

@@ -1,0 +1,73 @@
+(* Values with the ni null: equality, container order, three-valued
+   comparison, parsing and printing. *)
+
+open Nullrel
+open Helpers
+
+let test_null_basics () =
+  Alcotest.(check bool) "null is null" true (Value.is_null Value.Null);
+  Alcotest.(check bool) "int is not null" false (Value.is_null (i 3));
+  Alcotest.check value "null = null structurally" Value.Null Value.null
+
+let test_equal () =
+  Alcotest.(check bool) "ints equal" true (Value.equal (i 3) (i 3));
+  Alcotest.(check bool) "ints differ" false (Value.equal (i 3) (i 4));
+  Alcotest.(check bool) "cross-type not equal" false (Value.equal (i 3) (s "3"));
+  Alcotest.(check bool) "strings equal" true (Value.equal (s "x") (s "x"));
+  Alcotest.(check bool)
+    "bools" true
+    (Value.equal (Value.Bool true) (Value.Bool true));
+  Alcotest.(check bool)
+    "floats" true
+    (Value.equal (Value.Float 1.5) (Value.Float 1.5));
+  Alcotest.(check bool) "null vs value" false (Value.equal Value.Null (i 0))
+
+let test_container_order () =
+  Alcotest.(check bool) "null sorts first" true (Value.compare Value.Null (i 0) < 0);
+  Alcotest.(check int) "reflexive" 0 (Value.compare (s "a") (s "a"));
+  Alcotest.(check bool) "antisymmetric" true
+    (Value.compare (i 1) (i 2) = -Value.compare (i 2) (i 1))
+
+let test_compare3 () =
+  Alcotest.(check (option int)) "null left" None (Value.compare3 Value.Null (i 1));
+  Alcotest.(check (option int)) "null right" None (Value.compare3 (i 1) Value.Null);
+  Alcotest.(check (option int)) "null both" None (Value.compare3 Value.Null Value.Null);
+  Alcotest.(check bool) "3 < 5" true
+    (match Value.compare3 (i 3) (i 5) with Some c -> c < 0 | None -> false);
+  Alcotest.(check bool) "strings ordered" true
+    (match Value.compare3 (s "a") (s "b") with Some c -> c < 0 | None -> false);
+  Alcotest.check_raises "cross-type comparison raises"
+    (Value.Type_error "cannot compare int with string") (fun () ->
+      ignore (Value.compare3 (i 1) (s "x")))
+
+let test_printing () =
+  Alcotest.(check string) "null prints as dash" "-" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (i 42));
+  Alcotest.(check string) "string raw" "abc" (Value.to_string (s "abc"));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.Bool true))
+
+let test_of_string_guess () =
+  Alcotest.check value "dash is null" Value.Null (Value.of_string_guess "-");
+  Alcotest.check value "int" (i 17) (Value.of_string_guess "17");
+  Alcotest.check value "negative int" (i (-4)) (Value.of_string_guess "-4");
+  Alcotest.check value "float" (Value.Float 2.5) (Value.of_string_guess "2.5");
+  Alcotest.check value "bool" (Value.Bool false) (Value.of_string_guess "false");
+  Alcotest.check value "fallback string" (s "p1") (Value.of_string_guess "p1")
+
+let test_type_names () =
+  Alcotest.(check string) "null" "null" (Value.type_name Value.Null);
+  Alcotest.(check string) "int" "int" (Value.type_name (i 0));
+  Alcotest.(check string) "float" "float" (Value.type_name (Value.Float 0.));
+  Alcotest.(check string) "string" "string" (Value.type_name (s ""));
+  Alcotest.(check string) "bool" "bool" (Value.type_name (Value.Bool true))
+
+let suite =
+  [
+    Alcotest.test_case "null basics" `Quick test_null_basics;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    Alcotest.test_case "container order" `Quick test_container_order;
+    Alcotest.test_case "three-valued comparison" `Quick test_compare3;
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "of_string_guess" `Quick test_of_string_guess;
+    Alcotest.test_case "type names" `Quick test_type_names;
+  ]

@@ -1,0 +1,107 @@
+(* Workload generators: determinism, parameter effects, PRNG sanity. *)
+
+open Nullrel
+open Helpers
+
+let test_prng_deterministic () =
+  let g1 = Workload.Prng.create 7 and g2 = Workload.Prng.create 7 in
+  let take g = List.init 20 (fun _ -> Workload.Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (take g1) (take g2);
+  let g3 = Workload.Prng.create 8 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (take (Workload.Prng.create 7) <> take g3)
+
+let test_prng_bounds () =
+  let g = Workload.Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Workload.Prng.int g 10 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 10);
+    let f = Workload.Prng.float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.(check bool) "bound must be positive" true
+    (try
+       ignore (Workload.Prng.int g 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prng_split_independent () =
+  let g = Workload.Prng.create 3 in
+  let child = Workload.Prng.split g in
+  let a = List.init 10 (fun _ -> Workload.Prng.int g 100) in
+  let b = List.init 10 (fun _ -> Workload.Prng.int child 100) in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_choose () =
+  let g = Workload.Prng.create 4 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "choice from list" true
+      (List.mem (Workload.Prng.choose g [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done
+
+let spec =
+  { Workload.Gen.arity = 3; rows = 200; domain_size = 50; null_density = 0.25 }
+
+let test_gen_shape () =
+  let g = Workload.Prng.create 11 in
+  let tuples = Workload.Gen.tuples g spec in
+  Alcotest.(check int) "row count" 200 (List.length tuples);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "attrs within A1..A3" true
+        (Attr.Set.subset (Tuple.attrs r) (aset [ "A1"; "A2"; "A3" ]));
+      Tuple.fold
+        (fun _ v () ->
+          match v with
+          | Value.Int n ->
+              Alcotest.(check bool) "value in domain" true (n >= 0 && n < 50)
+          | _ -> Alcotest.fail "non-integer generated")
+        r ())
+    tuples
+
+let test_gen_deterministic () =
+  let r1 = Workload.Gen.relation (Workload.Prng.create 5) spec in
+  let r2 = Workload.Gen.relation (Workload.Prng.create 5) spec in
+  Alcotest.check relation "same seed, same relation" r1 r2
+
+let test_gen_null_density () =
+  let count_nulls spec seed =
+    let tuples = Workload.Gen.tuples (Workload.Prng.create seed) spec in
+    List.fold_left
+      (fun acc r -> acc + (spec.Workload.Gen.arity - Attr.Set.cardinal (Tuple.attrs r)))
+      0 tuples
+  in
+  let dense = count_nulls { spec with null_density = 0.5 } 9 in
+  let sparse = count_nulls { spec with null_density = 0.05 } 9 in
+  Alcotest.(check bool) "null density is monotone" true (dense > sparse);
+  Alcotest.(check int) "zero density means total" 0
+    (count_nulls { spec with null_density = 0.0 } 9)
+
+let test_gen_total_relation () =
+  let r = Workload.Gen.total_relation (Workload.Prng.create 2) spec in
+  Relation.iter
+    (fun tu ->
+      Alcotest.(check bool) "fully defined" true
+        (Tuple.is_total_on (aset [ "A1"; "A2"; "A3" ]) tu))
+    r
+
+let test_gen_universe () =
+  let u = Workload.Gen.universe spec in
+  Alcotest.(check int) "universe arity" 3 (List.length u);
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check (option int)) "domain size" (Some 50) (Domain.cardinal d))
+    u
+
+let suite =
+  [
+    Alcotest.test_case "prng: determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng: bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng: split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng: choose" `Quick test_prng_choose;
+    Alcotest.test_case "gen: shape" `Quick test_gen_shape;
+    Alcotest.test_case "gen: determinism" `Quick test_gen_deterministic;
+    Alcotest.test_case "gen: null density" `Quick test_gen_null_density;
+    Alcotest.test_case "gen: total relations" `Quick test_gen_total_relation;
+    Alcotest.test_case "gen: universe" `Quick test_gen_universe;
+  ]

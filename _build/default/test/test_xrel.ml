@@ -1,0 +1,181 @@
+(* X-relations: canonicalization, containment, the lattice operations and
+   their laws on concrete cases (Sections 4 and 7). Property-based
+   versions live in props_lattice.ml. *)
+
+open Nullrel
+open Helpers
+
+let ab = t [ ("A", i 1); ("B", i 2) ]
+let a1 = t [ ("A", i 1) ]
+let a2 = t [ ("A", i 2) ]
+let b2 = t [ ("B", i 2) ]
+let b3 = t [ ("B", i 3) ]
+
+let test_canonicalization () =
+  let x1 = Xrel.of_list [ ab; a1; Tuple.empty ] in
+  Alcotest.(check int) "minimal rep has one tuple" 1 (Xrel.cardinal x1);
+  check_xrel "equal to the minimal build" (x [ ab ]) x1;
+  Alcotest.(check bool) "rep is minimal" true
+    (Relation.is_minimal (Xrel.rep x1))
+
+let test_equality_is_equivalence () =
+  (* Proposition 4.1 via minimal representations. *)
+  let x1 = Xrel.of_list [ ab; a1 ] and x2 = Xrel.of_list [ ab; b2 ] in
+  check_xrel "both minimize to {ab}" x1 x2;
+  Alcotest.(check bool) "mutual containment" true
+    (Xrel.contains x1 x2 && Xrel.contains x2 x1)
+
+let test_containment () =
+  let big = x [ ab; a2 ] and small = x [ a1 ] in
+  Alcotest.(check bool) "big contains small" true (Xrel.contains big small);
+  Alcotest.(check bool) "proper" true (Xrel.properly_contains big small);
+  Alcotest.(check bool) "not proper on self" false
+    (Xrel.properly_contains big big);
+  Alcotest.(check bool) "everything contains bottom" true
+    (Xrel.contains small Xrel.bottom)
+
+let test_union_is_lub () =
+  let x1 = x [ a1 ] and x2 = x [ b2 ] in
+  let u = Xrel.union x1 x2 in
+  Alcotest.(check bool) "u >= x1" true (Xrel.contains u x1);
+  Alcotest.(check bool) "u >= x2" true (Xrel.contains u x2);
+  (* Proposition 4.4: least among the upper bounds. *)
+  let upper = x [ ab; b3 ] in
+  Alcotest.(check bool) "upper >= both operands" true
+    (Xrel.contains upper x1 && Xrel.contains upper x2);
+  Alcotest.(check bool) "upper >= union" true (Xrel.contains upper u)
+
+let test_union_minimizes () =
+  (* (4.6) may introduce subsumed tuples across operands. *)
+  check_xrel "subsumed operand tuple vanishes" (x [ ab ])
+    (Xrel.union (x [ a1 ]) (x [ ab ]))
+
+let test_inter_is_glb () =
+  let x1 = x [ ab ] and x2 = x [ t [ ("A", i 1); ("B", i 9) ] ] in
+  let g = Xrel.inter x1 x2 in
+  check_xrel "x-intersection keeps the common part" (x [ a1 ]) g;
+  Alcotest.(check bool) "x1 >= g" true (Xrel.contains x1 g);
+  Alcotest.(check bool) "x2 >= g" true (Xrel.contains x2 g);
+  (* Proposition 4.5: greatest among lower bounds. *)
+  let lower = x [ a1 ] in
+  Alcotest.(check bool) "lower <= both" true
+    (Xrel.contains x1 lower && Xrel.contains x2 lower);
+  Alcotest.(check bool) "lower <= inter" true (Xrel.contains g lower)
+
+let test_inter_not_set_intersection () =
+  let x1 = x [ ab ] and x2 = x [ t [ ("A", i 1); ("B", i 9) ] ] in
+  check_xrel "set intersection is empty" Xrel.bottom
+    (Xrel.set_inter_total x1 x2);
+  Alcotest.(check bool) "x-intersection is not" false
+    (Xrel.is_empty (Xrel.inter x1 x2))
+
+let test_diff () =
+  let x1 = x [ ab; a2 ] in
+  check_xrel "remove subsumed tuples" (x [ a2 ]) (Xrel.diff x1 (x [ ab ]));
+  (* (4.8): a minuend tuple is dropped iff the subtrahend has a MORE
+     informative tuple; a less informative one does not remove it. *)
+  check_xrel "less informative subtrahend keeps tuple" x1
+    (Xrel.diff x1 (x [ a1 ]));
+  check_xrel "diff with bottom" x1 (Xrel.diff x1 Xrel.bottom);
+  check_xrel "diff of bottom" Xrel.bottom (Xrel.diff Xrel.bottom x1);
+  check_xrel "self-diff is bottom" Xrel.bottom (Xrel.diff x1 x1)
+
+let test_diff_propositions () =
+  (* Propositions 4.6 and 4.7. *)
+  let x1 = x [ ab; a2; b3 ] in
+  let x2 = x [ ab ] in
+  Alcotest.(check bool) "x1 >= x2" true (Xrel.contains x1 x2);
+  check_xrel "P4.6: (x1 - x2) u x2 = x1" x1 (Xrel.union (Xrel.diff x1 x2) x2);
+  (* P4.7: any x with x u x2 >= x1 contains x1 - x2. *)
+  let candidate = x [ ab; a2; b3; t [ ("C", i 7) ] ] in
+  Alcotest.(check bool) "candidate u x2 >= x1" true
+    (Xrel.contains (Xrel.union candidate x2) x1);
+  Alcotest.(check bool) "candidate >= x1 - x2" true
+    (Xrel.contains candidate (Xrel.diff x1 x2))
+
+let test_distributivity_concrete () =
+  let x1 = x [ a1 ] and x2 = x [ a2 ] and x3 = x [ b2 ] in
+  check_xrel "(4.4) inter over union"
+    (Xrel.inter x1 (Xrel.union x2 x3))
+    (Xrel.union (Xrel.inter x1 x2) (Xrel.inter x1 x3));
+  check_xrel "(4.5) union over inter"
+    (Xrel.union x1 (Xrel.inter x2 x3))
+    (Xrel.inter (Xrel.union x1 x2) (Xrel.union x1 x3))
+
+let test_bottom_absorbing () =
+  let x1 = x [ ab; a2 ] in
+  check_xrel "bottom n x = bottom" Xrel.bottom (Xrel.inter Xrel.bottom x1);
+  check_xrel "bottom u x = x" x1 (Xrel.union Xrel.bottom x1)
+
+let tiny =
+  [ (a_ "A", Domain.Int_range (0, 1)); (a_ "B", Domain.Int_range (0, 2)) ]
+
+let test_top () =
+  let top = Xrel.top tiny in
+  Alcotest.(check int) "2 x 3 total tuples" 6 (Xrel.cardinal top);
+  let r = x [ t [ ("A", i 0); ("B", i 1) ]; t [ ("A", i 1) ] ] in
+  check_xrel "R u TOP = TOP" top (Xrel.union r top);
+  Alcotest.(check bool) "TOP contains everything in range" true
+    (Xrel.contains top r)
+
+let test_top_guards () =
+  Alcotest.check_raises "infinite domain rejected"
+    (Domain.Infinite "Xrel.top") (fun () ->
+      ignore (Xrel.top [ (a_ "A", Domain.Ints) ]));
+  Alcotest.check_raises "oversized universe rejected"
+    (Invalid_argument "Xrel.top: universe too large") (fun () ->
+      ignore
+        (Xrel.top
+           [
+             (a_ "A", Domain.Int_range (0, 4095));
+             (a_ "B", Domain.Int_range (0, 4095));
+           ]))
+
+let test_pseudo_complement_laws () =
+  let star = Xrel.pseudo_complement tiny in
+  let r = x [ t [ ("A", i 0); ("B", i 0) ]; t [ ("A", i 1); ("B", i 2) ] ] in
+  let r_star = star r in
+  check_xrel "R u R* = TOP" (Xrel.top tiny) (Xrel.union r r_star);
+  (* R* is the smallest such (7.1 with Proposition 4.7). *)
+  let other = Xrel.diff (Xrel.top tiny) (x [ t [ ("A", i 0); ("B", i 0) ] ]) in
+  Alcotest.(check bool) "other u R = TOP" true
+    (Xrel.equal (Xrel.union r other) (Xrel.top tiny));
+  Alcotest.(check bool) "other >= R*" true (Xrel.contains other r_star);
+  check_xrel "bottom* = TOP" (Xrel.top tiny) (star Xrel.bottom);
+  check_xrel "TOP* = bottom" Xrel.bottom (star (Xrel.top tiny))
+
+let test_unsafe_of_minimal () =
+  let minimal = Relation.of_list [ ab; a2 ] in
+  check_xrel "wraps without re-minimizing" (Xrel.of_relation minimal)
+    (Xrel.unsafe_of_minimal minimal)
+
+let test_filter () =
+  let x1 = x [ ab; a2 ] in
+  check_xrel "filter keeps matching"
+    (x [ a2 ])
+    (Xrel.filter (fun r -> Value.equal (Tuple.get r (a_ "A")) (i 2)) x1)
+
+let suite =
+  [
+    Alcotest.test_case "canonicalization" `Quick test_canonicalization;
+    Alcotest.test_case "equality is equivalence" `Quick
+      test_equality_is_equivalence;
+    Alcotest.test_case "containment" `Quick test_containment;
+    Alcotest.test_case "union is the lub" `Quick test_union_is_lub;
+    Alcotest.test_case "union re-minimizes" `Quick test_union_minimizes;
+    Alcotest.test_case "x-intersection is the glb" `Quick test_inter_is_glb;
+    Alcotest.test_case "x-intersection <> set intersection" `Quick
+      test_inter_not_set_intersection;
+    Alcotest.test_case "difference" `Quick test_diff;
+    Alcotest.test_case "difference propositions 4.6/4.7" `Quick
+      test_diff_propositions;
+    Alcotest.test_case "distributivity (4.4)/(4.5)" `Quick
+      test_distributivity_concrete;
+    Alcotest.test_case "bottom laws" `Quick test_bottom_absorbing;
+    Alcotest.test_case "TOP over a finite universe" `Quick test_top;
+    Alcotest.test_case "TOP guards" `Quick test_top_guards;
+    Alcotest.test_case "pseudo-complement laws" `Quick
+      test_pseudo_complement_laws;
+    Alcotest.test_case "unsafe_of_minimal" `Quick test_unsafe_of_minimal;
+    Alcotest.test_case "filter" `Quick test_filter;
+  ]
