@@ -1,0 +1,30 @@
+# Convenience wrapper around dune. `make check` is the one-stop gate:
+# full build plus the whole test suite (unit, property, durability
+# matrix, bench golden files).
+
+DUNE ?= dune
+
+.PHONY: all check test bench fmt clean
+
+all:
+	$(DUNE) build @all
+
+check: all
+	$(DUNE) runtest
+
+test:
+	$(DUNE) runtest
+
+bench:
+	$(DUNE) exec bench/main.exe -- --fast
+
+# No-op when ocamlformat is not installed; otherwise rewrites in place.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping"; \
+	fi
+
+clean:
+	$(DUNE) clean

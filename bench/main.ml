@@ -857,6 +857,81 @@ let e16 ~with_timings () =
   end
 
 (* ---------------------------------------------------------------- *)
+(* E17: the durability subsystem -- what a crash-safe checkpoint, a
+   journal append and a journal replay cost.                          *)
+
+let e17 ~with_timings () =
+  section "E17" "Durability: checkpoint, journal append, recovery replay";
+  if not with_timings then printf "  (timings skipped)@."
+  else begin
+    let tmp_dir =
+      let base = Filename.get_temp_dir_name () in
+      let rec fresh k =
+        let dir = Filename.concat base (Printf.sprintf "nullrel_bench_%d" k) in
+        if Sys.file_exists dir then fresh (k + 1) else dir
+      in
+      fresh 0
+    in
+    let cleanup () =
+      if Sys.file_exists tmp_dir then begin
+        Array.iter
+          (fun e -> Sys.remove (Filename.concat tmp_dir e))
+          (Sys.readdir tmp_dir);
+        Sys.rmdir tmp_dir
+      end
+    in
+    printf "  checkpoint = atomic save, journal = one appended statement,@.";
+    printf "  recover = load + replay of the journal the appends built:@.";
+    printf "  %8s | %12s | %14s | %12s@." "rows" "checkpoint" "journal/stmt"
+      "recover";
+    List.iter
+      (fun n ->
+        let g = Workload.Prng.create (900 + n) in
+        let spec =
+          {
+            Workload.Gen.arity = 3;
+            rows = n;
+            domain_size = n;
+            null_density = 0.1;
+          }
+        in
+        let schema =
+          Schema.make "R"
+            (List.map
+               (fun a -> (Attr.name a, Domain.Ints))
+               (Workload.Gen.attrs spec))
+        in
+        let x1 = Workload.Gen.xrel g spec in
+        let cat = Storage.Catalog.add_unchecked Storage.Catalog.empty schema x1 in
+        let t_save =
+          Timing.ns_per_run (fun () ->
+              cleanup ();
+              Storage.Persist.save ~dir:tmp_dir cat)
+        in
+        cleanup ();
+        Storage.Persist.save ~dir:tmp_dir cat;
+        let d, _ = Dml.open_durable ~checkpoint_every:max_int ~dir:tmp_dir () in
+        let dref = ref d and k = ref 0 in
+        let t_append =
+          Timing.ns_per_run (fun () ->
+              incr k;
+              let d', _ =
+                Dml.exec_durable_string !dref
+                  (Printf.sprintf "append to R (A1 = %d, A2 = %d)" (n + !k) !k)
+              in
+              dref := d')
+        in
+        let t_recover =
+          Timing.ns_per_run (fun () ->
+              ignore (Storage.Persist.load_report ~dir:tmp_dir ()))
+        in
+        cleanup ();
+        printf "  %8d | %12s | %14s | %12s@." n (Timing.pp_ns t_save)
+          (Timing.pp_ns t_append) (Timing.pp_ns t_recover))
+      [ 100; 1000; 4000 ]
+  end
+
+(* ---------------------------------------------------------------- *)
 (* E14: the conclusion's open problem -- FD generalizations lose
    Armstrong properties.                                              *)
 
@@ -933,5 +1008,6 @@ let () =
   e13 ~with_timings ();
   e15 ~with_timings ();
   e16 ~with_timings ();
+  e17 ~with_timings ();
   e14 ();
   printf "@.All sections completed.@."

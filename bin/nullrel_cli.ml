@@ -216,8 +216,14 @@ let convert_cmd =
   let run src dst =
     let load_any path =
       if Filename.check_suffix path ".nrx" then
-        let x = Storage.Binary.read_file path in
-        (Attr.Set.elements (Xrel.scope x), x)
+        match Storage.Binary.read_file path with
+        | x -> (Attr.Set.elements (Xrel.scope x), x)
+        | exception Storage.Binary.Corrupt msg ->
+            Printf.eprintf "error: %s: corrupt relation file: %s\n" path msg;
+            exit 1
+        | exception Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
       else load path
     in
     let attrs, x = load_any src in
@@ -229,6 +235,41 @@ let convert_cmd =
   Cmd.v (Cmd.info "convert" ~doc)
     Term.(const run $ file 0
           $ Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"))
+
+let fsck_cmd =
+  let dry_flag =
+    let doc = "Report only; do not rewrite the checkpoint or the journal." in
+    Arg.(value & flag & info [ "dry-run"; "n" ] ~doc)
+  in
+  let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let run dry dir =
+    match
+      if dry then Storage.Persist.load_report ~dir ()
+      else Storage.Persist.recover ~dir ()
+    with
+    | report ->
+        List.iter print_endline (Storage.Persist.report_lines report);
+        Printf.printf "%d relations, lsn %d%s\n"
+          (List.length (Storage.Catalog.names report.Storage.Persist.catalog))
+          report.Storage.Persist.lsn
+          (if dry then "" else " (checkpoint rewritten, journal empty)");
+        let corrupt =
+          List.exists
+            (fun (_, s_) ->
+              match s_ with Storage.Persist.Corrupt _ -> true | _ -> false)
+            report.Storage.Persist.statuses
+        in
+        if corrupt then exit 1
+    | exception Storage.Persist.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let doc =
+    "Check a catalog directory (checksums, journal) and repair it: replay \
+     the committed journal tail, quarantine corrupt relations, rewrite a \
+     clean checkpoint. Exits 1 if anything was quarantined."
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
 
 let repl_cmd =
   let run () =
@@ -268,5 +309,6 @@ let () =
             project_cmd;
             query_cmd;
             convert_cmd;
+            fsck_cmd;
             repl_cmd;
           ]))

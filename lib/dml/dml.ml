@@ -106,3 +106,77 @@ let exec cat statement =
       }
 
 let exec_string cat src = exec cat (Quel.Parser.parse_statement src)
+
+(* ------------------------ durable mode ------------------------ *)
+
+type durable = {
+  dir : string;
+  io : Storage.Io.t;
+  cat : Storage.Catalog.t;
+  lsn : int;
+  dirty : int;  (** Journaled statements since the last checkpoint. *)
+  every : int;
+}
+
+let durable_catalog d = d.cat
+let durable_lsn d = d.lsn
+
+let checkpoint d =
+  Storage.Persist.save ~io:d.io ~lsn:d.lsn ~dir:d.dir d.cat;
+  Storage.Wal.reset ~io:d.io ~dir:d.dir;
+  { d with dirty = 0 }
+
+let open_durable ?(io = Storage.Io.real) ?(checkpoint_every = 64) ~dir () =
+  if checkpoint_every < 1 then invalid_arg "Dml.open_durable: checkpoint_every";
+  let report =
+    if io.Storage.Io.file_exists dir then Storage.Persist.recover ~io ~dir ()
+    else begin
+      (* a brand-new database: an empty, durable checkpoint *)
+      Storage.Persist.save ~io ~dir Storage.Catalog.empty;
+      Storage.Persist.load_report ~io ~dir ()
+    end
+  in
+  ( {
+      dir;
+      io;
+      cat = report.Storage.Persist.catalog;
+      lsn = report.Storage.Persist.lsn;
+      dirty = 0;
+      every = checkpoint_every;
+    },
+    report )
+
+let target_relation = function
+  | Quel.Ast.Retrieve _ -> None
+  | Quel.Ast.Append { rel; _ }
+  | Quel.Ast.Delete { rel; _ }
+  | Quel.Ast.Replace { rel; _ } ->
+      Some rel
+
+(* Journal, then apply, then (sometimes) checkpoint. The journal append
+   is the commit point: a crash before it loses the statement, a crash
+   after it is replayed by recovery, and the checkpoint itself is
+   crash-safe ({!Storage.Persist.save}), so every interruption lands on
+   either the last checkpoint or the last journaled commit. *)
+let exec_durable d statement =
+  let outcome = exec d.cat statement in
+  match target_relation statement with
+  | None -> (d, outcome)
+  | Some rel ->
+      let before = Storage.Catalog.relation d.cat rel in
+      let after = Storage.Catalog.relation outcome.catalog rel in
+      let record =
+        Storage.Wal.delta ~lsn:(d.lsn + 1) ~rel ~before ~after
+      in
+      if Storage.Wal.is_noop record then (d, outcome)
+      else begin
+        Storage.Wal.append ~io:d.io ~dir:d.dir record;
+        let d =
+          { d with cat = outcome.catalog; lsn = d.lsn + 1; dirty = d.dirty + 1 }
+        in
+        let d = if d.dirty >= d.every then checkpoint d else d in
+        (d, outcome)
+      end
+
+let exec_durable_string d src =
+  exec_durable d (Quel.Parser.parse_statement src)

@@ -26,3 +26,41 @@ type outcome = {
 val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
 val exec_string : Storage.Catalog.t -> string -> outcome
 (** [exec] composed with {!Quel.Parser.parse_statement}. *)
+
+(** {1 Durable mode}
+
+    A durable session pins the catalog to a directory with
+    write-ahead-journalled updates: every statement is appended to
+    [DIR/wal] ({!Storage.Wal}) {e before} its effect is applied, and a
+    full crash-safe checkpoint ({!Storage.Persist.save}) is cut every
+    [checkpoint_every] statements. A crash at any moment therefore
+    loses at most the statement whose journal append was interrupted;
+    {!open_durable} (via {!Storage.Persist.recover}) replays the
+    committed journal tail and leaves the directory clean again. *)
+
+type durable
+
+val open_durable :
+  ?io:Storage.Io.t ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  unit ->
+  durable * Storage.Persist.report
+(** Opens (creating if absent) a durable catalog directory, running
+    full recovery first. The report says what recovery found; a
+    relation quarantined as [Corrupt] is absent from the session.
+    Default [checkpoint_every] is 64. *)
+
+val durable_catalog : durable -> Storage.Catalog.t
+val durable_lsn : durable -> int
+
+val exec_durable : durable -> Quel.Ast.statement -> durable * outcome
+(** Journal, apply, checkpoint-if-due. Statements that change nothing
+    (including every [retrieve]) are not journaled. Exceptions from the
+    statement itself ({!Error}, {!Storage.Catalog.Violation}) leave the
+    session unchanged; exceptions from the filesystem propagate and the
+    session value must be discarded — re-open to recover. *)
+
+val exec_durable_string : durable -> string -> durable * outcome
+val checkpoint : durable -> durable
+(** Forces a checkpoint now (also empties the journal). *)

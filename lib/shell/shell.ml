@@ -9,7 +9,8 @@ let finished st = st.finished
 let help =
   ".load NAME FILE.csv    register a CSV file as relation NAME\n\
    .open DIR              load a saved catalog directory\n\
-   .save DIR              save the catalog\n\
+   .save DIR              save the catalog (atomic, checksummed)\n\
+   .fsck DIR              check a catalog directory and repair it\n\
    .list                  list relations\n\
    .show NAME             print a relation\n\
    .schema NAME           print a relation's schema\n\
@@ -153,13 +154,42 @@ let exec st line =
           ( { st with cat = Storage.Catalog.add st.cat schema x },
             Printf.sprintf "loaded %s (%d tuples)" name (Xrel.cardinal x) )
       | [ ".open"; dir ] ->
-          let cat = Storage.Persist.load ~dir in
-          ( { st with cat },
+          let report = Storage.Persist.load_report ~dir () in
+          let cat = report.Storage.Persist.catalog in
+          let clean =
+            List.for_all
+              (fun (_, s_) -> s_ = Storage.Persist.Ok)
+              report.Storage.Persist.statuses
+            && report.Storage.Persist.journal_note = None
+          in
+          let headline =
             Printf.sprintf "opened %s (%d relations)" dir
-              (List.length (Storage.Catalog.names cat)) )
+              (List.length (Storage.Catalog.names cat))
+          in
+          ( { st with cat },
+            if clean then headline
+            else
+              String.concat "\n"
+                ((headline ^ " -- problems found, run .fsck to repair:")
+                :: List.map (fun l -> "  " ^ l)
+                     (Storage.Persist.report_lines report)) )
+      | [ ".fsck"; dir ] ->
+          let report = Storage.Persist.recover ~dir () in
+          ( st,
+            String.concat "\n"
+              (Printf.sprintf "%s: checkpointed %d relations at lsn %d, journal empty"
+                 dir
+                 (List.length
+                    (Storage.Catalog.names report.Storage.Persist.catalog))
+                 report.Storage.Persist.lsn
+              :: List.map (fun l -> "  " ^ l)
+                   (Storage.Persist.report_lines report)) )
       | [ ".save"; dir ] ->
           Storage.Persist.save ~dir st.cat;
           (st, Printf.sprintf "saved to %s" dir)
+      | [ ".open" ] | [ ".fsck" ] | [ ".save" ] | [ ".load" ] | [ ".show" ]
+      | [ ".schema" ] ->
+          (st, "error: missing argument (try .help)")
       | [ ".show"; name ] ->
           ( st,
             with_relation st name (fun schema x ->

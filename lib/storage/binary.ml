@@ -3,7 +3,7 @@ open Nullrel
 exception Corrupt of string
 
 let corrupt msg = raise (Corrupt msg)
-let magic = "NRX1"
+let magic = "NRX2"
 
 (* ------------------------- encoding --------------------------- *)
 
@@ -73,6 +73,11 @@ let encode x =
           add_value buf v)
         bindings)
     tuples;
+  (* checksum trailer: CRC-32 of everything before it, little-endian *)
+  let crc = Crc32.digest (Buffer.contents buf) in
+  for k = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * k)) land 0xff))
+  done;
   Buffer.contents buf
 
 (* ------------------------- decoding --------------------------- *)
@@ -135,7 +140,19 @@ let decode data =
     go bindings Tuple.empty
   in
   let tuples = List.init tuple_count (fun _ -> read_tuple ()) in
+  if String.length data - cur.pos < 4 then corrupt "missing checksum trailer";
+  let payload_len = cur.pos in
+  let trailer = read_bytes cur 4 in
   if cur.pos <> String.length data then corrupt "trailing bytes";
+  let stored = ref 0 in
+  for k = 3 downto 0 do
+    stored := (!stored lsl 8) lor Char.code trailer.[k]
+  done;
+  let computed = Crc32.digest (String.sub data 0 payload_len) in
+  if !stored <> computed then
+    corrupt
+      (Printf.sprintf "checksum mismatch (stored %s, computed %s)"
+         (Crc32.to_hex !stored) (Crc32.to_hex computed));
   Xrel.of_list tuples
 
 let write_file path x =

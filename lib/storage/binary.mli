@@ -9,7 +9,7 @@
 
     Layout:
     {v
-    magic "NRX1"
+    magic "NRX2"
     attr-count:varint  (attr-name:str)*
     tuple-count:varint
     tuple ::= binding-count:varint (attr-index:varint value)*
@@ -17,13 +17,18 @@
             | 0x01 float:8 bytes LE
             | 0x02 str:varint-len bytes
             | 0x03 bool:1 byte
-    v} *)
+    crc32:4 bytes LE   (of every preceding byte)
+    v}
+
+    The trailing CRC-32 makes every truncation or bit flip a detected
+    {!Corrupt}, never a silently wrong relation: [decode] rejects any
+    input that is not byte-exact. *)
 
 open Nullrel
 
 exception Corrupt of string
 (** Bad magic, truncated input, unknown tags, out-of-range dictionary
-    references. *)
+    references, checksum mismatches. *)
 
 val encode : Xrel.t -> string
 val decode : string -> Xrel.t

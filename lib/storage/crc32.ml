@@ -1,0 +1,26 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xedb88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let digest ?(init = 0) s =
+  let table = Lazy.force table in
+  let c = ref (init lxor 0xffffffff) in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+let to_hex n = Printf.sprintf "%08x" (n land 0xffffffff)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some n when n >= 0 && n <= 0xffffffff -> Some n
+    | _ -> None

@@ -29,9 +29,11 @@ let parse_cells src =
       | '\n' ->
           flush_row ();
           plain (i + 1)
-      | '\r' when i + 1 < n && src.[i + 1] = '\n' ->
+      | '\r' ->
+          (* CRLF, CR-only line endings, and a CR at end of file all
+             terminate the row *)
           flush_row ();
-          plain (i + 2)
+          plain (if i + 1 < n && src.[i + 1] = '\n' then i + 2 else i + 1)
       | '"' when Buffer.length buf = 0 && not !quoted ->
           quoted := true;
           in_quotes (i + 1)
@@ -59,9 +61,9 @@ let parse_cells src =
       | '\n' ->
           flush_row ();
           plain (i + 1)
-      | '\r' when i + 1 < n && src.[i + 1] = '\n' ->
+      | '\r' ->
           flush_row ();
-          plain (i + 2)
+          plain (if i + 1 < n && src.[i + 1] = '\n' then i + 2 else i + 1)
       | c -> raise (Error (Printf.sprintf "unexpected %C after closing quote" c))
   in
   plain 0;

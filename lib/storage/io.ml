@@ -1,0 +1,138 @@
+exception Injected_fault of string
+
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  append_file : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> unit;
+  readdir : string -> string array;
+  file_exists : string -> bool;
+  fsync_dir : string -> unit;
+}
+
+(* --------------------------- real ----------------------------- *)
+
+let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+(* Everything in {!real} raises [Sys_error] like the stdlib does, so
+   callers (the shell in particular) need one exception story. *)
+let sys_error path = function
+  | Unix.Unix_error (err, _, _) ->
+      raise (Sys_error (path ^ ": " ^ Unix.error_message err))
+  | e -> raise e
+
+let write_channel path flags contents =
+  match
+    let fd = Unix.openfile path flags 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = String.length contents in
+        let written = ref 0 in
+        while !written < len do
+          written :=
+            !written
+            + Unix.write_substring fd contents !written (len - !written)
+        done;
+        fsync_fd fd)
+  with
+  | () -> ()
+  | exception e -> sys_error path e
+
+let real =
+  {
+    read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    write_file =
+      (fun path contents ->
+        write_channel path Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] contents);
+    append_file =
+      (fun path contents ->
+        write_channel path Unix.[ O_WRONLY; O_CREAT; O_APPEND ] contents);
+    rename = Sys.rename;
+    remove = Sys.remove;
+    mkdir = (fun path -> Sys.mkdir path 0o755);
+    readdir = Sys.readdir;
+    file_exists = Sys.file_exists;
+    fsync_dir =
+      (fun path ->
+        match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+            fsync_fd fd;
+            (try Unix.close fd with Unix.Unix_error _ -> ()));
+  }
+
+(* ----------------------- fault injection ---------------------- *)
+
+type fault = Fail | Truncate | Short_write
+
+let faulty ~fault ~after base =
+  let ops = ref 0 in
+  (* [mutating name apply] runs one mutating operation: pass-through
+     before the fault point, the configured fault at it, a plain crash
+     after it. [partial] is the side effect the fault leaves behind. *)
+  let mutating name ?(partial = fun () -> ()) apply =
+    let n = !ops in
+    incr ops;
+    if n < after then apply ()
+    else if n = after then begin
+      (match fault with
+      | Fail -> ()
+      | Truncate | Short_write -> partial ());
+      raise
+        (Injected_fault (Printf.sprintf "fault injected at op %d (%s)" n name))
+    end
+    else
+      raise
+        (Injected_fault
+           (Printf.sprintf "operation %d (%s) after injected crash" n name))
+  in
+  let prefix contents =
+    match fault with
+    | Truncate -> ""
+    | _ -> String.sub contents 0 (String.length contents / 2)
+  in
+  {
+    read_file = base.read_file;
+    write_file =
+      (fun path contents ->
+        mutating "write_file"
+          ~partial:(fun () -> base.write_file path (prefix contents))
+          (fun () -> base.write_file path contents));
+    append_file =
+      (fun path contents ->
+        mutating "append_file"
+          ~partial:(fun () -> base.append_file path (prefix contents))
+          (fun () -> base.append_file path contents));
+    rename =
+      (fun src dst -> mutating "rename" (fun () -> base.rename src dst));
+    remove = (fun path -> mutating "remove" (fun () -> base.remove path));
+    mkdir = (fun path -> mutating "mkdir" (fun () -> base.mkdir path));
+    readdir = base.readdir;
+    file_exists = base.file_exists;
+    fsync_dir = (fun path -> mutating "fsync_dir" (fun () -> base.fsync_dir path));
+  }
+
+let counting base =
+  let ops = ref 0 in
+  let count f x =
+    incr ops;
+    f x
+  in
+  ( {
+      base with
+      write_file = (fun p c -> count (base.write_file p) c);
+      append_file = (fun p c -> count (base.append_file p) c);
+      rename = (fun s d -> count (base.rename s) d);
+      remove = count base.remove;
+      mkdir = count base.mkdir;
+      fsync_dir = count base.fsync_dir;
+    },
+    fun () -> !ops )

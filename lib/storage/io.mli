@@ -1,0 +1,57 @@
+(** An injectable filesystem, so the durability layer can be driven by
+    fault injection in tests.
+
+    {!real} performs actual syscalls (with [fsync] on every mutating
+    file operation — the primitives here are deliberately {e raw} and
+    non-atomic; atomicity is built on top of them by {!Persist} and
+    {!Wal} with the write-to-temp / fsync / rename / fsync-dir
+    protocol).
+
+    {!faulty} wraps another filesystem and makes its [n]-th mutating
+    operation fail — cleanly, or after truncating, or after a short
+    (torn) write — and every later mutating operation fail immediately,
+    modelling a process that crashed at that point. {!counting} counts
+    mutating operations so a test can first measure a workload and then
+    replay it once per possible crash site. *)
+
+exception Injected_fault of string
+(** Raised by {!faulty} filesystems; never by {!real}. *)
+
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+      (** Create-or-truncate, write everything, fsync. Not atomic. *)
+  append_file : string -> string -> unit;
+      (** Append (creating if needed), fsync. Not atomic. *)
+  rename : string -> string -> unit;
+      (** Atomic on POSIX filesystems; the commit point of every
+          protocol built on this interface. *)
+  remove : string -> unit;
+  mkdir : string -> unit;
+  readdir : string -> string array;
+  file_exists : string -> bool;
+  fsync_dir : string -> unit;
+      (** Flush directory metadata so renames survive power loss. *)
+}
+
+val real : t
+
+type fault =
+  | Fail  (** The faulted operation has no effect at all. *)
+  | Truncate
+      (** A faulted write leaves the file truncated to zero bytes
+          (appends append nothing). *)
+  | Short_write
+      (** A faulted write persists only a prefix of the data — a torn
+          write. *)
+
+val faulty : fault:fault -> after:int -> t -> t
+(** [faulty ~fault ~after io]: mutating operations [0 .. after-1] pass
+    through to [io]; operation number [after] applies [fault] and raises
+    {!Injected_fault}; every subsequent mutating operation raises
+    immediately (the process is dead). Reads always pass through, so a
+    post-mortem can inspect the debris. *)
+
+val counting : t -> t * (unit -> int)
+(** [counting io] is [io] plus a counter of mutating operations
+    performed so far. *)

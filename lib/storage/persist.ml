@@ -84,47 +84,335 @@ let schema_of_string text =
   | Some name ->
       Schema.make ~key ~foreign_keys:(List.rev fks) name (List.rev columns)
 
-(* --------------------------- files ---------------------------- *)
+(* -------------------------- manifest -------------------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let manifest_name = "MANIFEST"
+let pending_name = "MANIFEST.next"
+let format_version = "1"
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
+type manifest = { m_lsn : int; m_entries : (string * (int * int)) list }
 
-let save ~dir cat =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+let manifest_to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "nullrel-manifest\t%s\t%d\n" format_version m.m_lsn);
   List.iter
-    (fun (name, (schema, x)) ->
-      write_file (Filename.concat dir (name ^ ".schema"))
-        (schema_to_string schema);
-      write_file
-        (Filename.concat dir (name ^ ".csv"))
-        (Csv.write_string (Schema.attrs schema) x))
-    (Catalog.to_db cat)
+    (fun (name, (scrc, dcrc)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation\t%s\t%s\t%s\n" name (Crc32.to_hex scrc)
+           (Crc32.to_hex dcrc)))
+    m.m_entries;
+  let crc = Crc32.digest (Buffer.contents buf) in
+  Buffer.add_string buf (Printf.sprintf "end\t%s\n" (Crc32.to_hex crc));
+  Buffer.contents buf
 
-let load ~dir =
-  let entries = Sys.readdir dir in
-  Array.sort String.compare entries;
-  Array.fold_left
-    (fun cat entry ->
-      if Filename.check_suffix entry ".schema" then begin
-        let schema =
-          schema_of_string (read_file (Filename.concat dir entry))
+(* [None] means torn or not a manifest at all (callers treat it as
+   absent); a manifest whose checksum verifies but that claims another
+   format version raises: that is not damage, it is the future. *)
+let manifest_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec split_at_end body = function
+    | [] -> None
+    | line :: rest when String.length line >= 4 && String.sub line 0 4 = "end\t"
+      ->
+        if List.for_all (String.equal "") rest then
+          Some (List.rev body, String.sub line 4 (String.length line - 4))
+        else None
+    | line :: rest -> split_at_end (line :: body) rest
+  in
+  match split_at_end [] lines with
+  | None -> None
+  | Some (body_lines, crc_hex) -> (
+      let body = String.concat "" (List.map (fun l -> l ^ "\n") body_lines) in
+      match Crc32.of_hex crc_hex with
+      | Some crc when crc = Crc32.digest body -> (
+          match body_lines with
+          | header :: entry_lines -> (
+              match String.split_on_char '\t' header with
+              | [ "nullrel-manifest"; version; lsn ] -> (
+                  if not (String.equal version format_version) then
+                    errorf "unsupported manifest version %s" version;
+                  match int_of_string_opt lsn with
+                  | None -> None
+                  | Some m_lsn ->
+                      let entry line =
+                        match String.split_on_char '\t' line with
+                        | [ "relation"; name; s_hex; d_hex ] -> (
+                            match (Crc32.of_hex s_hex, Crc32.of_hex d_hex) with
+                            | Some s_, Some d -> Some (name, (s_, d))
+                            | _ -> None)
+                        | _ -> None
+                      in
+                      let entries = List.map entry entry_lines in
+                      if List.exists Option.is_none entries then None
+                      else
+                        Some
+                          { m_lsn; m_entries = List.filter_map Fun.id entries })
+              | _ -> None)
+          | [] -> None)
+      | _ -> None)
+
+let read_manifest io dir name =
+  let path = Filename.concat dir name in
+  if not (io.Io.file_exists path) then None
+  else manifest_of_string (io.Io.read_file path)
+
+(* ---------------------------- save ---------------------------- *)
+
+let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
+  if not (io.Io.file_exists dir) then io.Io.mkdir dir;
+  let path name = Filename.concat dir name in
+  let entries =
+    List.map
+      (fun (name, (schema, x)) ->
+        ( name,
+          schema_to_string schema,
+          Csv.write_string (Schema.attrs schema) x ))
+      (Catalog.to_db cat)
+  in
+  (* Stage everything first: data files as *.tmp siblings, the manifest
+     as MANIFEST.next. Nothing visible is touched yet, so a crash in
+     this phase is a no-op. *)
+  List.iter
+    (fun (name, stext, dtext) ->
+      io.Io.write_file (path (name ^ ".schema.tmp")) stext;
+      io.Io.write_file (path (name ^ ".csv.tmp")) dtext)
+    entries;
+  let manifest =
+    {
+      m_lsn = lsn;
+      m_entries =
+        List.map
+          (fun (name, stext, dtext) ->
+            (name, (Crc32.digest stext, Crc32.digest dtext)))
+          entries;
+    }
+  in
+  io.Io.write_file (path pending_name) (manifest_to_string manifest);
+  (* Rename data files into place. A crash here leaves a mix of old and
+     new files, each atomic on its own; the reader disambiguates by
+     checksum against MANIFEST (old) and MANIFEST.next (staged above). *)
+  List.iter
+    (fun (name, _, _) ->
+      io.Io.rename (path (name ^ ".schema.tmp")) (path (name ^ ".schema"));
+      io.Io.rename (path (name ^ ".csv.tmp")) (path (name ^ ".csv")))
+    entries;
+  (* The commit point. *)
+  io.Io.rename (path pending_name) (path manifest_name);
+  io.Io.fsync_dir dir
+
+(* ---------------------------- load ---------------------------- *)
+
+type status = Ok | Corrupt of string | Recovered of int
+
+type report = {
+  catalog : Catalog.t;
+  statuses : (string * status) list;
+  lsn : int;
+  journal_note : string option;
+}
+
+let pp_status ppf = function
+  | Ok -> Format.fprintf ppf "ok"
+  | Corrupt reason -> Format.fprintf ppf "quarantined — %s" reason
+  | Recovered n ->
+      Format.fprintf ppf "recovered (%d journal record%s replayed)" n
+        (if n = 1 then "" else "s")
+
+let report_lines report =
+  List.map
+    (fun (name, status) ->
+      Format.asprintf "%s: %a" name pp_status status)
+    report.statuses
+  @ match report.journal_note with
+    | None -> []
+    | Some note -> [ "journal: " ^ note ]
+
+(* One relation loaded from its pair of files, checked against the
+   manifests when present. Returns the schema/xrel plus the LSN of the
+   checkpoint the data file belongs to. *)
+let load_relation io dir name expected =
+  let path suffix = Filename.concat dir (name ^ suffix) in
+  let read suffix =
+    let p = path suffix in
+    if not (io.Io.file_exists p) then errorf "missing %s file" suffix
+    else io.Io.read_file p
+  in
+  let stext = read ".schema" in
+  let dtext = read ".csv" in
+  let base_lsn =
+    match expected with
+    | None -> 0 (* legacy directory: nothing to check against *)
+    | Some (primary, pending) -> (
+        let scrc = Crc32.digest stext and dcrc = Crc32.digest dtext in
+        let matches part m =
+          match List.assoc_opt name m.m_entries with
+          | Some entry -> part entry
+          | None -> false
         in
-        let csv_path =
-          Filename.concat dir (Filename.chop_suffix entry ".schema" ^ ".csv")
+        let schema_ok =
+          List.exists
+            (function
+              | None -> false
+              | Some m -> matches (fun (s_, _) -> s_ = scrc) m)
+            [ Some primary; pending ]
         in
-        if not (Sys.file_exists csv_path) then
-          errorf "missing data file for %s" entry;
-        let _, x = Csv.read_file ~schema csv_path in
-        Catalog.add cat schema x
-      end
-      else cat)
-    Catalog.empty entries
+        if not schema_ok then
+          errorf "schema checksum mismatch (crc %s)" (Crc32.to_hex scrc);
+        (* The data file decides which checkpoint this relation is at. *)
+        if matches (fun (_, d) -> d = dcrc) primary then primary.m_lsn
+        else
+          match pending with
+          | Some p when matches (fun (_, d) -> d = dcrc) p -> p.m_lsn
+          | _ ->
+              errorf "data checksum mismatch (crc %s)" (Crc32.to_hex dcrc))
+  in
+  let schema = schema_of_string stext in
+  let _, x = Csv.read_string ~schema dtext in
+  (schema, x, base_lsn)
+
+let load_report ?(io = Io.real) ~dir () =
+  if not (io.Io.file_exists dir) then errorf "no such directory %s" dir;
+  let primary = read_manifest io dir manifest_name in
+  let pending = read_manifest io dir pending_name in
+  (* A directory whose first-ever checkpoint crashed after staging has a
+     valid MANIFEST.next and no MANIFEST: promote the pending one. *)
+  let primary, pending =
+    match (primary, pending) with
+    | None, Some p -> (Some p, None)
+    | pair -> pair
+  in
+  let names =
+    match primary with
+    | Some m ->
+        let pending_only =
+          match pending with
+          | None -> []
+          | Some p ->
+              List.filter
+                (fun (name, _) -> not (List.mem_assoc name m.m_entries))
+                p.m_entries
+        in
+        List.map fst (m.m_entries @ pending_only)
+    | None ->
+        (* legacy directory: every *.schema file names a relation *)
+        let entries = Array.to_list (io.Io.readdir dir) in
+        List.filter_map
+          (fun entry ->
+            if Filename.check_suffix entry ".schema" then
+              Some (Filename.chop_suffix entry ".schema")
+            else None)
+          entries
+  in
+  let names = List.sort_uniq String.compare names in
+  let expected = Option.map (fun m -> (m, pending)) primary in
+  let loaded =
+    List.map
+      (fun name ->
+        match load_relation io dir name expected with
+        | schema, x, base_lsn -> (
+            match Catalog.add Catalog.empty schema x with
+            | _ -> (name, `Loaded (schema, x, base_lsn))
+            | exception Catalog.Violation violations ->
+                ( name,
+                  `Corrupt
+                    (Printf.sprintf "schema violations: %s"
+                       (String.concat "; "
+                          (List.map
+                             (Pp.to_string Schema.pp_violation)
+                             violations))) ))
+        | exception Error msg -> (name, `Corrupt msg)
+        | exception Csv.Error msg -> (name, `Corrupt ("bad CSV: " ^ msg))
+        | exception Sys_error msg -> (name, `Corrupt msg))
+      names
+  in
+  let catalog, base_lsns =
+    List.fold_left
+      (fun (cat, lsns) (name, outcome) ->
+        match outcome with
+        | `Loaded (schema, x, base_lsn) ->
+            (Catalog.add_unchecked cat schema x, (name, base_lsn) :: lsns)
+        | `Corrupt _ -> (cat, lsns))
+      (Catalog.empty, []) loaded
+  in
+  let manifest_lsn = match primary with Some m -> m.m_lsn | None -> 0 in
+  (* Replay the journal tail: records past the checkpoint a relation's
+     data file belongs to. Replaying onto a relation from a {e newer}
+     half-renamed checkpoint is skipped by the per-relation LSN gate. *)
+  let records, tail_note = Wal.read ~io ~dir in
+  let catalog, replayed, top_lsn, notes =
+    List.fold_left
+      (fun (cat, replayed, top_lsn, notes) record ->
+        match List.assoc_opt record.Wal.rel base_lsns with
+        | Some base when record.Wal.lsn > base -> (
+            match Wal.apply cat record with
+            | cat ->
+                let count =
+                  1
+                  + Option.value ~default:0
+                      (List.assoc_opt record.Wal.rel replayed)
+                in
+                ( cat,
+                  (record.Wal.rel, count)
+                  :: List.remove_assoc record.Wal.rel replayed,
+                  max top_lsn record.Wal.lsn,
+                  notes )
+            | exception (Wal.Error msg | Error msg) ->
+                (cat, replayed, top_lsn, msg :: notes)
+            | exception Catalog.Violation _ ->
+                ( cat,
+                  replayed,
+                  top_lsn,
+                  Printf.sprintf
+                    "replaying lsn %d left %s violating its schema"
+                    record.Wal.lsn record.Wal.rel
+                  :: notes ))
+        | Some _ -> (cat, replayed, top_lsn, notes) (* already reflected *)
+        | None ->
+            ( cat,
+              replayed,
+              top_lsn,
+              Printf.sprintf "lsn %d targets unloadable relation %s"
+                record.Wal.lsn record.Wal.rel
+              :: notes ))
+      (catalog, [], manifest_lsn, [])
+      records
+  in
+  let statuses =
+    List.map
+      (fun (name, outcome) ->
+        match outcome with
+        | `Corrupt reason -> (name, Corrupt reason)
+        | `Loaded _ -> (
+            match List.assoc_opt name replayed with
+            | Some n -> (name, Recovered n)
+            | None -> (name, Ok)))
+      loaded
+  in
+  let journal_note =
+    match Option.to_list tail_note @ List.rev notes with
+    | [] -> None
+    | all -> Some (String.concat "; " all)
+  in
+  { catalog; statuses; lsn = top_lsn; journal_note }
+
+let load ?(io = Io.real) ~dir () =
+  let report = load_report ~io ~dir () in
+  List.iter
+    (fun (name, status) ->
+      match status with
+      | Corrupt reason -> errorf "%s: %s" name reason
+      | Ok | Recovered _ -> ())
+    report.statuses;
+  report.catalog
+
+let recover ?(io = Io.real) ~dir () =
+  let report = load_report ~io ~dir () in
+  save ~io ~lsn:report.lsn ~dir report.catalog;
+  Wal.reset ~io ~dir;
+  Array.iter
+    (fun entry ->
+      if Filename.check_suffix entry ".tmp" then
+        try io.Io.remove (Filename.concat dir entry) with Sys_error _ -> ())
+    (io.Io.readdir dir);
+  report

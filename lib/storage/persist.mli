@@ -1,4 +1,4 @@
-(** Saving and loading a catalog to a directory.
+(** Crash-safe saving and loading of a catalog directory.
 
     Each relation [NAME] is stored as two files:
     - [NAME.schema] — a line-oriented, tab-separated description:
@@ -13,21 +13,86 @@
     - [NAME.csv] — the relation in the {!Csv} dialect ([-] for nulls),
       written in the schema's column order.
 
+    On top of those sits a [MANIFEST] naming every relation with the
+    CRC-32 of both files, a format version and the journal position
+    (LSN) the checkpoint reflects:
+    {v
+    nullrel-manifest <TAB> 1 <TAB> LSN
+    relation <TAB> NAME <TAB> SCHEMA-CRC <TAB> DATA-CRC
+    ...
+    end <TAB> CRC            (of every preceding byte — a torn
+                              manifest is detected, not misread)
+    v}
+
+    {!save} is atomic per file and ordered so that a crash at {e any}
+    point leaves a recoverable directory: every file is written to a
+    [*.tmp] sibling and fsynced before being renamed into place; the
+    next manifest is staged as [MANIFEST.next] {e before} any data file
+    is renamed and promoted to [MANIFEST] {e after} all of them, so a
+    reader can always tell a half-renamed checkpoint (file matches
+    [MANIFEST.next]) from corruption (file matches neither).
+
+    {!load_report} degrades gracefully: a corrupt, truncated or
+    checksum-mismatched relation is quarantined with a reason instead of
+    aborting the whole catalog, and committed journal records
+    ({!Wal}) past the checkpoint are replayed. {!recover} additionally
+    repairs the directory: it rewrites a clean checkpoint and empties
+    the journal.
+
     Loading re-validates every relation against its schema
     ({!Catalog.add}); cross-relation references are {e not} checked at
-    load time (a catalog may legitimately be loaded before its targets
-    exist) — call {!Catalog.check_references} afterwards. *)
+    load time — call {!Catalog.check_references} afterwards. Legacy
+    directories without a [MANIFEST] still load (without checksum
+    verification). *)
 
 exception Error of string
 
-val save : dir:string -> Catalog.t -> unit
-(** Writes every relation. Creates [dir] if needed; overwrites existing
-    files for the saved names, leaves other files alone. *)
+type status =
+  | Ok  (** Checksums verified (or legacy file parsed cleanly). *)
+  | Corrupt of string  (** Quarantined: the reason it was rejected. *)
+  | Recovered of int
+      (** Loaded, then brought up to date by replaying this many
+          journal records. *)
 
-val load : dir:string -> Catalog.t
-(** Loads every [*.schema]/[*.csv] pair of the directory. Raises
-    {!Error} on malformed schema files, {!Csv.Error} on malformed data,
-    and {!Catalog.Violation} if a relation violates its own schema. *)
+type report = {
+  catalog : Catalog.t;
+      (** Every relation that loaded ([Ok] or [Recovered]); quarantined
+          relations are absent. *)
+  statuses : (string * status) list;  (** Per relation, sorted by name. *)
+  lsn : int;  (** The journal position the catalog reflects. *)
+  journal_note : string option;
+      (** Set when the journal had a torn or corrupt tail, or records
+          that could not be replayed. *)
+}
+
+val save : ?io:Io.t -> ?lsn:int -> dir:string -> Catalog.t -> unit
+(** Writes a full checkpoint of every relation plus the [MANIFEST]
+    (default [lsn] 0). Creates [dir] if needed; overwrites existing
+    files for the saved names, leaves other files alone (though only
+    manifest-listed relations are loaded back). *)
+
+val load_report : ?io:Io.t -> dir:string -> unit -> report
+(** Read-only: loads what it can, quarantines what it cannot, replays
+    the committed journal tail in memory. Raises {!Error} only if the
+    directory itself is missing or the manifest claims an unsupported
+    format version. *)
+
+val load : ?io:Io.t -> dir:string -> unit -> Catalog.t
+(** {!load_report}, raising {!Error} if any relation was quarantined.
+    Replayed journal records ([Recovered]) are not an error. *)
+
+val recover : ?io:Io.t -> dir:string -> unit -> report
+(** {!load_report}, then repairs the directory: writes a fresh
+    checkpoint of the surviving catalog at the recovered LSN, empties
+    the journal and removes stale [*.tmp] staging files. Quarantined
+    relations keep their on-disk files (for post-mortems) but are no
+    longer listed in the manifest. *)
+
+val pp_status : Format.formatter -> status -> unit
+val report_lines : report -> string list
+(** Human-readable per-relation lines ("EMP: ok", "SP: quarantined —
+    ..."), plus the journal note — what the shell prints for [.open]
+    and [.fsck]. *)
 
 val schema_to_string : Nullrel.Schema.t -> string
 val schema_of_string : string -> Nullrel.Schema.t

@@ -1,0 +1,148 @@
+open Nullrel
+
+type record = { lsn : int; rel : string; added : Xrel.t; removed : Xrel.t }
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+let file ~dir = Filename.concat dir "wal"
+
+(* ------------------------- deltas ----------------------------- *)
+
+let delta ~lsn ~rel ~before ~after =
+  let b = Relation.tuples (Xrel.rep before)
+  and a = Relation.tuples (Xrel.rep after) in
+  (* Both sides are subsets of minimal representations (antichains), so
+     wrapping them unsafely is sound and they roundtrip exactly. *)
+  let wrap set = Xrel.unsafe_of_minimal (Relation.of_tuples set) in
+  {
+    lsn;
+    rel;
+    added = wrap (Tuple.Set.diff a b);
+    removed = wrap (Tuple.Set.diff b a);
+  }
+
+let is_noop r = Xrel.is_empty r.added && Xrel.is_empty r.removed
+
+let apply cat r =
+  match Catalog.find cat r.rel with
+  | None -> errorf "journal references unknown relation %s" r.rel
+  | Some (_, x) ->
+      let tuples = Relation.tuples (Xrel.rep x) in
+      let tuples = Tuple.Set.diff tuples (Relation.tuples (Xrel.rep r.removed)) in
+      let tuples = Tuple.Set.union tuples (Relation.tuples (Xrel.rep r.added)) in
+      Catalog.set_relation cat r.rel (Xrel.of_tuples tuples)
+
+(* ------------------------- framing ---------------------------- *)
+
+let add_u32 buf n =
+  for k = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * k)) land 0xff))
+  done
+
+let add_u64 buf n =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * k)) land 0xff))
+  done
+
+let add_block buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let encode_payload r =
+  let buf = Buffer.create 256 in
+  add_u64 buf r.lsn;
+  add_block buf r.rel;
+  add_block buf (Binary.encode r.added);
+  add_block buf (Binary.encode r.removed);
+  Buffer.contents buf
+
+let encode_frame r =
+  let payload = encode_payload r in
+  let buf = Buffer.create (String.length payload + 8) in
+  add_block buf payload;
+  add_u32 buf (Crc32.digest payload);
+  Buffer.contents buf
+
+type cursor = { data : string; mutable pos : int }
+
+let remaining cur = String.length cur.data - cur.pos
+
+let read_u n cur =
+  let v = ref 0 in
+  for k = n - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code cur.data.[cur.pos + k]
+  done;
+  cur.pos <- cur.pos + n;
+  !v
+
+let read_block cur =
+  if remaining cur < 4 then errorf "truncated block length";
+  let len = read_u 4 cur in
+  if len < 0 || remaining cur < len then errorf "truncated block";
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let decode_payload payload =
+  let cur = { data = payload; pos = 0 } in
+  if remaining cur < 8 then errorf "truncated lsn";
+  let lsn = read_u 8 cur in
+  let rel = read_block cur in
+  let decode what s =
+    try Binary.decode s
+    with Binary.Corrupt msg -> errorf "bad %s delta: %s" what msg
+  in
+  let added = decode "added" (read_block cur) in
+  let removed = decode "removed" (read_block cur) in
+  if remaining cur <> 0 then errorf "trailing payload bytes";
+  { lsn; rel; added; removed }
+
+let append ~io ~dir r = io.Io.append_file (file ~dir) (encode_frame r)
+
+let read ~io ~dir =
+  let path = file ~dir in
+  if not (io.Io.file_exists path) then ([], None)
+  else begin
+    let data = io.Io.read_file path in
+    let cur = { data; pos = 0 } in
+    let torn lsn msg =
+      Some
+        (Printf.sprintf "journal tail dropped after lsn %d: %s" lsn msg)
+    in
+    let rec go acc last_lsn =
+      if remaining cur = 0 then (List.rev acc, None)
+      else if remaining cur < 4 then (List.rev acc, torn last_lsn "torn frame header")
+      else begin
+        let start = cur.pos in
+        let len = read_u 4 cur in
+        if len < 0 || remaining cur < len + 4 then
+          (List.rev acc, torn last_lsn "torn frame")
+        else begin
+          let payload = String.sub cur.data cur.pos len in
+          cur.pos <- cur.pos + len;
+          let crc = read_u 4 cur in
+          if crc <> Crc32.digest payload then
+            (List.rev acc, torn last_lsn "frame checksum mismatch")
+          else
+            match decode_payload payload with
+            | r -> go (r :: acc) r.lsn
+            | exception Error msg ->
+                (* A frame whose checksum matches but whose body does not
+                   decode is not a torn tail — the record is corrupt. *)
+                ( List.rev acc,
+                  Some
+                    (Printf.sprintf "corrupt journal record at byte %d: %s"
+                       start msg) )
+        end
+      end
+    in
+    go [] 0
+  end
+
+let reset ~io ~dir =
+  let path = file ~dir in
+  let tmp = path ^ ".tmp" in
+  io.Io.write_file tmp "";
+  io.Io.rename tmp path;
+  io.Io.fsync_dir dir

@@ -1,0 +1,62 @@
+(** The write-ahead journal: DML effects as serialized x-relation
+    deltas.
+
+    Section 7 defines every update algebraically, so the effect of any
+    statement on a relation is captured exactly by two antichains of
+    tuples: the rows its minimal representation gained and the rows it
+    lost. A {!record} stores precisely that (re-using {!Binary}'s
+    encoding), which makes replay {e exact}: applying a record to the
+    pre-state reproduces the post-state byte for byte, because a subset
+    of a minimal representation is itself minimal and therefore survives
+    the encode/decode roundtrip unchanged.
+
+    The journal file is [DIR/wal], a sequence of frames:
+    {v
+    frame ::= payload-length:4 bytes LE  payload  crc32(payload):4 bytes LE
+    payload ::= lsn:8 bytes LE
+                rel-name-length:4 bytes LE  rel-name
+                added-length:4 bytes LE     added:Binary
+                removed-length:4 bytes LE   removed:Binary
+    v}
+    A frame is committed once {!append} returns (the write is fsynced).
+    {!read} returns the longest valid prefix of frames; a torn tail —
+    the signature of a crash mid-append — is reported, not raised. *)
+
+open Nullrel
+
+type record = {
+  lsn : int;  (** Log sequence number, strictly increasing from 1. *)
+  rel : string;  (** The relation the statement touched. *)
+  added : Xrel.t;  (** Rows the minimal representation gained. *)
+  removed : Xrel.t;  (** Rows the minimal representation lost. *)
+}
+
+exception Error of string
+(** Raised by {!apply} when a record does not fit the catalog. *)
+
+val file : dir:string -> string
+(** [DIR/wal]. *)
+
+val delta : lsn:int -> rel:string -> before:Xrel.t -> after:Xrel.t -> record
+(** The exact difference of two states of one relation. *)
+
+val is_noop : record -> bool
+(** True when the record changes nothing (both deltas empty). *)
+
+val apply : Catalog.t -> record -> Catalog.t
+(** Replays one record: splices the delta into the relation's minimal
+    representation. Raises {!Error} if the relation is not in the
+    catalog, and {!Catalog.Violation} if the spliced relation fails its
+    schema — both mean the journal does not belong to this catalog. *)
+
+val append : io:Io.t -> dir:string -> record -> unit
+(** Appends one frame, fsynced; the commit point of a durable update. *)
+
+val read : io:Io.t -> dir:string -> record list * string option
+(** All committed records, in order, plus a description of the torn or
+    corrupt tail if the file does not end cleanly (never raises — the
+    valid prefix is always returned). A missing journal is
+    [([], None)]. *)
+
+val reset : io:Io.t -> dir:string -> unit
+(** Empties the journal (atomically, via rename) after a checkpoint. *)

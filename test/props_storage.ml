@@ -24,7 +24,7 @@ let tricky_string_gen =
   QCheck.Gen.(
     oneofl
       [ "plain"; "a,b"; "say \"hi\""; "line\nbreak"; "-"; ""; "trailing,";
-        "\"quoted\""; "semi;colon"; "sp ace" ])
+        "\"quoted\""; "semi;colon"; "sp ace"; "car\rriage"; "crlf\r\nend" ])
 
 let tricky_xrel_gen =
   QCheck.Gen.(
@@ -112,6 +112,161 @@ let persist_schema_roundtrip =
       String.equal text
         (Storage.Persist.schema_to_string (Storage.Persist.schema_of_string text)))
 
+(* ---------------- crash-recovery round-trips ------------------ *)
+
+(* A randomized version of the durability matrix: a random catalog, a
+   random workload, a random crash point, then recovery must land on a
+   committed state. Driven by the workload generator's PRNG so failures
+   reproduce from the printed seed. *)
+
+let durability_spec =
+  { Workload.Gen.arity = 3; rows = 5; domain_size = 4; null_density = 0.25 }
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullrel_props_%d_%d" (Unix.getpid ()) !temp_counter)
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let random_statement g =
+  let spec = durability_spec in
+  let render_tuple t =
+    let cells =
+      List.filter_map
+        (fun a ->
+          match Tuple.get t a with
+          | Value.Null -> None
+          | v -> Some (Printf.sprintf "%s = %s" (Attr.name a) (Value.to_string v)))
+        (Workload.Gen.attrs spec)
+    in
+    if cells = [] then "A1 = 0" else String.concat ", " cells
+  in
+  match Workload.Prng.int g 4 with
+  | 0 | 1 -> Printf.sprintf "append to R (%s)" (render_tuple (Workload.Gen.tuple g spec))
+  | 2 ->
+      Printf.sprintf "range of v is R delete v where v.A1 = %d"
+        (Workload.Prng.int g spec.Workload.Gen.domain_size)
+  | _ ->
+      Printf.sprintf "range of v is R replace v (A2 = %d) where v.A1 = %d"
+        (Workload.Prng.int g spec.Workload.Gen.domain_size)
+        (Workload.Prng.int g spec.Workload.Gen.domain_size)
+
+let random_scenario seed =
+  let g = Workload.Prng.create seed in
+  let schema =
+    Schema.make "R"
+      (List.map
+         (fun a -> (Attr.name a, Domain.Ints))
+         (Workload.Gen.attrs durability_spec))
+  in
+  let cat =
+    Storage.Catalog.add Storage.Catalog.empty schema
+      (Workload.Gen.xrel g durability_spec)
+  in
+  let stmts = List.init (1 + Workload.Prng.int g 6) (fun _ -> random_statement g) in
+  let fault =
+    Workload.Prng.choose g Storage.Io.[ Fail; Truncate; Short_write ]
+  in
+  (g, cat, stmts, fault)
+
+let catalogs_equal c1 c2 =
+  List.equal String.equal (Storage.Catalog.names c1) (Storage.Catalog.names c2)
+  && List.for_all
+       (fun name ->
+         Xrel.equal
+           (Storage.Catalog.relation c1 name)
+           (Storage.Catalog.relation c2 name))
+       (Storage.Catalog.names c1)
+
+let save_fault_recover_roundtrips =
+  QCheck.Test.make ~count:30 ~name:"save . fault . recover lands on a commit"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, cat, stmts, fault = random_scenario seed in
+      let checkpoint_every = 1 + Workload.Prng.int g 4 in
+      (* committed states, with the real filesystem *)
+      let states =
+        with_temp_dir (fun dir ->
+            Storage.Persist.save ~dir cat;
+            let d, _ = Dml.open_durable ~checkpoint_every ~dir () in
+            let states, _ =
+              List.fold_left
+                (fun (states, d) stmt ->
+                  let d, _ = Dml.exec_durable_string d stmt in
+                  (Dml.durable_catalog d :: states, d))
+                ([ Dml.durable_catalog d ], d)
+                stmts
+            in
+            Array.of_list (List.rev states))
+      in
+      let total =
+        with_temp_dir (fun dir ->
+            Storage.Persist.save ~dir cat;
+            let io, ops = Storage.Io.counting Storage.Io.real in
+            let d, _ = Dml.open_durable ~io ~checkpoint_every ~dir () in
+            ignore
+              (List.fold_left
+                 (fun d stmt -> fst (Dml.exec_durable_string d stmt))
+                 d stmts);
+            ops ())
+      in
+      let after = Workload.Prng.int g total in
+      with_temp_dir (fun dir ->
+          Storage.Persist.save ~dir cat;
+          let io = Storage.Io.faulty ~fault ~after Storage.Io.real in
+          let completed = ref 0 in
+          (try
+             let d, _ = Dml.open_durable ~io ~checkpoint_every ~dir () in
+             ignore
+               (List.fold_left
+                  (fun d stmt ->
+                    let d, _ = Dml.exec_durable_string d stmt in
+                    incr completed;
+                    d)
+                  d stmts)
+           with Storage.Io.Injected_fault _ -> ());
+          let report = Storage.Persist.recover ~dir () in
+          let clean =
+            List.for_all
+              (fun (_, status) ->
+                match status with
+                | Storage.Persist.Corrupt _ -> false
+                | _ -> true)
+              report.Storage.Persist.statuses
+          in
+          clean
+          && (catalogs_equal report.Storage.Persist.catalog states.(!completed)
+             || !completed + 1 < Array.length states
+                && catalogs_equal report.Storage.Persist.catalog
+                     states.(!completed + 1))))
+
+let wal_delta_apply_exact =
+  QCheck.Test.make ~count:100 ~name:"wal delta . apply = update"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = Workload.Prng.create seed in
+      let spec = durability_spec in
+      let schema =
+        Schema.make "R"
+          (List.map (fun a -> (Attr.name a, Domain.Ints)) (Workload.Gen.attrs spec))
+      in
+      let before = Workload.Gen.xrel g spec in
+      let after = Workload.Gen.xrel g spec in
+      let cat = Storage.Catalog.add Storage.Catalog.empty schema before in
+      let record = Storage.Wal.delta ~lsn:1 ~rel:"R" ~before ~after in
+      let cat' = Storage.Wal.apply cat record in
+      Xrel.equal (Storage.Catalog.relation cat' "R") after)
+
 let suite =
   List.map to_alcotest
     [
@@ -124,4 +279,6 @@ let suite =
       hash_index_minimize_agrees;
       hash_index_x_mem_agrees;
       persist_schema_roundtrip;
+      save_fault_recover_roundtrips;
+      wal_delta_apply_exact;
     ]

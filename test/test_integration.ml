@@ -216,7 +216,7 @@ let test_persistence_roundtrip () =
       end)
     (fun () ->
       Storage.Persist.save ~dir catalog;
-      let back = Storage.Persist.load ~dir in
+      let back = Storage.Persist.load ~dir () in
       Alcotest.(check int) "references intact after reload" 0
         (List.length (Storage.Catalog.check_references back));
       (* the reloaded database answers the battery identically *)

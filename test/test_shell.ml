@@ -148,6 +148,57 @@ let test_agg_command () =
           Alcotest.(check bool) "bad kind reported" true (contains bad "error")
       | _ -> Alcotest.fail "expected four outputs")
 
+(* The contract: [Shell.exec] never raises. Whatever garbage arrives,
+   the result is an error string and the catalog is untouched. *)
+let hostile_inputs =
+  [
+    ".open /nonexistent/place";
+    ".open /dev/null";
+    ".fsck /nonexistent/place";
+    ".save /nonexistent/parent/dir/x";
+    ".load";
+    ".load X";
+    ".open";
+    ".fsck";
+    ".save";
+    ".show";
+    ".schema";
+    ".load PS /etc";
+    ".plan not a query at all";
+    ".plan range of p is MISSING retrieve (p.A)";
+    ".agg sum nonsense range of p is PS retrieve (p.A)";
+    ".agg";
+    "range of p is";
+    "append to NOWHERE (A = 1)";
+    "range of v is NOWHERE delete v";
+    "append to";
+    "\"unterminated";
+    ".quit extra args";
+    "....";
+    ".";
+  ]
+
+let test_never_raises () =
+  with_ps_csv (fun path ->
+      let st, _ = Shell.exec Shell.initial (Printf.sprintf ".load PS %s" path) in
+      let before = Storage.Catalog.to_db (Shell.catalog st) in
+      List.iter
+        (fun input ->
+          match Shell.exec st input with
+          | st', out ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S reports an error" input)
+                true
+                (contains out "error" || contains out "problems found");
+              Alcotest.(check bool)
+                (Printf.sprintf "%S leaves the catalog unchanged" input)
+                true
+                (List.length (Storage.Catalog.to_db (Shell.catalog st'))
+                 = List.length before)
+          | exception e ->
+              Alcotest.failf "%S raised %s" input (Printexc.to_string e))
+        hostile_inputs)
+
 let test_empty_input () =
   let st, out = Shell.exec Shell.initial "" in
   Alcotest.(check string) "empty input, empty output" "" out;
@@ -163,5 +214,6 @@ let suite =
     Alcotest.test_case "save / open roundtrip" `Quick
       test_save_open_roundtrip;
     Alcotest.test_case ".agg" `Quick test_agg_command;
+    Alcotest.test_case "hostile input never raises" `Quick test_never_raises;
     Alcotest.test_case "empty input" `Quick test_empty_input;
   ]

@@ -370,7 +370,7 @@ let test_catalog_roundtrip () =
           (x [ t [ ("O#", i 1); ("CUST", i 1120) ]; t [ ("O#", i 2) ] ])
       in
       Storage.Persist.save ~dir cat;
-      let back = Storage.Persist.load ~dir in
+      let back = Storage.Persist.load ~dir () in
       Alcotest.(check (list string)) "names preserved"
         (Storage.Catalog.names cat)
         (Storage.Catalog.names back);
@@ -398,6 +398,45 @@ let test_modify () =
     (x [ t [ ("S#", s "s1") ]; t [ ("P#", s "p7"); ("S#", s "s2") ] ])
     modified
 
+(* Line-ending robustness: CRLF files, CR-only files, and a final row
+   with no trailing newline must all parse to the same relation. *)
+let test_csv_line_endings () =
+  let replace_newlines sep =
+    String.concat sep (String.split_on_char '\n' emp_csv)
+  in
+  let chop src = String.sub src 0 (String.length src - 1) in
+  let _, expected = Storage.Csv.read_string emp_csv in
+  List.iter
+    (fun (label, src) ->
+      let _, got = Storage.Csv.read_string src in
+      check_xrel label expected got)
+    [
+      ("crlf line endings", replace_newlines "\r\n");
+      ("cr-only line endings", chop (replace_newlines "\r"));
+      ("no final newline", chop emp_csv);
+      ("crlf, no final newline", chop (chop (replace_newlines "\r\n")));
+      ("cr at end of file", chop (replace_newlines "\r"));
+    ]
+
+let test_csv_quoted_cr_preserved () =
+  (* a CR inside quotes is data, not a row break, and survives the
+     write/read roundtrip *)
+  let tricky = x [ t [ ("A", s "one\rtwo"); ("B", s "three\r\nfour") ] ] in
+  let out = Storage.Csv.write_string [ a_ "A"; a_ "B" ] tricky in
+  let _, back = Storage.Csv.read_string out in
+  check_xrel "quoted CR roundtrips" tricky back
+
+(* Every proper prefix of an encoding must be rejected: the checksum
+   trailer makes arbitrary truncation detectable. *)
+let test_binary_truncation_fuzz () =
+  let enc = Storage.Binary.encode emp_table2 in
+  for len = 0 to String.length enc - 1 do
+    match Storage.Binary.decode (String.sub enc 0 len) with
+    | _ -> Alcotest.failf "truncation to %d of %d bytes was accepted" len
+             (String.length enc)
+    | exception Storage.Binary.Corrupt _ -> ()
+  done
+
 let suite =
   [
     Alcotest.test_case "index: probes" `Quick test_index_probes;
@@ -415,6 +454,9 @@ let suite =
     Alcotest.test_case "csv: quoting" `Quick test_csv_quoting;
     Alcotest.test_case "csv: schema-typed parse" `Quick test_csv_with_schema;
     Alcotest.test_case "csv: errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv: line endings" `Quick test_csv_line_endings;
+    Alcotest.test_case "csv: quoted CR preserved" `Quick
+      test_csv_quoted_cr_preserved;
     Alcotest.test_case "csv: file roundtrip" `Quick test_csv_file_roundtrip;
     Alcotest.test_case "catalog: basics" `Quick test_catalog_basics;
     Alcotest.test_case "catalog: schema enforcement" `Quick
@@ -443,4 +485,6 @@ let suite =
     Alcotest.test_case "binary: file roundtrip" `Quick
       test_binary_file_roundtrip;
     Alcotest.test_case "binary: compactness" `Quick test_binary_compactness;
+    Alcotest.test_case "binary: truncation fuzz" `Quick
+      test_binary_truncation_fuzz;
   ]
