@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench fmt clean
+.PHONY: all check test bench bench-smoke fmt clean
 
 all:
 	$(DUNE) build @all
@@ -17,6 +17,11 @@ test:
 
 bench:
 	$(DUNE) exec bench/main.exe -- --fast
+
+# CI-sized bench run: short timing quotas, hard wall-clock cap so a
+# regression can never hang the pipeline.
+bench-smoke:
+	timeout 600 $(DUNE) exec bench/main.exe -- --fast
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

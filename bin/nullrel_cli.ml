@@ -13,19 +13,17 @@
      nullrel outerjoin --on ID r1.csv r2.csv
      nullrel divide --quotient S# r.csv divisor.csv
      nullrel query --rel EMP=emp.csv 'range of e is EMP retrieve (e.NAME)'
-*)
+
+   Exit codes: 0 success, 1 generic/quarantine, 2 bad input (parse,
+   resolve, CSV shape), 3 storage/I-O faults, 4 timeout, 5 budget
+   exceeded, 6 cancelled. *)
 
 open Nullrel
 open Cmdliner
 
 let load path =
   try Storage.Csv.read_file path with
-  | Storage.Csv.Error msg ->
-      Printf.eprintf "error: %s: %s\n" path msg;
-      exit 1
-  | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
+  | Storage.Csv.Error msg -> raise (Storage.Csv.Error (path ^ ": " ^ msg))
 
 (* Column order for printing a result: requested attrs first, then any
    remaining scope attributes. *)
@@ -38,11 +36,61 @@ let emit ~as_csv attrs x =
   if as_csv then print_string (Storage.Csv.write_string attrs x)
   else Format.printf "%a@?" (Pp.table attrs) x
 
+(* --------------------- errors and limits ------------------- *)
+
+(* One exception story for every subcommand: each error class gets its
+   own nonzero exit code, so scripts can distinguish a typo (2) from a
+   failing disk (3) from a governor abort (4..6). *)
+let handle f =
+  try f () with
+  | Exec_error.Error e ->
+      Printf.eprintf "error: %s\n" (Exec_error.to_string e);
+      exit (Exec_error.exit_code e)
+  | Quel.Parser.Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 2
+  | Quel.Lexer.Error (msg, pos) ->
+      Printf.eprintf "lexical error at %d: %s\n" pos msg;
+      exit 2
+  | Quel.Resolve.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Storage.Csv.Error msg ->
+      Printf.eprintf "csv error: %s\n" msg;
+      exit 2
+  | Storage.Binary.Corrupt msg ->
+      Printf.eprintf "error: corrupt relation file: %s\n" msg;
+      exit 3
+  | Storage.Persist.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 3
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 3
+
+let governed deadline_s max_tuples f =
+  handle (fun () ->
+      match (deadline_s, max_tuples) with
+      | None, None -> f ()
+      | _ -> Exec.with_governor (Exec.make ?deadline_s ?max_tuples ()) f)
+
 (* ------------------------- arguments ---------------------- *)
 
 let csv_flag =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
+
+let timeout_arg =
+  let doc =
+    "Abort with exit code 4 if execution runs longer than $(docv) seconds."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SECS")
+
+let max_tuples_arg =
+  let doc =
+    "Abort with exit code 5 if execution touches more than $(docv) tuples."
+  in
+  Arg.(value & opt (some int) None & info [ "max-tuples" ] ~doc ~docv:"N")
 
 let file n = Arg.(required & pos n (some file) None & info [] ~docv:"FILE")
 
@@ -63,31 +111,37 @@ let attr_set_of_string s_ =
 (* ------------------------- commands ----------------------- *)
 
 let show_cmd =
-  let run as_csv path =
-    let attrs, x = load path in
-    emit ~as_csv attrs x
+  let run as_csv timeout tuples path =
+    governed timeout tuples (fun () ->
+        let attrs, x = load path in
+        emit ~as_csv attrs x)
   in
   let doc = "Print a relation (as loaded, minimized)." in
-  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ csv_flag $ file 0)
+  Cmd.v (Cmd.info "show" ~doc)
+    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0)
 
 let minimize_cmd =
-  let run as_csv path =
-    let attrs, x = load path in
-    (* load already canonicalizes; echoing it shows the minimal form *)
-    emit ~as_csv attrs x;
-    Printf.eprintf "minimal representation: %d tuples\n" (Xrel.cardinal x)
+  let run as_csv timeout tuples path =
+    governed timeout tuples (fun () ->
+        let attrs, x = load path in
+        (* load already canonicalizes; echoing it shows the minimal form *)
+        emit ~as_csv attrs x;
+        Printf.eprintf "minimal representation: %d tuples\n" (Xrel.cardinal x))
   in
   let doc = "Reduce a relation to its minimal representation." in
-  Cmd.v (Cmd.info "minimize" ~doc) Term.(const run $ csv_flag $ file 0)
+  Cmd.v (Cmd.info "minimize" ~doc)
+    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0)
 
 let binop_cmd name doc op =
-  let run as_csv p1 p2 =
-    let a1, x1 = load p1 in
-    let _, x2 = load p2 in
-    let result = op x1 x2 in
-    emit ~as_csv (columns_for a1 result) result
+  let run as_csv timeout tuples p1 p2 =
+    governed timeout tuples (fun () ->
+        let a1, x1 = load p1 in
+        let _, x2 = load p2 in
+        let result = op x1 x2 in
+        emit ~as_csv (columns_for a1 result) result)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_flag $ file 0 $ file 1)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0 $ file 1)
 
 let union_cmd =
   binop_cmd "union" "Generalized union (lattice least upper bound)."
@@ -101,52 +155,63 @@ let inter_cmd =
     Xrel.inter
 
 let join_cmd =
-  let run as_csv on p1 p2 =
-    let a1, x1 = load p1 in
-    let _, x2 = load p2 in
-    let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
-    emit ~as_csv (columns_for a1 result) result
+  let run as_csv timeout tuples on p1 p2 =
+    governed timeout tuples (fun () ->
+        let a1, x1 = load p1 in
+        let _, x2 = load p2 in
+        let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
+        emit ~as_csv (columns_for a1 result) result)
   in
   let doc = "Equijoin on the given attributes (join columns not repeated)." in
   Cmd.v (Cmd.info "join" ~doc)
-    Term.(const run $ csv_flag $ on_arg $ file 0 $ file 1)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ on_arg $ file 0
+      $ file 1)
 
 let outerjoin_cmd =
-  let run as_csv on p1 p2 =
-    let a1, x1 = load p1 in
-    let _, x2 = load p2 in
-    let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
-    emit ~as_csv (columns_for a1 result) result
+  let run as_csv timeout tuples on p1 p2 =
+    governed timeout tuples (fun () ->
+        let a1, x1 = load p1 in
+        let _, x2 = load p2 in
+        let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
+        emit ~as_csv (columns_for a1 result) result)
   in
   let doc = "Union-join (the information-preserving outer join)." in
   Cmd.v (Cmd.info "outerjoin" ~doc)
-    Term.(const run $ csv_flag $ on_arg $ file 0 $ file 1)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ on_arg $ file 0
+      $ file 1)
 
 let divide_cmd =
-  let run as_csv y p1 p2 =
-    let _, x1 = load p1 in
-    let _, x2 = load p2 in
-    let y = attr_set_of_string y in
-    let result = Algebra.divide y x1 x2 in
-    emit ~as_csv (Attr.Set.elements y) result
+  let run as_csv timeout tuples y p1 p2 =
+    governed timeout tuples (fun () ->
+        let _, x1 = load p1 in
+        let _, x2 = load p2 in
+        let y = attr_set_of_string y in
+        let result = Algebra.divide y x1 x2 in
+        emit ~as_csv (Attr.Set.elements y) result)
   in
   let doc = "Y-quotient: dividend / divisor, the 'for sure' division." in
   Cmd.v (Cmd.info "divide" ~doc)
-    Term.(const run $ csv_flag $ quotient_arg $ file 0 $ file 1)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ quotient_arg
+      $ file 0 $ file 1)
 
 let project_cmd =
-  let run as_csv attrs path =
-    let _, x = load path in
-    let xs = attr_set_of_string attrs in
-    let result = Algebra.project xs x in
-    emit ~as_csv (Attr.Set.elements xs) result
+  let run as_csv timeout tuples attrs path =
+    governed timeout tuples (fun () ->
+        let _, x = load path in
+        let xs = attr_set_of_string attrs in
+        let result = Algebra.project xs x in
+        emit ~as_csv (Attr.Set.elements xs) result)
   in
   let doc = "Projection onto the given attributes (re-minimized)." in
   let attrs_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTRS")
   in
   Cmd.v (Cmd.info "project" ~doc)
-    Term.(const run $ csv_flag $ attrs_arg $ file 1)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ attrs_arg $ file 1)
 
 let query_cmd =
   let rel_arg =
@@ -156,80 +221,70 @@ let query_cmd =
   let query_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
   in
-  let run as_csv rels query_src =
-    let db =
-      List.map
-        (fun binding ->
-          match String.index_opt binding '=' with
-          | None ->
-              Printf.eprintf "error: --rel expects NAME=FILE, got %s\n" binding;
-              exit 1
-          | Some idx ->
-              let name = String.sub binding 0 idx in
-              let path =
-                String.sub binding (idx + 1) (String.length binding - idx - 1)
-              in
-              let attrs, x = load path in
-              let schema =
-                Schema.make name
-                  (List.map
-                     (fun a ->
-                       ( Attr.name a,
-                         (* guess the domain from the first non-null value *)
-                         match
-                           List.find_map
-                             (fun r ->
-                               match Tuple.get r a with
-                               | Value.Null -> None
-                               | Value.Int _ -> Some Domain.Ints
-                               | Value.Float _ -> Some Domain.Floats
-                               | Value.Bool _ -> Some Domain.Bools
-                               | Value.Str _ -> Some Domain.Strings)
-                             (Xrel.to_list x)
-                         with
-                         | Some d -> d
-                         | None -> Domain.Strings ))
-                     attrs)
-              in
-              (name, (schema, x)))
-        rels
-    in
-    match Quel.Eval.run_string db query_src with
-    | result -> emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel
-    | exception Quel.Parser.Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        exit 1
-    | exception Quel.Lexer.Error (msg, pos) ->
-        Printf.eprintf "lexical error at %d: %s\n" pos msg;
-        exit 1
-    | exception Quel.Resolve.Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 1
+  let run as_csv timeout tuples rels query_src =
+    governed timeout tuples (fun () ->
+        let db =
+          List.map
+            (fun binding ->
+              match String.index_opt binding '=' with
+              | None ->
+                  Exec_error.bad_inputf "--rel expects NAME=FILE, got %s"
+                    binding
+              | Some idx ->
+                  let name = String.sub binding 0 idx in
+                  let path =
+                    String.sub binding (idx + 1)
+                      (String.length binding - idx - 1)
+                  in
+                  let attrs, x = load path in
+                  let schema =
+                    Schema.make name
+                      (List.map
+                         (fun a ->
+                           ( Attr.name a,
+                             (* guess the domain from the first non-null value *)
+                             match
+                               List.find_map
+                                 (fun r ->
+                                   match Tuple.get r a with
+                                   | Value.Null -> None
+                                   | Value.Int _ -> Some Domain.Ints
+                                   | Value.Float _ -> Some Domain.Floats
+                                   | Value.Bool _ -> Some Domain.Bools
+                                   | Value.Str _ -> Some Domain.Strings)
+                                 (Xrel.to_list x)
+                             with
+                             | Some d -> d
+                             | None -> Domain.Strings ))
+                         attrs)
+                  in
+                  (name, (schema, x)))
+            rels
+        in
+        let result = Quel.Eval.run_string db query_src in
+        emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel)
   in
   let doc =
     "Evaluate a mini-QUEL query (the paper's lower bound ||Q||-)."
   in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run $ csv_flag $ rel_arg $ query_arg)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ rel_arg
+      $ query_arg)
 
 let convert_cmd =
   let run src dst =
-    let load_any path =
-      if Filename.check_suffix path ".nrx" then
-        match Storage.Binary.read_file path with
-        | x -> (Attr.Set.elements (Xrel.scope x), x)
-        | exception Storage.Binary.Corrupt msg ->
-            Printf.eprintf "error: %s: corrupt relation file: %s\n" path msg;
-            exit 1
-        | exception Sys_error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 1
-      else load path
-    in
-    let attrs, x = load_any src in
-    if Filename.check_suffix dst ".nrx" then Storage.Binary.write_file dst x
-    else Storage.Csv.write_file dst attrs x;
-    Printf.eprintf "%s -> %s (%d tuples)\n" src dst (Xrel.cardinal x)
+    handle (fun () ->
+        let load_any path =
+          if Filename.check_suffix path ".nrx" then
+            let x = Storage.Binary.read_file path in
+            (Attr.Set.elements (Xrel.scope x), x)
+          else load path
+        in
+        let attrs, x = load_any src in
+        if Filename.check_suffix dst ".nrx" then Storage.Binary.write_file dst x
+        else Storage.Csv.write_file dst attrs x;
+        Printf.eprintf "%s -> %s (%d tuples)\n" src dst (Xrel.cardinal x))
   in
   let doc = "Convert between .csv and the compact .nrx binary format." in
   Cmd.v (Cmd.info "convert" ~doc)
@@ -243,11 +298,11 @@ let fsck_cmd =
   in
   let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
   let run dry dir =
-    match
-      if dry then Storage.Persist.load_report ~dir ()
-      else Storage.Persist.recover ~dir ()
-    with
-    | report ->
+    handle (fun () ->
+        let report =
+          if dry then Storage.Persist.load_report ~dir ()
+          else Storage.Persist.recover ~dir ()
+        in
         List.iter print_endline (Storage.Persist.report_lines report);
         Printf.printf "%d relations, lsn %d%s\n"
           (List.length (Storage.Catalog.names report.Storage.Persist.catalog))
@@ -259,15 +314,13 @@ let fsck_cmd =
               match s_ with Storage.Persist.Corrupt _ -> true | _ -> false)
             report.Storage.Persist.statuses
         in
-        if corrupt then exit 1
-    | exception Storage.Persist.Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 2
+        if corrupt then exit 1)
   in
   let doc =
     "Check a catalog directory (checksums, journal) and repair it: replay \
      the committed journal tail, quarantine corrupt relations, rewrite a \
-     clean checkpoint. Exits 1 if anything was quarantined."
+     clean checkpoint. Exits 1 if anything was quarantined, 3 if the \
+     directory itself is unreadable."
   in
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
 

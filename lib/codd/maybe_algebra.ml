@@ -97,7 +97,9 @@ let divisor_candidates ~y rel =
 let combined y_value s =
   match Tuple.join y_value s with
   | Some t -> t
-  | None -> invalid_arg "Maybe_algebra.divide: divisor overlaps quotient attrs"
+  | None ->
+      Exec_error.bad_input
+        "Maybe_algebra.divide: divisor overlaps quotient attrs"
 
 let divide_with ~member ~y dividend divisor =
   let over =

@@ -10,7 +10,9 @@ let rec fill ~domains r = function
   | a :: rest ->
       let values = Domain.members (domains a) in
       Seq.concat_map
-        (fun v -> fill ~domains (Tuple.set r a v) rest)
+        (fun v ->
+          Exec.tick ();
+          fill ~domains (Tuple.set r a v) rest)
         (List.to_seq values)
 
 let tuple_substitutions ~domains ~over r =

@@ -1,8 +1,6 @@
 open Nullrel
 
-exception Error of string
-
-let errorf fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+let errorf fmt = Exec_error.bad_inputf fmt
 
 type outcome = {
   catalog : Storage.Catalog.t;
@@ -126,8 +124,10 @@ let checkpoint d =
   Storage.Wal.reset ~io:d.io ~dir:d.dir;
   { d with dirty = 0 }
 
-let open_durable ?(io = Storage.Io.real) ?(checkpoint_every = 64) ~dir () =
-  if checkpoint_every < 1 then invalid_arg "Dml.open_durable: checkpoint_every";
+let open_durable ?(io = Storage.Io.retrying Storage.Io.real)
+    ?(checkpoint_every = 64) ~dir () =
+  if checkpoint_every < 1 then
+    Exec_error.bad_input "Dml.open_durable: checkpoint_every must be >= 1";
   let report =
     if io.Storage.Io.file_exists dir then Storage.Persist.recover ~io ~dir ()
     else begin
@@ -159,6 +159,11 @@ let target_relation = function
    crash-safe ({!Storage.Persist.save}), so every interruption lands on
    either the last checkpoint or the last journaled commit. *)
 let exec_durable d statement =
+  (* Abort-before-apply: both cancellation points sit strictly before
+     the journal append (the commit point), so a governed abort leaves
+     the directory exactly at the last committed state — never between
+     the append and the in-memory apply. *)
+  Exec.checkpoint ();
   let outcome = exec d.cat statement in
   match target_relation statement with
   | None -> (d, outcome)
@@ -170,6 +175,7 @@ let exec_durable d statement =
       in
       if Storage.Wal.is_noop record then (d, outcome)
       else begin
+        Exec.checkpoint ();
         Storage.Wal.append ~io:d.io ~dir:d.dir record;
         let d =
           { d with cat = outcome.catalog; lsn = d.lsn + 1; dirty = d.dirty + 1 }

@@ -12,9 +12,9 @@
     is unchanged). *)
 
 
-exception Error of string
-(** Unknown relation, unknown attribute in an assignment, or a
-    qualification referencing a variable other than the target. *)
+(** Errors — an unknown relation, an unknown attribute in an
+    assignment, a qualification referencing a variable other than the
+    target — raise {!Nullrel.Exec_error.Error} with [Bad_input]. *)
 
 type outcome = {
   catalog : Storage.Catalog.t;  (** The catalog after the statement. *)
@@ -57,9 +57,13 @@ val durable_lsn : durable -> int
 val exec_durable : durable -> Quel.Ast.statement -> durable * outcome
 (** Journal, apply, checkpoint-if-due. Statements that change nothing
     (including every [retrieve]) are not journaled. Exceptions from the
-    statement itself ({!Error}, {!Storage.Catalog.Violation}) leave the
-    session unchanged; exceptions from the filesystem propagate and the
-    session value must be discarded — re-open to recover. *)
+    statement itself ({!Nullrel.Exec_error.Error},
+    {!Storage.Catalog.Violation}) leave the session unchanged;
+    exceptions from the filesystem propagate and the session value must
+    be discarded — re-open to recover. A governed abort (timeout,
+    budget, cancellation) is checked strictly {e before} the journal
+    append, so it always leaves the directory at the last committed
+    state. *)
 
 val exec_durable_string : durable -> string -> durable * outcome
 val checkpoint : durable -> durable

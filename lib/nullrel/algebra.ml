@@ -4,7 +4,7 @@ let select_ab a cmp b x = select (Predicate.Cmp_attrs (a, cmp, b)) x
 
 let select_ak a cmp k x =
   if Value.is_null k then
-    invalid_arg "Algebra.select_ak: the constant must not be ni";
+    Exec_error.bad_input "Algebra.select_ak: the constant must not be ni";
   select (Predicate.Cmp_const (a, cmp, k)) x
 
 (* Pairwise tuple joins of the non-null tuples of the two operands. Null
@@ -17,6 +17,7 @@ let pairwise_joins keep x1 x2 =
     (fun r1 acc ->
       Relation.fold
         (fun r2 acc ->
+          Exec.tick ();
           if keep r1 r2 then
             match Tuple.join r1 r2 with
             | Some joined -> Relation.add joined acc
@@ -47,6 +48,7 @@ let participates x other r =
   Tuple.is_total_on x r
   && Relation.fold
        (fun partner found ->
+         Exec.tick ();
          found
          || (Tuple.is_total_on x partner
             && Tuple.equal (Tuple.restrict r x) (Tuple.restrict partner x)
@@ -74,6 +76,7 @@ let divide y xr s =
   let qualifies cand =
     List.for_all
       (fun z ->
+        Exec.tick ();
         match Tuple.join cand z with
         | Some joined -> Xrel.x_mem joined r_y
         | None -> false)

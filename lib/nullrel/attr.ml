@@ -1,7 +1,8 @@
 type t = string
 
 let make s =
-  if String.length s = 0 then invalid_arg "Attr.make: empty attribute name";
+  if String.length s = 0 then
+    Exec_error.bad_input "Attr.make: empty attribute name";
   s
 
 let name a = a

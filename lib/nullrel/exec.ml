@@ -1,0 +1,118 @@
+type t = {
+  now : unit -> float;
+  deadline : float;  (** absolute; [infinity] when unbounded *)
+  limit_s : float;  (** the configured allowance, for error reports *)
+  max_tuples : int;  (** [max_int] when unbounded *)
+  max_memory_words : int;  (** [max_int] when unbounded *)
+  start_heap_words : int;
+  cancelled : unit -> bool;
+  check_every : int;
+  mutable charged : int;
+  mutable until_check : int;
+  mutable hwm_words : int;
+}
+
+let never_cancelled () = false
+
+(* Wall time clamped to be non-decreasing: good enough as a monotonic
+   deadline clock without reaching for an external library. *)
+let monotonic_now =
+  let last = ref neg_infinity in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+let unlimited =
+  {
+    now = monotonic_now;
+    deadline = infinity;
+    limit_s = infinity;
+    max_tuples = max_int;
+    max_memory_words = max_int;
+    start_heap_words = 0;
+    cancelled = never_cancelled;
+    check_every = max_int;
+    charged = 0;
+    until_check = max_int;
+    hwm_words = 0;
+  }
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let make ?deadline_s ?max_tuples ?max_memory_words ?cancelled
+    ?(check_every = 256) ?(now = monotonic_now) () =
+  let check_every = max 1 check_every in
+  {
+    now;
+    deadline =
+      (match deadline_s with Some d -> now () +. d | None -> infinity);
+    limit_s = (match deadline_s with Some d -> d | None -> infinity);
+    max_tuples = Option.value max_tuples ~default:max_int;
+    max_memory_words = Option.value max_memory_words ~default:max_int;
+    start_heap_words =
+      (match max_memory_words with Some _ -> heap_words () | None -> 0);
+    cancelled = Option.value cancelled ~default:never_cancelled;
+    check_every;
+    charged = 0;
+    until_check = check_every;
+    hwm_words = 0;
+  }
+
+(* The amortized slice: everything that is too expensive to consult on
+   every tick. *)
+let full_check g =
+  g.until_check <- g.check_every;
+  if g.cancelled () then Exec_error.raise_ Exec_error.Cancelled;
+  (* >= so a zero allowance aborts deterministically even when the
+     clock has not visibly advanced since [make] *)
+  (if g.deadline < infinity && g.now () >= g.deadline then
+     Exec_error.raise_ (Exec_error.Timeout { limit_s = g.limit_s }));
+  if g.max_memory_words < max_int then begin
+    let grown = heap_words () - g.start_heap_words in
+    if grown > g.hwm_words then g.hwm_words <- grown;
+    if grown > g.max_memory_words then
+      Exec_error.raise_
+        (Exec_error.Budget_exceeded
+           {
+             resource = Exec_error.Memory_words;
+             budget = g.max_memory_words;
+             used = grown;
+           })
+  end
+
+let ambient = ref unlimited
+let current () = !ambient
+let limited g = g != unlimited
+
+let tick ?(cost = 1) () =
+  let g = !ambient in
+  if g != unlimited then begin
+    g.charged <- g.charged + cost;
+    if g.charged > g.max_tuples then
+      Exec_error.raise_
+        (Exec_error.Budget_exceeded
+           {
+             resource = Exec_error.Tuples;
+             budget = g.max_tuples;
+             used = g.charged;
+           });
+    g.until_check <- g.until_check - cost;
+    if g.until_check <= 0 then full_check g
+  end
+
+let checkpoint () =
+  let g = !ambient in
+  if g != unlimited then full_check g
+
+let with_governor g f =
+  let saved = !ambient in
+  ambient := g;
+  Fun.protect
+    ~finally:(fun () -> ambient := saved)
+    (fun () ->
+      if g != unlimited then full_check g;
+      f ())
+
+let charged g = g.charged
+let memory_high_water g = g.hwm_words

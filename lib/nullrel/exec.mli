@@ -1,0 +1,67 @@
+(** The resource governor: an execution context carrying a deadline, a
+    tuple/intermediate-cardinality budget, a heap high-water estimate
+    and a cooperative cancellation flag.
+
+    The governor is ambient: {!with_governor} installs one for the
+    dynamic extent of a computation, and the engine's hot loops call
+    {!tick} per unit of work (one tuple considered, joined, probed or
+    substituted). When no governor is installed, [tick] is a single
+    pointer comparison, so ungoverned execution pays (almost) nothing.
+
+    Checks are amortized: the tuple budget is verified on every tick
+    (two integer compares), while the clock, the cancellation flag and
+    the heap estimate are consulted every [check_every] ticks. On
+    violation the governor raises {!Exec_error.Error} — it never
+    returns a degraded answer.
+
+    The ambient slot is a plain global: the governor is per-process
+    (single-domain), not per-OCaml-domain. *)
+
+type t
+
+val unlimited : t
+(** The no-op governor; installed by default. *)
+
+val make :
+  ?deadline_s:float ->
+  ?max_tuples:int ->
+  ?max_memory_words:int ->
+  ?cancelled:(unit -> bool) ->
+  ?check_every:int ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
+(** [make ()] builds a governor. [deadline_s] is relative to now on a
+    monotonic clock (never runs backwards); [max_tuples] bounds the
+    work charged through {!tick}; [max_memory_words] bounds the growth
+    of the major heap (GC estimate) since the governor started;
+    [cancelled] is polled at every amortized check; [check_every]
+    (default 256) sets the amortization grain; [now] overrides the
+    clock (tests). *)
+
+val with_governor : t -> (unit -> 'a) -> 'a
+(** Installs [t] as the ambient governor for the call, restoring the
+    previous one on exit (also on exception). Performs one full check
+    on entry, so an already-expired deadline or a pre-raised
+    cancellation flag aborts before any work. *)
+
+val current : unit -> t
+val limited : t -> bool
+
+val tick : ?cost:int -> unit -> unit
+(** Charges [cost] (default 1) units of work to the ambient governor.
+    Raises {!Exec_error.Error} on violation; no-op when unlimited. *)
+
+val checkpoint : unit -> unit
+(** Forces a full check (clock, cancellation, memory) of the ambient
+    governor right now, regardless of amortization. *)
+
+val charged : t -> int
+(** Work units charged so far. *)
+
+val memory_high_water : t -> int
+(** Largest observed major-heap growth (words) since [make]; only
+    sampled when [max_memory_words] is set. *)
+
+val monotonic_now : unit -> float
+(** The governor's default clock: wall time clamped to never decrease. *)

@@ -1,0 +1,45 @@
+type resource = Tuples | Memory_words
+
+type t =
+  | Timeout of { limit_s : float }
+  | Budget_exceeded of { resource : resource; budget : int; used : int }
+  | Cancelled
+  | Storage_fault of string
+  | Bad_input of string
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+let bad_input msg = raise_ (Bad_input msg)
+let bad_inputf fmt = Printf.ksprintf bad_input fmt
+let storage_fault msg = raise_ (Storage_fault msg)
+
+let class_name = function
+  | Timeout _ -> "timeout"
+  | Budget_exceeded _ -> "budget"
+  | Cancelled -> "cancelled"
+  | Storage_fault _ -> "storage"
+  | Bad_input _ -> "bad-input"
+
+let exit_code = function
+  | Bad_input _ -> 2
+  | Storage_fault _ -> 3
+  | Timeout _ -> 4
+  | Budget_exceeded _ -> 5
+  | Cancelled -> 6
+
+let resource_noun = function
+  | Tuples -> "tuple budget"
+  | Memory_words -> "memory budget (words)"
+
+let to_string = function
+  | Timeout { limit_s } -> Printf.sprintf "timeout: exceeded %gs" limit_s
+  | Budget_exceeded { resource; budget; used } ->
+      Printf.sprintf "%s exceeded: used %d of %d" (resource_noun resource)
+        used budget
+  | Cancelled -> "cancelled"
+  | Storage_fault msg -> "storage fault: " ^ msg
+  | Bad_input msg -> msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let protect f = match f () with v -> Ok v | exception Error e -> Result.Error e

@@ -1,0 +1,44 @@
+(** The typed error taxonomy for query execution.
+
+    Every way a statement can fail — resource limits, cooperative
+    cancellation, storage trouble, or plain bad input — is one
+    constructor of {!t}, raised as {!Error} and caught at the engine
+    boundary (shell, CLI, DML), where it flows onward as a [result].
+    Nothing a user can type should surface any other exception. *)
+
+type resource =
+  | Tuples  (** intermediate-cardinality budget: tuples touched *)
+  | Memory_words  (** heap high-water estimate, in words *)
+
+type t =
+  | Timeout of { limit_s : float }
+      (** The deadline passed; [limit_s] is the configured allowance. *)
+  | Budget_exceeded of { resource : resource; budget : int; used : int }
+      (** A resource budget ran out mid-execution. *)
+  | Cancelled  (** The cooperative cancellation flag was raised. *)
+  | Storage_fault of string
+      (** An I/O fault that persisted through the retry policy. *)
+  | Bad_input of string
+      (** The request itself is invalid (unknown attribute, null
+          constant, malformed schema, ...). *)
+
+exception Error of t
+
+val raise_ : t -> 'a
+val bad_input : string -> 'a
+val bad_inputf : ('a, unit, string, 'b) format4 -> 'a
+val storage_fault : string -> 'a
+
+val class_name : t -> string
+(** Stable one-word class: ["timeout"], ["budget"], ["cancelled"],
+    ["storage"], ["bad-input"]. *)
+
+val exit_code : t -> int
+(** Distinct nonzero process exit code per class: bad input 2, storage
+    fault 3, timeout 4, budget 5, cancelled 6. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Runs the thunk, catching {!Error} (only) into [Error _]. *)

@@ -43,7 +43,7 @@ let ( ||| ) p q = Or (p, q)
 
 let cmp_const name cmp v =
   if Value.is_null v then
-    invalid_arg "Predicate.cmp_const: the constant must not be ni";
+    Exec_error.bad_input "Predicate.cmp_const: the constant must not be ni";
   Cmp_const (Attr.make name, cmp, v)
 
 let cmp_attrs a cmp b = Cmp_attrs (Attr.make a, cmp, Attr.make b)

@@ -10,7 +10,12 @@ let is_empty = Tuple.Set.is_empty
 let add = Tuple.Set.add
 let remove = Tuple.Set.remove
 let mem = Tuple.Set.mem
-let x_mem t r = Tuple.Set.exists (fun r' -> Tuple.more_informative r' t) r
+let x_mem t r =
+  Tuple.Set.exists
+    (fun r' ->
+      Exec.tick ();
+      Tuple.more_informative r' t)
+    r
 let filter = Tuple.Set.filter
 let fold f r init = Tuple.Set.fold f r init
 let iter = Tuple.Set.iter
@@ -30,7 +35,9 @@ let minimize r =
       (not (Tuple.is_null_tuple t))
       && not
            (Tuple.Set.exists
-              (fun r' -> Tuple.strictly_more_informative r' t)
+              (fun r' ->
+                Exec.tick ();
+                Tuple.strictly_more_informative r' t)
               r))
     r
 

@@ -16,30 +16,26 @@ let make ?(key = []) ?(foreign_keys = []) name columns =
   in
   (match dup names with
   | Some a ->
-      invalid_arg
-        (Printf.sprintf "Schema.make: duplicate attribute %s" (Attr.name a))
+      Exec_error.bad_inputf "Schema.make: duplicate attribute %s" (Attr.name a)
   | None -> ());
   let key = Attr.set_of_list key in
   Attr.Set.iter
     (fun k ->
       if not (List.exists (Attr.equal k) names) then
-        invalid_arg
-          (Printf.sprintf "Schema.make: key attribute %s not a column"
-             (Attr.name k)))
+        Exec_error.bad_inputf "Schema.make: key attribute %s not a column"
+          (Attr.name k))
     key;
   let foreign_keys =
     List.map
       (fun (locals, target, targets) ->
         if List.length locals <> List.length targets then
-          invalid_arg
-            (Printf.sprintf
-               "Schema.make: foreign key to %s has mismatched arity" target);
+          Exec_error.bad_inputf
+            "Schema.make: foreign key to %s has mismatched arity" target;
         let pair local referenced =
           let a = Attr.make local in
           if not (List.exists (fun (c, _) -> Attr.equal c a) columns) then
-            invalid_arg
-              (Printf.sprintf
-                 "Schema.make: foreign-key attribute %s not a column" local);
+            Exec_error.bad_inputf
+              "Schema.make: foreign-key attribute %s not a column" local;
           (a, Attr.make referenced)
         in
         { fk_target = target; fk_pairs = List.map2 pair locals targets })
@@ -64,7 +60,7 @@ let universe s = s.columns
 let add_column s name dom =
   let a = Attr.make name in
   if mem s a then
-    invalid_arg (Printf.sprintf "Schema.add_column: %s already exists" name);
+    Exec_error.bad_inputf "Schema.add_column: %s already exists" name;
   { s with columns = s.columns @ [ (a, dom) ] }
 
 type violation =

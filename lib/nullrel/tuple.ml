@@ -75,9 +75,8 @@ let rename mapping r =
       let a' = target a in
       match Attr.Map.find_opt a' acc with
       | Some v' when not (Value.equal v v') ->
-          invalid_arg
-            (Printf.sprintf "Tuple.rename: collision on attribute %s"
-               (Attr.name a'))
+          Exec_error.bad_inputf "Tuple.rename: collision on attribute %s"
+            (Attr.name a')
       | _ -> Attr.Map.add a' v acc)
     r Attr.Map.empty
 

@@ -22,7 +22,11 @@ let inter x1 x2 =
   let meets =
     Relation.fold
       (fun r1 acc ->
-        Relation.fold (fun r2 acc -> Relation.add (Tuple.meet r1 r2) acc) x2 acc)
+        Relation.fold
+          (fun r2 acc ->
+            Exec.tick ();
+            Relation.add (Tuple.meet r1 r2) acc)
+          x2 acc)
       x1 Relation.empty
   in
   Relation.minimize meets
@@ -39,7 +43,7 @@ let top universe =
       (fun acc (_, dom) ->
         match Domain.cardinal dom with
         | Some n when acc * max n 1 <= budget -> acc * max n 1
-        | Some _ -> invalid_arg "Xrel.top: universe too large"
+        | Some _ -> Exec_error.bad_input "Xrel.top: universe too large"
         | None -> raise (Domain.Infinite "Xrel.top"))
       1 universe
   in
@@ -49,13 +53,24 @@ let top universe =
     | (a, dom) :: rest ->
         let tails = build rest in
         List.concat_map
-          (fun v -> List.map (fun t -> Tuple.set t a v) tails)
+          (fun v ->
+            List.map
+              (fun t ->
+                Exec.tick ();
+                Tuple.set t a v)
+              tails)
           (Domain.members dom)
   in
   of_list (build universe)
 
 let pseudo_complement universe x = diff (top universe) x
-let filter p x = Relation.filter p x
+
+let filter p x =
+  Relation.filter
+    (fun r ->
+      Exec.tick ();
+      p r)
+    x
 let set_inter_total x1 x2 = Relation.filter (fun r -> Relation.mem r x2) x1
 
 let pp ppf x = Relation.pp ppf x

@@ -16,7 +16,9 @@ type t =
 
 exception Unbound_relation of string
 
-let rec eval ~env = function
+let rec eval ~env e =
+  Exec.checkpoint ();
+  match e with
   | Rel name -> (
       match env name with
       | Some x -> x

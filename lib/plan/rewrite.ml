@@ -126,8 +126,10 @@ let rec rewrite_once ~env_scope expr =
 let optimize ~env_scope expr =
   let rec go n expr =
     if n = 0 then expr
-    else
+    else begin
+      Exec.checkpoint ();
       let expr' = rewrite_once ~env_scope expr in
       if Expr.equal expr' expr then expr else go (n - 1) expr'
+    end
   in
   go 64 expr

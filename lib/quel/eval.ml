@@ -45,7 +45,11 @@ let combined_tuples db q =
       let tuples = prefixed_tuples db range in
       List.concat_map
         (fun combined ->
-          List.filter_map (fun r -> Tuple.join combined r) tuples)
+          List.filter_map
+            (fun r ->
+              Exec.tick ();
+              Tuple.join combined r)
+            tuples)
         acc)
     [ Tuple.empty ] q.Ast.ranges
 
@@ -90,16 +94,16 @@ let domains_for db q =
   fun attr ->
     let name = Attr.name attr in
     match String.index_opt name '.' with
-    | None -> invalid_arg ("Eval: unprefixed attribute " ^ name)
+    | None -> Exec_error.bad_input ("Eval: unprefixed attribute " ^ name)
     | Some i -> (
         let v = String.sub name 0 i in
         let a = String.sub name (i + 1) (String.length name - i - 1) in
         match List.assoc_opt v schemas with
-        | None -> invalid_arg ("Eval: unknown variable in " ^ name)
+        | None -> Exec_error.bad_input ("Eval: unknown variable in " ^ name)
         | Some schema -> (
             match Schema.domain schema (Attr.make a) with
             | Some d -> d
-            | None -> invalid_arg ("Eval: unknown attribute " ^ name)))
+            | None -> Exec_error.bad_input ("Eval: unknown attribute " ^ name)))
 
 (* Shared scaffolding for the bounds that must reason about
    substitutions: [decide] gets the compiled predicate, the domain

@@ -1,10 +1,35 @@
 open Nullrel
 
-type state = { cat : Storage.Catalog.t; finished : bool }
+type limits = { time_s : float option; max_tuples : int option }
 
-let initial = { cat = Storage.Catalog.empty; finished = false }
+type state = { cat : Storage.Catalog.t; finished : bool; limits : limits }
+
+let no_limits = { time_s = None; max_tuples = None }
+let initial = { cat = Storage.Catalog.empty; finished = false; limits = no_limits }
 let catalog st = st.cat
 let finished st = st.finished
+
+let describe_limits = function
+  | { time_s = None; max_tuples = None } -> "limits: off"
+  | { time_s; max_tuples } ->
+      let parts =
+        List.filter_map Fun.id
+          [
+            Option.map (Printf.sprintf "time %gs") time_s;
+            Option.map (Printf.sprintf "tuples %d") max_tuples;
+          ]
+      in
+      "limits: " ^ String.concat ", " parts
+
+(* Run [f] under a governor when any limit is set; a fresh governor per
+   input, so budgets do not leak across statements. *)
+let governed st f =
+  match st.limits with
+  | { time_s = None; max_tuples = None } -> f ()
+  | { time_s; max_tuples } ->
+      Exec.with_governor
+        (Exec.make ?deadline_s:time_s ?max_tuples:max_tuples ())
+        f
 
 let help =
   ".load NAME FILE.csv    register a CSV file as relation NAME\n\
@@ -17,6 +42,10 @@ let help =
    .plan QUERY            show the optimized algebra plan for a query\n\
    .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
    .check                 run schema + referential integrity checks\n\
+   .limit                 show the current execution limits\n\
+   .limit time SECS       abort statements running longer than SECS\n\
+   .limit tuples N        abort statements touching more than N tuples\n\
+   .limit off             clear all limits\n\
    .help                  this text\n\
    .quit                  leave\n\
    range of ... retrieve (...) [where ...]    evaluate ||Q||-\n\
@@ -49,14 +78,48 @@ let with_relation st name f =
   | None -> Printf.sprintf "error: no relation %s (try .list)" name
   | Some (schema, x) -> f schema x
 
+(* Admission control: before a governed retrieve runs at all, compare
+   the optimizer's cost estimate for the chosen plan against the tuple
+   budget and reject queries that cannot plausibly fit. *)
+let admission st q =
+  match st.limits.max_tuples with
+  | None -> None
+  | Some budget ->
+      let db = Storage.Catalog.to_db st.cat in
+      Quel.Resolve.check db q;
+      let schemas name =
+        Option.map (fun (s_, _) -> Schema.attrs s_) (List.assoc_opt name db)
+      in
+      let env_scope name =
+        Option.map (fun (s_, _) -> Schema.attr_set s_) (List.assoc_opt name db)
+      in
+      let stats name =
+        Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name db)
+      in
+      let plan =
+        Plan.Rewrite.optimize ~env_scope (Plan.Compile.query ~schemas q)
+      in
+      let est = Plan.Cost.cost ~stats plan in
+      if est > float_of_int budget then Some (est, budget) else None
+
 (* Statements: retrieves go through the optimizing planner; updates go
    through the Section 7 semantics of [Dml]. *)
 let run_statement st src =
   match Quel.Parser.parse_statement src with
-  | Quel.Ast.Retrieve q ->
-      let db = Storage.Catalog.to_db st.cat in
-      let result = Plan.Compile.run db q in
-      (st, Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel)
+  | Quel.Ast.Retrieve q -> (
+      match admission st q with
+      | Some (est, budget) ->
+          ( st,
+            Printf.sprintf
+              "rejected: estimated cost %.0f exceeds the tuple budget %d \
+               (raise .limit tuples, or refine the query)"
+              est budget )
+      | None ->
+          let db = Storage.Catalog.to_db st.cat in
+          let result = Plan.Compile.run db q in
+          ( st,
+            Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel
+          ))
   | statement ->
       let outcome = Dml.exec st.cat statement in
       ({ st with cat = outcome.Dml.catalog }, outcome.Dml.message)
@@ -90,7 +153,7 @@ let run_aggregate st words =
     | Some idx ->
         ( String.sub r 0 idx,
           String.sub r (idx + 1) (String.length r - idx - 1) )
-    | None -> failwith "aggregate attribute must be written v.ATTR"
+    | None -> Exec_error.bad_input "aggregate attribute must be written v.ATTR"
   in
   let kind, rest =
     match words with
@@ -104,7 +167,7 @@ let run_aggregate st words =
     | "max" :: r :: rest ->
         let v, a = parse_ref r in
         (Quel.Aggregate.Max (v, a), rest)
-    | _ -> failwith ".agg count|sum|min|max [v.ATTR] QUERY"
+    | _ -> Exec_error.bad_input ".agg count|sum|min|max [v.ATTR] QUERY"
   in
   let q = Quel.Parser.parse (String.concat " " rest) in
   let b = Quel.Aggregate.bounds db q kind in
@@ -139,7 +202,7 @@ let exec st line =
   let line = String.trim line in
   try
     if line = "" then (st, "")
-    else if line.[0] <> '.' then run_statement st line
+    else if line.[0] <> '.' then governed st (fun () -> run_statement st line)
     else
       match split_words line with
       | [ ".quit" ] | [ ".exit" ] -> ({ st with finished = true }, "bye")
@@ -200,8 +263,29 @@ let exec st line =
                 Pp.to_string Schema.pp schema) )
       | ".plan" :: rest when rest <> [] ->
           (st, show_plan st (String.concat " " rest))
-      | ".agg" :: rest when rest <> [] -> (st, run_aggregate st rest)
+      | ".agg" :: rest when rest <> [] ->
+          (st, governed st (fun () -> run_aggregate st rest))
       | [ ".check" ] -> (st, check st)
+      | [ ".limit" ] -> (st, describe_limits st.limits)
+      | [ ".limit"; "off" ] -> ({ st with limits = no_limits }, "limits: off")
+      | [ ".limit"; "time"; secs ] -> (
+          match float_of_string_opt secs with
+          | Some s when s >= 0. && Float.is_finite s ->
+              let st =
+                { st with limits = { st.limits with time_s = Some s } }
+              in
+              (st, describe_limits st.limits)
+          | _ -> (st, "error: .limit time SECONDS (a non-negative number)"))
+      | [ ".limit"; "tuples"; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k > 0 ->
+              let st =
+                { st with limits = { st.limits with max_tuples = Some k } }
+              in
+              (st, describe_limits st.limits)
+          | _ -> (st, "error: .limit tuples N (a positive integer)"))
+      | ".limit" :: _ ->
+          (st, "error: usage: .limit [off | time SECS | tuples N]")
       | cmd :: _ -> (st, Printf.sprintf "error: unknown command %s (try .help)" cmd)
       | [] -> (st, "")
   with
@@ -217,7 +301,7 @@ let exec st line =
         ^ String.concat "\n"
             (List.map (Pp.to_string Schema.pp_violation) violations) )
   | Value.Type_error msg -> (st, "type error: " ^ msg)
-  | Dml.Error msg -> (st, "error: " ^ msg)
+  | Exec_error.Error e -> (st, "error: " ^ Exec_error.to_string e)
   | Quel.Aggregate.Not_integer msg -> (st, "error: " ^ msg)
   | Domain.Infinite what ->
       ( st,

@@ -13,13 +13,21 @@
     .plan QUERY            show the optimized algebra plan for a query
     .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)
     .check                 run schema + referential integrity checks
+    .limit [off|time SECS|tuples N]   execution limits (see below)
     .help                  this text
     .quit                  leave
     range of ... retrieve (...) [where ...]    evaluate ||Q||-
     append to REL (A = 1, ...)                 insert (union)
     range of v is REL delete v [where ...]     delete (difference)
     range of v is REL replace v (A = 2) [where ...]
-    v} *)
+    v}
+
+    When limits are set ([.limit time]/[.limit tuples]), every
+    statement and [.agg] runs under a fresh {!Nullrel.Exec} governor; a
+    violation aborts the statement (reported as text, the catalog is
+    unchanged). A tuple budget additionally enables admission control:
+    retrieves whose optimized-plan cost estimate ({!Plan.Cost}) already
+    exceeds the budget are rejected before running. *)
 
 type state
 

@@ -41,7 +41,9 @@ let add_value buf = function
       Buffer.add_char buf '\x03';
       Buffer.add_char buf (if b then '\x01' else '\x00')
   | Value.Null ->
-      (* canonical tuples never store nulls *)
+      (* Documented internal assert, deliberately not an Exec_error:
+         Tuple's canonical form drops null bindings before they reach
+         the encoder, so this is unreachable from any user input. *)
       invalid_arg "Binary.add_value: ni is never stored"
 
 let encode x =

@@ -120,6 +120,59 @@ let faulty ~fault ~after base =
     fsync_dir = (fun path -> mutating "fsync_dir" (fun () -> base.fsync_dir path));
   }
 
+(* ----------------------- transient faults --------------------- *)
+
+let flaky ~failures base =
+  let left = ref failures in
+  let fallible name f x =
+    if !left > 0 then begin
+      decr left;
+      raise (Sys_error (name ^ ": transient fault (injected)"))
+    end
+    else f x
+  in
+  {
+    base with
+    read_file = (fun p -> fallible "read_file" base.read_file p);
+    write_file = (fun p c -> fallible "write_file" (base.write_file p) c);
+    append_file = (fun p c -> fallible "append_file" (base.append_file p) c);
+    rename = (fun s d -> fallible "rename" (base.rename s) d);
+    remove = (fun p -> fallible "remove" base.remove p);
+    mkdir = (fun p -> fallible "mkdir" base.mkdir p);
+    fsync_dir = (fun p -> fallible "fsync_dir" base.fsync_dir p);
+  }
+
+let retrying ?(attempts = 3) ?(backoff = 0.002) base =
+  let attempts = max 1 attempts in
+  let retry f x =
+    let rec go n delay =
+      match f x with
+      | v -> v
+      | exception Sys_error msg ->
+          (* Only [Sys_error] is considered transient. [Injected_fault]
+             models a crashed process and must propagate untouched, or
+             the crash-matrix tests would observe phantom retries. *)
+          if n + 1 >= attempts then
+            Nullrel.Exec_error.storage_fault
+              (Printf.sprintf "%s (after %d attempts)" msg attempts)
+          else begin
+            (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+            go (n + 1) (Float.min (delay *. 2.) 0.05)
+          end
+    in
+    go 0 backoff
+  in
+  {
+    base with
+    read_file = (fun p -> retry base.read_file p);
+    write_file = (fun p c -> retry (base.write_file p) c);
+    append_file = (fun p c -> retry (base.append_file p) c);
+    rename = (fun s d -> retry (base.rename s) d);
+    remove = (fun p -> retry base.remove p);
+    mkdir = (fun p -> retry base.mkdir p);
+    fsync_dir = (fun p -> retry base.fsync_dir p);
+  }
+
 let counting base =
   let ops = ref 0 in
   let count f x =

@@ -52,6 +52,23 @@ val faulty : fault:fault -> after:int -> t -> t
     immediately (the process is dead). Reads always pass through, so a
     post-mortem can inspect the debris. *)
 
+val flaky : failures:int -> t -> t
+(** [flaky ~failures io]: the first [failures] fallible operations
+    raise [Sys_error] {e before} touching the filesystem (a transient
+    fault with no effect — EINTR, EAGAIN, a busy NFS server), after
+    which everything passes through. Pair with {!retrying}. *)
+
+val retrying : ?attempts:int -> ?backoff:float -> t -> t
+(** [retrying io] wraps every fallible operation in a bounded
+    retry-with-exponential-backoff loop: a [Sys_error] is retried up to
+    [attempts] times (default 3) sleeping [backoff] seconds (default
+    2ms, doubling, capped at 50ms) between tries; on exhaustion it
+    raises {!Nullrel.Exec_error.Error} with [Storage_fault]. Only
+    [Sys_error] is treated as transient — {!Injected_fault} (a modelled
+    crash) always propagates immediately. Retrying assumes the failed
+    operation had no effect, which holds for the transient faults this
+    targets. *)
+
 val counting : t -> t * (unit -> int)
 (** [counting io] is [io] plus a counter of mutating operations
     performed so far. *)

@@ -5,7 +5,7 @@ type t = { attr : Attr.t; sorted : Tuple.t array }
 let value_cmp v w =
   match Value.compare3 v w with
   | Some c -> c
-  | None -> invalid_arg "Range_index: null value in index"
+  | None -> Exec_error.bad_input "Range_index: null value in index"
 
 let build attr x =
   let total =
@@ -46,7 +46,7 @@ let slice idx lo hi =
 
 let select idx cmp k =
   if Value.is_null k then
-    invalid_arg "Range_index.select: the constant must not be ni";
+    Exec_error.bad_input "Range_index.select: the constant must not be ni";
   let n = Array.length idx.sorted in
   let lb = bound idx ~strict:false k in
   let ub = bound idx ~strict:true k in

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Exit-code contract of the nullrel CLI:
+#   0 success, 2 bad input (parse/resolve/CSV), 3 storage faults,
+#   4 timeout, 5 budget exceeded.
+# Usage: cli_exit_codes.sh PATH-TO-NULLREL-CLI
+set -u
+
+CLI="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# expect WANT DESCRIPTION CMD...
+expect() {
+    want="$1"; shift
+    desc="$1"; shift
+    "$@" >/dev/null 2>&1
+    got=$?
+    [ "$got" -eq "$want" ] || fail "$desc: expected exit $want, got $got"
+}
+
+cat > "$tmp/r.csv" <<EOF
+A,B
+1,10
+2,-
+3,30
+EOF
+
+printf 'this is not a binary relation\n' > "$tmp/garbage.nrx"
+
+# --- 0: success ------------------------------------------------
+expect 0 "plain query" \
+    "$CLI" query --rel "R=$tmp/r.csv" 'range of r is R retrieve (r.A)'
+expect 0 "query under generous limits" \
+    "$CLI" query --timeout 60 --max-tuples 1000000 \
+    --rel "R=$tmp/r.csv" 'range of r is R retrieve (r.A)'
+
+# --- 2: bad input ----------------------------------------------
+expect 2 "parse error" \
+    "$CLI" query --rel "R=$tmp/r.csv" 'range of r is'
+expect 2 "unknown relation" \
+    "$CLI" query --rel "R=$tmp/r.csv" 'range of x is NOPE retrieve (x.A)'
+expect 2 "malformed --rel binding" \
+    "$CLI" query --rel "RNOFILE" 'range of r is R retrieve (r.A)'
+
+# --- 3: storage faults -----------------------------------------
+expect 3 "corrupt binary relation" \
+    "$CLI" convert "$tmp/garbage.nrx" "$tmp/out.csv"
+
+# --- 4: timeout ------------------------------------------------
+expect 4 "zero deadline" \
+    "$CLI" query --timeout 0 --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A)'
+expect 4 "zero deadline on an algebra command" \
+    "$CLI" join --timeout 0 --on A "$tmp/r.csv" "$tmp/r.csv"
+
+# --- 5: budget exceeded ----------------------------------------
+expect 5 "tiny tuple budget" \
+    "$CLI" query --max-tuples 1 --rel "R=$tmp/r.csv" \
+    'range of r is R range of s is R retrieve (r.A, s.B)'
+expect 5 "tiny budget on an algebra command" \
+    "$CLI" outerjoin --max-tuples 1 --on A "$tmp/r.csv" "$tmp/r.csv"
+
+echo "cli exit codes: ok"

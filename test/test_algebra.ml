@@ -33,7 +33,8 @@ let test_select_ak () =
     (x [ supplier "s2" "London" ])
     (Algebra.select_ak (a_ "CITY") Predicate.Neq (s "Paris") suppliers);
   Alcotest.check_raises "null constant rejected"
-    (Invalid_argument "Algebra.select_ak: the constant must not be ni")
+    (Exec_error.Error
+       (Exec_error.Bad_input "Algebra.select_ak: the constant must not be ni"))
     (fun () ->
       ignore (Algebra.select_ak (a_ "CITY") Predicate.Eq Value.Null suppliers))
 

@@ -99,12 +99,12 @@ let test_append_guards () =
     (try
        ignore (Dml.exec_string cat "append to EMP (NOPE = 1)");
        false
-     with Dml.Error _ -> true);
+     with Exec_error.Error (Exec_error.Bad_input _) -> true);
   Alcotest.(check bool) "unknown relation" true
     (try
        ignore (Dml.exec_string cat "append to NOPE (A = 1)");
        false
-     with Dml.Error _ -> true);
+     with Exec_error.Error (Exec_error.Bad_input _) -> true);
   (* A key violation aborts: the catalog is unchanged. *)
   Alcotest.(check bool) "duplicate key rejected" true
     (try
@@ -170,7 +170,7 @@ let test_replace_qualification_scope () =
          (Dml.exec_string cat
             "range of e is EMP replace e (TEL# = 1) where f.E# = 1");
        false
-     with Dml.Error _ -> true)
+     with Exec_error.Error (Exec_error.Bad_input _) -> true)
 
 let test_retrieve_statement () =
   let cat = fresh_catalog () in

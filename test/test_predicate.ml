@@ -85,7 +85,8 @@ let test_attrs () =
 
 let test_constants_must_be_nonnull () =
   Alcotest.check_raises "cmp_const rejects ni"
-    (Invalid_argument "Predicate.cmp_const: the constant must not be ni")
+    (Exec_error.Error
+       (Exec_error.Bad_input "Predicate.cmp_const: the constant must not be ni"))
     (fun () -> ignore (cmp_const "A" Eq Value.Null))
 
 let test_type_error_propagates () =

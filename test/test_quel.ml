@@ -270,7 +270,7 @@ let test_run_unknown_requires_finite_domain () =
             (Quel.Parser.parse
                "range of e is T retrieve (e.B) where e.A = 1 or e.A <> 1"));
        false
-     with Domain.Infinite _ | Invalid_argument _ -> true);
+     with Domain.Infinite _ | Exec_error.Error (Exec_error.Bad_input _) -> true);
   (* The symbolic strategy handles the same query without enumeration. *)
   check_xrel "symbolic needs no enumeration"
     (x [ t [ ("B", i 1) ] ])

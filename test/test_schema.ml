@@ -26,10 +26,13 @@ let test_make () =
 
 let test_make_rejects () =
   Alcotest.check_raises "duplicate column"
-    (Invalid_argument "Schema.make: duplicate attribute A") (fun () ->
+    (Exec_error.Error (Exec_error.Bad_input "Schema.make: duplicate attribute A"))
+    (fun () ->
       ignore (Schema.make "R" [ ("A", Domain.Ints); ("A", Domain.Ints) ]));
   Alcotest.check_raises "key not a column"
-    (Invalid_argument "Schema.make: key attribute K not a column") (fun () ->
+    (Exec_error.Error
+       (Exec_error.Bad_input "Schema.make: key attribute K not a column"))
+    (fun () ->
       ignore (Schema.make "R" ~key:[ "K" ] [ ("A", Domain.Ints) ]))
 
 let test_add_column () =
@@ -39,7 +42,9 @@ let test_add_column () =
     (List.map Attr.name (Schema.attrs evolved));
   Alcotest.check attr_set "key preserved" (aset [ "P#" ]) (Schema.key evolved);
   Alcotest.check_raises "existing column rejected"
-    (Invalid_argument "Schema.add_column: P# already exists") (fun () ->
+    (Exec_error.Error
+       (Exec_error.Bad_input "Schema.add_column: P# already exists"))
+    (fun () ->
       ignore (Schema.add_column parts "P#" Domain.Strings))
 
 let good = t [ ("P#", s "p1"); ("WEIGHT", i 10); ("COLOR", s "red") ]

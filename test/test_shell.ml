@@ -176,6 +176,15 @@ let hostile_inputs =
     ".quit extra args";
     "....";
     ".";
+    ".limit bogus";
+    ".limit time";
+    ".limit time x";
+    ".limit time -1";
+    ".limit tuples";
+    ".limit tuples x";
+    ".limit tuples -3";
+    ".limit tuples 0";
+    ".limit time 1 extra";
   ]
 
 let test_never_raises () =
@@ -199,6 +208,95 @@ let test_never_raises () =
               Alcotest.failf "%S raised %s" input (Printexc.to_string e))
         hostile_inputs)
 
+let test_limits () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".limit";
+            ".limit time 30";
+            ".limit tuples 100000";
+            ".limit";
+            (* generous limits: the query still answers *)
+            "range of p is PS retrieve (p.S#) where p.P# = \"p1\"";
+            ".limit off";
+            ".limit";
+          ]
+      in
+      match outputs with
+      | [ _; off0; set_t; set_n; both; answered; cleared; off1 ] ->
+          Alcotest.(check string) "initially off" "limits: off" off0;
+          Alcotest.(check bool) "time set" true (contains set_t "time 30s");
+          Alcotest.(check bool) "tuples set" true
+            (contains set_n "tuples 100000");
+          Alcotest.(check bool) "both reported" true
+            (contains both "time 30s" && contains both "tuples 100000");
+          Alcotest.(check bool) "query still answers under limits" true
+            (contains answered "s1");
+          Alcotest.(check string) "off clears" "limits: off" cleared;
+          Alcotest.(check string) "stays off" "limits: off" off1
+      | _ -> Alcotest.fail "expected eight outputs")
+
+let test_limit_timeout_aborts () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".limit time 0";
+            "range of p is PS retrieve (p.S#)";
+            ".list";
+          ]
+      in
+      match outputs with
+      | [ _; _; aborted; listed ] ->
+          Alcotest.(check bool) "statement aborts with a timeout" true
+            (contains aborted "timeout");
+          Alcotest.(check string) "the shell survives" "PS" listed
+      | _ -> Alcotest.fail "expected four outputs")
+
+let test_limit_admission_control () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".limit tuples 2";
+            (* a self-product of PS (5 tuples): estimated cost far above 2 *)
+            "range of p is PS range of q is PS retrieve (p.S#, q.P#)";
+          ]
+      in
+      match outputs with
+      | [ _; _; rejected ] ->
+          Alcotest.(check bool) "rejected by admission control" true
+            (contains rejected "rejected"
+            && contains rejected "tuple budget 2")
+      | _ -> Alcotest.fail "expected three outputs")
+
+let test_limit_budget_aborts_dml () =
+  with_ps_csv (fun path ->
+      (* updates bypass admission control (no plan): the runtime budget
+         must catch them instead *)
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".limit tuples 1";
+            "range of p is PS delete p where p.S# = \"s1\"";
+            ".limit off";
+            ".show PS";
+          ]
+      in
+      match outputs with
+      | [ _; _; aborted; _; shown ] ->
+          Alcotest.(check bool) "budget abort reported" true
+            (contains aborted "tuples exceeded"
+            || contains aborted "budget");
+          Alcotest.(check bool) "catalog untouched by the abort" true
+            (contains shown "s1")
+      | _ -> Alcotest.fail "expected five outputs")
+
 let test_empty_input () =
   let st, out = Shell.exec Shell.initial "" in
   Alcotest.(check string) "empty input, empty output" "" out;
@@ -215,5 +313,12 @@ let suite =
       test_save_open_roundtrip;
     Alcotest.test_case ".agg" `Quick test_agg_command;
     Alcotest.test_case "hostile input never raises" `Quick test_never_raises;
+    Alcotest.test_case ".limit set, report, clear" `Quick test_limits;
+    Alcotest.test_case ".limit time 0 aborts statements" `Quick
+      test_limit_timeout_aborts;
+    Alcotest.test_case "admission control rejects costly plans" `Quick
+      test_limit_admission_control;
+    Alcotest.test_case "runtime budget catches updates" `Quick
+      test_limit_budget_aborts_dml;
     Alcotest.test_case "empty input" `Quick test_empty_input;
   ]

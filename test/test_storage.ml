@@ -223,7 +223,7 @@ let test_foreign_key_declaration_guards () =
             ~foreign_keys:[ ([ "A" ], "S", [ "X"; "Y" ]) ]
             [ ("A", Domain.Ints) ]);
        false
-     with Invalid_argument _ -> true);
+     with Exec_error.Error (Exec_error.Bad_input _) -> true);
   Alcotest.(check bool) "unknown local attribute rejected" true
     (try
        ignore
@@ -231,7 +231,7 @@ let test_foreign_key_declaration_guards () =
             ~foreign_keys:[ ([ "Z" ], "S", [ "X" ]) ]
             [ ("A", Domain.Ints) ]);
        false
-     with Invalid_argument _ -> true)
+     with Exec_error.Error (Exec_error.Bad_input _) -> true)
 
 (* ------------------------- Binary ------------------------- *)
 

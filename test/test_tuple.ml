@@ -123,7 +123,9 @@ let test_rename () =
     (t [ ("B", i 1); ("C", i 2) ])
     (Tuple.rename [ (a_ "A", a_ "B"); (a_ "B", a_ "C") ] ab);
   Alcotest.check_raises "collision rejected"
-    (Invalid_argument "Tuple.rename: collision on attribute B") (fun () ->
+    (Exec_error.Error
+       (Exec_error.Bad_input "Tuple.rename: collision on attribute B"))
+    (fun () ->
       ignore (Tuple.rename [ (a_ "A", a_ "B") ] conflicting))
 
 let test_fold_to_list () =

@@ -123,7 +123,8 @@ let test_top_guards () =
     (Domain.Infinite "Xrel.top") (fun () ->
       ignore (Xrel.top [ (a_ "A", Domain.Ints) ]));
   Alcotest.check_raises "oversized universe rejected"
-    (Invalid_argument "Xrel.top: universe too large") (fun () ->
+    (Exec_error.Error (Exec_error.Bad_input "Xrel.top: universe too large"))
+    (fun () ->
       ignore
         (Xrel.top
            [
