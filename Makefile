@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -19,9 +19,23 @@ bench:
 	$(DUNE) exec bench/main.exe -- --fast
 
 # CI-sized bench run: short timing quotas, hard wall-clock cap so a
-# regression can never hang the pipeline.
+# regression can never hang the pipeline. Includes the E19 gate on
+# disabled-instrumentation overhead (exits 1 above 3%).
 bench-smoke:
 	timeout 600 $(DUNE) exec bench/main.exe -- --fast
+
+# Observability end to end on a sample workload: run a governed query
+# with tracing on, dump the metrics registry, and print it.
+metrics-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf 'S#,P#\ns1,p1\ns2,p1\ns3,p2\ns4,-\n' > "$$tmp/ps.csv"; \
+	$(DUNE) exec bin/nullrel_cli.exe -- query \
+	  --timeout 10 --max-tuples 100000 \
+	  --metrics-file "$$tmp/metrics.prom" --trace \
+	  --rel "PS=$$tmp/ps.csv" \
+	  'range of p is PS retrieve (p.S#) where p.P# = "p1"'; \
+	echo; echo "--- $$tmp/metrics.prom ---"; cat "$$tmp/metrics.prom"
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

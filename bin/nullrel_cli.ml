@@ -68,7 +68,36 @@ let handle f =
       Printf.eprintf "error: %s\n" msg;
       exit 3
 
-let governed deadline_s max_tuples f =
+(* --metrics-file / --trace both enable collection up front and flush
+   through [at_exit], so the dump is written even when [handle] leaves
+   with a nonzero code on a governor abort. *)
+let setup_obs metrics_file trace =
+  if metrics_file <> None || trace then begin
+    Obs.Metrics.set_enabled true;
+    Obs.Span.set_enabled true;
+    Option.iter
+      (fun path ->
+        at_exit (fun () ->
+            try
+              let oc = open_out path in
+              output_string oc (Obs.Metrics.dump_prometheus ());
+              close_out oc
+            with Sys_error _ -> prerr_endline ("cannot write " ^ path)))
+      metrics_file;
+    if trace then
+      at_exit (fun () ->
+          List.iter
+            (fun (e : Obs.Span.event) ->
+              Printf.eprintf "trace: %s%s  %.1fms  %d ticks\n"
+                (String.make (2 * e.Obs.Span.depth) ' ')
+                e.Obs.Span.label
+                (e.Obs.Span.duration_s *. 1000.)
+                e.Obs.Span.ticks)
+            (Obs.Span.events ()))
+  end
+
+let governed deadline_s max_tuples metrics_file trace f =
+  setup_obs metrics_file trace;
   handle (fun () ->
       match (deadline_s, max_tuples) with
       | None, None -> f ()
@@ -92,6 +121,18 @@ let max_tuples_arg =
   in
   Arg.(value & opt (some int) None & info [ "max-tuples" ] ~doc ~docv:"N")
 
+let metrics_file_arg =
+  let doc =
+    "Enable metrics collection and write a Prometheus text dump to $(docv) \
+     on exit (including aborts)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-file" ] ~doc ~docv:"PATH")
+
+let trace_flag =
+  let doc = "Enable span tracing; print recorded spans to stderr on exit." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let file n = Arg.(required & pos n (some file) None & info [] ~docv:"FILE")
 
 let on_arg =
@@ -111,18 +152,20 @@ let attr_set_of_string s_ =
 (* ------------------------- commands ----------------------- *)
 
 let show_cmd =
-  let run as_csv timeout tuples path =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace path =
+    governed timeout tuples metrics trace (fun () ->
         let attrs, x = load path in
         emit ~as_csv attrs x)
   in
   let doc = "Print a relation (as loaded, minimized)." in
   Cmd.v (Cmd.info "show" ~doc)
-    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ file 0)
 
 let minimize_cmd =
-  let run as_csv timeout tuples path =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace path =
+    governed timeout tuples metrics trace (fun () ->
         let attrs, x = load path in
         (* load already canonicalizes; echoing it shows the minimal form *)
         emit ~as_csv attrs x;
@@ -130,18 +173,22 @@ let minimize_cmd =
   in
   let doc = "Reduce a relation to its minimal representation." in
   Cmd.v (Cmd.info "minimize" ~doc)
-    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ file 0)
 
 let binop_cmd name doc op =
-  let run as_csv timeout tuples p1 p2 =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace p1 p2 =
+    governed timeout tuples metrics trace (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = op x1 x2 in
         emit ~as_csv (columns_for a1 result) result)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ csv_flag $ timeout_arg $ max_tuples_arg $ file 0 $ file 1)
+    Term.(
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ file 0 $ file 1)
 
 let union_cmd =
   binop_cmd "union" "Generalized union (lattice least upper bound)."
@@ -155,8 +202,8 @@ let inter_cmd =
     Xrel.inter
 
 let join_cmd =
-  let run as_csv timeout tuples on p1 p2 =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace on p1 p2 =
+    governed timeout tuples metrics trace (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
@@ -165,12 +212,12 @@ let join_cmd =
   let doc = "Equijoin on the given attributes (join columns not repeated)." in
   Cmd.v (Cmd.info "join" ~doc)
     Term.(
-      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ on_arg $ file 0
-      $ file 1)
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ on_arg $ file 0 $ file 1)
 
 let outerjoin_cmd =
-  let run as_csv timeout tuples on p1 p2 =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace on p1 p2 =
+    governed timeout tuples metrics trace (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
@@ -179,12 +226,12 @@ let outerjoin_cmd =
   let doc = "Union-join (the information-preserving outer join)." in
   Cmd.v (Cmd.info "outerjoin" ~doc)
     Term.(
-      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ on_arg $ file 0
-      $ file 1)
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ on_arg $ file 0 $ file 1)
 
 let divide_cmd =
-  let run as_csv timeout tuples y p1 p2 =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace y p1 p2 =
+    governed timeout tuples metrics trace (fun () ->
         let _, x1 = load p1 in
         let _, x2 = load p2 in
         let y = attr_set_of_string y in
@@ -194,12 +241,12 @@ let divide_cmd =
   let doc = "Y-quotient: dividend / divisor, the 'for sure' division." in
   Cmd.v (Cmd.info "divide" ~doc)
     Term.(
-      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ quotient_arg
-      $ file 0 $ file 1)
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ quotient_arg $ file 0 $ file 1)
 
 let project_cmd =
-  let run as_csv timeout tuples attrs path =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace attrs path =
+    governed timeout tuples metrics trace (fun () ->
         let _, x = load path in
         let xs = attr_set_of_string attrs in
         let result = Algebra.project xs x in
@@ -211,7 +258,8 @@ let project_cmd =
   in
   Cmd.v (Cmd.info "project" ~doc)
     Term.(
-      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ attrs_arg $ file 1)
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ attrs_arg $ file 1)
 
 let query_cmd =
   let rel_arg =
@@ -221,8 +269,8 @@ let query_cmd =
   let query_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
   in
-  let run as_csv timeout tuples rels query_src =
-    governed timeout tuples (fun () ->
+  let run as_csv timeout tuples metrics trace rels query_src =
+    governed timeout tuples metrics trace (fun () ->
         let db =
           List.map
             (fun binding ->
@@ -269,8 +317,8 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ rel_arg
-      $ query_arg)
+      const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
+      $ trace_flag $ rel_arg $ query_arg)
 
 let convert_cmd =
   let run src dst =
@@ -325,7 +373,8 @@ let fsck_cmd =
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
 
 let repl_cmd =
-  let run () =
+  let run metrics trace =
+    setup_obs metrics trace;
     print_endline "nullrel shell -- .help for commands, .quit to leave";
     let rec loop st =
       if Shell.finished st then ()
@@ -342,7 +391,8 @@ let repl_cmd =
     loop Shell.initial
   in
   let doc = "Interactive shell: load CSVs, run queries, inspect plans." in
-  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "repl" ~doc)
+    Term.(const run $ metrics_file_arg $ trace_flag)
 
 let () =
   let doc = "relational algebra with no-information nulls (Zaniolo 1982)" in

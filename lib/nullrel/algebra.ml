@@ -1,4 +1,36 @@
-let select p x = Xrel.filter (Predicate.holds p) x
+(* Per-operator tuple flow, one labeled counter pair per operator.
+   Registration is memoized so the hot path is a Hashtbl hit only when
+   metrics are enabled; cardinals (O(n)) are likewise only computed
+   when someone is watching. *)
+let op_counter =
+  let tbl = Hashtbl.create 32 in
+  fun op direction ->
+    match Hashtbl.find_opt tbl (op, direction) with
+    | Some c -> c
+    | None ->
+        let c =
+          Obs.Metrics.counter
+            ~labels:[ ("op", op); ("direction", direction) ]
+            ~help:"Tuples flowing into and out of algebra operators"
+            "nullrel_operator_tuples_total"
+        in
+        Hashtbl.add tbl (op, direction) c;
+        c
+
+let observed op ~ins result =
+  if Obs.Metrics.is_enabled () then begin
+    Obs.Metrics.add (op_counter op "in") (ins ());
+    Obs.Metrics.add (op_counter op "out") (Xrel.cardinal result)
+  end;
+  result
+
+let observed1 op x result =
+  observed op ~ins:(fun () -> Xrel.cardinal x) result
+
+let observed2 op x1 x2 result =
+  observed op ~ins:(fun () -> Xrel.cardinal x1 + Xrel.cardinal x2) result
+
+let select p x = observed1 "select" x (Xrel.filter (Predicate.holds p) x)
 
 let select_ab a cmp b x = select (Predicate.Cmp_attrs (a, cmp, b)) x
 
@@ -28,17 +60,21 @@ let pairwise_joins keep x1 x2 =
 
 let product x1 x2 =
   let raw = pairwise_joins (fun _ _ -> true) x1 x2 in
-  if Attr.Set.disjoint (Xrel.scope x1) (Xrel.scope x2) then
-    Xrel.unsafe_of_minimal raw
-  else Xrel.of_relation raw
+  observed2 "product" x1 x2
+    (if Attr.Set.disjoint (Xrel.scope x1) (Xrel.scope x2) then
+       Xrel.unsafe_of_minimal raw
+     else Xrel.of_relation raw)
 
 let theta_join a cmp b x1 x2 = select_ab a cmp b (product x1 x2)
 
 let equijoin x x1 x2 =
   let both_x_total r1 r2 = Tuple.is_total_on x r1 && Tuple.is_total_on x r2 in
-  Xrel.of_relation (pairwise_joins both_x_total x1 x2)
+  observed2 "equijoin" x1 x2
+    (Xrel.of_relation (pairwise_joins both_x_total x1 x2))
 
-let union_join x x1 x2 = Xrel.union (equijoin x x1 x2) (Xrel.union x1 x2)
+let union_join x x1 x2 =
+  observed2 "union-join" x1 x2
+    (Xrel.union (equijoin x x1 x2) (Xrel.union x1 x2))
 
 (* Participation matches the equijoin exactly: both sides X-total,
    agreeing on X, and joinable overall — a pair that conflicts on a
@@ -55,14 +91,20 @@ let participates x other r =
             && Tuple.joinable r partner))
        (Xrel.rep other) false
 
-let semijoin x x1 x2 = Xrel.filter (participates x x2) x1
-let antijoin x x1 x2 = Xrel.filter (fun r -> not (participates x x2 r)) x1
+let semijoin x x1 x2 =
+  observed2 "semijoin" x1 x2 (Xrel.filter (participates x x2) x1)
+
+let antijoin x x1 x2 =
+  observed2 "antijoin" x1 x2
+    (Xrel.filter (fun r -> not (participates x x2 r)) x1)
 
 let project x xr =
-  Xrel.of_list (List.map (fun r -> Tuple.restrict r x) (Xrel.to_list xr))
+  observed1 "project" xr
+    (Xrel.of_list (List.map (fun r -> Tuple.restrict r x) (Xrel.to_list xr)))
 
 let rename mapping xr =
-  Xrel.of_list (List.map (Tuple.rename mapping) (Xrel.to_list xr))
+  observed1 "rename" xr
+    (Xrel.of_list (List.map (Tuple.rename mapping) (Xrel.to_list xr)))
 
 let y_total_part y xr = Xrel.filter (Tuple.is_total_on y) xr
 
@@ -82,7 +124,7 @@ let divide y xr s =
         | None -> false)
       (Xrel.to_list s)
   in
-  Xrel.filter qualifies candidates
+  observed2 "divide" xr s (Xrel.filter qualifies candidates)
 
 let divide_algebraic y xr s =
   let r_y = y_total_part y xr in

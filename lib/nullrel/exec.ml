@@ -81,37 +81,72 @@ let full_check g =
            })
   end
 
+(* A second physically-distinct no-op sentinel, installed in place of
+   [unlimited] while observability is live ([Obs.Metrics.hot]). The
+   ungoverned, unobserved fast path of [tick] is then still the single
+   pointer comparison it was before the Obs layer existed; the obs
+   branch only runs once that comparison has already failed. *)
+let unlimited_observed = { unlimited with charged = 0 }
+
 let ambient = ref unlimited
 let current () = !ambient
-let limited g = g != unlimited
+let limited g = g != unlimited && g != unlimited_observed
+
+(* The base sentinel the ambient slot must hold when no governor is
+   installed, given the current obs state. *)
+let base_sentinel () =
+  if !Obs.Metrics.hot then unlimited_observed else unlimited
+
+let () =
+  Obs.Metrics.on_hot_change :=
+    (fun _ ->
+      let g = !ambient in
+      if g == unlimited || g == unlimited_observed then
+        ambient := base_sentinel ())
+
+let m_ticks =
+  Obs.Metrics.counter ~help:"Governor ticks charged by the engine hot loops"
+    "nullrel_exec_ticks_total"
 
 let tick ?(cost = 1) () =
   let g = !ambient in
   if g != unlimited then begin
-    g.charged <- g.charged + cost;
-    if g.charged > g.max_tuples then
-      Exec_error.raise_
-        (Exec_error.Budget_exceeded
-           {
-             resource = Exec_error.Tuples;
-             budget = g.max_tuples;
-             used = g.charged;
-           });
-    g.until_check <- g.until_check - cost;
-    if g.until_check <= 0 then full_check g
+    (if !Obs.Metrics.hot then begin
+       Obs.Span.charge cost;
+       Obs.Metrics.add m_ticks cost
+     end);
+    if g != unlimited_observed then begin
+      g.charged <- g.charged + cost;
+      if g.charged > g.max_tuples then
+        Exec_error.raise_
+          (Exec_error.Budget_exceeded
+             {
+               resource = Exec_error.Tuples;
+               budget = g.max_tuples;
+               used = g.charged;
+             });
+      g.until_check <- g.until_check - cost;
+      if g.until_check <= 0 then full_check g
+    end
   end
 
 let checkpoint () =
   let g = !ambient in
-  if g != unlimited then full_check g
+  if limited g then full_check g
 
 let with_governor g f =
   let saved = !ambient in
   ambient := g;
   Fun.protect
-    ~finally:(fun () -> ambient := saved)
+    ~finally:(fun () ->
+      (* Re-derive a stale sentinel: obs may have flipped while [f]
+         ran (e.g. a span opened just outside this scope closed). *)
+      ambient :=
+        (if saved == unlimited || saved == unlimited_observed then
+           base_sentinel ()
+         else saved))
     (fun () ->
-      if g != unlimited then full_check g;
+      if limited g then full_check g;
       f ())
 
 let charged g = g.charged

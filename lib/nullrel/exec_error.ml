@@ -9,17 +9,29 @@ type t =
 
 exception Error of t
 
-let raise_ e = raise (Error e)
-let bad_input msg = raise_ (Bad_input msg)
-let bad_inputf fmt = Printf.ksprintf bad_input fmt
-let storage_fault msg = raise_ (Storage_fault msg)
-
 let class_name = function
   | Timeout _ -> "timeout"
   | Budget_exceeded _ -> "budget"
   | Cancelled -> "cancelled"
   | Storage_fault _ -> "storage"
   | Bad_input _ -> "bad-input"
+
+let m_abort =
+  let make cls =
+    ( cls,
+      Obs.Metrics.counter ~labels:[ ("class", cls) ]
+        ~help:"Typed execution errors raised, by class"
+        "nullrel_aborts_total" )
+  in
+  List.map make [ "timeout"; "budget"; "cancelled"; "storage"; "bad-input" ]
+
+let raise_ e =
+  if Obs.Metrics.is_enabled () then
+    Obs.Metrics.inc (List.assoc (class_name e) m_abort);
+  raise (Error e)
+let bad_input msg = raise_ (Bad_input msg)
+let bad_inputf fmt = Printf.ksprintf bad_input fmt
+let storage_fault msg = raise_ (Storage_fault msg)
 
 let exit_code = function
   | Bad_input _ -> 2

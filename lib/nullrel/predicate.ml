@@ -25,10 +25,32 @@ let sign_matches cmp c =
   | Gt -> c > 0
   | Ge -> c >= 0
 
+(* Table III accounting: every comparison lands in exactly one of the
+   three truth values, counted per verdict. *)
+let m_verdict =
+  let make v =
+    Obs.Metrics.counter ~labels:[ ("verdict", v) ]
+      ~help:"Three-valued comparison verdicts (Table III)"
+      "nullrel_comparison_verdicts_total"
+  in
+  (make "true", make "false", make "ni")
+
+let count_verdict t =
+  let m_true, m_false, m_ni = m_verdict in
+  match t with
+  | Tvl.True -> Obs.Metrics.inc m_true
+  | Tvl.False -> Obs.Metrics.inc m_false
+  | Tvl.Ni -> Obs.Metrics.inc m_ni
+
 let apply_comparison cmp v w =
-  match Value.compare3 v w with
-  | None -> Tvl.Ni
-  | Some c -> Tvl.of_bool (sign_matches cmp c)
+  let t =
+    match Value.compare3 v w with
+    | None -> Tvl.Ni
+    | Some c -> Tvl.of_bool (sign_matches cmp c)
+  in
+  (* direct ref read: no call on the disabled path *)
+  if !Obs.Metrics.enabled then count_verdict t;
+  t
 
 type t =
   | Cmp_attrs of Attr.t * comparison * Attr.t

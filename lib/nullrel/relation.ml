@@ -10,12 +10,30 @@ let is_empty = Tuple.Set.is_empty
 let add = Tuple.Set.add
 let remove = Tuple.Set.remove
 let mem = Tuple.Set.mem
+let m_subsumption =
+  Obs.Metrics.counter
+    ~help:"Tuple subsumption comparisons in x-membership and minimization"
+    "nullrel_subsumption_comparisons_total"
+
+(* x_mem and minimize are the innermost loops of the whole engine, so
+   the subsumption counter must not cost even a branch per comparison
+   when metrics are off: each function picks a counted or a plain body
+   once per call. The two bodies must stay line-for-line identical
+   apart from the [inc]. *)
 let x_mem t r =
-  Tuple.Set.exists
-    (fun r' ->
-      Exec.tick ();
-      Tuple.more_informative r' t)
-    r
+  if !Obs.Metrics.enabled then
+    Tuple.Set.exists
+      (fun r' ->
+        Exec.tick ();
+        Obs.Metrics.inc m_subsumption;
+        Tuple.more_informative r' t)
+      r
+  else
+    Tuple.Set.exists
+      (fun r' ->
+        Exec.tick ();
+        Tuple.more_informative r' t)
+      r
 let filter = Tuple.Set.filter
 let fold f r init = Tuple.Set.fold f r init
 let iter = Tuple.Set.iter
@@ -30,16 +48,29 @@ let subsumes r1 r2 =
 let equiv r1 r2 = subsumes r1 r2 && subsumes r2 r1
 
 let minimize r =
-  Tuple.Set.filter
-    (fun t ->
-      (not (Tuple.is_null_tuple t))
-      && not
-           (Tuple.Set.exists
-              (fun r' ->
-                Exec.tick ();
-                Tuple.strictly_more_informative r' t)
-              r))
-    r
+  if !Obs.Metrics.enabled then
+    Tuple.Set.filter
+      (fun t ->
+        (not (Tuple.is_null_tuple t))
+        && not
+             (Tuple.Set.exists
+                (fun r' ->
+                  Exec.tick ();
+                  Obs.Metrics.inc m_subsumption;
+                  Tuple.strictly_more_informative r' t)
+                r))
+      r
+  else
+    Tuple.Set.filter
+      (fun t ->
+        (not (Tuple.is_null_tuple t))
+        && not
+             (Tuple.Set.exists
+                (fun r' ->
+                  Exec.tick ();
+                  Tuple.strictly_more_informative r' t)
+                r))
+      r
 
 let is_minimal r = equal r (minimize r)
 

@@ -2,7 +2,27 @@
 
 type t = Relation.t
 
-let of_relation r = Relation.minimize r
+let h_minimize_in =
+  Obs.Metrics.histogram
+    ~help:"Relation size entering minimization (tuples)"
+    "nullrel_minimize_input_tuples"
+
+let h_minimize_out =
+  Obs.Metrics.histogram
+    ~help:"Minimal representation size after minimization (tuples)"
+    "nullrel_minimize_output_tuples"
+
+let minimized r =
+  if Obs.Metrics.is_enabled () then begin
+    (* Cardinal is O(n); only pay for it when someone is watching. *)
+    Obs.Metrics.observe h_minimize_in (Relation.cardinal r);
+    let m = Relation.minimize r in
+    Obs.Metrics.observe h_minimize_out (Relation.cardinal m);
+    m
+  end
+  else Relation.minimize r
+
+let of_relation r = minimized r
 let of_list ts = of_relation (Relation.of_list ts)
 let of_tuples ts = of_relation (Relation.of_tuples ts)
 let unsafe_of_minimal r = r
@@ -16,7 +36,7 @@ let compare = Relation.compare
 let x_mem = Relation.x_mem
 let contains x1 x2 = Relation.subsumes x1 x2
 let properly_contains x1 x2 = contains x1 x2 && not (equal x1 x2)
-let union x1 x2 = Relation.minimize (Relation.union x1 x2)
+let union x1 x2 = minimized (Relation.union x1 x2)
 
 let inter x1 x2 =
   let meets =
@@ -29,7 +49,7 @@ let inter x1 x2 =
           x2 acc)
       x1 Relation.empty
   in
-  Relation.minimize meets
+  minimized meets
 
 let diff x1 x2 = Relation.filter (fun r -> not (Relation.x_mem r x2)) x1
 let bottom = Relation.empty

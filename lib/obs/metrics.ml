@@ -1,0 +1,218 @@
+(* Ambient metrics registry. Single-domain by design, like the Exec
+   governor slot: every metric is a record of plain mutable fields, so
+   an update is a load, a branch on [enabled], and a store. *)
+
+let enabled = ref false
+let hot = ref false
+let open_spans = ref 0
+
+(* Fired when [hot] flips, so a lower layer can fold the obs check into
+   a fast-path compare it already performs (Nullrel.Exec swaps its
+   ambient sentinel). Obs cannot depend on that layer, hence a hook. *)
+let on_hot_change : (bool -> unit) ref = ref ignore
+
+let recompute_hot () =
+  let h = !enabled || !open_spans > 0 in
+  if h <> !hot then begin
+    hot := h;
+    !on_hot_change h
+  end
+
+let set_enabled b =
+  enabled := b;
+  recompute_hot ()
+
+let is_enabled () = !enabled
+
+let spans_opened () =
+  incr open_spans;
+  recompute_hot ()
+
+let spans_closed () =
+  if !open_spans > 0 then decr open_spans;
+  recompute_hot ()
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* 63 log2 buckets cover every non-negative OCaml int: bucket 0 holds
+   v <= 0, bucket i (1 <= i <= 62) holds values with exactly i
+   significant bits, i.e. 2^(i-1) <= v <= 2^i - 1. *)
+let buckets = 63
+
+type histogram = {
+  counts : int array; (* length [buckets] *)
+  mutable sum : int;
+  mutable n : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type entry = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  metric : metric;
+}
+
+(* Registration happens at module-load time or from shell commands, not
+   in hot loops, so a simple list scan is fine. Kept in registration
+   order; dumps group consecutive same-name entries into one family. *)
+let registry : entry list ref = ref []
+
+let kind_of = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let find name labels =
+  List.find_opt (fun e -> e.name = name && e.labels = labels) !registry
+
+let register name labels help kind make =
+  let mismatch other =
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s registered as both %s and %s" name
+         other kind)
+  in
+  match find name labels with
+  | Some e ->
+      if kind_of e.metric <> kind then mismatch (kind_of e.metric);
+      e.metric
+  | None ->
+      (match List.find_opt (fun e -> e.name = name) !registry with
+      | Some e when kind_of e.metric <> kind -> mismatch (kind_of e.metric)
+      | _ -> ());
+      let metric = make () in
+      registry := !registry @ [ { name; labels; help; metric } ];
+      metric
+
+let counter ?(labels = []) ~help name =
+  match register name labels help "counter" (fun () -> C { c = 0 }) with
+  | C c -> c
+  | _ -> assert false
+
+let gauge ?(labels = []) ~help name =
+  match register name labels help "gauge" (fun () -> G { g = 0. }) with
+  | G g -> g
+  | _ -> assert false
+
+let histogram ?(labels = []) ~help name =
+  match
+    register name labels help "histogram" (fun () ->
+        H { counts = Array.make buckets 0; sum = 0; n = 0 })
+  with
+  | H h -> h
+  | _ -> assert false
+
+let inc c = if !enabled then c.c <- c.c + 1
+let add c n = if !enabled then c.c <- c.c + n
+let set_gauge g v = if !enabled then g.g <- v
+
+let bucket_index v =
+  if v <= 0 then 0
+  else
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+
+let observe h v =
+  if !enabled then begin
+    h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+    h.sum <- h.sum + v;
+    h.n <- h.n + 1
+  end
+
+let counter_value c = c.c
+let gauge_value g = g.g
+let bucket_count h i = h.counts.(i)
+let histogram_sum h = h.sum
+let histogram_count h = h.n
+
+let reset () =
+  List.iter
+    (fun e ->
+      match e.metric with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.
+      | H h ->
+          Array.fill h.counts 0 buckets 0;
+          h.sum <- 0;
+          h.n <- 0)
+    !registry
+
+(* Upper bound of bucket i as a Prometheus [le] string: bucket 0 is
+   le="0", bucket i is le="2^i - 1", the last is +Inf. *)
+let le_string i =
+  if i = 0 then "0"
+  else if i >= buckets - 1 then "+Inf"
+  else string_of_int ((1 lsl i) - 1)
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let label_string_extra labels extra =
+  label_string (labels @ [ extra ])
+
+let dump_prometheus () =
+  let buf = Buffer.create 1024 in
+  let seen_family = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen_family e.name) then begin
+        Hashtbl.add seen_family e.name ();
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" e.name e.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" e.name (kind_of e.metric))
+      end;
+      match e.metric with
+      | C c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" e.name (label_string e.labels) c.c)
+      | G g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %g\n" e.name (label_string e.labels) g.g)
+      | H h ->
+          let cumulative = ref 0 in
+          for i = 0 to buckets - 1 do
+            cumulative := !cumulative + h.counts.(i);
+            (* Elide empty interior buckets to keep dumps readable; the
+               +Inf bucket always appears so the series is well formed. *)
+            if h.counts.(i) > 0 || i = buckets - 1 then
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" e.name
+                   (label_string_extra e.labels ("le", le_string i))
+                   !cumulative)
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %d\n" e.name (label_string e.labels)
+               h.sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" e.name (label_string e.labels)
+               h.n))
+    !registry;
+  Buffer.contents buf
+
+let dump_sexp () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "(";
+  List.iter
+    (fun e ->
+      let labels =
+        String.concat " "
+          (List.map (fun (k, v) -> Printf.sprintf "(%s %S)" k v) e.labels)
+      in
+      let value =
+        match e.metric with
+        | C c -> string_of_int c.c
+        | G g -> Printf.sprintf "%g" g.g
+        | H h -> Printf.sprintf "(sum %d) (count %d)" h.sum h.n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "\n (%s (%s) %s %s)" e.name labels
+           (kind_of e.metric) value))
+    !registry;
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf

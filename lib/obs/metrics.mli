@@ -1,0 +1,91 @@
+(** Process-wide metrics: monotonic counters, gauges, and log2-bucketed
+    histograms in one registry, exported as Prometheus text format and
+    as s-expressions.
+
+    The registry is ambient and single-domain, mirroring the
+    {!Nullrel.Exec} governor slot: metrics are plain mutable ints, an
+    update is a load, a branch, and a store — no locks, no atomics.
+    Instrumentation is {e disabled by default}; every update first
+    consults {!enabled}, so an instrumented hot loop pays one predicted
+    branch when observability is off.
+
+    Registration is idempotent: asking for a metric that already exists
+    (same name and label set) returns the existing one, so modules can
+    register at load time or lazily from hot paths without
+    coordination. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : bool ref
+(** The master switch consulted by every update. Prefer
+    {!set_enabled}; the ref is exposed so hot paths can guard derived
+    work (e.g. computing a cardinality only to observe it). *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val hot : bool ref
+(** True when any instrumentation consumer is live: metrics enabled or
+    at least one span open (maintained by {!Span} via
+    {!spans_opened}/{!spans_closed}). The single branch that
+    {!Nullrel.Exec.tick} pays when observability is off. *)
+
+val spans_opened : unit -> unit
+val spans_closed : unit -> unit
+(** Called by {!Span} to keep {!hot} in sync with the span stack. *)
+
+val on_hot_change : (bool -> unit) ref
+(** Invoked with the new value whenever {!hot} flips. Lets a lower
+    layer that cannot be depended upon here (the {!Nullrel.Exec}
+    governor) fold the observability check into a compare its fast
+    path already performs. *)
+
+(** {1 Registration} *)
+
+val counter :
+  ?labels:(string * string) list -> help:string -> string -> counter
+
+val gauge : ?labels:(string * string) list -> help:string -> string -> gauge
+
+val histogram :
+  ?labels:(string * string) list -> help:string -> string -> histogram
+
+(** {1 Updates (one branch when disabled)} *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Reads (for tests and dumps)} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+
+val bucket_index : int -> int
+(** [bucket_index v] is the log2 bucket of [v]: 0 for [v <= 0],
+    otherwise the number of significant bits of [v] (1 -> 1, 2..3 -> 2,
+    4..7 -> 3, ..., [max_int] -> 62). *)
+
+val bucket_count : histogram -> int -> int
+(** Observations landed in the bucket with the given index. *)
+
+val histogram_sum : histogram -> int
+val histogram_count : histogram -> int
+
+(** {1 Registry-wide operations} *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric. Registration survives: the same
+    metric values restart from 0; names, helps and labels are kept. *)
+
+val dump_prometheus : unit -> string
+(** Prometheus text format: one [# HELP]/[# TYPE] pair per metric
+    family, one sample line per registered counter/gauge, and the
+    cumulative [_bucket]/[_sum]/[_count] series per histogram. *)
+
+val dump_sexp : unit -> string
+(** The same registry as one s-expression,
+    [((name ((label value) ...) kind value) ...)]. *)

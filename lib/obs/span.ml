@@ -1,0 +1,105 @@
+type measure = { duration_s : float; ticks : int }
+
+type span = {
+  label : string;
+  start : float;
+  mutable self_ticks : int;
+  mutable child_ticks : int;
+  parent : span option;
+  depth : int;
+}
+
+type event = { label : string; depth : int; duration_s : float; ticks : int }
+
+let enabled = ref false
+
+(* No [hot] bookkeeping here: with no span open there is nothing to
+   charge, and {!Metrics.spans_opened}/[spans_closed] flip [hot] as
+   the stack grows and empties. *)
+let set_enabled b = enabled := b
+
+let is_enabled () = !enabled
+let current : span option ref = ref None
+
+let charge cost =
+  match !current with
+  | None -> ()
+  | Some s -> s.self_ticks <- s.self_ticks + cost
+
+let current_label () =
+  match !current with None -> None | Some s -> Some s.label
+
+let default_clock () = Unix.gettimeofday ()
+let clock = ref default_clock
+let set_clock = function None -> clock := default_clock | Some f -> clock := f
+
+let ring_capacity = 256
+let ring : event option array = Array.make ring_capacity None
+let ring_pos = ref 0
+let slow_capacity = 64
+let slow : event list ref = ref []
+let slow_threshold_ref : float option ref = ref None
+
+let set_slow_threshold t = slow_threshold_ref := t
+let slow_threshold () = !slow_threshold_ref
+
+let clear_events () =
+  Array.fill ring 0 ring_capacity None;
+  ring_pos := 0
+
+let clear_slow_log () = slow := []
+
+let events () =
+  let out = ref [] in
+  for i = ring_capacity - 1 downto 0 do
+    match ring.((!ring_pos + i) mod ring_capacity) with
+    | None -> ()
+    | Some e -> out := e :: !out
+  done;
+  !out
+
+let slow_log () = List.rev !slow
+
+let record ev =
+  ring.(!ring_pos) <- Some ev;
+  ring_pos := (!ring_pos + 1) mod ring_capacity;
+  match !slow_threshold_ref with
+  | Some t when ev.depth = 0 && ev.duration_s >= t ->
+      slow := ev :: !slow;
+      if List.length !slow > slow_capacity then
+        slow := List.filteri (fun i _ -> i < slow_capacity) !slow
+  | _ -> ()
+
+let enter label =
+  let depth = match !current with None -> 0 | Some p -> p.depth + 1 in
+  let s =
+    { label; start = !clock (); self_ticks = 0; child_ticks = 0;
+      parent = !current; depth }
+  in
+  current := Some s;
+  Metrics.spans_opened ();
+  s
+
+(* Closing is where inclusive accounting happens: the child's total is
+   what the parent sees as "time spent below me". *)
+let exit_ s =
+  current := s.parent;
+  Metrics.spans_closed ();
+  let total = s.self_ticks + s.child_ticks in
+  (match s.parent with
+  | Some p -> p.child_ticks <- p.child_ticks + total
+  | None -> ());
+  let duration_s = Float.max 0. (!clock () -. s.start) in
+  if !enabled then
+    record { label = s.label; depth = s.depth; duration_s; ticks = total };
+  { duration_s; ticks = total }
+
+let timed label f =
+  let s = enter label in
+  match f () with
+  | v -> (v, exit_ s)
+  | exception e ->
+      ignore (exit_ s);
+      raise e
+
+let with_span label f = if not !enabled then f () else fst (timed label f)

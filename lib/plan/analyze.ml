@@ -1,0 +1,89 @@
+open Nullrel
+
+type node = {
+  label : string;
+  est_rows : float;
+  actual_rows : int;
+  ticks : int;
+  elapsed_s : float;
+  children : node list;
+}
+
+(* Mirrors [Expr.eval] but measures each node with [Obs.Span.timed]
+   (which works with tracing globally off) and keeps the per-node
+   results that [eval] discards. Spans nest, so [ticks] and
+   [elapsed_s] are inclusive of the children — the natural reading of
+   an EXPLAIN ANALYZE tree. *)
+let rec run ~stats ~env e =
+  Exec.checkpoint ();
+  let est_rows = Cost.cardinality ~stats e in
+  let (x, children), m =
+    Obs.Span.timed (Expr.op_label e) (fun () ->
+        let unary op e1 =
+          let x1, n1 = run ~stats ~env e1 in
+          (op x1, [ n1 ])
+        in
+        let binary op e1 e2 =
+          let x1, n1 = run ~stats ~env e1 in
+          let x2, n2 = run ~stats ~env e2 in
+          (op x1 x2, [ n1; n2 ])
+        in
+        match e with
+        | Expr.Rel name -> (
+            match env name with
+            | Some x -> (x, [])
+            | None -> raise (Expr.Unbound_relation name))
+        | Expr.Const x -> (x, [])
+        | Expr.Select (p, e1) -> unary (Algebra.select p) e1
+        | Expr.Project (xs, e1) -> unary (Algebra.project xs) e1
+        | Expr.Rename (mapping, e1) -> unary (Algebra.rename mapping) e1
+        | Expr.Product (e1, e2) -> binary Algebra.product e1 e2
+        | Expr.Equijoin (xs, e1, e2) -> binary (Algebra.equijoin xs) e1 e2
+        | Expr.Union_join (xs, e1, e2) ->
+            binary (Algebra.union_join xs) e1 e2
+        | Expr.Union (e1, e2) -> binary Xrel.union e1 e2
+        | Expr.Diff (e1, e2) -> binary Xrel.diff e1 e2
+        | Expr.Inter (e1, e2) -> binary Xrel.inter e1 e2
+        | Expr.Divide (y, e1, e2) -> binary (Algebra.divide y) e1 e2)
+  in
+  ( x,
+    {
+      label = Expr.op_label e;
+      est_rows;
+      actual_rows = Xrel.cardinal x;
+      ticks = m.Obs.Span.ticks;
+      elapsed_s = m.Obs.Span.duration_s;
+      children;
+    } )
+
+let rec rows prefix n =
+  (prefix ^ n.label, n)
+  :: List.concat_map (rows (prefix ^ "  ")) n.children
+
+let render root =
+  let body = rows "" root in
+  let est n = Printf.sprintf "%g" n.est_rows in
+  let ms n = Printf.sprintf "%.1f" (n.elapsed_s *. 1000.) in
+  let header = ("operator", "est", "actual", "ticks", "ms") in
+  let cells =
+    header
+    :: List.map
+         (fun (label, n) ->
+           ( label,
+             est n,
+             string_of_int n.actual_rows,
+             string_of_int n.ticks,
+             ms n ))
+         body
+  in
+  let w f = List.fold_left (fun acc r -> max acc (String.length (f r))) 0 cells in
+  let w1 = w (fun (a, _, _, _, _) -> a)
+  and w2 = w (fun (_, b, _, _, _) -> b)
+  and w3 = w (fun (_, _, c, _, _) -> c)
+  and w4 = w (fun (_, _, _, d, _) -> d)
+  and w5 = w (fun (_, _, _, _, e) -> e) in
+  String.concat "\n"
+    (List.map
+       (fun (a, b, c, d, e) ->
+         Printf.sprintf "%-*s  %*s  %*s  %*s  %*s" w1 a w2 b w3 c w4 d w5 e)
+       cells)

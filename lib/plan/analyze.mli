@@ -1,0 +1,29 @@
+(** EXPLAIN ANALYZE: evaluate a plan while annotating every operator
+    node with its estimated vs. actual cardinality, inclusive governor
+    ticks, and wall time.
+
+    Measurement uses {!Obs.Span.timed}, which works without globally
+    enabling tracing, and the evaluation runs under whatever
+    {!Nullrel.Exec} governor is ambient — an analyzed query is still
+    subject to timeouts and budgets. *)
+
+type node = {
+  label : string;  (** {!Expr.op_label} of the operator *)
+  est_rows : float;  (** {!Cost.cardinality} estimate *)
+  actual_rows : int;
+  ticks : int;  (** inclusive: this node plus its subtree *)
+  elapsed_s : float;  (** inclusive wall time *)
+  children : node list;
+}
+
+val run :
+  stats:(string -> int option) ->
+  env:(string -> Nullrel.Xrel.t option) ->
+  Expr.t ->
+  Nullrel.Xrel.t * node
+(** Evaluate and profile. Raises {!Expr.Unbound_relation} like
+    {!Expr.eval}, and propagates governor aborts. *)
+
+val render : node -> string
+(** Aligned text tree: one row per operator (children indented), with
+    est / actual / ticks / ms columns. *)

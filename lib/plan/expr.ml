@@ -16,25 +16,41 @@ type t =
 
 exception Unbound_relation of string
 
+let op_label = function
+  | Rel name -> name
+  | Const _ -> "const"
+  | Select _ -> "select"
+  | Project _ -> "project"
+  | Product _ -> "product"
+  | Equijoin _ -> "equijoin"
+  | Union_join _ -> "union-join"
+  | Union _ -> "union"
+  | Diff _ -> "diff"
+  | Inter _ -> "inter"
+  | Divide _ -> "divide"
+  | Rename _ -> "rename"
+
 let rec eval ~env e =
   Exec.checkpoint ();
-  match e with
-  | Rel name -> (
-      match env name with
-      | Some x -> x
-      | None -> raise (Unbound_relation name))
-  | Const x -> x
-  | Select (p, e) -> Algebra.select p (eval ~env e)
-  | Project (x, e) -> Algebra.project x (eval ~env e)
-  | Product (e1, e2) -> Algebra.product (eval ~env e1) (eval ~env e2)
-  | Equijoin (x, e1, e2) -> Algebra.equijoin x (eval ~env e1) (eval ~env e2)
-  | Union_join (x, e1, e2) ->
-      Algebra.union_join x (eval ~env e1) (eval ~env e2)
-  | Union (e1, e2) -> Xrel.union (eval ~env e1) (eval ~env e2)
-  | Diff (e1, e2) -> Xrel.diff (eval ~env e1) (eval ~env e2)
-  | Inter (e1, e2) -> Xrel.inter (eval ~env e1) (eval ~env e2)
-  | Divide (y, e1, e2) -> Algebra.divide y (eval ~env e1) (eval ~env e2)
-  | Rename (mapping, e) -> Algebra.rename mapping (eval ~env e)
+  Obs.Span.with_span (op_label e) (fun () ->
+      match e with
+      | Rel name -> (
+          match env name with
+          | Some x -> x
+          | None -> raise (Unbound_relation name))
+      | Const x -> x
+      | Select (p, e) -> Algebra.select p (eval ~env e)
+      | Project (x, e) -> Algebra.project x (eval ~env e)
+      | Product (e1, e2) -> Algebra.product (eval ~env e1) (eval ~env e2)
+      | Equijoin (x, e1, e2) ->
+          Algebra.equijoin x (eval ~env e1) (eval ~env e2)
+      | Union_join (x, e1, e2) ->
+          Algebra.union_join x (eval ~env e1) (eval ~env e2)
+      | Union (e1, e2) -> Xrel.union (eval ~env e1) (eval ~env e2)
+      | Diff (e1, e2) -> Xrel.diff (eval ~env e1) (eval ~env e2)
+      | Inter (e1, e2) -> Xrel.inter (eval ~env e1) (eval ~env e2)
+      | Divide (y, e1, e2) -> Algebra.divide y (eval ~env e1) (eval ~env e2)
+      | Rename (mapping, e) -> Algebra.rename mapping (eval ~env e))
 
 let rec scope_bound ~env_scope = function
   | Rel name -> (

@@ -25,6 +25,10 @@ type t =
 
 exception Unbound_relation of string
 
+val op_label : t -> string
+(** Short operator name for spans and EXPLAIN output: the relation name
+    for [Rel], otherwise ["select"], ["equijoin"], ["union-join"], … *)
+
 val eval : env:(string -> Xrel.t option) -> t -> Xrel.t
 (** Bottom-up evaluation. Raises {!Unbound_relation} when a [Rel] name
     is not in the environment. *)

@@ -69,20 +69,22 @@ let qualification q =
   | Some c -> predicate_of_cond c
 
 let run db q =
-  let p = qualification q in
-  let rows = List.filter (Predicate.holds p) (combined_tuples db q) in
-  project_targets q rows
+  Obs.Span.with_span "quel.run" (fun () ->
+      let p = qualification q in
+      let rows = List.filter (Predicate.holds p) (combined_tuples db q) in
+      project_targets q rows)
 
 let run_string db src = run db (Parser.parse src)
 
 let run_maybe db q =
-  let p = qualification q in
-  let rows =
-    List.filter
-      (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni)
-      (combined_tuples db q)
-  in
-  project_targets q rows
+  Obs.Span.with_span "quel.run_maybe" (fun () ->
+      let p = qualification q in
+      let rows =
+        List.filter
+          (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni)
+          (combined_tuples db q)
+      in
+      project_targets q rows)
 
 type tautology_strategy = Brute_force | Symbolic_first
 
@@ -121,32 +123,34 @@ let run_with_ni_decision db q decide =
   project_targets q rows
 
 let run_upper ?legal db q =
-  let legal_fn = Option.value legal ~default:(fun _ -> true) in
-  run_with_ni_decision db q (fun p domains r ->
-      match (legal, Codd.Tautology.breakpoints_exists p r) with
-      | None, Some answer -> answer
-      | _ -> Codd.Tautology.brute_force_exists ~domains ~legal:legal_fn p r)
+  Obs.Span.with_span "quel.run_upper" (fun () ->
+      let legal_fn = Option.value legal ~default:(fun _ -> true) in
+      run_with_ni_decision db q (fun p domains r ->
+          match (legal, Codd.Tautology.breakpoints_exists p r) with
+          | None, Some answer -> answer
+          | _ -> Codd.Tautology.brute_force_exists ~domains ~legal:legal_fn p r))
 
 let run_unknown ?(strategy = Symbolic_first) ?legal db q =
-  let p = qualification q in
-  let domains = domains_for db q in
-  let legal_fn = Option.value legal ~default:(fun _ -> true) in
-  let brute r = Codd.Tautology.brute_force ~domains ~legal:legal_fn p r in
-  let tautology r =
-    match (strategy, legal) with
-    (* The symbolic checker cannot see integrity constraints; any [legal]
-       forces the brute-force path. *)
-    | Brute_force, _ | Symbolic_first, Some _ -> brute r
-    | Symbolic_first, None -> (
-        match Codd.Tautology.breakpoints p r with
-        | Some answer -> answer
-        | None -> brute r)
-  in
-  let keep r =
-    match Predicate.eval p r with
-    | Tvl.True -> true
-    | Tvl.False -> false
-    | Tvl.Ni -> tautology r
-  in
-  let rows = List.filter keep (combined_tuples db q) in
-  project_targets q rows
+  Obs.Span.with_span "quel.run_unknown" (fun () ->
+      let p = qualification q in
+      let domains = domains_for db q in
+      let legal_fn = Option.value legal ~default:(fun _ -> true) in
+      let brute r = Codd.Tautology.brute_force ~domains ~legal:legal_fn p r in
+      let tautology r =
+        match (strategy, legal) with
+        (* The symbolic checker cannot see integrity constraints; any
+           [legal] forces the brute-force path. *)
+        | Brute_force, _ | Symbolic_first, Some _ -> brute r
+        | Symbolic_first, None -> (
+            match Codd.Tautology.breakpoints p r with
+            | Some answer -> answer
+            | None -> brute r)
+      in
+      let keep r =
+        match Predicate.eval p r with
+        | Tvl.True -> true
+        | Tvl.False -> false
+        | Tvl.Ni -> tautology r
+      in
+      let rows = List.filter keep (combined_tuples db q) in
+      project_targets q rows)

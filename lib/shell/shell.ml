@@ -32,22 +32,27 @@ let governed st f =
         f
 
 let help =
-  ".load NAME FILE.csv    register a CSV file as relation NAME\n\
-   .open DIR              load a saved catalog directory\n\
-   .save DIR              save the catalog (atomic, checksummed)\n\
-   .fsck DIR              check a catalog directory and repair it\n\
-   .list                  list relations\n\
-   .show NAME             print a relation\n\
-   .schema NAME           print a relation's schema\n\
-   .plan QUERY            show the optimized algebra plan for a query\n\
-   .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
+  ".agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
    .check                 run schema + referential integrity checks\n\
+   .explain analyze QUERY run a query; show est/actual rows, ticks, time per \
+   operator\n\
+   .fsck DIR              check a catalog directory and repair it\n\
+   .help                  this text\n\
    .limit                 show the current execution limits\n\
+   .limit off             clear all limits\n\
    .limit time SECS       abort statements running longer than SECS\n\
    .limit tuples N        abort statements touching more than N tuples\n\
-   .limit off             clear all limits\n\
-   .help                  this text\n\
+   .list                  list relations\n\
+   .load NAME FILE.csv    register a CSV file as relation NAME\n\
+   .open DIR              load a saved catalog directory\n\
+   .plan QUERY            show the optimized algebra plan for a query\n\
    .quit                  leave\n\
+   .save DIR              save the catalog (atomic, checksummed)\n\
+   .schema NAME           print a relation's schema\n\
+   .show NAME             print a relation\n\
+   .slowlog [MS | off]    show the slow-statement log, or set its threshold\n\
+   .stats [reset]         dump metrics (Prometheus text), or zero them\n\
+   .trace [on | off]      show recent operator spans, or toggle tracing\n\
    range of ... retrieve (...) [where ...]    evaluate ||Q||-\n\
    append to REL (A = 1, ...)                 insert (union)\n\
    range of v is REL delete v [where ...]     delete (difference)\n\
@@ -78,6 +83,29 @@ let with_relation st name f =
   | None -> Printf.sprintf "error: no relation %s (try .list)" name
   | Some (schema, x) -> f schema x
 
+(* One source of truth for the planner's catalog callbacks: attribute
+   lists and scopes for compilation, {e live} cardinalities for
+   costing (so estimates track the loaded data rather than
+   [Cost.default_cardinality]), and the evaluation environment. Used by
+   admission control, [.plan] and [.explain analyze] alike so their
+   estimate columns can never drift apart. *)
+type db_context = {
+  schemas : string -> Attr.t list option;
+  env_scope : string -> Attr.Set.t option;
+  stats : string -> int option;
+  env : string -> Xrel.t option;
+}
+
+let db_context db =
+  let find name = List.assoc_opt name db in
+  {
+    schemas = (fun name -> Option.map (fun (s_, _) -> Schema.attrs s_) (find name));
+    env_scope =
+      (fun name -> Option.map (fun (s_, _) -> Schema.attr_set s_) (find name));
+    stats = (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
+    env = (fun name -> Option.map snd (find name));
+  }
+
 (* Admission control: before a governed retrieve runs at all, compare
    the optimizer's cost estimate for the chosen plan against the tuple
    budget and reject queries that cannot plausibly fit. *)
@@ -87,19 +115,12 @@ let admission st q =
   | Some budget ->
       let db = Storage.Catalog.to_db st.cat in
       Quel.Resolve.check db q;
-      let schemas name =
-        Option.map (fun (s_, _) -> Schema.attrs s_) (List.assoc_opt name db)
-      in
-      let env_scope name =
-        Option.map (fun (s_, _) -> Schema.attr_set s_) (List.assoc_opt name db)
-      in
-      let stats name =
-        Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name db)
-      in
+      let ctx = db_context db in
       let plan =
-        Plan.Rewrite.optimize ~env_scope (Plan.Compile.query ~schemas q)
+        Plan.Rewrite.optimize ~env_scope:ctx.env_scope
+          (Plan.Compile.query ~schemas:ctx.schemas q)
       in
-      let est = Plan.Cost.cost ~stats plan in
+      let est = Plan.Cost.cost ~stats:ctx.stats plan in
       if est > float_of_int budget then Some (est, budget) else None
 
 (* Statements: retrieves go through the optimizing planner; updates go
@@ -128,22 +149,33 @@ let show_plan st src =
   let db = Storage.Catalog.to_db st.cat in
   let q = Quel.Parser.parse src in
   Quel.Resolve.check db q;
-  let schemas name =
-    Option.map (fun (s_, _) -> Schema.attrs s_) (List.assoc_opt name db)
-  in
-  let env_scope name =
-    Option.map (fun (s_, _) -> Schema.attr_set s_) (List.assoc_opt name db)
-  in
-  let raw = Plan.Compile.query ~schemas q in
-  let optimized = Plan.Rewrite.optimize ~env_scope raw in
-  let stats name =
-    Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name db)
-  in
+  let ctx = db_context db in
+  let raw = Plan.Compile.query ~schemas:ctx.schemas q in
+  let optimized = Plan.Rewrite.optimize ~env_scope:ctx.env_scope raw in
   Printf.sprintf "raw:       %s\noptimized: %s\nest. cost: %.0f -> %.0f"
     (Pp.to_string Plan.Expr.pp raw)
     (Pp.to_string Plan.Expr.pp optimized)
-    (Plan.Cost.cost ~stats raw)
-    (Plan.Cost.cost ~stats optimized)
+    (Plan.Cost.cost ~stats:ctx.stats raw)
+    (Plan.Cost.cost ~stats:ctx.stats optimized)
+
+let explain_analyze st src =
+  let db = Storage.Catalog.to_db st.cat in
+  let q = Quel.Parser.parse src in
+  Quel.Resolve.check db q;
+  let ctx = db_context db in
+  let plan =
+    Plan.Rewrite.optimize ~env_scope:ctx.env_scope
+      (Plan.Compile.query ~schemas:ctx.schemas q)
+  in
+  let _result, node = Plan.Analyze.run ~stats:ctx.stats ~env:ctx.env plan in
+  Plan.Analyze.render node
+
+let pp_span_event (e : Obs.Span.event) =
+  Printf.sprintf "%s%s  %.1fms  %d ticks"
+    (String.make (2 * e.Obs.Span.depth) ' ')
+    e.Obs.Span.label
+    (e.Obs.Span.duration_s *. 1000.)
+    e.Obs.Span.ticks
 
 (* .agg KIND [v.ATTR] QUERY *)
 let run_aggregate st words =
@@ -202,7 +234,12 @@ let exec st line =
   let line = String.trim line in
   try
     if line = "" then (st, "")
-    else if line.[0] <> '.' then governed st (fun () -> run_statement st line)
+    else if line.[0] <> '.' then
+      let label =
+        if String.length line > 48 then String.sub line 0 48 ^ "..." else line
+      in
+      Obs.Span.with_span ("stmt: " ^ label) (fun () ->
+          governed st (fun () -> run_statement st line))
     else
       match split_words line with
       | [ ".quit" ] | [ ".exit" ] -> ({ st with finished = true }, "bye")
@@ -263,6 +300,53 @@ let exec st line =
                 Pp.to_string Schema.pp schema) )
       | ".plan" :: rest when rest <> [] ->
           (st, show_plan st (String.concat " " rest))
+      | ".explain" :: "analyze" :: rest when rest <> [] ->
+          ( st,
+            governed st (fun () -> explain_analyze st (String.concat " " rest))
+          )
+      | ".explain" :: _ -> (st, "error: usage: .explain analyze QUERY")
+      | [ ".stats" ] ->
+          ( st,
+            (if Obs.Metrics.is_enabled () then ""
+             else "# collection is off (.trace on enables it)\n")
+            ^ Obs.Metrics.dump_prometheus () )
+      | [ ".stats"; "reset" ] ->
+          Obs.Metrics.reset ();
+          (st, "stats: reset")
+      | [ ".trace" ] -> (
+          match Obs.Span.events () with
+          | [] -> (st, "trace: no spans recorded (.trace on enables tracing)")
+          | evs -> (st, String.concat "\n" (List.map pp_span_event evs)))
+      | [ ".trace"; "on" ] ->
+          Obs.Metrics.set_enabled true;
+          Obs.Span.set_enabled true;
+          (st, "trace: on (metrics collection enabled too)")
+      | [ ".trace"; "off" ] ->
+          Obs.Metrics.set_enabled false;
+          Obs.Span.set_enabled false;
+          (st, "trace: off")
+      | [ ".slowlog" ] -> (
+          match Obs.Span.slow_log () with
+          | [] ->
+              ( st,
+                match Obs.Span.slow_threshold () with
+                | None -> "slow log: threshold off (.slowlog MS sets it)"
+                | Some t ->
+                    Printf.sprintf "slow log: empty (threshold %.1fms)"
+                      (t *. 1000.) )
+          | evs -> (st, String.concat "\n" (List.map pp_span_event evs)))
+      | [ ".slowlog"; "off" ] ->
+          Obs.Span.set_slow_threshold None;
+          (st, "slow log: off")
+      | [ ".slowlog"; ms ] -> (
+          match float_of_string_opt ms with
+          | Some v when v >= 0. && Float.is_finite v ->
+              Obs.Span.set_slow_threshold (Some (v /. 1000.));
+              (* Recording spans needs tracing on; make the command
+                 self-sufficient instead of a silent no-op. *)
+              Obs.Span.set_enabled true;
+              (st, Printf.sprintf "slow log: threshold %gms (tracing on)" v)
+          | _ -> (st, "error: .slowlog [MILLISECONDS | off]"))
       | ".agg" :: rest when rest <> [] ->
           (st, governed st (fun () -> run_aggregate st rest))
       | [ ".check" ] -> (st, check st)

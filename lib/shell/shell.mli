@@ -4,18 +4,23 @@
 
     Inputs are either dot-commands or mini-QUEL queries:
     {v
-    .load NAME FILE.csv    register a CSV file as relation NAME
-    .open DIR              load a saved catalog directory
-    .save DIR              save the catalog
-    .list                  list relations
-    .show NAME             print a relation
-    .schema NAME           print a relation's schema
-    .plan QUERY            show the optimized algebra plan for a query
     .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)
     .check                 run schema + referential integrity checks
-    .limit [off|time SECS|tuples N]   execution limits (see below)
+    .explain analyze QUERY run a query; per-operator est/actual/ticks/time
+    .fsck DIR              check a catalog directory and repair it
     .help                  this text
+    .limit [off|time SECS|tuples N]   execution limits (see below)
+    .list                  list relations
+    .load NAME FILE.csv    register a CSV file as relation NAME
+    .open DIR              load a saved catalog directory
+    .plan QUERY            show the optimized algebra plan for a query
     .quit                  leave
+    .save DIR              save the catalog
+    .schema NAME           print a relation's schema
+    .show NAME             print a relation
+    .slowlog [MS | off]    show the slow-statement log, or set its threshold
+    .stats [reset]         dump metrics (Prometheus text), or zero them
+    .trace [on | off]      show recent operator spans, or toggle tracing
     range of ... retrieve (...) [where ...]    evaluate ||Q||-
     append to REL (A = 1, ...)                 insert (union)
     range of v is REL delete v [where ...]     delete (difference)
@@ -27,7 +32,11 @@
     violation aborts the statement (reported as text, the catalog is
     unchanged). A tuple budget additionally enables admission control:
     retrieves whose optimized-plan cost estimate ({!Plan.Cost}) already
-    exceeds the budget are rejected before running. *)
+    exceeds the budget are rejected before running.
+
+    Observability ([.trace on], [.stats], [.slowlog], [.explain
+    analyze]) is backed by the {!Obs} registry; collection is off by
+    default and costs one branch per governor tick when off. *)
 
 type state
 

@@ -14,7 +14,18 @@ type t = {
 
 (* --------------------------- real ----------------------------- *)
 
-let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+let m_fsyncs =
+  Obs.Metrics.counter ~help:"fsync calls issued by the storage layer"
+    "storage_fsyncs_total"
+
+let m_retries =
+  Obs.Metrics.counter
+    ~help:"Transient Sys_error retries performed by Io.retrying"
+    "storage_io_retries_total"
+
+let fsync_fd fd =
+  Obs.Metrics.inc m_fsyncs;
+  try Unix.fsync fd with Unix.Unix_error _ -> ()
 
 (* Everything in {!real} raises [Sys_error] like the stdlib does, so
    callers (the shell in particular) need one exception story. *)
@@ -156,6 +167,7 @@ let retrying ?(attempts = 3) ?(backoff = 0.002) base =
             Nullrel.Exec_error.storage_fault
               (Printf.sprintf "%s (after %d attempts)" msg attempts)
           else begin
+            Obs.Metrics.inc m_retries;
             (try Unix.sleepf delay with Unix.Unix_error _ -> ());
             go (n + 1) (Float.min (delay *. 2.) 0.05)
           end

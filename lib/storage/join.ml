@@ -13,6 +13,28 @@ let partition x rel =
     (Xrel.to_list rel);
   table
 
+let op_counter =
+  let tbl = Hashtbl.create 4 in
+  fun op direction ->
+    match Hashtbl.find_opt tbl (op, direction) with
+    | Some c -> c
+    | None ->
+        let c =
+          Obs.Metrics.counter
+            ~labels:[ ("op", op); ("direction", direction) ]
+            ~help:"Tuples flowing into and out of algebra operators"
+            "nullrel_operator_tuples_total"
+        in
+        Hashtbl.add tbl (op, direction) c;
+        c
+
+let observed2 op x1 x2 result =
+  if Obs.Metrics.is_enabled () then begin
+    Obs.Metrics.add (op_counter op "in") (Xrel.cardinal x1 + Xrel.cardinal x2);
+    Obs.Metrics.add (op_counter op "out") (Xrel.cardinal result)
+  end;
+  result
+
 let hash_equijoin x r1 r2 =
   let buckets2 = partition x r2 in
   let joined =
@@ -30,7 +52,8 @@ let hash_equijoin x r1 r2 =
             (Option.value (Hashtbl.find_opt buckets2 key) ~default:[]))
       Relation.empty (Xrel.to_list r1)
   in
-  Xrel.of_relation joined
+  observed2 "hash-equijoin" r1 r2 (Xrel.of_relation joined)
 
 let hash_union_join x r1 r2 =
-  Xrel.union (hash_equijoin x r1 r2) (Xrel.union r1 r2)
+  observed2 "hash-union-join" r1 r2
+    (Xrel.union (hash_equijoin x r1 r2) (Xrel.union r1 r2))

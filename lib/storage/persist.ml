@@ -159,6 +159,19 @@ let read_manifest io dir name =
 
 (* ---------------------------- save ---------------------------- *)
 
+let m_checkpoints =
+  Obs.Metrics.counter ~help:"Checkpoints written by Persist.save"
+    "storage_checkpoints_total"
+
+let m_checkpoint_bytes =
+  Obs.Metrics.counter
+    ~help:"Bytes written per checkpoint (schemas, data, manifest)"
+    "storage_checkpoint_bytes_total"
+
+let m_wal_replayed =
+  Obs.Metrics.counter ~help:"Journal records replayed during recovery"
+    "storage_wal_replayed_total"
+
 let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
   if not (io.Io.file_exists dir) then io.Io.mkdir dir;
   let path name = Filename.concat dir name in
@@ -199,7 +212,15 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
     entries;
   (* The commit point. *)
   io.Io.rename (path pending_name) (path manifest_name);
-  io.Io.fsync_dir dir
+  io.Io.fsync_dir dir;
+  Obs.Metrics.inc m_checkpoints;
+  if Obs.Metrics.is_enabled () then
+    Obs.Metrics.add m_checkpoint_bytes
+      (String.length (manifest_to_string manifest)
+      + List.fold_left
+          (fun acc (_, stext, dtext) ->
+            acc + String.length stext + String.length dtext)
+          0 entries)
 
 (* ---------------------------- load ---------------------------- *)
 
@@ -347,6 +368,7 @@ let load_report ?(io = Io.real) ~dir () =
         | Some base when record.Wal.lsn > base -> (
             match Wal.apply cat record with
             | cat ->
+                Obs.Metrics.inc m_wal_replayed;
                 let count =
                   1
                   + Option.value ~default:0

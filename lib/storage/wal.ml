@@ -98,7 +98,19 @@ let decode_payload payload =
   if remaining cur <> 0 then errorf "trailing payload bytes";
   { lsn; rel; added; removed }
 
-let append ~io ~dir r = io.Io.append_file (file ~dir) (encode_frame r)
+let m_appends =
+  Obs.Metrics.counter ~help:"Write-ahead journal frames appended"
+    "storage_wal_appends_total"
+
+let m_append_bytes =
+  Obs.Metrics.counter ~help:"Write-ahead journal bytes appended"
+    "storage_wal_append_bytes_total"
+
+let append ~io ~dir r =
+  let frame = encode_frame r in
+  Obs.Metrics.inc m_appends;
+  Obs.Metrics.add m_append_bytes (String.length frame);
+  io.Io.append_file (file ~dir) frame
 
 let read ~io ~dir =
   let path = file ~dir in

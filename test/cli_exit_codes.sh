@@ -65,4 +65,26 @@ expect 5 "tiny tuple budget" \
 expect 5 "tiny budget on an algebra command" \
     "$CLI" outerjoin --max-tuples 1 --on A "$tmp/r.csv" "$tmp/r.csv"
 
+# --- metrics survive aborts ------------------------------------
+# --metrics-file must produce a well-formed Prometheus dump even when
+# the run is killed by the governor (exits 4 and 5), and the dump must
+# carry the abort class.
+expect 4 "timeout with --metrics-file" \
+    "$CLI" query --timeout 0 --metrics-file "$tmp/m_timeout.prom" \
+    --rel "R=$tmp/r.csv" 'range of r is R retrieve (r.A)'
+[ -s "$tmp/m_timeout.prom" ] || fail "no metrics dump after timeout abort"
+grep -q '^# TYPE' "$tmp/m_timeout.prom" \
+    || fail "timeout dump is not Prometheus text"
+grep -q 'nullrel_aborts_total{class="timeout"} 1' "$tmp/m_timeout.prom" \
+    || fail "timeout dump does not count the abort"
+
+expect 5 "budget abort with --metrics-file" \
+    "$CLI" query --max-tuples 1 --metrics-file "$tmp/m_budget.prom" \
+    --rel "R=$tmp/r.csv" 'range of r is R range of s is R retrieve (r.A, s.B)'
+[ -s "$tmp/m_budget.prom" ] || fail "no metrics dump after budget abort"
+grep -q '^# TYPE' "$tmp/m_budget.prom" \
+    || fail "budget dump is not Prometheus text"
+grep -q 'nullrel_aborts_total{class="budget"} 1' "$tmp/m_budget.prom" \
+    || fail "budget dump does not count the abort"
+
 echo "cli exit codes: ok"
