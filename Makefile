@@ -20,9 +20,11 @@ bench:
 
 # CI-sized bench run: short timing quotas, hard wall-clock cap so a
 # regression can never hang the pipeline. Includes the E19 gate on
-# disabled-instrumentation overhead (exits 1 above 3%).
+# disabled-instrumentation overhead and the E20 gates on parallel
+# parity/speedup and dispatch overhead (exit 1 on violation). Runs on
+# a 4-domain pool so the parallel code paths are actually exercised.
 bench-smoke:
-	timeout 600 $(DUNE) exec bench/main.exe -- --fast
+	NULLREL_DOMAINS=4 timeout 600 $(DUNE) exec bench/main.exe -- --fast
 
 # Observability end to end on a sample workload: run a governed query
 # with tracing on, dump the metrics registry, and print it.

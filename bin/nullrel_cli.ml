@@ -96,7 +96,8 @@ let setup_obs metrics_file trace =
             (Obs.Span.events ()))
   end
 
-let governed deadline_s max_tuples metrics_file trace f =
+let governed deadline_s max_tuples metrics_file trace domains f =
+  Option.iter Par.Pool.set_domains domains;
   setup_obs metrics_file trace;
   handle (fun () ->
       match (deadline_s, max_tuples) with
@@ -133,6 +134,14 @@ let trace_flag =
   let doc = "Enable span tracing; print recorded spans to stderr on exit." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Parallelism degree: how many OCaml domains the kernels may use \
+     (default: $(b,NULLREL_DOMAINS) or the hardware recommendation; 1 \
+     disables parallel execution)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
 let file n = Arg.(required & pos n (some file) None & info [] ~docv:"FILE")
 
 let on_arg =
@@ -152,8 +161,8 @@ let attr_set_of_string s_ =
 (* ------------------------- commands ----------------------- *)
 
 let show_cmd =
-  let run as_csv timeout tuples metrics trace path =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains path =
+    governed timeout tuples metrics trace domains (fun () ->
         let attrs, x = load path in
         emit ~as_csv attrs x)
   in
@@ -161,11 +170,11 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ file 0)
+      $ trace_flag $ domains_arg $ file 0)
 
 let minimize_cmd =
-  let run as_csv timeout tuples metrics trace path =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains path =
+    governed timeout tuples metrics trace domains (fun () ->
         let attrs, x = load path in
         (* load already canonicalizes; echoing it shows the minimal form *)
         emit ~as_csv attrs x;
@@ -175,11 +184,11 @@ let minimize_cmd =
   Cmd.v (Cmd.info "minimize" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ file 0)
+      $ trace_flag $ domains_arg $ file 0)
 
 let binop_cmd name doc op =
-  let run as_csv timeout tuples metrics trace p1 p2 =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains p1 p2 =
+    governed timeout tuples metrics trace domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = op x1 x2 in
@@ -188,7 +197,7 @@ let binop_cmd name doc op =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ file 0 $ file 1)
+      $ trace_flag $ domains_arg $ file 0 $ file 1)
 
 let union_cmd =
   binop_cmd "union" "Generalized union (lattice least upper bound)."
@@ -202,8 +211,8 @@ let inter_cmd =
     Xrel.inter
 
 let join_cmd =
-  let run as_csv timeout tuples metrics trace on p1 p2 =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains on p1 p2 =
+    governed timeout tuples metrics trace domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
@@ -213,11 +222,11 @@ let join_cmd =
   Cmd.v (Cmd.info "join" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ domains_arg $ on_arg $ file 0 $ file 1)
 
 let outerjoin_cmd =
-  let run as_csv timeout tuples metrics trace on p1 p2 =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains on p1 p2 =
+    governed timeout tuples metrics trace domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
@@ -227,11 +236,11 @@ let outerjoin_cmd =
   Cmd.v (Cmd.info "outerjoin" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ domains_arg $ on_arg $ file 0 $ file 1)
 
 let divide_cmd =
-  let run as_csv timeout tuples metrics trace y p1 p2 =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains y p1 p2 =
+    governed timeout tuples metrics trace domains (fun () ->
         let _, x1 = load p1 in
         let _, x2 = load p2 in
         let y = attr_set_of_string y in
@@ -242,11 +251,11 @@ let divide_cmd =
   Cmd.v (Cmd.info "divide" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ quotient_arg $ file 0 $ file 1)
+      $ trace_flag $ domains_arg $ quotient_arg $ file 0 $ file 1)
 
 let project_cmd =
-  let run as_csv timeout tuples metrics trace attrs path =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains attrs path =
+    governed timeout tuples metrics trace domains (fun () ->
         let _, x = load path in
         let xs = attr_set_of_string attrs in
         let result = Algebra.project xs x in
@@ -259,7 +268,7 @@ let project_cmd =
   Cmd.v (Cmd.info "project" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ attrs_arg $ file 1)
+      $ trace_flag $ domains_arg $ attrs_arg $ file 1)
 
 let query_cmd =
   let rel_arg =
@@ -269,8 +278,8 @@ let query_cmd =
   let query_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
   in
-  let run as_csv timeout tuples metrics trace rels query_src =
-    governed timeout tuples metrics trace (fun () ->
+  let run as_csv timeout tuples metrics trace domains rels query_src =
+    governed timeout tuples metrics trace domains (fun () ->
         let db =
           List.map
             (fun binding ->
@@ -318,7 +327,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ rel_arg $ query_arg)
+      $ trace_flag $ domains_arg $ rel_arg $ query_arg)
 
 let convert_cmd =
   let run src dst =
@@ -373,7 +382,8 @@ let fsck_cmd =
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
 
 let repl_cmd =
-  let run metrics trace =
+  let run metrics trace domains =
+    Option.iter Par.Pool.set_domains domains;
     setup_obs metrics trace;
     print_endline "nullrel shell -- .help for commands, .quit to leave";
     let rec loop st =
@@ -392,7 +402,7 @@ let repl_cmd =
   in
   let doc = "Interactive shell: load CSVs, run queries, inspect plans." in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const run $ metrics_file_arg $ trace_flag)
+    Term.(const run $ metrics_file_arg $ trace_flag $ domains_arg)
 
 let () =
   let doc = "relational algebra with no-information nulls (Zaniolo 1982)" in

@@ -115,12 +115,15 @@ let image y z t xr =
 let divide y xr s =
   let r_y = y_total_part y xr in
   let candidates = project y r_y in
+  (* Every candidate probes the same dividend, so prepare one prober
+     (Kernel picks a scan or a subsumption index by |r_y|). *)
+  let in_r_y = Kernel.prober (Xrel.rep r_y) in
   let qualifies cand =
     List.for_all
       (fun z ->
         Exec.tick ();
         match Tuple.join cand z with
-        | Some joined -> Xrel.x_mem joined r_y
+        | Some joined -> in_r_y joined
         | None -> false)
       (Xrel.to_list s)
   in

@@ -130,6 +130,14 @@ let tick ?(cost = 1) () =
     end
   end
 
+(* Worker domains must never touch the ambient slot ([charged] and the
+   amortization countdown are unsynchronized), so parallel kernels
+   count work into a per-task atomic and the coordinator charges it
+   between its own chunks. *)
+let drain_ticks a =
+  let n = Atomic.exchange a 0 in
+  if n > 0 then tick ~cost:n ()
+
 let checkpoint () =
   let g = !ambient in
   if limited g then full_check g

@@ -14,8 +14,14 @@
     violation the governor raises {!Exec_error.Error} — it never
     returns a degraded answer.
 
-    The ambient slot is a plain global: the governor is per-process
-    (single-domain), not per-OCaml-domain. *)
+    The ambient slot is a plain global owned by the {e coordinator}
+    domain. Worker domains spawned by {!Par.Pool} must never call
+    {!tick} — [charged] and the amortization countdown are
+    unsynchronized. Parallel kernels instead count work into a per-task
+    [Atomic.t] which the coordinator charges via {!drain_ticks} between
+    the chunks it runs itself, preserving deadline, budget and
+    cancellation semantics across domains (workers observe the pool's
+    cancel flag at chunk boundaries when the drain raises). *)
 
 type t
 
@@ -51,6 +57,12 @@ val limited : t -> bool
 val tick : ?cost:int -> unit -> unit
 (** Charges [cost] (default 1) units of work to the ambient governor.
     Raises {!Exec_error.Error} on violation; no-op when unlimited. *)
+
+val drain_ticks : int Atomic.t -> unit
+(** [drain_ticks a] atomically takes the tick count accumulated in [a]
+    (resetting it to 0) and charges it through {!tick}. Called on the
+    coordinator between parallel chunks, and once more after fan-in so
+    no worker-counted work goes uncharged. May raise like {!tick}. *)
 
 val checkpoint : unit -> unit
 (** Forces a full check (clock, cancellation, memory) of the ambient

@@ -17,23 +17,20 @@ let m_subsumption =
 
 (* x_mem and minimize are the innermost loops of the whole engine, so
    the subsumption counter must not cost even a branch per comparison
-   when metrics are off: each function picks a counted or a plain body
-   once per call. The two bodies must stay line-for-line identical
-   apart from the [inc]. *)
-let x_mem t r =
-  if !Obs.Metrics.enabled then
-    Tuple.Set.exists
-      (fun r' ->
-        Exec.tick ();
-        Obs.Metrics.inc m_subsumption;
-        Tuple.more_informative r' t)
-      r
-  else
-    Tuple.Set.exists
-      (fun r' ->
-        Exec.tick ();
-        Tuple.more_informative r' t)
-      r
+   when metrics are off: [body cmp t] picks the counted or the plain
+   comparison closure once, outside the loop. (The counter itself is
+   atomic, so the counted variant stays correct even when a Kernel
+   worker domain runs it.) *)
+let body cmp t =
+  if !Obs.Metrics.enabled then fun r' ->
+    Exec.tick ();
+    Obs.Metrics.inc m_subsumption;
+    cmp r' t
+  else fun r' ->
+    Exec.tick ();
+    cmp r' t
+
+let x_mem t r = Tuple.Set.exists (body Tuple.more_informative t) r
 let filter = Tuple.Set.filter
 let fold f r init = Tuple.Set.fold f r init
 let iter = Tuple.Set.iter
@@ -48,36 +45,22 @@ let subsumes r1 r2 =
 let equiv r1 r2 = subsumes r1 r2 && subsumes r2 r1
 
 let minimize r =
-  if !Obs.Metrics.enabled then
-    Tuple.Set.filter
-      (fun t ->
-        (not (Tuple.is_null_tuple t))
-        && not
-             (Tuple.Set.exists
-                (fun r' ->
-                  Exec.tick ();
-                  Obs.Metrics.inc m_subsumption;
-                  Tuple.strictly_more_informative r' t)
-                r))
-      r
-  else
-    Tuple.Set.filter
-      (fun t ->
-        (not (Tuple.is_null_tuple t))
-        && not
-             (Tuple.Set.exists
-                (fun r' ->
-                  Exec.tick ();
-                  Tuple.strictly_more_informative r' t)
-                r))
-      r
+  Tuple.Set.filter
+    (fun t ->
+      (not (Tuple.is_null_tuple t))
+      && not (Tuple.Set.exists (body Tuple.strictly_more_informative t) r))
+    r
 
 let is_minimal r = equal r (minimize r)
 
+(* Minimization cannot change the scope: a strictly subsumed tuple's
+   non-null attributes are a subset of its subsumer's, and null tuples
+   contribute none — so fold over the relation as-is instead of paying
+   a quadratic minimize per call. *)
 let scope r =
   Tuple.Set.fold
     (fun t acc -> Attr.Set.union (Tuple.attrs t) acc)
-    (minimize r) Attr.Set.empty
+    r Attr.Set.empty
 
 let pp ppf r =
   Format.fprintf ppf "{@[<hv>%a@]}"

@@ -1,0 +1,71 @@
+(* Probe tables are keyed by the probe's non-null attribute set [pi]
+   (as a sorted name list) and map a [pi]-restriction (as a canonical
+   binding list) to:
+   - [count]: how many indexed tuples agree with it on [pi];
+   - [exact]: whether one of them is that restriction itself
+     (i.e. its non-null attribute set is exactly [pi]). *)
+
+type bucket = { mutable count : int; mutable exact : bool }
+
+type t = {
+  tuples : Tuple.t list;
+  tables : (string list, ((Attr.t * Value.t) list, bucket) Hashtbl.t) Hashtbl.t;
+}
+
+let build rel = { tuples = Relation.to_list rel; tables = Hashtbl.create 8 }
+let sig_key pi = List.map Attr.name (Attr.Set.elements pi)
+
+let table idx pi =
+  let key = sig_key pi in
+  match Hashtbl.find_opt idx.tables key with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create (List.length idx.tuples) in
+      List.iter
+        (fun t ->
+          if Tuple.is_total_on pi t then begin
+            let k = Tuple.to_list (Tuple.restrict t pi) in
+            let bucket =
+              match Hashtbl.find_opt tbl k with
+              | Some b -> b
+              | None ->
+                  let b = { count = 0; exact = false } in
+                  Hashtbl.add tbl k b;
+                  b
+            in
+            bucket.count <- bucket.count + 1;
+            if Attr.Set.equal (Tuple.attrs t) pi then bucket.exact <- true
+          end)
+        idx.tuples;
+      Hashtbl.add idx.tables key tbl;
+      tbl
+
+let prepare idx probes =
+  List.iter (fun t -> ignore (table idx (Tuple.attrs t))) probes
+
+let bucket_at idx r =
+  let pi = Tuple.attrs r in
+  Hashtbl.find_opt (table idx pi) (Tuple.to_list r)
+
+let count_at idx r =
+  match bucket_at idx r with Some b -> b.count | None -> 0
+
+let subsuming_exists idx r = count_at idx r > 0
+
+let strictly_subsuming_exists idx r =
+  match bucket_at idx r with
+  | None -> false
+  | Some b -> b.count - (if b.exact then 1 else 0) > 0
+
+let diff r1 r2 =
+  let idx = build r2 in
+  Relation.filter (fun r -> not (subsuming_exists idx r)) r1
+
+let minimize rel =
+  let idx = build rel in
+  Relation.filter
+    (fun r ->
+      (not (Tuple.is_null_tuple r)) && not (strictly_subsuming_exists idx r))
+    rel
+
+let x_mem rel r = subsuming_exists (build rel) r

@@ -1,4 +1,6 @@
-(** Hash-accelerated subsumption probes.
+(** Hash-accelerated subsumption probes — the engine-core index behind
+    {!Kernel}'s indexed and parallel strategies ({!Storage.Hash_index}
+    re-exports it for storage-layer callers).
 
     The paper notes after (4.6)-(4.8) that the naive implementations of
     difference and reduction to minimal form are quadratic, and that
@@ -14,19 +16,21 @@
     attribute set [pi] are answered by one hash table keyed on
     [pi]-restrictions, shared across the (usually few) null patterns of
     the data. Tables are built lazily, one per distinct probe
-    signature.
-
-    The implementation lives in {!Nullrel.Subsume_index} (so
-    {!Nullrel.Kernel} can dispatch to it); this module re-exports it
-    and adds the {!Equi} equality-probe index used by {!Join}. *)
-
-open Nullrel
+    signature — which mutates the index, so concurrent probing requires
+    {!prepare} first. *)
 
 type t
 (** An index over a fixed relation. *)
 
 val build : Relation.t -> t
 (** Indexes a relation. O(n) now; probe tables are built on first use. *)
+
+val prepare : t -> Tuple.t list -> unit
+(** [prepare idx probes] force-builds the table of every probe
+    signature occurring in [probes], after which probing any of those
+    tuples (from any domain) is a pure read. Required before handing
+    the index to {!Par.Pool} workers: the lazy build in {!count_at}
+    mutates the table registry and is not domain-safe. *)
 
 val count_at : t -> Tuple.t -> int
 (** [count_at idx r]: how many indexed tuples are more informative than
@@ -54,8 +58,3 @@ val minimize : Relation.t -> Relation.t
 val x_mem : Relation.t -> Tuple.t -> bool
 (** One-shot indexed x-membership (builds a throwaway index; prefer
     {!build} + {!subsuming_exists} for repeated probes). *)
-
-module Equi : Index_intf.S
-(** Equality probes for the equijoin: X-total tuples bucketed by their
-    canonical X-restriction. Expected-O(1) probes on any attribute
-    set. *)

@@ -16,11 +16,11 @@ let minimized r =
   if Obs.Metrics.is_enabled () then begin
     (* Cardinal is O(n); only pay for it when someone is watching. *)
     Obs.Metrics.observe h_minimize_in (Relation.cardinal r);
-    let m = Relation.minimize r in
+    let m = Kernel.minimize r in
     Obs.Metrics.observe h_minimize_out (Relation.cardinal m);
     m
   end
-  else Relation.minimize r
+  else Kernel.minimize r
 
 let of_relation r = minimized r
 let of_list ts = of_relation (Relation.of_list ts)
@@ -33,8 +33,8 @@ let is_empty = Relation.is_empty
 let scope = Relation.scope
 let equal = Relation.equal
 let compare = Relation.compare
-let x_mem = Relation.x_mem
-let contains x1 x2 = Relation.subsumes x1 x2
+let x_mem t x = Kernel.x_mem t x
+let contains x1 x2 = Kernel.subsumes x1 x2
 let properly_contains x1 x2 = contains x1 x2 && not (equal x1 x2)
 let union x1 x2 = minimized (Relation.union x1 x2)
 

@@ -1,6 +1,9 @@
-(* Ambient metrics registry. Single-domain by design, like the Exec
-   governor slot: every metric is a record of plain mutable fields, so
-   an update is a load, a branch on [enabled], and a store. *)
+(* Ambient metrics registry. Counters are atomic so worker domains in
+   the Par pool can bump them concurrently; an update is still just a
+   load, a branch on [enabled], and one lock-free RMW. Gauges and
+   histograms stay plain mutable fields — they are only written from
+   the coordinator domain (registration, dumps and span bookkeeping
+   are coordinator-only too). *)
 
 let enabled = ref false
 let hot = ref false
@@ -32,7 +35,7 @@ let spans_closed () =
   if !open_spans > 0 then decr open_spans;
   recompute_hot ()
 
-type counter = { mutable c : int }
+type counter = int Atomic.t
 type gauge = { mutable g : float }
 
 (* 63 log2 buckets cover every non-negative OCaml int: bucket 0 holds
@@ -84,7 +87,7 @@ let register name labels help kind make =
       metric
 
 let counter ?(labels = []) ~help name =
-  match register name labels help "counter" (fun () -> C { c = 0 }) with
+  match register name labels help "counter" (fun () -> C (Atomic.make 0)) with
   | C c -> c
   | _ -> assert false
 
@@ -101,8 +104,8 @@ let histogram ?(labels = []) ~help name =
   | H h -> h
   | _ -> assert false
 
-let inc c = if !enabled then c.c <- c.c + 1
-let add c n = if !enabled then c.c <- c.c + n
+let inc c = if !enabled then Atomic.incr c
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c n)
 let set_gauge g v = if !enabled then g.g <- v
 
 let bucket_index v =
@@ -118,7 +121,7 @@ let observe h v =
     h.n <- h.n + 1
   end
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c
 let gauge_value g = g.g
 let bucket_count h i = h.counts.(i)
 let histogram_sum h = h.sum
@@ -128,7 +131,7 @@ let reset () =
   List.iter
     (fun e ->
       match e.metric with
-      | C c -> c.c <- 0
+      | C c -> Atomic.set c 0
       | G g -> g.g <- 0.
       | H h ->
           Array.fill h.counts 0 buckets 0;
@@ -170,7 +173,8 @@ let dump_prometheus () =
       match e.metric with
       | C c ->
           Buffer.add_string buf
-            (Printf.sprintf "%s%s %d\n" e.name (label_string e.labels) c.c)
+            (Printf.sprintf "%s%s %d\n" e.name (label_string e.labels)
+               (Atomic.get c))
       | G g ->
           Buffer.add_string buf
             (Printf.sprintf "%s%s %g\n" e.name (label_string e.labels) g.g)
@@ -206,7 +210,7 @@ let dump_sexp () =
       in
       let value =
         match e.metric with
-        | C c -> string_of_int c.c
+        | C c -> string_of_int (Atomic.get c)
         | G g -> Printf.sprintf "%g" g.g
         | H h -> Printf.sprintf "(sum %d) (count %d)" h.sum h.n
       in

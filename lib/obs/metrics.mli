@@ -2,9 +2,11 @@
     histograms in one registry, exported as Prometheus text format and
     as s-expressions.
 
-    The registry is ambient and single-domain, mirroring the
-    {!Nullrel.Exec} governor slot: metrics are plain mutable ints, an
-    update is a load, a branch, and a store — no locks, no atomics.
+    The registry is ambient. Counters are domain-safe ([Atomic.t], so
+    the {!Par} pool's worker domains may bump them concurrently); an
+    update is a load, a branch, and one lock-free read-modify-write.
+    Gauges, histograms, registration, resets and dumps remain
+    coordinator-only, like the {!Nullrel.Exec} governor slot.
     Instrumentation is {e disabled by default}; every update first
     consults {!enabled}, so an instrumented hot loop pays one predicted
     branch when observability is off.

@@ -1,0 +1,223 @@
+(* Fixed pool of worker domains, shared process-wide.
+
+   Design notes:
+   - One task at a time. Chunk claiming is a single [fetch_and_add] on
+     the task's [next] counter, so idle workers racing a finished task
+     claim an out-of-range index and go back to sleep — no per-chunk
+     queue, no work stealing.
+   - The coordinator participates: it pulls chunks like a worker and
+     runs the caller's [progress] hook between them. Fan-in waits for
+     [active = 0] under the mutex, so when [run] returns no worker is
+     still inside the task (required before the caller reads the
+     chunk-filled output arrays).
+   - Failure: the first exception (from a chunk on any domain, or from
+     [progress]) is stored in the task's [fail] slot and flips the
+     shared [cancel] flag; everyone else stops at the next chunk
+     boundary. After the quiesce the exception is re-raised on the
+     coordinator with its original backtrace. *)
+
+let hard_cap = 16
+let clamp n = max 1 (min hard_cap n)
+
+let default_domains () =
+  clamp
+    (match Sys.getenv_opt "NULLREL_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+(* 0 = not resolved yet; resolved lazily so a CLI [--domains] override
+   installed before the first parallel run wins over the environment. *)
+let configured = ref 0
+
+let domains () =
+  if !configured = 0 then configured := default_domains ();
+  !configured
+
+let parallelizable () = domains () > 1
+
+type task = {
+  job : int -> unit;
+  total : int;
+  next : int Atomic.t; (* next unclaimed chunk index *)
+  cancel : bool Atomic.t; (* set on first failure; checked per chunk *)
+  fail : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let m = Mutex.create ()
+let work_ready = Condition.create ()
+let work_done = Condition.create ()
+let current : task option ref = ref None
+let generation = ref 0 (* bumped per task so sleepers spot new work *)
+let stopping = ref false
+let active = ref 0 (* workers currently inside the task *)
+let workers : unit Domain.t list ref = ref []
+let exit_hook_installed = ref false
+
+let m_tasks =
+  Obs.Metrics.counter
+    ~help:"Parallel fan-outs executed by the domain pool"
+    "nullrel_par_tasks_total"
+
+let m_chunks =
+  Obs.Metrics.counter
+    ~help:
+      "Chunks executed under the domain pool (coordinator-run chunks and \
+       inline fallbacks included)"
+    "nullrel_par_chunks_total"
+
+let g_domains =
+  Obs.Metrics.gauge
+    ~help:"Configured parallelism degree, coordinator included"
+    "nullrel_par_domains"
+
+let g_workers =
+  Obs.Metrics.gauge ~help:"Worker domains currently alive in the pool"
+    "nullrel_par_workers_live"
+
+let record_failure t e =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set t.fail None (Some (e, bt)));
+  Atomic.set t.cancel true
+
+(* Claim and run chunks until the task is drained or cancelled. Runs
+   outside the mutex; never raises. *)
+let rec take_chunks t =
+  if not (Atomic.get t.cancel) then begin
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < t.total then begin
+      (try
+         t.job i;
+         Obs.Metrics.inc m_chunks
+       with e -> record_failure t e);
+      take_chunks t
+    end
+  end
+
+let worker_loop () =
+  let seen = ref 0 in
+  Mutex.lock m;
+  let rec loop () =
+    if !stopping then Mutex.unlock m
+    else if !generation = !seen then begin
+      Condition.wait work_ready m;
+      loop ()
+    end
+    else begin
+      seen := !generation;
+      match !current with
+      | None -> loop ()
+      | Some t ->
+          (* [active] is bumped in the same critical section that
+             observed the task, so the coordinator's quiesce cannot
+             miss a worker that is about to start. *)
+          incr active;
+          Mutex.unlock m;
+          take_chunks t;
+          Mutex.lock m;
+          decr active;
+          if !active = 0 then Condition.broadcast work_done;
+          loop ()
+    end
+  in
+  loop ()
+
+let shutdown () =
+  if !workers <> [] then begin
+    Mutex.lock m;
+    stopping := true;
+    Condition.broadcast work_ready;
+    Mutex.unlock m;
+    List.iter Domain.join !workers;
+    workers := [];
+    stopping := false;
+    Obs.Metrics.set_gauge g_workers 0.
+  end
+
+let set_domains n =
+  let n = clamp n in
+  if n <> !configured then begin
+    configured := n;
+    (* Wrong-sized pool: tear down now, respawn lazily. *)
+    if !workers <> [] && List.length !workers <> n - 1 then shutdown ()
+  end
+
+let ensure_started () =
+  let want = domains () - 1 in
+  if List.length !workers <> want then begin
+    shutdown ();
+    if want > 0 then begin
+      workers := List.init want (fun _ -> Domain.spawn worker_loop);
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit shutdown
+      end
+    end
+  end
+
+(* True while the coordinator is inside a parallel [run]; a nested
+   [run] (a chunk calling back into the pool) degrades to inline. *)
+let in_task = Atomic.make false
+
+let run_inline ~chunks ~progress job =
+  for i = 0 to chunks - 1 do
+    job i;
+    Obs.Metrics.inc m_chunks;
+    progress ()
+  done
+
+let run ~chunks ?(progress = fun () -> ()) job =
+  if chunks > 0 then
+    if chunks = 1 || domains () = 1 || not (Atomic.compare_and_set in_task false true)
+    then run_inline ~chunks ~progress job
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set in_task false)
+        (fun () ->
+          ensure_started ();
+          Obs.Metrics.inc m_tasks;
+          Obs.Metrics.set_gauge g_domains (float_of_int (domains ()));
+          Obs.Metrics.set_gauge g_workers
+            (float_of_int (List.length !workers));
+          let t =
+            {
+              job;
+              total = chunks;
+              next = Atomic.make 0;
+              cancel = Atomic.make false;
+              fail = Atomic.make None;
+            }
+          in
+          Mutex.lock m;
+          current := Some t;
+          incr generation;
+          Condition.broadcast work_ready;
+          Mutex.unlock m;
+          (* Coordinator pulls chunks too; [progress] may raise (the
+             governor cancelling), which counts as a failure and stops
+             the fleet at chunk boundaries. *)
+          (try
+             let continue = ref true in
+             while !continue && not (Atomic.get t.cancel) do
+               let i = Atomic.fetch_and_add t.next 1 in
+               if i < t.total then begin
+                 t.job i;
+                 Obs.Metrics.inc m_chunks;
+                 progress ()
+               end
+               else continue := false
+             done
+           with e -> record_failure t e);
+          (* Quiesce: no worker may still be inside the task when the
+             caller reads its output. *)
+          Mutex.lock m;
+          while !active > 0 do
+            Condition.wait work_done m
+          done;
+          current := None;
+          Mutex.unlock m;
+          match Atomic.get t.fail with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())

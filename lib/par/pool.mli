@@ -1,0 +1,57 @@
+(** A lazily-started fixed pool of worker domains with chunked
+    fan-out/fan-in, sized for the pure kernels of the engine
+    (minimization, subsumption, join probing).
+
+    The pool holds [domains () - 1] workers; the calling domain (the
+    {e coordinator}) is the remaining member and pulls chunks alongside
+    them, so a pool of size 1 degenerates to an ordinary loop with no
+    domain ever spawned. Workers are spawned on first parallel [run]
+    and torn down by {!shutdown}, {!set_domains}, or [at_exit].
+
+    Memory-safety contract for jobs: chunk [i] may only write state
+    that no other chunk touches (e.g. a distinct slice of an array or a
+    distinct cell), and every structure it reads must be fully built
+    before [run] is called. Shared communication goes through
+    [Atomic.t] cells. *)
+
+val hard_cap : int
+(** Upper bound on the parallelism degree (currently 16). *)
+
+val default_domains : unit -> int
+(** Pool size before any override: [NULLREL_DOMAINS] from the
+    environment if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [1, hard_cap]. *)
+
+val domains : unit -> int
+(** The configured parallelism degree, including the coordinator.
+    Resolved from {!default_domains} on first use. *)
+
+val set_domains : int -> unit
+(** Override the parallelism degree (clamped to [1, hard_cap]). If the
+    pool is running at a different size it is torn down now and
+    respawned lazily on the next parallel [run]. *)
+
+val parallelizable : unit -> bool
+(** True when [domains () > 1] — callers use this to skip building
+    parallel plumbing that would only run inline. *)
+
+val run : chunks:int -> ?progress:(unit -> unit) -> (int -> unit) -> unit
+(** [run ~chunks ~progress job] executes [job 0 .. job (chunks - 1)],
+    fanning the indices out over the pool, and returns once every chunk
+    has finished (fan-in is a full quiesce: no worker is still inside a
+    chunk when [run] returns).
+
+    [progress] runs on the coordinator between the chunks it pulls
+    itself — the hook where governed callers drain worker tick counts
+    into {!Nullrel.Exec}. If [progress] (or a chunk) raises, a shared
+    cancel flag stops the remaining chunks at chunk boundaries, the
+    pool quiesces, and the first exception is re-raised with its
+    backtrace; the pool stays usable afterwards.
+
+    Degenerate cases run inline on the calling domain (with the same
+    [progress] cadence): a single chunk, a pool of size 1, or a nested
+    [run] issued from inside a chunk. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains. Idempotent; the pool restarts lazily on
+    the next parallel [run]. Installed via [at_exit] on first spawn. *)

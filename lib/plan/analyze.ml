@@ -38,9 +38,9 @@ let rec run ~stats ~env e =
         | Expr.Project (xs, e1) -> unary (Algebra.project xs) e1
         | Expr.Rename (mapping, e1) -> unary (Algebra.rename mapping) e1
         | Expr.Product (e1, e2) -> binary Algebra.product e1 e2
-        | Expr.Equijoin (xs, e1, e2) -> binary (Algebra.equijoin xs) e1 e2
+        | Expr.Equijoin (xs, e1, e2) -> binary (!Expr.equijoin_impl xs) e1 e2
         | Expr.Union_join (xs, e1, e2) ->
-            binary (Algebra.union_join xs) e1 e2
+            binary (!Expr.union_join_impl xs) e1 e2
         | Expr.Union (e1, e2) -> binary Xrel.union e1 e2
         | Expr.Diff (e1, e2) -> binary Xrel.diff e1 e2
         | Expr.Inter (e1, e2) -> binary Xrel.inter e1 e2

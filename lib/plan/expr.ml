@@ -30,6 +30,18 @@ let op_label = function
   | Divide _ -> "divide"
   | Rename _ -> "rename"
 
+(* Physical-operator seams. The planner sits below the storage layer
+   in the library graph, so it cannot name the hash join directly;
+   the shells and the CLI install [Storage.Join.hash_equijoin] (and
+   friends) here at load time — same inverted-dependency idiom as
+   [Obs.Metrics.on_hot_change]. Defaults are the logical operators,
+   so a bare [eval] stays correct without any installation. *)
+let equijoin_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
+  ref Algebra.equijoin
+
+let union_join_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
+  ref Algebra.union_join
+
 let rec eval ~env e =
   Exec.checkpoint ();
   Obs.Span.with_span (op_label e) (fun () ->
@@ -43,9 +55,9 @@ let rec eval ~env e =
       | Project (x, e) -> Algebra.project x (eval ~env e)
       | Product (e1, e2) -> Algebra.product (eval ~env e1) (eval ~env e2)
       | Equijoin (x, e1, e2) ->
-          Algebra.equijoin x (eval ~env e1) (eval ~env e2)
+          !equijoin_impl x (eval ~env e1) (eval ~env e2)
       | Union_join (x, e1, e2) ->
-          Algebra.union_join x (eval ~env e1) (eval ~env e2)
+          !union_join_impl x (eval ~env e1) (eval ~env e2)
       | Union (e1, e2) -> Xrel.union (eval ~env e1) (eval ~env e2)
       | Diff (e1, e2) -> Xrel.diff (eval ~env e1) (eval ~env e2)
       | Inter (e1, e2) -> Xrel.inter (eval ~env e1) (eval ~env e2)

@@ -29,6 +29,16 @@ val op_label : t -> string
 (** Short operator name for spans and EXPLAIN output: the relation name
     for [Rel], otherwise ["select"], ["equijoin"], ["union-join"], … *)
 
+val equijoin_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
+val union_join_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
+(** The physical operators run for [Equijoin]/[Union_join] nodes.
+    Default to {!Nullrel.Algebra.equijoin}/[union_join]; the shells and
+    the CLI install [Storage.Join.hash_equijoin]/[hash_union_join] at
+    load time (the planner cannot depend on the storage library, so
+    the binding is a link-time seam, like [Obs.Metrics.on_hot_change]).
+    Any installed implementation must agree with the logical operator
+    extensionally — that agreement is property-tested. *)
+
 val eval : env:(string -> Xrel.t option) -> t -> Xrel.t
 (** Bottom-up evaluation. Raises {!Unbound_relation} when a [Rel] name
     is not in the environment. *)

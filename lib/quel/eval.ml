@@ -68,10 +68,19 @@ let qualification q =
   | None -> Predicate.Const Tvl.True
   | Some c -> predicate_of_cond c
 
+(* Qualification loops charge one tick per candidate row: predicate
+   evaluation over the combined tuples is real work the governor must
+   see (the joins in [combined_tuples] are charged separately). *)
+let ticked keep r =
+  Exec.tick ();
+  keep r
+
 let run db q =
   Obs.Span.with_span "quel.run" (fun () ->
       let p = qualification q in
-      let rows = List.filter (Predicate.holds p) (combined_tuples db q) in
+      let rows =
+        List.filter (ticked (Predicate.holds p)) (combined_tuples db q)
+      in
       project_targets q rows)
 
 let run_string db src = run db (Parser.parse src)
@@ -81,7 +90,7 @@ let run_maybe db q =
       let p = qualification q in
       let rows =
         List.filter
-          (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni)
+          (ticked (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni))
           (combined_tuples db q)
       in
       project_targets q rows)
@@ -119,7 +128,7 @@ let run_with_ni_decision db q decide =
     | Tvl.False -> false
     | Tvl.Ni -> decide p domains r
   in
-  let rows = List.filter keep (combined_tuples db q) in
+  let rows = List.filter (ticked keep) (combined_tuples db q) in
   project_targets q rows
 
 let run_upper ?legal db q =
@@ -152,5 +161,5 @@ let run_unknown ?(strategy = Symbolic_first) ?legal db q =
         | Tvl.False -> false
         | Tvl.Ni -> tautology r
       in
-      let rows = List.filter keep (combined_tuples db q) in
+      let rows = List.filter (ticked keep) (combined_tuples db q) in
       project_targets q rows)

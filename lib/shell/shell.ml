@@ -1,5 +1,13 @@
 open Nullrel
 
+(* The shell links the storage layer, so it installs the physical join
+   operators into the planner's link-time seams (the planner itself
+   cannot depend on storage). *)
+let () =
+  Plan.Expr.equijoin_impl := (fun x r1 r2 -> Storage.Join.hash_equijoin x r1 r2);
+  Plan.Expr.union_join_impl :=
+    (fun x r1 r2 -> Storage.Join.hash_union_join x r1 r2)
+
 type limits = { time_s : float option; max_tuples : int option }
 
 type state = { cat : Storage.Catalog.t; finished : bool; limits : limits }
@@ -34,6 +42,7 @@ let governed st f =
 let help =
   ".agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
    .check                 run schema + referential integrity checks\n\
+   .domains [N]           show or set the parallelism degree (domains)\n\
    .explain analyze QUERY run a query; show est/actual rows, ticks, time per \
    operator\n\
    .fsck DIR              check a catalog directory and repair it\n\
@@ -350,6 +359,19 @@ let exec st line =
       | ".agg" :: rest when rest <> [] ->
           (st, governed st (fun () -> run_aggregate st rest))
       | [ ".check" ] -> (st, check st)
+      | [ ".domains" ] ->
+          ( st,
+            Printf.sprintf "domains: %d (hardware recommends %d, cap %d)"
+              (Par.Pool.domains ())
+              (Stdlib.Domain.recommended_domain_count ())
+              Par.Pool.hard_cap )
+      | [ ".domains"; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k >= 1 ->
+              Par.Pool.set_domains k;
+              (st, Printf.sprintf "domains: %d" (Par.Pool.domains ()))
+          | _ -> (st, "error: .domains N (a positive integer)"))
+      | ".domains" :: _ -> (st, "error: usage: .domains [N]")
       | [ ".limit" ] -> (st, describe_limits st.limits)
       | [ ".limit"; "off" ] -> ({ st with limits = no_limits }, "limits: off")
       | [ ".limit"; "time"; secs ] -> (

@@ -1,72 +1,50 @@
 open Nullrel
 
-(* Probe tables are keyed by the probe's non-null attribute set [pi]
-   (as a sorted name list) and map a [pi]-restriction (as a canonical
-   binding list) to:
-   - [count]: how many indexed tuples agree with it on [pi];
-   - [exact]: whether one of them is that restriction itself
-     (i.e. its non-null attribute set is exactly [pi]). *)
+(* The subsumption-probe core now lives in [Nullrel.Subsume_index]
+   where [Kernel] can reach it; this module re-exports it for
+   storage-layer callers and adds the equi-probe index. *)
 
-type bucket = { mutable count : int; mutable exact : bool }
+type t = Subsume_index.t
 
-type t = {
-  tuples : Tuple.t list;
-  tables : (string list, ((Attr.t * Value.t) list, bucket) Hashtbl.t) Hashtbl.t;
-}
+let build = Subsume_index.build
+let count_at = Subsume_index.count_at
+let subsuming_exists = Subsume_index.subsuming_exists
+let strictly_subsuming_exists = Subsume_index.strictly_subsuming_exists
+let diff = Subsume_index.diff
+let minimize = Subsume_index.minimize
+let x_mem = Subsume_index.x_mem
 
-let build rel =
-  { tuples = Relation.to_list rel; tables = Hashtbl.create 8 }
+(* Equality probes for the join: bucket the X-total tuples by their
+   canonical X-restriction. *)
+module Equi : Index_intf.S = struct
+  type t = {
+    x : Attr.Set.t;
+    table : ((Attr.t * Value.t) list, Tuple.t list) Hashtbl.t;
+    n : int;
+  }
 
-let sig_key pi = List.map Attr.name (Attr.Set.elements pi)
+  let kind = "hash"
 
-let table idx pi =
-  let key = sig_key pi in
-  match Hashtbl.find_opt idx.tables key with
-  | Some tbl -> tbl
-  | None ->
-      let tbl = Hashtbl.create (List.length idx.tuples) in
-      List.iter
-        (fun t ->
-          if Tuple.is_total_on pi t then begin
-            let k = Tuple.to_list (Tuple.restrict t pi) in
-            let bucket =
-              match Hashtbl.find_opt tbl k with
-              | Some b -> b
-              | None ->
-                  let b = { count = 0; exact = false } in
-                  Hashtbl.add tbl k b;
-                  b
-            in
-            bucket.count <- bucket.count + 1;
-            if Attr.Set.equal (Tuple.attrs t) pi then bucket.exact <- true
-          end)
-        idx.tuples;
-      Hashtbl.add idx.tables key tbl;
-      tbl
+  let build x rel =
+    let table = Hashtbl.create (max 16 (Xrel.cardinal rel)) in
+    let n = ref 0 in
+    List.iter
+      (fun r ->
+        if Tuple.is_total_on x r then begin
+          incr n;
+          let key = Tuple.to_list (Tuple.restrict r x) in
+          Hashtbl.replace table key
+            (r :: Option.value (Hashtbl.find_opt table key) ~default:[])
+        end)
+      (Xrel.to_list rel);
+    { x; table; n = !n }
 
-let bucket_at idx r =
-  let pi = Tuple.attrs r in
-  Hashtbl.find_opt (table idx pi) (Tuple.to_list r)
+  let cardinal t = t.n
 
-let count_at idx r =
-  match bucket_at idx r with Some b -> b.count | None -> 0
-
-let subsuming_exists idx r = count_at idx r > 0
-
-let strictly_subsuming_exists idx r =
-  match bucket_at idx r with
-  | None -> false
-  | Some b -> b.count - (if b.exact then 1 else 0) > 0
-
-let diff r1 r2 =
-  let idx = build r2 in
-  Relation.filter (fun r -> not (subsuming_exists idx r)) r1
-
-let minimize rel =
-  let idx = build rel in
-  Relation.filter
-    (fun r ->
-      (not (Tuple.is_null_tuple r)) && not (strictly_subsuming_exists idx r))
-    rel
-
-let x_mem rel r = subsuming_exists (build rel) r
+  let probe t r =
+    if Tuple.is_total_on t.x r then
+      Option.value
+        (Hashtbl.find_opt t.table (Tuple.to_list (Tuple.restrict r t.x)))
+        ~default:[]
+    else []
+end

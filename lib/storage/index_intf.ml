@@ -1,0 +1,30 @@
+open Nullrel
+
+(** The one signature through which {!Join} (and future physical
+    operators) select an equi-probe index, instead of hard-coding
+    calls into a concrete index module.
+
+    An implementation indexes the X-total tuples of a relation by
+    their X-restriction; {!probe} answers "which indexed tuples agree
+    with this one on X". Tuples null somewhere on X never participate
+    in an equijoin (Section 5), so they are absent from the index and
+    probing with one returns []. *)
+module type S = sig
+  type t
+
+  val kind : string
+  (** Short name for dispatch logs and error messages. *)
+
+  val build : Attr.Set.t -> Xrel.t -> t
+  (** [build x rel] indexes the X-total tuples of [rel]. The result is
+      immutable after build: probing from {!Par.Pool} workers is a
+      pure read. May raise [Exec_error] if the implementation cannot
+      index on [x] (e.g. a sorted index needs a single attribute). *)
+
+  val cardinal : t -> int
+  (** Indexed (X-total) tuples. *)
+
+  val probe : t -> Tuple.t -> Tuple.t list
+  (** [probe idx r]: the indexed tuples whose X-restriction equals
+      [r]'s. [] when [r] is not total on X. *)
+end

@@ -1,18 +1,5 @@
 open Nullrel
 
-(* Bucket an operand's X-total tuples by their canonical X-restriction. *)
-let partition x rel =
-  let table = Hashtbl.create (Xrel.cardinal rel) in
-  List.iter
-    (fun r ->
-      if Tuple.is_total_on x r then begin
-        let key = Tuple.to_list (Tuple.restrict r x) in
-        Hashtbl.replace table key
-          (r :: Option.value (Hashtbl.find_opt table key) ~default:[])
-      end)
-    (Xrel.to_list rel);
-  table
-
 let op_counter =
   let tbl = Hashtbl.create 4 in
   fun op direction ->
@@ -35,25 +22,71 @@ let observed2 op x1 x2 result =
   end;
   result
 
-let hash_equijoin x r1 r2 =
-  let buckets2 = partition x r2 in
-  let joined =
-    List.fold_left
-      (fun acc t1 ->
-        if not (Tuple.is_total_on x t1) then acc
-        else
-          let key = Tuple.to_list (Tuple.restrict t1 x) in
-          List.fold_left
-            (fun acc t2 ->
-              match Tuple.join t1 t2 with
-              | Some j -> Relation.add j acc
-              | None -> acc)
-            acc
-            (Option.value (Hashtbl.find_opt buckets2 key) ~default:[]))
-      Relation.empty (Xrel.to_list r1)
-  in
-  observed2 "hash-equijoin" r1 r2 (Xrel.of_relation joined)
+let default_index : (module Index_intf.S) = (module Hash_index.Equi)
 
-let hash_union_join x r1 r2 =
+let chunk_grain = 256
+
+let chunk_count n =
+  let d = Par.Pool.domains () in
+  min n (max (4 * d) ((n + chunk_grain - 1) / chunk_grain))
+
+(* Probe-side join: each probe tuple looks up its bucket and attempts
+   the tuple joins. [tick] is charged once per probe and once per
+   attempted join — [Exec.tick] directly when sequential, a local
+   count drained by the coordinator when a worker runs the chunk. *)
+let join_chunk ~probe probes ~tick lo hi =
+  let acc = ref Relation.empty in
+  for j = lo to hi - 1 do
+    let t1 = probes.(j) in
+    tick ();
+    List.iter
+      (fun t2 ->
+        tick ();
+        match Tuple.join t1 t2 with
+        | Some joined -> acc := Relation.add joined !acc
+        | None -> ())
+      (probe t1)
+  done;
+  !acc
+
+let equijoin_core strategy index x r1 r2 =
+  let (module I : Index_intf.S) = index in
+  let idx = I.build x r2 in
+  let probe = I.probe idx in
+  let probes = Array.of_list (Xrel.to_list r1) in
+  let n = Array.length probes in
+  let parallel =
+    match strategy with
+    | Kernel.Parallel -> n > 1 && Par.Pool.parallelizable ()
+    | Kernel.Auto ->
+        n >= Kernel.parallel_cutover && Par.Pool.parallelizable ()
+    | Kernel.Sequential | Kernel.Indexed -> false
+  in
+  if not parallel then
+    join_chunk ~probe probes ~tick:(fun () -> Exec.tick ()) 0 n
+  else begin
+    (* Probe-side chunks against the shared read-only bucket table;
+       per-chunk partial relations are merged by set union, so chunk
+       boundaries and merge order cannot change the result. *)
+    let chunks = chunk_count n in
+    let parts = Array.make chunks Relation.empty in
+    let ticks = Atomic.make 0 in
+    Par.Pool.run ~chunks
+      ~progress:(fun () -> Exec.drain_ticks ticks)
+      (fun c ->
+        let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+        let cost = ref 0 in
+        parts.(c) <-
+          join_chunk ~probe probes ~tick:(fun () -> incr cost) lo hi;
+        ignore (Atomic.fetch_and_add ticks !cost));
+    Exec.drain_ticks ticks;
+    Array.fold_left Relation.union Relation.empty parts
+  end
+
+let hash_equijoin ?(strategy = Kernel.Auto) ?(index = default_index) x r1 r2 =
+  observed2 "hash-equijoin" r1 r2
+    (Xrel.of_relation (equijoin_core strategy index x r1 r2))
+
+let hash_union_join ?strategy ?index x r1 r2 =
   observed2 "hash-union-join" r1 r2
-    (Xrel.union (hash_equijoin x r1 r2) (Xrel.union r1 r2))
+    (Xrel.union (hash_equijoin ?strategy ?index x r1 r2) (Xrel.union r1 r2))

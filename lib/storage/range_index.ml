@@ -58,6 +58,35 @@ let select idx cmp k =
   | Predicate.Ge -> slice idx lb n
   | Predicate.Neq -> Xrel.union (slice idx 0 lb) (slice idx ub n)
 
+(* The sorted array doubles as an equality-probe index when the join
+   key is a single attribute: an [Eq] probe is two binary searches. *)
+module Equi : Index_intf.S = struct
+  type nonrec t = t
+
+  let kind = "range"
+
+  let build x rel =
+    match Attr.Set.elements x with
+    | [ a ] -> build a rel
+    | _ ->
+        Exec_error.bad_input
+          "Range_index.Equi: the join key must be a single attribute"
+
+  let cardinal = cardinal
+
+  let probe idx r =
+    let v = Tuple.get r idx.attr in
+    if Value.is_null v then []
+    else begin
+      let lb = bound idx ~strict:false v in
+      let ub = bound idx ~strict:true v in
+      let rec collect i acc =
+        if i < lb then acc else collect (i - 1) (idx.sorted.(i) :: acc)
+      in
+      collect (ub - 1) []
+    end
+end
+
 let range idx ?lo ?hi () =
   let n = Array.length idx.sorted in
   let from = match lo with Some v -> bound idx ~strict:false v | None -> 0 in

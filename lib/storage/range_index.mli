@@ -29,3 +29,9 @@ val select : t -> Predicate.comparison -> Value.t -> Xrel.t
 
 val range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> Xrel.t
 (** Inclusive range scan [lo <= A <= k], either end open when absent. *)
+
+module Equi : Index_intf.S
+(** The sorted array as an equality-probe index for single-attribute
+    join keys: a probe is two binary searches, O(log n + answer).
+    [build] raises [Exec_error] when the key is not a single
+    attribute. *)
