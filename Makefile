@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke metrics-demo fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo analyze-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -38,6 +38,22 @@ metrics-demo:
 	  --rel "PS=$$tmp/ps.csv" \
 	  'range of p is PS retrieve (p.S#) where p.P# = "p1"'; \
 	echo; echo "--- $$tmp/metrics.prom ---"; cat "$$tmp/metrics.prom"
+
+# Statistics end to end on a sample database: load it into the shell,
+# run .analyze, list the stats catalog, and show a plan costed with
+# the collected statistics. Exercised by CI at 1 and 4 domains so the
+# governed analyze scan runs through both kernel strategies.
+analyze-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf 'S#,P#\ns1,p1\ns2,p1\ns3,p2\ns4,-\n' > "$$tmp/ps.csv"; \
+	printf 'S#,CITY\ns1,london\ns2,paris\ns3,-\n' > "$$tmp/s.csv"; \
+	{ printf '.load PS %s/ps.csv\n' "$$tmp"; \
+	  printf '.load S %s/s.csv\n' "$$tmp"; \
+	  printf '.analyze\n.stats-catalog\n'; \
+	  printf '.plan range of p is PS range of s is S retrieve (s.CITY) where p.S# = s.S# and p.P# = "p1"\n'; \
+	  printf '.quit\n'; } | \
+	$(DUNE) exec bin/nullrel_cli.exe -- repl
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

@@ -13,6 +13,8 @@
      nullrel outerjoin --on ID r1.csv r2.csv
      nullrel divide --quotient S# r.csv divisor.csv
      nullrel query --rel EMP=emp.csv 'range of e is EMP retrieve (e.NAME)'
+     nullrel query --analyze --rel EMP=emp.csv '...'   (stats-costed plan)
+     nullrel agg sum --attr e.QTY --rel SP=sp.csv '...'
 
    Exit codes: 0 success, 1 generic/quarantine, 2 bad input (parse,
    resolve, CSV shape), 3 storage/I-O faults, 4 timeout, 5 budget
@@ -270,55 +272,82 @@ let project_cmd =
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
       $ trace_flag $ domains_arg $ attrs_arg $ file 1)
 
+let rel_arg =
+  let doc = "Bind a relation: NAME=FILE.csv (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "rel"; "r" ] ~doc ~docv:"NAME=FILE")
+
+let db_of_rels rels =
+  List.map
+    (fun binding ->
+      match String.index_opt binding '=' with
+      | None -> Exec_error.bad_inputf "--rel expects NAME=FILE, got %s" binding
+      | Some idx ->
+          let name = String.sub binding 0 idx in
+          let path =
+            String.sub binding (idx + 1) (String.length binding - idx - 1)
+          in
+          let attrs, x = load path in
+          let schema =
+            Schema.make name
+              (List.map
+                 (fun a ->
+                   ( Attr.name a,
+                     (* guess the domain from the first non-null value *)
+                     match
+                       List.find_map
+                         (fun r ->
+                           match Tuple.get r a with
+                           | Value.Null -> None
+                           | Value.Int _ -> Some Domain.Ints
+                           | Value.Float _ -> Some Domain.Floats
+                           | Value.Bool _ -> Some Domain.Bools
+                           | Value.Str _ -> Some Domain.Strings)
+                         (Xrel.to_list x)
+                     with
+                     | Some d -> d
+                     | None -> Domain.Strings ))
+                 attrs)
+          in
+          (name, (schema, x)))
+    rels
+
 let query_cmd =
-  let rel_arg =
-    let doc = "Bind a relation: NAME=FILE.csv (repeatable)." in
-    Arg.(value & opt_all string [] & info [ "rel"; "r" ] ~doc ~docv:"NAME=FILE")
-  in
   let query_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
   in
-  let run as_csv timeout tuples metrics trace domains rels query_src =
+  let analyze_flag =
+    let doc =
+      "Collect statistics over every bound relation first, then run the \
+       query through the cost-based planner (null-aware selectivities, \
+       product reordering, join dispatch hints)."
+    in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
+  let run as_csv timeout tuples metrics trace domains analyze rels query_src =
     governed timeout tuples metrics trace domains (fun () ->
-        let db =
-          List.map
-            (fun binding ->
-              match String.index_opt binding '=' with
-              | None ->
-                  Exec_error.bad_inputf "--rel expects NAME=FILE, got %s"
-                    binding
-              | Some idx ->
-                  let name = String.sub binding 0 idx in
-                  let path =
-                    String.sub binding (idx + 1)
-                      (String.length binding - idx - 1)
-                  in
-                  let attrs, x = load path in
-                  let schema =
-                    Schema.make name
-                      (List.map
-                         (fun a ->
-                           ( Attr.name a,
-                             (* guess the domain from the first non-null value *)
-                             match
-                               List.find_map
-                                 (fun r ->
-                                   match Tuple.get r a with
-                                   | Value.Null -> None
-                                   | Value.Int _ -> Some Domain.Ints
-                                   | Value.Float _ -> Some Domain.Floats
-                                   | Value.Bool _ -> Some Domain.Bools
-                                   | Value.Str _ -> Some Domain.Strings)
-                                 (Xrel.to_list x)
-                             with
-                             | Some d -> d
-                             | None -> Domain.Strings ))
-                         attrs)
-                  in
-                  (name, (schema, x)))
-            rels
+        let db = db_of_rels rels in
+        let result =
+          if analyze then begin
+            let collected =
+              List.map
+                (fun (name, (schema, x)) ->
+                  (name, Stats.collect ~attrs:(Schema.attrs schema) x))
+                db
+            in
+            let stats =
+              {
+                Plan.Cost.rowcount =
+                  (fun name ->
+                    Option.map
+                      (fun (_, x) -> Xrel.cardinal x)
+                      (List.assoc_opt name db));
+                table = (fun name -> List.assoc_opt name collected);
+              }
+            in
+            Plan.Compile.run ~stats db (Quel.Parser.parse query_src)
+          end
+          else Quel.Eval.run_string db query_src
         in
-        let result = Quel.Eval.run_string db query_src in
         emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel)
   in
   let doc =
@@ -327,7 +356,72 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ rel_arg $ query_arg)
+      $ trace_flag $ domains_arg $ analyze_flag $ rel_arg $ query_arg)
+
+let agg_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("count", `Count); ("sum", `Sum); ("min", `Min); ("max", `Max) ])) None
+      & info [] ~docv:"KIND")
+  in
+  let attr_arg =
+    let doc = "The aggregated attribute, written $(i,v.ATTR)." in
+    Arg.(value & opt (some string) None & info [ "attr" ] ~doc ~docv:"V.ATTR")
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let run timeout tuples metrics trace domains rels kind attr query_src =
+    governed timeout tuples metrics trace domains (fun () ->
+        let db = db_of_rels rels in
+        let parse_ref r =
+          match String.index_opt r '.' with
+          | Some idx ->
+              ( String.sub r 0 idx,
+                String.sub r (idx + 1) (String.length r - idx - 1) )
+          | None ->
+              Exec_error.bad_input "--attr must be written v.ATTR"
+        in
+        let kind =
+          match (kind, attr) with
+          | `Count, None -> Quel.Aggregate.Count
+          | `Count, Some _ -> Exec_error.bad_input "count takes no --attr"
+          | `Sum, Some r ->
+              let v, a = parse_ref r in
+              Quel.Aggregate.Sum (v, a)
+          | `Min, Some r ->
+              let v, a = parse_ref r in
+              Quel.Aggregate.Min (v, a)
+          | `Max, Some r ->
+              let v, a = parse_ref r in
+              Quel.Aggregate.Max (v, a)
+          | (`Sum | `Min | `Max), None ->
+              Exec_error.bad_input "sum/min/max need --attr V.ATTR"
+        in
+        let q = Quel.Parser.parse query_src in
+        let b =
+          try Quel.Aggregate.bounds db q kind
+          with Domain.Infinite what ->
+            Exec_error.bad_inputf
+              "%s has an infinite domain; aggregate bounds need finite \
+               domains (int ranges stay finite in .nrdb schemas, but CSV \
+               columns are guessed as unbounded)"
+              what
+        in
+        Printf.printf "bounds: %d .. %d%s\n" b.Quel.Aggregate.lower
+          b.Quel.Aggregate.upper
+          (if b.Quel.Aggregate.may_be_empty then "   (the answer may be empty)"
+           else ""))
+  in
+  let doc =
+    "Exact aggregate bounds over all completions of the nulls (count, sum, \
+     min, max)."
+  in
+  Cmd.v (Cmd.info "agg" ~doc)
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ domains_arg $ rel_arg $ kind_arg $ attr_arg $ query_arg)
 
 let convert_cmd =
   let run src dst =
@@ -421,6 +515,7 @@ let () =
             divide_cmd;
             project_cmd;
             query_cmd;
+            agg_cmd;
             convert_cmd;
             fsck_cmd;
             repl_cmd;

@@ -47,6 +47,14 @@ let dispatch_counter =
 let count_dispatch kernel strat =
   if !Obs.Metrics.enabled then Obs.Metrics.inc (dispatch_counter kernel strat)
 
+(* The [Auto] rule as a function of a size — exposed so a planner can
+   pre-commit a strategy from an {e estimated} cardinality instead of
+   waiting for the materialized input. *)
+let strategy_for n =
+  if n < indexed_cutover then Sequential
+  else if n >= parallel_cutover && Par.Pool.parallelizable () then Parallel
+  else Indexed
+
 (* Chunking: enough chunks for load balance across the pool (stragglers
    hand work back), but at least [chunk_grain] tuples each so the
    per-chunk dispatch cost stays invisible. *)
@@ -220,6 +228,54 @@ let x_mem ?(strategy = Auto) t r =
       Obs.Metrics.inc m_subsumption;
       Subsume_index.x_mem r t
   | Parallel -> parallel_x_mem t r
+
+(* ------------------------------------------------------------------ *)
+(* fold_chunks *)
+
+(* A governed, chunked array fold: [chunk ~lo ~hi] summarizes one slice
+   (it must be a pure read of [arr]), [combine] merges summaries
+   left-to-right. One tick per element either way, so the governor sees
+   the same cost whichever strategy runs. *)
+let fold_chunks ?(strategy = Auto) arr ~chunk ~combine ~init =
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let strat =
+      match strategy with
+      | Auto ->
+          if n >= parallel_cutover && Par.Pool.parallelizable () then Parallel
+          else Sequential
+      | Indexed -> Sequential (* no index to speak of: a scan is a scan *)
+      | s -> s
+    in
+    count_dispatch "fold" strat;
+    match strat with
+    | Sequential | Indexed | Auto ->
+        let acc = ref init in
+        let lo = ref 0 in
+        while !lo < n do
+          let hi = min n (!lo + chunk_grain) in
+          acc := combine !acc (chunk ~lo:!lo ~hi);
+          Exec.tick ~cost:(hi - !lo) ();
+          lo := hi
+        done;
+        !acc
+    | Parallel ->
+        let chunks = chunk_count n in
+        let parts = Array.make chunks None in
+        let ticks = Atomic.make 0 in
+        Par.Pool.run ~chunks
+          ~progress:(fun () -> Exec.drain_ticks ticks)
+          (fun c ->
+            let lo, hi = chunk_bounds ~n ~chunks c in
+            parts.(c) <- Some (chunk ~lo ~hi);
+            ignore (Atomic.fetch_and_add ticks (hi - lo)));
+        Exec.drain_ticks ticks;
+        Array.fold_left
+          (fun acc part ->
+            match part with Some p -> combine acc p | None -> acc)
+          init parts
+  end
 
 (* ------------------------------------------------------------------ *)
 (* prober *)

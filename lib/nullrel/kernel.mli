@@ -39,6 +39,29 @@ val parallel_cutover : int
 (** [Auto] considers [Parallel] from this cardinality (512) up,
     provided {!Par.Pool.parallelizable}. *)
 
+val strategy_for : int -> strategy
+(** The [Auto] rule as a function of a size: [Sequential] below
+    {!indexed_cutover}, [Parallel] from {!parallel_cutover} up when
+    the pool can help, [Indexed] in between. Exposed so a cost-based
+    planner can pre-commit a strategy from an {e estimated}
+    cardinality instead of waiting for the materialized input. *)
+
+val fold_chunks :
+  ?strategy:strategy ->
+  'a array ->
+  chunk:(lo:int -> hi:int -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'b
+(** Governed, chunked fold over an array: [chunk ~lo ~hi] summarizes
+    the slice [lo, hi) (it must be a pure read), [combine] merges
+    summaries left-to-right starting from [init]. Charges one
+    {!Exec.tick} per element under every strategy (per-task atomics
+    drained by the coordinator when parallel). [Auto] fans out over
+    the {!Par.Pool} from {!parallel_cutover} elements; [Indexed]
+    degrades to [Sequential] (a scan has no index). The statistics
+    analyzer is the main client. *)
+
 val minimize : ?strategy:strategy -> Relation.t -> Relation.t
 (** Reduction to minimal form; agrees with [Relation.minimize]. *)
 

@@ -14,7 +14,8 @@ type node = {
    results that [eval] discards. Spans nest, so [ticks] and
    [elapsed_s] are inclusive of the children — the natural reading of
    an EXPLAIN ANALYZE tree. *)
-let rec run ~stats ~env e =
+let rec run ?(join_strategy = fun _ -> Kernel.Auto) ~stats ~env e =
+  let run = run ~join_strategy in
   Exec.checkpoint ();
   let est_rows = Cost.cardinality ~stats e in
   let (x, children), m =
@@ -38,9 +39,10 @@ let rec run ~stats ~env e =
         | Expr.Project (xs, e1) -> unary (Algebra.project xs) e1
         | Expr.Rename (mapping, e1) -> unary (Algebra.rename mapping) e1
         | Expr.Product (e1, e2) -> binary Algebra.product e1 e2
-        | Expr.Equijoin (xs, e1, e2) -> binary (!Expr.equijoin_impl xs) e1 e2
-        | Expr.Union_join (xs, e1, e2) ->
-            binary (!Expr.union_join_impl xs) e1 e2
+        | Expr.Equijoin (xs, e1, e2) as node ->
+            binary (!Expr.equijoin_impl (join_strategy node) xs) e1 e2
+        | Expr.Union_join (xs, e1, e2) as node ->
+            binary (!Expr.union_join_impl (join_strategy node) xs) e1 e2
         | Expr.Union (e1, e2) -> binary Xrel.union e1 e2
         | Expr.Diff (e1, e2) -> binary Xrel.diff e1 e2
         | Expr.Inter (e1, e2) -> binary Xrel.inter e1 e2
@@ -60,11 +62,19 @@ let rec rows prefix n =
   (prefix ^ n.label, n)
   :: List.concat_map (rows (prefix ^ "  ")) n.children
 
+(* Estimation quality of one node: estimate over actual, the symmetric
+   "q-error" direction left visible (0.25 means 4x under). Actual-empty
+   nodes print "-": any over-estimate of an empty result is infinitely
+   wrong and a ratio would only shout about it. *)
+let ratio n =
+  if n.actual_rows = 0 then "-"
+  else Printf.sprintf "%.2f" (n.est_rows /. float n.actual_rows)
+
 let render root =
   let body = rows "" root in
   let est n = Printf.sprintf "%g" n.est_rows in
   let ms n = Printf.sprintf "%.1f" (n.elapsed_s *. 1000.) in
-  let header = ("operator", "est", "actual", "ticks", "ms") in
+  let header = ("operator", "est", "actual", "est/act", "ticks", "ms") in
   let cells =
     header
     :: List.map
@@ -72,18 +82,21 @@ let render root =
            ( label,
              est n,
              string_of_int n.actual_rows,
+             ratio n,
              string_of_int n.ticks,
              ms n ))
          body
   in
   let w f = List.fold_left (fun acc r -> max acc (String.length (f r))) 0 cells in
-  let w1 = w (fun (a, _, _, _, _) -> a)
-  and w2 = w (fun (_, b, _, _, _) -> b)
-  and w3 = w (fun (_, _, c, _, _) -> c)
-  and w4 = w (fun (_, _, _, d, _) -> d)
-  and w5 = w (fun (_, _, _, _, e) -> e) in
+  let w1 = w (fun (a, _, _, _, _, _) -> a)
+  and w2 = w (fun (_, b, _, _, _, _) -> b)
+  and w3 = w (fun (_, _, c, _, _, _) -> c)
+  and w4 = w (fun (_, _, _, d, _, _) -> d)
+  and w5 = w (fun (_, _, _, _, e, _) -> e)
+  and w6 = w (fun (_, _, _, _, _, f) -> f) in
   String.concat "\n"
     (List.map
-       (fun (a, b, c, d, e) ->
-         Printf.sprintf "%-*s  %*s  %*s  %*s  %*s" w1 a w2 b w3 c w4 d w5 e)
+       (fun (a, b, c, d, e, f) ->
+         Printf.sprintf "%-*s  %*s  %*s  %*s  %*s  %*s" w1 a w2 b w3 c w4 d w5 e
+           w6 f)
        cells)

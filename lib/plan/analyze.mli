@@ -17,13 +17,16 @@ type node = {
 }
 
 val run :
-  stats:(string -> int option) ->
+  ?join_strategy:(Expr.t -> Nullrel.Kernel.strategy) ->
+  stats:Cost.source ->
   env:(string -> Nullrel.Xrel.t option) ->
   Expr.t ->
   Nullrel.Xrel.t * node
 (** Evaluate and profile. Raises {!Expr.Unbound_relation} like
-    {!Expr.eval}, and propagates governor aborts. *)
+    {!Expr.eval}, and propagates governor aborts. [join_strategy] as
+    in {!Expr.eval}. *)
 
 val render : node -> string
 (** Aligned text tree: one row per operator (children indented), with
-    est / actual / ticks / ms columns. *)
+    est / actual / est-over-actual / ticks / ms columns (the ratio
+    prints ["-"] on an actual-empty node). *)

@@ -36,7 +36,17 @@ let query ~schemas (q : Quel.Ast.query) =
   in
   if needs_rename then Expr.Rename (output_mapping, projected) else projected
 
-let run ?(optimize = true) (db : Quel.Resolve.db) q =
+(* With statistics, hint each join node's dispatch from the estimated
+   probe side (the hash join probes its left operand) instead of
+   leaving the physical operator to measure the actual input. *)
+let join_strategy_of ~stats node =
+  match node with
+  | Expr.Equijoin (_, e1, _) | Expr.Union_join (_, e1, _) ->
+      Kernel.strategy_for
+        (int_of_float (Float.max 0. (Cost.cardinality ~stats e1)))
+  | _ -> Kernel.Auto
+
+let run ?(optimize = true) ?stats (db : Quel.Resolve.db) q =
   Quel.Resolve.check db q;
   let schemas name =
     Option.map (fun (schema, _) -> Schema.attrs schema) (List.assoc_opt name db)
@@ -45,9 +55,16 @@ let run ?(optimize = true) (db : Quel.Resolve.db) q =
   let env_scope name =
     Option.map (fun (schema, _) -> Schema.attr_set schema) (List.assoc_opt name db)
   in
-  let plan = if optimize then Rewrite.optimize ~env_scope plan else plan in
+  let plan =
+    if optimize then Rewrite.optimize ?cost:stats ~env_scope plan else plan
+  in
   let env name = Option.map snd (List.assoc_opt name db) in
+  let join_strategy =
+    match stats with
+    | None -> fun _ -> Kernel.Auto
+    | Some stats -> join_strategy_of ~stats
+  in
   let attrs =
     List.map (Quel.Eval.target_attr q.Quel.Ast.targets) q.Quel.Ast.targets
   in
-  { Quel.Eval.attrs; rel = Expr.eval ~env plan }
+  { Quel.Eval.attrs; rel = Expr.eval ~join_strategy ~env plan }

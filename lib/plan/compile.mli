@@ -18,7 +18,18 @@ val query :
     {!Quel.Eval.target_attr}. Raises {!Quel.Resolve.Error} on unknown
     relations (schema lookup failures). *)
 
+val join_strategy_of : stats:Cost.source -> Expr.t -> Kernel.strategy
+(** The dispatch hint [run] hands the physical join for an
+    [Equijoin]/[Union_join] node: {!Cost.cardinality} of the estimated
+    probe (left) side through {!Nullrel.Kernel.strategy_for}. [Auto]
+    for any other node. *)
+
 val run :
-  ?optimize:bool -> Quel.Resolve.db -> Quel.Ast.query -> Quel.Eval.result
+  ?optimize:bool -> ?stats:Cost.source -> Quel.Resolve.db -> Quel.Ast.query ->
+  Quel.Eval.result
 (** Compile (optimizing by default), then evaluate against the
-    database. Agrees with {!Quel.Eval.run}. *)
+    database. Agrees with {!Quel.Eval.run}. A statistics source turns
+    on the cost-based parts of the pipeline: product chains reorder
+    smallest-first ({!Rewrite.optimize}'s [?cost]) and each join node
+    carries a {!Nullrel.Kernel.strategy} hint derived from its
+    estimated probe side. *)

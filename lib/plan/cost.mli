@@ -1,21 +1,48 @@
-(** A unit-work cost model for plans.
+(** A unit-work cost model for plans, null-aware when statistics are
+    available.
 
-    Deliberately simple: it exists to make the effect of the rewrite
-    rules measurable (and reportable in the benchmark harness), not to
-    drive a cost-based search. Cardinalities are estimated top-down
-    from base-relation statistics with fixed selectivities; cost is the
-    sum over operator nodes of the work each performs on its estimated
-    inputs (pairwise operators pay the product of their input sizes —
-    the paper's own O(|R1| x |R2|) accounting). *)
+    Cardinalities are estimated top-down from base-relation statistics;
+    cost is the sum over operator nodes of the work each performs on
+    its estimated inputs (pairwise operators pay the product of their
+    input sizes — the paper's own O(|R1| x |R2|) accounting).
+
+    A {!source} supplies what is known about base relations. With only
+    row counts the model degrades to the historical fixed
+    selectivities; with full {!Stats.table} summaries the estimates
+    become null-aware: under Table III a comparison that touches a null
+    evaluates to [ni] and only TRUE tuples qualify, so every predicate
+    and join estimate is discounted by the null fractions of the
+    columns involved, equality selectivities come from distinct counts
+    (containment of values for joins), and range predicates interpolate
+    against the observed min/max of integer columns. *)
+
+type source = {
+  rowcount : string -> int option;
+      (** Live row count of a base relation (cheap, always current). *)
+  table : string -> Stats.table option;
+      (** Collected statistics, when fresh ones exist. *)
+}
+
+val of_rowcount : (string -> int option) -> source
+(** A source with row counts only — the pre-statistics cost model. *)
+
+val column : source -> Nullrel.Attr.t -> Expr.t -> (Stats.column * int) option
+(** [column stats a e] digs to a base relation below [e] that binds
+    [a] (inverting renames) and returns its summary plus the base row
+    count. Exposed for the benchmark harness. *)
 
 val selectivity : float
-(** Estimated fraction of tuples surviving a selection (1/3). *)
+(** Fallback fraction of tuples surviving a comparison with no
+    statistics (1/3). *)
 
-val cardinality : stats:(string -> int option) -> Expr.t -> float
-(** Estimated output cardinality. Unknown base relations estimate to
-    {!default_cardinality}. *)
+val join_selectivity : float
+(** Fallback equijoin selectivity with no statistics (0.1). *)
 
 val default_cardinality : float
+(** Estimate for a base relation the source knows nothing about. *)
 
-val cost : stats:(string -> int option) -> Expr.t -> float
+val cardinality : stats:source -> Expr.t -> float
+(** Estimated output cardinality. *)
+
+val cost : stats:source -> Expr.t -> float
 (** Estimated total work of evaluating the plan bottom-up. *)

@@ -34,15 +34,21 @@ let op_label = function
    in the library graph, so it cannot name the hash join directly;
    the shells and the CLI install [Storage.Join.hash_equijoin] (and
    friends) here at load time — same inverted-dependency idiom as
-   [Obs.Metrics.on_hot_change]. Defaults are the logical operators,
-   so a bare [eval] stays correct without any installation. *)
-let equijoin_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
-  ref Algebra.equijoin
+   [Obs.Metrics.on_hot_change]. The first argument is the planner's
+   dispatch hint ([Kernel.strategy], derived from estimated
+   cardinalities when statistics are available); the default logical
+   operators ignore it, so a bare [eval] stays correct without any
+   installation. *)
+let equijoin_impl :
+    (Kernel.strategy -> Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
+  ref (fun _ x r1 r2 -> Algebra.equijoin x r1 r2)
 
-let union_join_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
-  ref Algebra.union_join
+let union_join_impl :
+    (Kernel.strategy -> Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
+  ref (fun _ x r1 r2 -> Algebra.union_join x r1 r2)
 
-let rec eval ~env e =
+let rec eval ?(join_strategy = fun _ -> Kernel.Auto) ~env e =
+  let eval = eval ~join_strategy in
   Exec.checkpoint ();
   Obs.Span.with_span (op_label e) (fun () ->
       match e with
@@ -54,10 +60,10 @@ let rec eval ~env e =
       | Select (p, e) -> Algebra.select p (eval ~env e)
       | Project (x, e) -> Algebra.project x (eval ~env e)
       | Product (e1, e2) -> Algebra.product (eval ~env e1) (eval ~env e2)
-      | Equijoin (x, e1, e2) ->
-          !equijoin_impl x (eval ~env e1) (eval ~env e2)
-      | Union_join (x, e1, e2) ->
-          !union_join_impl x (eval ~env e1) (eval ~env e2)
+      | Equijoin (x, e1, e2) as node ->
+          !equijoin_impl (join_strategy node) x (eval ~env e1) (eval ~env e2)
+      | Union_join (x, e1, e2) as node ->
+          !union_join_impl (join_strategy node) x (eval ~env e1) (eval ~env e2)
       | Union (e1, e2) -> Xrel.union (eval ~env e1) (eval ~env e2)
       | Diff (e1, e2) -> Xrel.diff (eval ~env e1) (eval ~env e2)
       | Inter (e1, e2) -> Xrel.inter (eval ~env e1) (eval ~env e2)

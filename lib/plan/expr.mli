@@ -29,19 +29,31 @@ val op_label : t -> string
 (** Short operator name for spans and EXPLAIN output: the relation name
     for [Rel], otherwise ["select"], ["equijoin"], ["union-join"], … *)
 
-val equijoin_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
-val union_join_impl : (Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
-(** The physical operators run for [Equijoin]/[Union_join] nodes.
-    Default to {!Nullrel.Algebra.equijoin}/[union_join]; the shells and
-    the CLI install [Storage.Join.hash_equijoin]/[hash_union_join] at
-    load time (the planner cannot depend on the storage library, so
-    the binding is a link-time seam, like [Obs.Metrics.on_hot_change]).
-    Any installed implementation must agree with the logical operator
-    extensionally — that agreement is property-tested. *)
+val equijoin_impl :
+  (Kernel.strategy -> Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
 
-val eval : env:(string -> Xrel.t option) -> t -> Xrel.t
+val union_join_impl :
+  (Kernel.strategy -> Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref
+(** The physical operators run for [Equijoin]/[Union_join] nodes. The
+    first argument is the planner's {!Nullrel.Kernel.strategy} hint for
+    the node (see [eval]'s [join_strategy]); implementations are free
+    to ignore it. Default to {!Nullrel.Algebra.equijoin}/[union_join]
+    (which do); the shells and the CLI install
+    [Storage.Join.hash_equijoin]/[hash_union_join] at load time (the
+    planner cannot depend on the storage library, so the binding is a
+    link-time seam, like [Obs.Metrics.on_hot_change]). Any installed
+    implementation must agree with the logical operator extensionally —
+    that agreement is property-tested. *)
+
+val eval :
+  ?join_strategy:(t -> Kernel.strategy) -> env:(string -> Xrel.t option) ->
+  t -> Xrel.t
 (** Bottom-up evaluation. Raises {!Unbound_relation} when a [Rel] name
-    is not in the environment. *)
+    is not in the environment. [join_strategy] is consulted once per
+    [Equijoin]/[Union_join] node (receiving the node itself) and its
+    answer passed to the installed physical operator; the default
+    answers {!Nullrel.Kernel.Auto} everywhere, i.e. the operator's own
+    size cutovers decide. *)
 
 val scope_bound :
   env_scope:(string -> Attr.Set.t option) -> t -> Attr.Set.t

@@ -12,8 +12,21 @@ let pushable p ~mine ~other =
   let needed = Predicate.attrs p in
   Attr.Set.subset needed mine && Attr.Set.disjoint needed other
 
-let rec rewrite_once ~env_scope expr =
-  let recurse = rewrite_once ~env_scope in
+(* The maximal product chain rooted at a node, left to right. *)
+let rec product_factors = function
+  | Expr.Product (e1, e2) -> product_factors e1 @ product_factors e2
+  | e -> [ e ]
+
+let rebuild_left_deep = function
+  | [] -> invalid_arg "rebuild_left_deep: no factors"
+  | f :: rest -> List.fold_left (fun acc e -> Expr.Product (acc, e)) f rest
+
+let rec pairwise_disjoint = function
+  | [] -> true
+  | s :: rest -> List.for_all (Attr.Set.disjoint s) rest && pairwise_disjoint rest
+
+let rec rewrite_once ?cost ~env_scope expr =
+  let recurse = rewrite_once ?cost ~env_scope in
   let scope e = Expr.scope_bound ~env_scope e in
   let expr =
     (* rewrite children first *)
@@ -121,14 +134,40 @@ let rec rewrite_once ~env_scope expr =
   (* identity projection: projecting onto (a superset of) the operand's
      scope bound changes nothing *)
   | Expr.Project (x, e) when Attr.Set.subset (scope e) x -> e
+  (* --- cost-based join ordering ---------------------------------- *)
+  (* Only with a statistics source, and only when the factors of the
+     maximal product chain have pairwise-disjoint scope bounds — then
+     the product is commutative and associative up to tuple identity,
+     so any order computes the same x-relation. Smallest factors first
+     makes every intermediate product (and the probe side handed to the
+     hash join after selections push back in) as small as the estimates
+     allow. The stable sort keeps an already-ordered chain fixed, so
+     the fixpoint iteration terminates. *)
+  | Expr.Product (_, _) as prod -> (
+      match cost with
+      | None -> prod
+      | Some stats -> (
+          let factors = product_factors prod in
+          match List.map scope factors with
+          | scopes when not (pairwise_disjoint scopes) -> prod
+          | _ ->
+              let keyed =
+                List.map (fun f -> (Cost.cardinality ~stats f, f)) factors
+              in
+              let sorted =
+                List.stable_sort
+                  (fun (k1, _) (k2, _) -> Float.compare k1 k2)
+                  keyed
+              in
+              rebuild_left_deep (List.map snd sorted)))
   | other -> other
 
-let optimize ~env_scope expr =
+let optimize ?cost ~env_scope expr =
   let rec go n expr =
     if n = 0 then expr
     else begin
       Exec.checkpoint ();
-      let expr' = rewrite_once ~env_scope expr in
+      let expr' = rewrite_once ?cost ~env_scope expr in
       if Expr.equal expr' expr then expr else go (n - 1) expr'
     end
   in

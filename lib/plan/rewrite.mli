@@ -17,15 +17,25 @@
       projections onto (a superset of) the operand scope vanish;
     - empty constants propagate ([e x {} = {}], [e u {} = e], ...).
 
+    With a statistics source ([?cost]) one cost-based rule joins the
+    rule set: the factors of a maximal product chain are reordered
+    smallest-estimate first, but only when their scope bounds are
+    pairwise disjoint — then the product is commutative and the order
+    cannot change the result. Plans compiled from QUEL qualify (every
+    range variable is renamed to its own prefix); arbitrary plans with
+    overlapping factor scopes are left alone.
+
     [optimize] iterates to a fixpoint. Rules only ever move selections
-    downward and remove nodes, so the fixpoint exists; a safety bound
-    caps pathological cases. *)
+    downward, remove nodes, or stably sort product chains, so the
+    fixpoint exists; a safety bound caps pathological cases. *)
 
 open Nullrel
 
 val rewrite_once :
-  env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
+  ?cost:Cost.source -> env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
 (** One bottom-up pass applying the first matching rule at each node. *)
 
-val optimize : env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
-(** Fixpoint of {!rewrite_once} (bounded at 64 passes). *)
+val optimize :
+  ?cost:Cost.source -> env_scope:(string -> Attr.Set.t option) -> Expr.t -> Expr.t
+(** Fixpoint of {!rewrite_once} (bounded at 64 passes). Cost-based
+    reordering only happens when [cost] is supplied. *)

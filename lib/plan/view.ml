@@ -78,10 +78,13 @@ let rec expand_guarded ~views ~visiting q =
   | None -> q
   | Some (v, view_name) ->
       if List.mem view_name visiting then raise (Cycle view_name);
+      let definition =
+        match List.assoc_opt view_name views with
+        | Some d -> d
+        | None -> errorf "no view named %s" view_name
+      in
       let view =
-        expand_guarded ~views
-          ~visiting:(view_name :: visiting)
-          (List.assoc view_name views)
+        expand_guarded ~views ~visiting:(view_name :: visiting) definition
       in
       expand_guarded ~views ~visiting
         (unfold_range ~view_name ~view q v)
@@ -98,7 +101,9 @@ let view_schema db ~views name =
           (fun (label, _) ->
             (* find the base attribute the (expanded) view retrieves *)
             let w, a =
-              List.assoc label (output_mapping name body)
+              match List.assoc_opt label (output_mapping name body) with
+              | Some source -> source
+              | None -> errorf "view %s: no column %s after expansion" name label
             in
             let rel_name =
               match List.assoc_opt w body.Quel.Ast.ranges with

@@ -8,8 +8,6 @@ type kind =
 
 type bounds = { lower : int; upper : int; may_be_empty : bool }
 
-exception Not_integer of string
-
 (* Per-row analysis: can the row qualify, can it be excluded, and what
    range can the aggregated value take among qualifying completions? *)
 type row_info = {
@@ -19,13 +17,14 @@ type row_info = {
   vmax : int;
 }
 
+(* Aggregating a non-integer column is a query error: classify it as
+   bad input so shells and the CLI map it to their usual taxonomy
+   (exit 2) instead of an unclassified exception. *)
 let int_of_value attr = function
   | Value.Int n -> n
   | v ->
-      raise
-        (Not_integer
-           (Printf.sprintf "%s is %s, not an integer" (Attr.name attr)
-              (Value.type_name v)))
+      Exec_error.bad_inputf "%s is %s, not an integer" (Attr.name attr)
+        (Value.type_name v)
 
 let analyze_row ~domains ~p ~agg_attr row =
   let relevant =

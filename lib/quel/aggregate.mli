@@ -29,12 +29,11 @@ type kind =
 
 type bounds = { lower : int; upper : int; may_be_empty : bool }
 
-exception Not_integer of string
-(** The aggregated attribute produced a non-integer value. *)
-
 val bounds : Resolve.db -> Ast.query -> kind -> bounds
-(** Raises {!Not_integer}, [Domain.Infinite] when an enumerated
-    attribute has an infinite domain, and {!Resolve.Error} on name
-    errors. For [Min]/[Max] with an answer that is {e always} empty,
-    [lower = max_int] / [upper = min_int] respectively (the neutral
-    elements) and [may_be_empty = true]. *)
+(** Raises {!Nullrel.Exec_error.Error} ([Bad_input]) when the
+    aggregated attribute produces a non-integer value,
+    [Domain.Infinite] when an enumerated attribute has an infinite
+    domain, and {!Resolve.Error} on name errors. For [Min]/[Max] with
+    an answer that is {e always} empty, [lower = max_int] /
+    [upper = min_int] respectively (the neutral elements) and
+    [may_be_empty = true]. *)

@@ -90,9 +90,19 @@ let tokenize src =
             incr j
           done;
           let text = String.sub src i (!j - i) in
+          (* [int_of_string] rejects literals past max_int with a bare
+             [Failure] — user input must surface as a lexer error, not
+             an unclassified exception. *)
           let tok =
-            if !seen_dot then Float (float_of_string text)
-            else Int (int_of_string text)
+            if !seen_dot then
+              match float_of_string_opt text with
+              | Some f -> Float f
+              | None -> raise (Error ("bad numeric literal " ^ text, i))
+            else
+              match int_of_string_opt text with
+              | Some k -> Int k
+              | None ->
+                  raise (Error ("integer literal out of range " ^ text, i))
           in
           go !j (tok :: acc)
       | c when is_ident_start c ->

@@ -4,9 +4,10 @@ open Nullrel
    operators into the planner's link-time seams (the planner itself
    cannot depend on storage). *)
 let () =
-  Plan.Expr.equijoin_impl := (fun x r1 r2 -> Storage.Join.hash_equijoin x r1 r2);
+  Plan.Expr.equijoin_impl :=
+    (fun strategy x r1 r2 -> Storage.Join.hash_equijoin ~strategy x r1 r2);
   Plan.Expr.union_join_impl :=
-    (fun x r1 r2 -> Storage.Join.hash_union_join x r1 r2)
+    (fun strategy x r1 r2 -> Storage.Join.hash_union_join ~strategy x r1 r2)
 
 type limits = { time_s : float option; max_tuples : int option }
 
@@ -41,6 +42,8 @@ let governed st f =
 
 let help =
   ".agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
+   .analyze [NAME ...]    collect planner statistics (all relations by \
+   default)\n\
    .check                 run schema + referential integrity checks\n\
    .domains [N]           show or set the parallelism degree (domains)\n\
    .explain analyze QUERY run a query; show est/actual rows, ticks, time per \
@@ -61,6 +64,7 @@ let help =
    .show NAME             print a relation\n\
    .slowlog [MS | off]    show the slow-statement log, or set its threshold\n\
    .stats [reset]         dump metrics (Prometheus text), or zero them\n\
+   .stats-catalog         show collected statistics and their freshness\n\
    .trace [on | off]      show recent operator spans, or toggle tracing\n\
    range of ... retrieve (...) [where ...]    evaluate ||Q||-\n\
    append to REL (A = 1, ...)                 insert (union)\n\
@@ -93,25 +97,44 @@ let with_relation st name f =
   | Some (schema, x) -> f schema x
 
 (* One source of truth for the planner's catalog callbacks: attribute
-   lists and scopes for compilation, {e live} cardinalities for
-   costing (so estimates track the loaded data rather than
-   [Cost.default_cardinality]), and the evaluation environment. Used by
-   admission control, [.plan] and [.explain analyze] alike so their
-   estimate columns can never drift apart. *)
+   lists and scopes for compilation, a {!Plan.Cost.source} for costing
+   — {e live} cardinalities (so estimates track the loaded data rather
+   than [Cost.default_cardinality]) plus whatever fresh [.analyze]
+   statistics the catalog holds — and the evaluation environment. Used
+   by admission control, [.plan], [.explain analyze] and plain
+   retrieves alike so their estimates can never drift apart. Every
+   per-relation statistics lookup is counted as a hit, miss or stale
+   in [nullrel_stats_lookups_total]. *)
 type db_context = {
   schemas : string -> Attr.t list option;
   env_scope : string -> Attr.Set.t option;
-  stats : string -> int option;
+  stats : Plan.Cost.source;
   env : string -> Xrel.t option;
 }
 
-let db_context db =
-  let find name = List.assoc_opt name db in
+let db_context cat =
+  let find name = Storage.Catalog.find cat name in
   {
     schemas = (fun name -> Option.map (fun (s_, _) -> Schema.attrs s_) (find name));
     env_scope =
       (fun name -> Option.map (fun (s_, _) -> Schema.attr_set s_) (find name));
-    stats = (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
+    stats =
+      {
+        Plan.Cost.rowcount =
+          (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
+        table =
+          (fun name ->
+            match Storage.Catalog.stats_status cat name with
+            | Storage.Catalog.Fresh t ->
+                Stats.count_hit ();
+                Some t
+            | Storage.Catalog.Stale _ ->
+                Stats.count_stale ();
+                None
+            | Storage.Catalog.Missing ->
+                Stats.count_miss ();
+                None);
+      };
     env = (fun name -> Option.map snd (find name));
   }
 
@@ -124,9 +147,9 @@ let admission st q =
   | Some budget ->
       let db = Storage.Catalog.to_db st.cat in
       Quel.Resolve.check db q;
-      let ctx = db_context db in
+      let ctx = db_context st.cat in
       let plan =
-        Plan.Rewrite.optimize ~env_scope:ctx.env_scope
+        Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope
           (Plan.Compile.query ~schemas:ctx.schemas q)
       in
       let est = Plan.Cost.cost ~stats:ctx.stats plan in
@@ -146,7 +169,8 @@ let run_statement st src =
               est budget )
       | None ->
           let db = Storage.Catalog.to_db st.cat in
-          let result = Plan.Compile.run db q in
+          let ctx = db_context st.cat in
+          let result = Plan.Compile.run ~stats:ctx.stats db q in
           ( st,
             Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel
           ))
@@ -158,9 +182,11 @@ let show_plan st src =
   let db = Storage.Catalog.to_db st.cat in
   let q = Quel.Parser.parse src in
   Quel.Resolve.check db q;
-  let ctx = db_context db in
+  let ctx = db_context st.cat in
   let raw = Plan.Compile.query ~schemas:ctx.schemas q in
-  let optimized = Plan.Rewrite.optimize ~env_scope:ctx.env_scope raw in
+  let optimized =
+    Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope raw
+  in
   Printf.sprintf "raw:       %s\noptimized: %s\nest. cost: %.0f -> %.0f"
     (Pp.to_string Plan.Expr.pp raw)
     (Pp.to_string Plan.Expr.pp optimized)
@@ -171,13 +197,59 @@ let explain_analyze st src =
   let db = Storage.Catalog.to_db st.cat in
   let q = Quel.Parser.parse src in
   Quel.Resolve.check db q;
-  let ctx = db_context db in
+  let ctx = db_context st.cat in
   let plan =
-    Plan.Rewrite.optimize ~env_scope:ctx.env_scope
+    Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope
       (Plan.Compile.query ~schemas:ctx.schemas q)
   in
-  let _result, node = Plan.Analyze.run ~stats:ctx.stats ~env:ctx.env plan in
+  let _result, node =
+    Plan.Analyze.run
+      ~join_strategy:(Plan.Compile.join_strategy_of ~stats:ctx.stats)
+      ~stats:ctx.stats ~env:ctx.env plan
+  in
   Plan.Analyze.render node
+
+(* .analyze [NAME ...]: one governed statistics scan per relation,
+   results stamped into the catalog (fresh until the next mutation). *)
+let analyze st names =
+  let names =
+    match names with [] -> Storage.Catalog.names st.cat | names -> names
+  in
+  let missing =
+    List.filter (fun n -> not (Storage.Catalog.mem st.cat n)) names
+  in
+  match missing with
+  | n :: _ -> (st, Printf.sprintf "error: no relation %s (try .list)" n)
+  | [] ->
+      let cat, lines =
+        List.fold_left
+          (fun (cat, lines) name ->
+            let schema, x = Storage.Catalog.get cat name in
+            let t = Stats.collect ~attrs:(Schema.attrs schema) x in
+            ( Storage.Catalog.set_stats cat name t,
+              Printf.sprintf "analyzed %s: %d rows, %d columns" name
+                t.Stats.rows
+                (List.length t.Stats.columns)
+              :: lines ))
+          (st.cat, []) names
+      in
+      ({ st with cat }, String.concat "\n" (List.rev lines))
+
+let stats_catalog st =
+  match Storage.Catalog.names st.cat with
+  | [] -> "(no relations loaded)"
+  | names ->
+      String.concat "\n"
+        (List.map
+           (fun name ->
+             match Storage.Catalog.stats_status st.cat name with
+             | Storage.Catalog.Missing -> name ^ ": not analyzed"
+             | Storage.Catalog.Fresh t ->
+                 Format.asprintf "%s (fresh): %a" name Stats.pp t
+             | Storage.Catalog.Stale t ->
+                 Format.asprintf "%s (stale — re-run .analyze): %a" name
+                   Stats.pp t)
+           names)
 
 let pp_span_event (e : Obs.Span.event) =
   Printf.sprintf "%s%s  %.1fms  %d ticks"
@@ -358,6 +430,8 @@ let exec st line =
           | _ -> (st, "error: .slowlog [MILLISECONDS | off]"))
       | ".agg" :: rest when rest <> [] ->
           (st, governed st (fun () -> run_aggregate st rest))
+      | ".analyze" :: names -> governed st (fun () -> analyze st names)
+      | [ ".stats-catalog" ] -> (st, stats_catalog st)
       | [ ".check" ] -> (st, check st)
       | [ ".domains" ] ->
           ( st,
@@ -408,7 +482,6 @@ let exec st line =
             (List.map (Pp.to_string Schema.pp_violation) violations) )
   | Value.Type_error msg -> (st, "type error: " ^ msg)
   | Exec_error.Error e -> (st, "error: " ^ Exec_error.to_string e)
-  | Quel.Aggregate.Not_integer msg -> (st, "error: " ^ msg)
   | Domain.Infinite what ->
       ( st,
         Printf.sprintf

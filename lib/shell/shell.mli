@@ -5,6 +5,7 @@
     Inputs are either dot-commands or mini-QUEL queries:
     {v
     .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)
+    .analyze [NAME ...]    collect planner statistics (all relations by default)
     .check                 run schema + referential integrity checks
     .explain analyze QUERY run a query; per-operator est/actual/ticks/time
     .fsck DIR              check a catalog directory and repair it
@@ -20,6 +21,7 @@
     .show NAME             print a relation
     .slowlog [MS | off]    show the slow-statement log, or set its threshold
     .stats [reset]         dump metrics (Prometheus text), or zero them
+    .stats-catalog         show collected statistics and their freshness
     .trace [on | off]      show recent operator spans, or toggle tracing
     range of ... retrieve (...) [where ...]    evaluate ||Q||-
     append to REL (A = 1, ...)                 insert (union)

@@ -1,7 +1,20 @@
 open Nullrel
 module String_map = Map.Make (String)
 
-type t = (Schema.t * Xrel.t) String_map.t
+(* Each entry carries a monotonically increasing data version. Any
+   write to the relation bumps it; collected statistics are stamped
+   with the version current at collection time and count as fresh only
+   while the two agree. WAL replay goes through {!set_relation} like
+   every other mutation, so recovery can never resurrect stale stats —
+   replaying a record invalidates them by construction. *)
+type entry = {
+  e_schema : Schema.t;
+  e_x : Xrel.t;
+  e_version : int;
+  e_stats : (int * Stats.table) option;  (** (version stamp, summary) *)
+}
+
+type t = entry String_map.t
 
 exception Violation of Schema.violation list
 
@@ -9,14 +22,30 @@ let empty = String_map.empty
 
 let add cat schema x =
   match Schema.check schema x with
-  | [] -> String_map.add (Schema.name schema) (schema, x) cat
+  | [] ->
+      let name = Schema.name schema in
+      let entry =
+        match String_map.find_opt name cat with
+        | Some e -> { e with e_schema = schema; e_x = x; e_version = e.e_version + 1 }
+        | None -> { e_schema = schema; e_x = x; e_version = 0; e_stats = None }
+      in
+      String_map.add name entry cat
   | violations -> raise (Violation violations)
 
 let add_unchecked cat schema x =
-  String_map.add (Schema.name schema) (schema, x) cat
+  String_map.add (Schema.name schema)
+    { e_schema = schema; e_x = x; e_version = 0; e_stats = None }
+    cat
 
-let find cat name = String_map.find_opt name cat
-let get cat name = String_map.find name cat
+let find cat name =
+  Option.map
+    (fun e -> (e.e_schema, e.e_x))
+    (String_map.find_opt name cat)
+
+let get cat name =
+  let e = String_map.find name cat in
+  (e.e_schema, e.e_x)
+
 let relation cat name = snd (get cat name)
 let schema cat name = fst (get cat name)
 let names cat = List.map fst (String_map.bindings cat)
@@ -27,7 +56,32 @@ let set_relation cat name x =
   let schema, _ = get cat name in
   add cat schema x
 
-let to_db cat = String_map.bindings cat
+let to_db cat =
+  List.map (fun (name, e) -> (name, (e.e_schema, e.e_x))) (String_map.bindings cat)
+
+(* ------------------------- statistics ------------------------- *)
+
+type stats_status = Fresh of Stats.table | Stale of Stats.table | Missing
+
+let stats_status cat name =
+  match String_map.find_opt name cat with
+  | None | Some { e_stats = None; _ } -> Missing
+  | Some { e_stats = Some (stamp, t); e_version; _ } ->
+      if stamp = e_version then Fresh t else Stale t
+
+let stats cat name =
+  match stats_status cat name with Fresh t -> Some t | Stale _ | Missing -> None
+
+let set_stats cat name t =
+  match String_map.find_opt name cat with
+  | None -> cat
+  | Some e ->
+      String_map.add name { e with e_stats = Some (e.e_version, t) } cat
+
+let clear_stats cat name =
+  match String_map.find_opt name cat with
+  | None -> cat
+  | Some e -> String_map.add name { e with e_stats = None } cat
 
 type reference_violation = {
   relation : string;
@@ -70,9 +124,9 @@ let fk_violations cat rel_name fk x =
 
 let check_references cat =
   String_map.fold
-    (fun rel_name (schema, x) acc ->
+    (fun rel_name e acc ->
       List.concat_map
-        (fun fk -> fk_violations cat rel_name fk x)
-        (Schema.foreign_keys schema)
+        (fun fk -> fk_violations cat rel_name fk e.e_x)
+        (Schema.foreign_keys e.e_schema)
       @ acc)
     cat []

@@ -34,6 +34,30 @@ val set_relation : t -> string -> Xrel.t -> t
 val to_db : t -> (string * (Schema.t * Xrel.t)) list
 (** Export in the shape the {!Quel.Resolve} evaluator consumes. *)
 
+(** {1 Statistics}
+
+    Each relation carries an internal data version, bumped by every
+    write ({!add} over an existing name, {!set_relation} — including
+    journal replay during recovery). Stats set through {!set_stats}
+    are stamped with the version current at that moment and count as
+    fresh only while no write has happened since; a mutation
+    invalidates them implicitly, with no path that forgets to. *)
+
+type stats_status =
+  | Fresh of Stats.table  (** Collected against the current data. *)
+  | Stale of Stats.table  (** The relation changed since collection. *)
+  | Missing  (** Never analyzed (or unknown relation). *)
+
+val stats_status : t -> string -> stats_status
+
+val stats : t -> string -> Stats.table option
+(** Fresh stats only; [None] when stale or missing. *)
+
+val set_stats : t -> string -> Stats.table -> t
+(** Stamps and stores; no-op on an unknown name. *)
+
+val clear_stats : t -> string -> t
+
 type reference_violation = {
   relation : string;  (** Referencing relation. *)
   fk : Schema.foreign_key;

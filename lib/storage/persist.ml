@@ -157,6 +157,46 @@ let read_manifest io dir name =
   if not (io.Io.file_exists path) then None
   else manifest_of_string (io.Io.read_file path)
 
+(* --------------------------- stats ---------------------------- *)
+
+(* The STATS file rides along with the checkpoint: the {!Stats} body
+   plus the same self-checksum trailer the manifest uses. It is pure
+   acceleration state — a missing, torn or stale file only costs the
+   planner its estimates — so damage degrades to "no stats" silently
+   rather than quarantining anything. *)
+let stats_name = "STATS"
+
+let stats_to_string entries =
+  let body = Stats.tables_to_string entries in
+  Printf.sprintf "%send\t%s\n" body (Crc32.to_hex (Crc32.digest body))
+
+let stats_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec split_at_end body = function
+    | [] -> None
+    | line :: rest when String.length line >= 4 && String.sub line 0 4 = "end\t"
+      ->
+        if List.for_all (String.equal "") rest then
+          Some (List.rev body, String.sub line 4 (String.length line - 4))
+        else None
+    | line :: rest -> split_at_end (line :: body) rest
+  in
+  match split_at_end [] lines with
+  | None -> None
+  | Some (body_lines, crc_hex) -> (
+      let body = String.concat "" (List.map (fun l -> l ^ "\n") body_lines) in
+      match Crc32.of_hex crc_hex with
+      | Some crc when crc = Crc32.digest body -> (
+          match Stats.tables_of_string body with
+          | entries -> Some entries
+          | exception Stats.Corrupt _ -> None)
+      | _ -> None)
+
+let read_stats io dir =
+  let path = Filename.concat dir stats_name in
+  if not (io.Io.file_exists path) then None
+  else stats_of_string (io.Io.read_file path)
+
 (* ---------------------------- save ---------------------------- *)
 
 let m_checkpoints =
@@ -202,6 +242,18 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
     }
   in
   io.Io.write_file (path pending_name) (manifest_to_string manifest);
+  (* Fresh statistics ride along, each stamped with the CRC of the data
+     file being written — the loader re-checks the stamp, so a torn or
+     superseded STATS degrades to "no stats", never to wrong ones. *)
+  let stats_entries =
+    List.filter_map
+      (fun (name, _, dtext) ->
+        match Catalog.stats_status cat name with
+        | Catalog.Fresh t -> Some (name, Crc32.to_hex (Crc32.digest dtext), t)
+        | Catalog.Stale _ | Catalog.Missing -> None)
+      entries
+  in
+  io.Io.write_file (path (stats_name ^ ".tmp")) (stats_to_string stats_entries);
   (* Rename data files into place. A crash here leaves a mix of old and
      new files, each atomic on its own; the reader disambiguates by
      checksum against MANIFEST (old) and MANIFEST.next (staged above). *)
@@ -210,6 +262,7 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
       io.Io.rename (path (name ^ ".schema.tmp")) (path (name ^ ".schema"));
       io.Io.rename (path (name ^ ".csv.tmp")) (path (name ^ ".csv")))
     entries;
+  io.Io.rename (path (stats_name ^ ".tmp")) (path stats_name);
   (* The commit point. *)
   io.Io.rename (path pending_name) (path manifest_name);
   io.Io.fsync_dir dir;
@@ -290,7 +343,7 @@ let load_relation io dir name expected =
   in
   let schema = schema_of_string stext in
   let _, x = Csv.read_string ~schema dtext in
-  (schema, x, base_lsn)
+  (schema, x, base_lsn, Crc32.to_hex (Crc32.digest dtext))
 
 let load_report ?(io = Io.real) ~dir () =
   if not (io.Io.file_exists dir) then errorf "no such directory %s" dir;
@@ -331,9 +384,9 @@ let load_report ?(io = Io.real) ~dir () =
     List.map
       (fun name ->
         match load_relation io dir name expected with
-        | schema, x, base_lsn -> (
+        | schema, x, base_lsn, dcrc -> (
             match Catalog.add Catalog.empty schema x with
-            | _ -> (name, `Loaded (schema, x, base_lsn))
+            | _ -> (name, `Loaded (schema, x, base_lsn, dcrc))
             | exception Catalog.Violation violations ->
                 ( name,
                   `Corrupt
@@ -351,10 +404,31 @@ let load_report ?(io = Io.real) ~dir () =
     List.fold_left
       (fun (cat, lsns) (name, outcome) ->
         match outcome with
-        | `Loaded (schema, x, base_lsn) ->
+        | `Loaded (schema, x, base_lsn, _) ->
             (Catalog.add_unchecked cat schema x, (name, base_lsn) :: lsns)
         | `Corrupt _ -> (cat, lsns))
       (Catalog.empty, []) loaded
+  in
+  (* Attach persisted statistics before journal replay: an entry sticks
+     only when its CRC stamp matches the data file just loaded, and any
+     replayed record afterwards bumps the relation's version, leaving
+     the attached stats observably stale rather than silently wrong. *)
+  let catalog =
+    match read_stats io dir with
+    | None -> catalog
+    | Some stats_entries ->
+        List.fold_left
+          (fun cat (name, stamp, t) ->
+            let matches =
+              List.exists
+                (function
+                  | n, `Loaded (_, _, _, dcrc) ->
+                      String.equal n name && String.equal dcrc stamp
+                  | _, `Corrupt _ -> false)
+                loaded
+            in
+            if matches then Catalog.set_stats cat name t else cat)
+          catalog stats_entries
   in
   let manifest_lsn = match primary with Some m -> m.m_lsn | None -> 0 in
   (* Replay the journal tail: records past the checkpoint a relation's

@@ -32,6 +32,16 @@
     reader can always tell a half-renamed checkpoint (file matches
     [MANIFEST.next]) from corruption (file matches neither).
 
+    A [STATS] file rides along with the checkpoint: the {!Stats}
+    serialization of every relation's {e fresh} statistics, each entry
+    stamped with the CRC of the data file it describes, closed by the
+    same self-checksum trailer as the manifest. The loader attaches an
+    entry only when its stamp matches the data file actually loaded
+    and does so {e before} journal replay, so replayed mutations leave
+    the stats observably stale (see {!Catalog.stats_status}). Statistics
+    are pure acceleration state: a missing, torn or superseded [STATS]
+    file silently yields a catalog without stats, never a load failure.
+
     {!load_report} degrades gracefully: a corrupt, truncated or
     checksum-mismatched relation is quarantined with a reason instead of
     aborting the whole catalog, and committed journal records

@@ -87,4 +87,41 @@ grep -q '^# TYPE' "$tmp/m_budget.prom" \
 grep -q 'nullrel_aborts_total{class="budget"} 1' "$tmp/m_budget.prom" \
     || fail "budget dump does not count the abort"
 
+# --- aggregate bounds ------------------------------------------
+cat > "$tmp/names.csv" <<EOF
+ID,NAME
+1,ada
+2,grace
+3,-
+EOF
+
+expect 0 "agg count" \
+    "$CLI" agg count --rel "R=$tmp/r.csv" 'range of r is R retrieve (r.A)'
+expect 0 "agg sum over a null-free column" \
+    "$CLI" agg sum --attr r.A --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A)'
+# completing a null needs a finite domain; CSV columns are guessed as
+# unbounded, so this must be classified bad input, not a crash
+expect 2 "agg sum over a nullable unbounded column" \
+    "$CLI" agg sum --attr r.B --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A)'
+# regression: aggregating a string column used to escape as an
+# unclassified exception; it must be reported as bad input (2)
+expect 2 "agg sum over a string column" \
+    "$CLI" agg sum --attr v.NAME --rel "S=$tmp/names.csv" \
+    'range of v is S retrieve (v.ID)'
+expect 2 "agg count rejects --attr" \
+    "$CLI" agg count --attr r.B --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A)'
+expect 2 "agg sum without --attr" \
+    "$CLI" agg sum --rel "R=$tmp/r.csv" 'range of r is R retrieve (r.A)'
+expect 2 "agg with malformed --attr" \
+    "$CLI" agg sum --attr nodot --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A)'
+
+# --- statistics-driven planning --------------------------------
+expect 0 "query with --analyze" \
+    "$CLI" query --analyze --rel "R=$tmp/r.csv" \
+    'range of r is R retrieve (r.A) where r.B = 10'
+
 echo "cli exit codes: ok"

@@ -169,11 +169,11 @@ let test_type_guard () =
     [ ("S", (sch, x [ t [ ("NAME", s "x") ] ])) ]
   in
   let q = Quel.Parser.parse "range of v is S retrieve (v.NAME)" in
-  Alcotest.(check bool) "non-integer aggregate rejected" true
+  Alcotest.(check bool) "non-integer aggregate rejected as bad input" true
     (try
        ignore (Quel.Aggregate.bounds db q (Quel.Aggregate.Sum ("v", "NAME")));
        false
-     with Quel.Aggregate.Not_integer _ -> true)
+     with Exec_error.Error (Exec_error.Bad_input _) -> true)
 
 let suite =
   [

@@ -157,7 +157,9 @@ let test_rewrite_constant_folding () =
   Alcotest.(check bool) "diff with empty subtrahend" true
     (Plan.Expr.equal (optimize (Diff (Rel "R", empty))) (Plan.Expr.Rel "R"))
 
-let stats name = if name = "R" then Some 1000 else Some 100
+let stats =
+  Plan.Cost.of_rowcount (fun name ->
+      if name = "R" then Some 1000 else Some 100)
 
 let test_cost_model () =
   let unpushed = Plan.Expr.Select (p_a, Product (Rel "R", Rel "S")) in
@@ -168,7 +170,9 @@ let test_cost_model () =
     (Plan.Cost.cardinality ~stats pushed
     <= Plan.Cost.cardinality ~stats unpushed);
   Alcotest.(check bool) "unknown stats use the default" true
-    (Plan.Cost.cardinality ~stats:(fun _ -> None) (Rel "Z")
+    (Plan.Cost.cardinality
+       ~stats:(Plan.Cost.of_rowcount (fun _ -> None))
+       (Rel "Z")
     = Plan.Cost.default_cardinality)
 
 let qa_db : Quel.Resolve.db =
@@ -233,8 +237,9 @@ let test_compile_plan_shape () =
   Alcotest.(check bool) "selections pushed off the product" false
     (has_select_above_product optimized);
   (* and the estimated cost strictly drops *)
-  let stats name =
-    Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name qa_db)
+  let stats =
+    Plan.Cost.of_rowcount (fun name ->
+        Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt name qa_db))
   in
   Alcotest.(check bool) "estimated cost drops" true
     (Plan.Cost.cost ~stats optimized < Plan.Cost.cost ~stats plan)

@@ -185,6 +185,10 @@ let hostile_inputs =
     ".limit tuples -3";
     ".limit tuples 0";
     ".limit time 1 extra";
+    ".analyze MISSING";
+    ".stats-catalog extra args";
+    (* out-of-range integer literal: must be a lexer error, not a crash *)
+    "range of p is PS retrieve (p.S#) where p.P# = 99999999999999999999";
   ]
 
 let test_never_raises () =
@@ -297,6 +301,46 @@ let test_limit_budget_aborts_dml () =
             (contains shown "s1")
       | _ -> Alcotest.fail "expected five outputs")
 
+(* Regression: an out-of-range int literal used to escape the lexer as
+   a bare [Failure] from [int_of_string]; it must come back classified. *)
+let test_out_of_range_literal () =
+  let _, out =
+    Shell.exec Shell.initial
+      "range of p is PS retrieve (p.S#) where p.P# = 99999999999999999999"
+  in
+  Alcotest.(check bool) "classified as a lex error" true
+    (contains out "error" && contains out "out of range")
+
+let test_analyze_and_stats_catalog () =
+  with_ps_csv (fun path ->
+      let _, outputs =
+        feed
+          [
+            Printf.sprintf ".load PS %s" path;
+            ".stats-catalog";
+            ".analyze";
+            ".stats-catalog";
+            "append to PS (S# = \"s9\", P# = \"p9\")";
+            ".stats-catalog";
+            ".analyze PS";
+            ".stats-catalog";
+          ]
+      in
+      match outputs with
+      | [ _; unanalyzed; analyzed; fresh; _; stale; reanalyzed; fresh2 ] ->
+          Alcotest.(check bool) "starts unanalyzed" true
+            (contains unanalyzed "not analyzed");
+          Alcotest.(check bool) "analyze reports the scan" true
+            (contains analyzed "analyzed PS: 5 rows");
+          Alcotest.(check bool) "fresh after analyze" true
+            (contains fresh "fresh");
+          Alcotest.(check bool) "append makes them stale" true
+            (contains stale "stale");
+          Alcotest.(check bool) "re-analyze targets one relation" true
+            (contains reanalyzed "analyzed PS");
+          Alcotest.(check bool) "fresh again" true (contains fresh2 "fresh")
+      | _ -> Alcotest.fail "expected eight outputs")
+
 let test_empty_input () =
   let st, out = Shell.exec Shell.initial "" in
   Alcotest.(check string) "empty input, empty output" "" out;
@@ -320,5 +364,9 @@ let suite =
       test_limit_admission_control;
     Alcotest.test_case "runtime budget catches updates" `Quick
       test_limit_budget_aborts_dml;
+    Alcotest.test_case "out-of-range literal is classified" `Quick
+      test_out_of_range_literal;
+    Alcotest.test_case ".analyze and .stats-catalog" `Quick
+      test_analyze_and_stats_catalog;
     Alcotest.test_case "empty input" `Quick test_empty_input;
   ]

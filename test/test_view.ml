@@ -135,6 +135,37 @@ let test_errors () =
        false
      with Plan.View.Error _ -> true)
 
+(* Regression: the view-name and column lookups used to be bare
+   [List.assoc], so an unknown name escaped as [Not_found] instead of a
+   classified [View.Error]. *)
+let test_unknown_lookups_classified () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let error_of f =
+    try
+      ignore (f ());
+      None
+    with Plan.View.Error msg -> Some msg
+  in
+  (match error_of (fun () -> Plan.View.view_schema db ~views "NOPE") with
+  | Some msg ->
+      Alcotest.(check bool) "schema error names the view" true
+        (contains msg "NOPE")
+  | None -> Alcotest.fail "view_schema on unknown view did not raise");
+  Alcotest.(check bool) "materialize on unknown view" true
+    (error_of (fun () -> Plan.View.materialize db ~views "NOPE") <> None);
+  match
+    error_of (fun () ->
+        run_with_views "range of l is LONDONERS retrieve (l.NO_SUCH)")
+  with
+  | Some msg ->
+      Alcotest.(check bool) "column error names view and column" true
+        (contains msg "LONDONERS" && contains msg "NO_SUCH")
+  | None -> Alcotest.fail "unknown column did not raise"
+
 let suite =
   [
     Alcotest.test_case "simple expansion" `Quick test_expand_simple;
@@ -147,4 +178,6 @@ let suite =
       test_expand_matches_materialize;
     Alcotest.test_case "view schemas" `Quick test_view_schema;
     Alcotest.test_case "errors and cycles" `Quick test_errors;
+    Alcotest.test_case "unknown lookups are classified" `Quick
+      test_unknown_lookups_classified;
   ]
