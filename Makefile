@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke metrics-demo analyze-demo fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -54,6 +54,16 @@ analyze-demo:
 	  printf '.plan range of p is PS range of s is S retrieve (s.CITY) where p.S# = s.S# and p.P# = "p1"\n'; \
 	  printf '.quit\n'; } | \
 	$(DUNE) exec bin/nullrel_cli.exe -- repl
+
+# The session layer end to end: two sessions race a write-write
+# hotspot on overlapping snapshots — one group batch, a conflict, a
+# retry — then a contended load drive over real domains. Exercised by
+# CI at 1 and 4 domains so the commit path runs both inline and truly
+# concurrent.
+session-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	$(DUNE) exec bin/nullrel_cli.exe -- sessions --demo
+	$(DUNE) exec bin/nullrel_cli.exe -- sessions --sessions 2 --txns 25 --conflict-every 3
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

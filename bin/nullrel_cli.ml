@@ -45,6 +45,9 @@ let emit ~as_csv attrs x =
    failing disk (3) from a governor abort (4..6). *)
 let handle f =
   try f () with
+  | Session.Session_error.Error e ->
+      Printf.eprintf "error: %s\n" (Session.Session_error.to_string e);
+      exit (Session.Session_error.exit_code e)
   | Exec_error.Error e ->
       Printf.eprintf "error: %s\n" (Exec_error.to_string e);
       exit (Exec_error.exit_code e)
@@ -73,6 +76,8 @@ let handle f =
 (* --metrics-file / --trace both enable collection up front and flush
    through [at_exit], so the dump is written even when [handle] leaves
    with a nonzero code on a governor abort. *)
+let metrics_dumped = ref false
+
 let setup_obs metrics_file trace =
   if metrics_file <> None || trace then begin
     Obs.Metrics.set_enabled true;
@@ -80,11 +85,22 @@ let setup_obs metrics_file trace =
     Option.iter
       (fun path ->
         at_exit (fun () ->
-            try
-              let oc = open_out path in
-              output_string oc (Obs.Metrics.dump_prometheus ());
-              close_out oc
-            with Sys_error _ -> prerr_endline ("cannot write " ^ path)))
+            (* Exactly one aggregated dump per process: every session
+               and every domain feeds the same global registry, so a
+               single writer sees it all — and writing a sibling then
+               renaming publishes the file atomically, so a concurrent
+               reader (or a crash mid-dump) never observes interleaved
+               or half-written text. *)
+            if not !metrics_dumped then begin
+              metrics_dumped := true;
+              try
+                let tmp = path ^ ".tmp" in
+                let oc = open_out tmp in
+                output_string oc (Obs.Metrics.dump_prometheus ());
+                close_out oc;
+                Sys.rename tmp path
+              with Sys_error _ -> prerr_endline ("cannot write " ^ path)
+            end))
       metrics_file;
     if trace then
       at_exit (fun () ->
@@ -475,6 +491,103 @@ let fsck_cmd =
   in
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
 
+let sessions_cmd =
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  let dir_arg =
+    let doc =
+      "Catalog directory for the drive (created if absent). Default: a \
+       throwaway temporary directory, removed afterwards."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~doc ~docv:"DIR")
+  in
+  let sessions_arg =
+    let doc = "Concurrent sessions to drive." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~doc ~docv:"N")
+  in
+  let txns_arg =
+    let doc = "Transactions per session." in
+    Arg.(value & opt int 100 & info [ "txns" ] ~doc ~docv:"N")
+  in
+  let conflict_arg =
+    let doc =
+      "Make every $(docv)th transaction hit a shared write-write hotspot \
+       (0 disables contention)."
+    in
+    Arg.(value & opt int 0 & info [ "conflict-every" ] ~doc ~docv:"K")
+  in
+  let serial_flag =
+    let doc = "One fsync per transaction instead of group commit." in
+    Arg.(value & flag & info [ "serial" ] ~doc)
+  in
+  let demo_flag =
+    let doc =
+      "Print the deterministic two-session walkthrough (snapshot isolation, \
+       one group batch, a conflict, a retry) instead of the load drive."
+    in
+    Arg.(value & flag & info [ "demo" ] ~doc)
+  in
+  let run timeout tuples metrics trace domains dir nsessions txns
+      conflict_every serial demo =
+    governed timeout tuples metrics trace domains (fun () ->
+        let with_dir f =
+          match dir with
+          | Some d -> f d
+          | None ->
+              let d = Filename.temp_file "nullrel_sessions" "" in
+              Sys.remove d;
+              Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+        in
+        with_dir @@ fun dir ->
+        if demo then
+          List.iter print_endline (Session.Drive.demo ~dir ())
+        else begin
+          Session.Drive.seed ~dir ();
+          let config =
+            { Session.default_config with Session.group = not serial }
+          in
+          let eng, _ = Session.open_engine ~config ~dir () in
+          let r =
+            Session.Drive.contention eng ~sessions:nsessions ~txns
+              ~conflict_every ()
+          in
+          Session.shutdown eng;
+          let s = r.Session.Drive.engine_stats in
+          let lat = r.Session.Drive.latencies_s in
+          Printf.printf
+            "sessions %d  txns/session %d  mode %s\n\
+             committed %d  conflicts %d  queue-full retries %d  events %d\n\
+             throughput %.0f txn/s  commit latency p50 %.2f ms  p99 %.2f ms\n\
+             batches %d  records %d  max batch %d\n"
+            r.Session.Drive.sessions r.Session.Drive.txns_per_session
+            (if serial then "serial (one fsync per txn)" else "group commit")
+            r.Session.Drive.committed r.Session.Drive.conflicts
+            r.Session.Drive.queue_full_retries r.Session.Drive.events
+            (float_of_int r.Session.Drive.committed
+            /. Float.max 1e-9 r.Session.Drive.elapsed_s)
+            (1e3 *. Session.Drive.percentile lat 50.)
+            (1e3 *. Session.Drive.percentile lat 99.)
+            s.Session.batches s.Session.records s.Session.max_batch
+        end)
+  in
+  let doc =
+    "Drive concurrent sessions with snapshot isolation and group commit: a \
+     contention benchmark over the domain pool, or (--demo) a deterministic \
+     walkthrough. Conflicts exit 7, a full commit queue 8, a poisoned \
+     engine 9 — but the drive retries those internally and exits 0."
+  in
+  Cmd.v (Cmd.info "sessions" ~doc)
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ domains_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
+      $ serial_flag $ demo_flag)
+
 let repl_cmd =
   let run metrics trace domains =
     Option.iter Par.Pool.set_domains domains;
@@ -518,5 +631,6 @@ let () =
             agg_cmd;
             convert_cmd;
             fsck_cmd;
+            sessions_cmd;
             repl_cmd;
           ]))

@@ -27,6 +27,11 @@ val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
 val exec_string : Storage.Catalog.t -> string -> outcome
 (** [exec] composed with {!Quel.Parser.parse_statement}. *)
 
+val target_relation : Quel.Ast.statement -> string option
+(** The relation a statement writes: [None] for [retrieve], the target
+    name for [append]/[delete]/[replace]. The session layer uses this
+    to maintain per-transaction write sets. *)
+
 (** {1 Durable mode}
 
     A durable session pins the catalog to a directory with

@@ -88,31 +88,47 @@ let full_check g =
    branch only runs once that comparison has already failed. *)
 let unlimited_observed = { unlimited with charged = 0 }
 
-let ambient = ref unlimited
-let current () = !ambient
+(* The ambient slot is domain-local (one ref cell per domain, lazily
+   allocated by DLS), so concurrent sessions running on their own
+   domains each govern themselves: a tick on one session's domain can
+   never charge — or race on — another domain's governor. The fast
+   path gains one DLS array load over the old plain global. *)
+let ambient : t ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> ref unlimited)
+
+let slot () = Stdlib.Domain.DLS.get ambient
+let current () = !(slot ())
 let limited g = g != unlimited && g != unlimited_observed
 
 (* The base sentinel the ambient slot must hold when no governor is
-   installed, given the current obs state. *)
+   installed, given the current obs state. Only the main domain swaps
+   to [unlimited_observed]: span tracing is main-domain state, and a
+   freshly spawned session domain starts at plain [unlimited] anyway
+   (its DLS initializer cannot observe later hot flips). *)
 let base_sentinel () =
-  if !Obs.Metrics.hot then unlimited_observed else unlimited
+  if !Obs.Metrics.hot && Stdlib.Domain.is_main_domain () then
+    unlimited_observed
+  else unlimited
 
 let () =
   Obs.Metrics.on_hot_change :=
     (fun _ ->
-      let g = !ambient in
-      if g == unlimited || g == unlimited_observed then
-        ambient := base_sentinel ())
+      let r = slot () in
+      if !r == unlimited || !r == unlimited_observed then
+        r := base_sentinel ())
 
 let m_ticks =
   Obs.Metrics.counter ~help:"Governor ticks charged by the engine hot loops"
     "nullrel_exec_ticks_total"
 
 let tick ?(cost = 1) () =
-  let g = !ambient in
+  let g = !(Stdlib.Domain.DLS.get ambient) in
   if g != unlimited then begin
     (if !Obs.Metrics.hot then begin
-       Obs.Span.charge cost;
+       (* Span state lives on the main domain; governed session
+          domains skip the span charge but still count ticks (the
+          counter is atomic). *)
+       if Stdlib.Domain.is_main_domain () then Obs.Span.charge cost;
        Obs.Metrics.add m_ticks cost
      end);
     if g != unlimited_observed then begin
@@ -139,17 +155,18 @@ let drain_ticks a =
   if n > 0 then tick ~cost:n ()
 
 let checkpoint () =
-  let g = !ambient in
+  let g = !(slot ()) in
   if limited g then full_check g
 
 let with_governor g f =
-  let saved = !ambient in
-  ambient := g;
+  let r = slot () in
+  let saved = !r in
+  r := g;
   Fun.protect
     ~finally:(fun () ->
       (* Re-derive a stale sentinel: obs may have flipped while [f]
          ran (e.g. a span opened just outside this scope closed). *)
-      ambient :=
+      r :=
         (if saved == unlimited || saved == unlimited_observed then
            base_sentinel ()
          else saved))

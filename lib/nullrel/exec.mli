@@ -14,14 +14,18 @@
     violation the governor raises {!Exec_error.Error} — it never
     returns a degraded answer.
 
-    The ambient slot is a plain global owned by the {e coordinator}
-    domain. Worker domains spawned by {!Par.Pool} must never call
-    {!tick} — [charged] and the amortization countdown are
-    unsynchronized. Parallel kernels instead count work into a per-task
-    [Atomic.t] which the coordinator charges via {!drain_ticks} between
-    the chunks it runs itself, preserving deadline, budget and
-    cancellation semantics across domains (workers observe the pool's
-    cancel flag at chunk boundaries when the drain raises). *)
+    The ambient slot is {e domain-local} (one cell per domain, lazily
+    created): a session running on its own domain installs and ticks
+    its own governor without ever racing another domain's — the basis
+    of the per-session governors in {!Session}. Worker domains spawned
+    by {!Par.Pool} still must never call {!tick} against a governor
+    they did not install — [charged] and the amortization countdown
+    are unsynchronized within a domain. Parallel kernels instead count
+    work into a per-task [Atomic.t] which the coordinator charges via
+    {!drain_ticks} between the chunks it runs itself, preserving
+    deadline, budget and cancellation semantics across domains
+    (workers observe the pool's cancel flag at chunk boundaries when
+    the drain raises). *)
 
 type t
 

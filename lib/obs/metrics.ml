@@ -1,9 +1,11 @@
-(* Ambient metrics registry. Counters are atomic so worker domains in
-   the Par pool can bump them concurrently; an update is still just a
-   load, a branch on [enabled], and one lock-free RMW. Gauges and
-   histograms stay plain mutable fields — they are only written from
-   the coordinator domain (registration, dumps and span bookkeeping
-   are coordinator-only too). *)
+(* Ambient metrics registry. Counters and histograms are atomic so
+   worker domains in the Par pool and session domains in the Session
+   engine can update them concurrently; an update is still just a
+   load, a branch on [enabled], and lock-free RMWs. Gauges stay plain
+   mutable fields — they are only written under the writer's own
+   serialization (the coordinator domain, or the session engine's
+   lock). Registration, dumps and span bookkeeping remain
+   coordinator-only. *)
 
 let enabled = ref false
 let hot = ref false
@@ -44,9 +46,9 @@ type gauge = { mutable g : float }
 let buckets = 63
 
 type histogram = {
-  counts : int array; (* length [buckets] *)
-  mutable sum : int;
-  mutable n : int;
+  counts : int Atomic.t array; (* length [buckets] *)
+  sum : int Atomic.t;
+  n : int Atomic.t;
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -99,7 +101,12 @@ let gauge ?(labels = []) ~help name =
 let histogram ?(labels = []) ~help name =
   match
     register name labels help "histogram" (fun () ->
-        H { counts = Array.make buckets 0; sum = 0; n = 0 })
+        H
+          {
+            counts = Array.init buckets (fun _ -> Atomic.make 0);
+            sum = Atomic.make 0;
+            n = Atomic.make 0;
+          })
   with
   | H h -> h
   | _ -> assert false
@@ -116,16 +123,16 @@ let bucket_index v =
 
 let observe h v =
   if !enabled then begin
-    h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
-    h.sum <- h.sum + v;
-    h.n <- h.n + 1
+    Atomic.incr h.counts.(bucket_index v);
+    ignore (Atomic.fetch_and_add h.sum v);
+    Atomic.incr h.n
   end
 
 let counter_value c = Atomic.get c
 let gauge_value g = g.g
-let bucket_count h i = h.counts.(i)
-let histogram_sum h = h.sum
-let histogram_count h = h.n
+let bucket_count h i = Atomic.get h.counts.(i)
+let histogram_sum h = Atomic.get h.sum
+let histogram_count h = Atomic.get h.n
 
 let reset () =
   List.iter
@@ -134,9 +141,9 @@ let reset () =
       | C c -> Atomic.set c 0
       | G g -> g.g <- 0.
       | H h ->
-          Array.fill h.counts 0 buckets 0;
-          h.sum <- 0;
-          h.n <- 0)
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.sum 0;
+          Atomic.set h.n 0)
     !registry
 
 (* Upper bound of bucket i as a Prometheus [le] string: bucket 0 is
@@ -181,10 +188,11 @@ let dump_prometheus () =
       | H h ->
           let cumulative = ref 0 in
           for i = 0 to buckets - 1 do
-            cumulative := !cumulative + h.counts.(i);
+            let c = Atomic.get h.counts.(i) in
+            cumulative := !cumulative + c;
             (* Elide empty interior buckets to keep dumps readable; the
                +Inf bucket always appears so the series is well formed. *)
-            if h.counts.(i) > 0 || i = buckets - 1 then
+            if c > 0 || i = buckets - 1 then
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket%s %d\n" e.name
                    (label_string_extra e.labels ("le", le_string i))
@@ -192,10 +200,10 @@ let dump_prometheus () =
           done;
           Buffer.add_string buf
             (Printf.sprintf "%s_sum%s %d\n" e.name (label_string e.labels)
-               h.sum);
+               (Atomic.get h.sum));
           Buffer.add_string buf
             (Printf.sprintf "%s_count%s %d\n" e.name (label_string e.labels)
-               h.n))
+               (Atomic.get h.n)))
     !registry;
   Buffer.contents buf
 
@@ -212,7 +220,9 @@ let dump_sexp () =
         match e.metric with
         | C c -> string_of_int (Atomic.get c)
         | G g -> Printf.sprintf "%g" g.g
-        | H h -> Printf.sprintf "(sum %d) (count %d)" h.sum h.n
+        | H h ->
+            Printf.sprintf "(sum %d) (count %d)" (Atomic.get h.sum)
+              (Atomic.get h.n)
       in
       Buffer.add_string buf
         (Printf.sprintf "\n (%s (%s) %s %s)" e.name labels

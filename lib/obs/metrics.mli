@@ -2,11 +2,14 @@
     histograms in one registry, exported as Prometheus text format and
     as s-expressions.
 
-    The registry is ambient. Counters are domain-safe ([Atomic.t], so
-    the {!Par} pool's worker domains may bump them concurrently); an
-    update is a load, a branch, and one lock-free read-modify-write.
-    Gauges, histograms, registration, resets and dumps remain
-    coordinator-only, like the {!Nullrel.Exec} governor slot.
+    The registry is ambient. Counters and histograms are domain-safe
+    ([Atomic.t] cells, so the {!Par} pool's worker domains and the
+    session engine's committer — which runs on whichever domain led
+    the flush — may update them concurrently); an update is a load, a
+    branch, and lock-free read-modify-writes. Gauges, registration,
+    resets and dumps remain coordinator-only (or otherwise serialized
+    by their caller, as the session engine's lock does for its
+    gauges).
     Instrumentation is {e disabled by default}; every update first
     consults {!enabled}, so an instrumented hot loop pays one predicted
     branch when observability is off.

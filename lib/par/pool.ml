@@ -29,12 +29,20 @@ let default_domains () =
     | None -> Domain.recommended_domain_count ())
 
 (* 0 = not resolved yet; resolved lazily so a CLI [--domains] override
-   installed before the first parallel run wins over the environment. *)
-let configured = ref 0
+   installed before the first parallel run wins over the environment.
+   Atomic: session domains consult [domains ()] through the Kernel
+   dispatch concurrently with the main domain (a racing first resolve
+   is idempotent — both writers store the same value). *)
+let configured = Atomic.make 0
 
 let domains () =
-  if !configured = 0 then configured := default_domains ();
-  !configured
+  let n = Atomic.get configured in
+  if n <> 0 then n
+  else begin
+    let n = default_domains () in
+    ignore (Atomic.compare_and_set configured 0 n);
+    Atomic.get configured
+  end
 
 let parallelizable () = domains () > 1
 
@@ -138,8 +146,8 @@ let shutdown () =
 
 let set_domains n =
   let n = clamp n in
-  if n <> !configured then begin
-    configured := n;
+  if n <> Atomic.get configured then begin
+    Atomic.set configured n;
     (* Wrong-sized pool: tear down now, respawn lazily. *)
     if !workers <> [] && List.length !workers <> n - 1 then shutdown ()
   end

@@ -40,6 +40,14 @@ let governed st f =
         (Exec.make ?deadline_s:time_s ?max_tuples:max_tuples ())
         f
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
 let help =
   ".agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
    .analyze [NAME ...]    collect planner statistics (all relations by \
@@ -61,6 +69,8 @@ let help =
    .quit                  leave\n\
    .save DIR              save the catalog (atomic, checksummed)\n\
    .schema NAME           print a relation's schema\n\
+   .session [DIR]         two-session walkthrough: snapshot isolation, group \
+   commit, a conflict, a retry\n\
    .show NAME             print a relation\n\
    .slowlog [MS | off]    show the slow-statement log, or set its threshold\n\
    .stats [reset]         dump metrics (Prometheus text), or zero them\n\
@@ -371,6 +381,17 @@ let exec st line =
       | [ ".open" ] | [ ".fsck" ] | [ ".save" ] | [ ".load" ] | [ ".show" ]
       | [ ".schema" ] ->
           (st, "error: missing argument (try .help)")
+      | [ ".session" ] ->
+          let dir = Filename.temp_file "nullrel_session_demo" "" in
+          Sys.remove dir;
+          let lines =
+            Fun.protect
+              ~finally:(fun () -> rm_rf dir)
+              (fun () -> Session.Drive.demo ~dir ())
+          in
+          (st, String.concat "\n" lines)
+      | [ ".session"; dir ] ->
+          (st, String.concat "\n" (Session.Drive.demo ~dir ()))
       | [ ".show"; name ] ->
           ( st,
             with_relation st name (fun schema x ->

@@ -10,6 +10,10 @@ type t = {
   readdir : string -> string array;
   file_exists : string -> bool;
   fsync_dir : string -> unit;
+  note : string -> unit;
+      (* Protocol narration: durable protocols announce named points
+         ("group-commit:fsynced", ...) so {!crash_at} can kill the
+         modelled process exactly there. [ignore] on {!real}. *)
 }
 
 (* --------------------------- real ----------------------------- *)
@@ -78,6 +82,7 @@ let real =
         | fd ->
             fsync_fd fd;
             (try Unix.close fd with Unix.Unix_error _ -> ()));
+    note = ignore;
   }
 
 (* ----------------------- fault injection ---------------------- *)
@@ -129,6 +134,38 @@ let faulty ~fault ~after base =
     readdir = base.readdir;
     file_exists = base.file_exists;
     fsync_dir = (fun path -> mutating "fsync_dir" (fun () -> base.fsync_dir path));
+    note = base.note;
+  }
+
+(* ---------------------- named crash points --------------------- *)
+
+let crash_at ~point base =
+  let dead = ref false in
+  let guard name f x =
+    if !dead then
+      raise
+        (Injected_fault
+           (Printf.sprintf "operation %s after crash at %s" name point))
+    else f x
+  in
+  {
+    (* Reads pass through so a post-mortem can inspect the debris. *)
+    read_file = base.read_file;
+    readdir = base.readdir;
+    file_exists = base.file_exists;
+    write_file = (fun p c -> guard "write_file" (base.write_file p) c);
+    append_file = (fun p c -> guard "append_file" (base.append_file p) c);
+    rename = (fun s d -> guard "rename" (base.rename s) d);
+    remove = (fun p -> guard "remove" base.remove p);
+    mkdir = (fun p -> guard "mkdir" base.mkdir p);
+    fsync_dir = (fun p -> guard "fsync_dir" base.fsync_dir p);
+    note =
+      (fun p ->
+        base.note p;
+        if (not !dead) && String.equal p point then begin
+          dead := true;
+          raise (Injected_fault ("crash injected at point " ^ point))
+        end);
   }
 
 (* ----------------------- transient faults --------------------- *)
@@ -153,8 +190,28 @@ let flaky ~failures base =
     fsync_dir = (fun p -> fallible "fsync_dir" base.fsync_dir p);
   }
 
-let retrying ?(attempts = 3) ?(backoff = 0.002) base =
+(* Distinct default seed per wrapper: colliding sessions each carry
+   their own [retrying] wrapper, so their backoff sequences must not
+   share phase — identical jitter would retry in lockstep and collide
+   again (a thundering herd). *)
+let next_retry_seed = Atomic.make 1
+
+(* A tiny 48-bit LCG (Java's [Random] constants): deterministic for a
+   given seed, good enough to decorrelate sleep schedules. *)
+let lcg_next state =
+  state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+  (* top 24 of the 48 state bits as a float in [0, 1) *)
+  float_of_int (!state lsr 24) /. 16777216.
+
+let retrying ?(attempts = 3) ?(backoff = 0.002) ?seed
+    ?(sleep = fun d -> try Unix.sleepf d with Unix.Unix_error _ -> ()) base =
   let attempts = max 1 attempts in
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Atomic.fetch_and_add next_retry_seed 1
+  in
+  let rng = ref (seed lxor 0x9E3779B9) in
   let retry f x =
     let rec go n delay =
       match f x with
@@ -168,7 +225,11 @@ let retrying ?(attempts = 3) ?(backoff = 0.002) base =
               (Printf.sprintf "%s (after %d attempts)" msg attempts)
           else begin
             Obs.Metrics.inc m_retries;
-            (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+            (* Exponential backoff with seeded jitter: sleep a uniform
+               fraction in [1/2, 1] of the nominal delay, so two
+               wrappers that failed together drift apart instead of
+               hammering the same contended resource in lockstep. *)
+            sleep (delay *. (0.5 +. (0.5 *. lcg_next rng)));
             go (n + 1) (Float.min (delay *. 2.) 0.05)
           end
     in

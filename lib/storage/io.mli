@@ -32,6 +32,11 @@ type t = {
   file_exists : string -> bool;
   fsync_dir : string -> unit;
       (** Flush directory metadata so renames survive power loss. *)
+  note : string -> unit;
+      (** Protocol narration: durable protocols announce named points
+          (e.g. the session engine's ["group-commit:fsynced"]) so
+          {!crash_at} can model a process killed exactly there.
+          [ignore] on {!real}; wrappers pass it through. *)
 }
 
 val real : t
@@ -52,13 +57,30 @@ val faulty : fault:fault -> after:int -> t -> t
     immediately (the process is dead). Reads always pass through, so a
     post-mortem can inspect the debris. *)
 
+val crash_at : point:string -> t -> t
+(** [crash_at ~point io] kills the modelled process at a {e named}
+    protocol point instead of an operation count: when the wrapped
+    code announces [point] through {!field-note}, the note raises
+    {!Injected_fault} and every subsequent mutating operation fails
+    immediately (the process is dead). Reads still pass through for
+    post-mortems. Complements {!faulty}, which counts mutating
+    operations — [crash_at] pins the crash to a protocol step (before
+    the group fsync, after it but before snapshot publication, ...)
+    without counting ops first. *)
+
 val flaky : failures:int -> t -> t
 (** [flaky ~failures io]: the first [failures] fallible operations
     raise [Sys_error] {e before} touching the filesystem (a transient
     fault with no effect — EINTR, EAGAIN, a busy NFS server), after
     which everything passes through. Pair with {!retrying}. *)
 
-val retrying : ?attempts:int -> ?backoff:float -> t -> t
+val retrying :
+  ?attempts:int ->
+  ?backoff:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  t ->
+  t
 (** [retrying io] wraps every fallible operation in a bounded
     retry-with-exponential-backoff loop: a [Sys_error] is retried up to
     [attempts] times (default 3) sleeping [backoff] seconds (default
@@ -67,7 +89,15 @@ val retrying : ?attempts:int -> ?backoff:float -> t -> t
     [Sys_error] is treated as transient — {!Injected_fault} (a modelled
     crash) always propagates immediately. Retrying assumes the failed
     operation had no effect, which holds for the transient faults this
-    targets. *)
+    targets.
+
+    Each sleep is jittered deterministically: the wrapper draws from a
+    seeded LCG and sleeps a uniform fraction in [1/2, 1] of the
+    nominal delay, so concurrent sessions whose operations collided do
+    not retry in lockstep and collide again. [seed] pins the jitter
+    stream (tests); by default every wrapper gets a distinct seed from
+    a process-wide counter. [sleep] overrides the actual sleeping
+    (tests observe the schedule instead of waiting it out). *)
 
 val counting : t -> t * (unit -> int)
 (** [counting io] is [io] plus a counter of mutating operations

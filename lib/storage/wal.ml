@@ -106,11 +106,34 @@ let m_append_bytes =
   Obs.Metrics.counter ~help:"Write-ahead journal bytes appended"
     "storage_wal_append_bytes_total"
 
+let m_batches =
+  Obs.Metrics.counter
+    ~help:"Group-commit batches appended to the write-ahead journal"
+    "storage_wal_group_batches_total"
+
+let m_batch_records =
+  Obs.Metrics.histogram
+    ~help:"Records per group-commit batch appended to the journal"
+    "storage_wal_group_batch_records"
+
 let append ~io ~dir r =
   let frame = encode_frame r in
   Obs.Metrics.inc m_appends;
   Obs.Metrics.add m_append_bytes (String.length frame);
   io.Io.append_file (file ~dir) frame
+
+let append_batch ~io ~dir rs =
+  match rs with
+  | [] -> ()
+  | rs ->
+      let buf = Buffer.create 1024 in
+      List.iter (fun r -> Buffer.add_string buf (encode_frame r)) rs;
+      let frames = Buffer.contents buf in
+      Obs.Metrics.add m_appends (List.length rs);
+      Obs.Metrics.add m_append_bytes (String.length frames);
+      Obs.Metrics.inc m_batches;
+      Obs.Metrics.observe m_batch_records (List.length rs);
+      io.Io.append_file (file ~dir) frames
 
 let read ~io ~dir =
   let path = file ~dir in

@@ -52,6 +52,15 @@ val apply : Catalog.t -> record -> Catalog.t
 val append : io:Io.t -> dir:string -> record -> unit
 (** Appends one frame, fsynced; the commit point of a durable update. *)
 
+val append_batch : io:Io.t -> dir:string -> record list -> unit
+(** Appends every frame in one [append_file] call — one fsync for the
+    whole batch, the group-commit primitive. The frames are bytewise
+    identical to [List.iter (append ...)], so {!read} cannot tell
+    batched commits from individual ones; a crash mid-append leaves a
+    torn {e tail} (some prefix of the batch committed whole, the rest
+    gone), exactly like a torn single append. No-op on the empty
+    list. *)
+
 val read : io:Io.t -> dir:string -> record list * string option
 (** All committed records, in order, plus a description of the torn or
     corrupt tail if the file does not end cleanly (never raises — the
