@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo constraints-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -64,6 +64,32 @@ session-demo:
 	$(DUNE) build bin/nullrel_cli.exe
 	$(DUNE) exec bin/nullrel_cli.exe -- sessions --demo
 	$(DUNE) exec bin/nullrel_cli.exe -- sessions --sessions 2 --txns 25 --conflict-every 3
+
+# Constraints end to end: two relations under a foreign key, a
+# cascading delete chains through both, then a restrict declaration
+# blocks the same delete (the CLI must exit 10 on that). Exercised by
+# CI at 1 and 4 domains like the other demos.
+constraints-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf 'K,V\n1,10\n2,20\n' > "$$tmp/t.csv"; \
+	printf 'F,W\n1,5\n2,6\n' > "$$tmp/r.csv"; \
+	echo "--- cascade: deleting T(K=1) chains into R ---"; \
+	$(DUNE) exec bin/nullrel_cli.exe -- dml --dir "$$tmp/cascade" \
+	  --load "T=$$tmp/t.csv" --load "R=$$tmp/r.csv" \
+	  'constrain fk R (F) to T (K) on delete cascade as fkr' \
+	  'range of v is T delete v where v.K = 1' \
+	  'range of v is R retrieve (v.F, v.W)' || exit 1; \
+	echo "--- restrict: the same delete must be refused (exit 10) ---"; \
+	$(DUNE) exec bin/nullrel_cli.exe -- dml --dir "$$tmp/restrict" \
+	  --load "T=$$tmp/t.csv" --load "R=$$tmp/r.csv" \
+	  'constrain fk R (F) to T (K) on delete restrict as fkr' \
+	  'range of v is T delete v where v.K = 1'; \
+	status=$$?; \
+	if [ $$status -ne 10 ]; then \
+	  echo "expected exit 10 from the restricted delete, got $$status"; exit 1; \
+	fi; \
+	echo "restricted delete refused with exit 10, as declared"
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

@@ -18,7 +18,8 @@
 
    Exit codes: 0 success, 1 generic/quarantine, 2 bad input (parse,
    resolve, CSV shape), 3 storage/I-O faults, 4 timeout, 5 budget
-   exceeded, 6 cancelled. *)
+   exceeded, 6 cancelled, 7 commit conflict, 8 commit queue full,
+   9 engine shut down, 10 constraint violation. *)
 
 open Nullrel
 open Cmdliner
@@ -48,6 +49,9 @@ let handle f =
   | Session.Session_error.Error e ->
       Printf.eprintf "error: %s\n" (Session.Session_error.to_string e);
       exit (Session.Session_error.exit_code e)
+  | Constr.Error v ->
+      Printf.eprintf "constraint violation: %s\n" (Constr.to_string v);
+      exit Constr.exit_code
   | Exec_error.Error e ->
       Printf.eprintf "error: %s\n" (Exec_error.to_string e);
       exit (Exec_error.exit_code e)
@@ -62,6 +66,11 @@ let handle f =
       exit 2
   | Storage.Csv.Error msg ->
       Printf.eprintf "csv error: %s\n" msg;
+      exit 2
+  | Storage.Catalog.Violation violations ->
+      Printf.eprintf "integrity violations:\n%s\n"
+        (String.concat "\n"
+           (List.map (Pp.to_string Schema.pp_violation) violations));
       exit 2
   | Storage.Binary.Corrupt msg ->
       Printf.eprintf "error: corrupt relation file: %s\n" msg;
@@ -588,6 +597,116 @@ let sessions_cmd =
       $ domains_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
       $ serial_flag $ demo_flag)
 
+let dml_cmd =
+  let dir_arg =
+    let doc = "Durable catalog directory (created if absent)." in
+    Arg.(required & opt (some string) None & info [ "dir" ] ~doc ~docv:"DIR")
+  in
+  let load_args =
+    let doc =
+      "Register relation NAME from FILE.csv before running the statements \
+       (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "load" ] ~doc ~docv:"NAME=FILE")
+  in
+  let key_args =
+    let doc =
+      "Declare a primary key for a --load'ed relation: NAME=A,B \
+       (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "key" ] ~doc ~docv:"NAME=ATTRS")
+  in
+  let stmt_args =
+    Arg.(value & pos_all string [] & info [] ~docv:"STATEMENT")
+  in
+  let split_eq what binding =
+    match String.index_opt binding '=' with
+    | None -> Exec_error.bad_inputf "%s expects NAME=..., got %s" what binding
+    | Some idx ->
+        ( String.sub binding 0 idx,
+          String.sub binding (idx + 1) (String.length binding - idx - 1) )
+  in
+  let guessed_schema ?key name attrs x =
+    Schema.make ?key name
+      (List.map
+         (fun a ->
+           ( Attr.name a,
+             match
+               List.find_map
+                 (fun r ->
+                   match Tuple.get r a with
+                   | Value.Null -> None
+                   | Value.Int _ -> Some Domain.Ints
+                   | Value.Float _ -> Some Domain.Floats
+                   | Value.Bool _ -> Some Domain.Bools
+                   | Value.Str _ -> Some Domain.Strings)
+                 (Xrel.to_list x)
+             with
+             | Some d -> d
+             | None -> Domain.Strings ))
+         attrs)
+  in
+  let run timeout tuples metrics trace domains dir loads keys stmts =
+    governed timeout tuples metrics trace domains (fun () ->
+        (* Phase 1: register any CSVs as relations of the directory's
+           catalog (a checkpoint write, like the shell's .load+.save). *)
+        if loads <> [] then begin
+          let cat =
+            if Sys.file_exists dir then
+              (Storage.Persist.load_report ~dir ()).Storage.Persist.catalog
+            else Storage.Catalog.empty
+          in
+          let keys = List.map (split_eq "--key") keys in
+          let cat =
+            List.fold_left
+              (fun cat binding ->
+                let name, path = split_eq "--load" binding in
+                let attrs, x = load path in
+                let key =
+                  Option.map
+                    (fun ks ->
+                      List.map String.trim (String.split_on_char ',' ks))
+                    (List.assoc_opt name keys)
+                in
+                Storage.Catalog.add cat (guessed_schema ?key name attrs x) x)
+              cat loads
+          in
+          Storage.Persist.save ~dir cat
+        end;
+        (* Phase 2: run the statements through the durable write path —
+           constraint enforcement, cascades and the journal included. *)
+        let d, report = Dml.open_durable ~dir () in
+        List.iter
+          (fun l -> Printf.eprintf "recovery: %s\n" l)
+          (Storage.Persist.report_lines report);
+        let d =
+          List.fold_left
+            (fun d src ->
+              let d, outcome = Dml.exec_durable_string d src in
+              (match outcome.Dml.result with
+              | Some result ->
+                  Format.printf "%a@?"
+                    (Pp.table result.Quel.Eval.attrs)
+                    result.Quel.Eval.rel
+              | None ->
+                  if outcome.Dml.message <> "" then
+                    print_endline outcome.Dml.message);
+              d)
+            d stmts
+        in
+        ignore (Dml.checkpoint d))
+  in
+  let doc =
+    "Run mini-QUEL statements against a durable catalog directory: \
+     journalled updates, declared-constraint enforcement (cascades in the \
+     same transaction), checkpoint on exit. A constraint violation exits \
+     10 with the directory unchanged."
+  in
+  Cmd.v (Cmd.info "dml" ~doc)
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ domains_arg $ dir_arg $ load_args $ key_args $ stmt_args)
+
 let repl_cmd =
   let run metrics trace domains =
     Option.iter Par.Pool.set_domains domains;
@@ -632,5 +751,6 @@ let () =
             convert_cmd;
             fsck_cmd;
             sessions_cmd;
+            dml_cmd;
             repl_cmd;
           ]))

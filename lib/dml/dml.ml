@@ -6,6 +6,7 @@ type outcome = {
   catalog : Storage.Catalog.t;
   message : string;
   result : Quel.Eval.result option;
+  touched : string list;
 }
 
 let flip = function
@@ -60,33 +61,140 @@ let tuple_of_assignments schema rel values =
 
 let plural n noun = Printf.sprintf "%d %s%s" n noun (if n = 1 then "" else "s")
 
+(* ---------------------- constraint plumbing ------------------- *)
+
+let seed_delta rel ~before ~after =
+  let b = Relation.tuples (Xrel.rep before)
+  and a = Relation.tuples (Xrel.rep after) in
+  {
+    Constr.d_rel = rel;
+    d_added = Tuple.Set.diff a b;
+    d_removed = Tuple.Set.diff b a;
+  }
+
+let apply_delta cat (d : Constr.delta) =
+  let _, x = relation_of cat d.Constr.d_rel in
+  let tuples = Relation.tuples (Xrel.rep x) in
+  let tuples = Tuple.Set.diff tuples d.Constr.d_removed in
+  let tuples = Tuple.Set.union tuples d.Constr.d_added in
+  Storage.Catalog.set_relation cat d.Constr.d_rel (Xrel.of_tuples tuples)
+
+(* Run incremental enforcement for one statement's delta on [rel]. The
+   extras — cascade removals and set-null rewrites, already in firing
+   order — are part of the same transaction: they are applied here so
+   the returned catalog is the whole committed state, and [touched]
+   names every relation the transaction wrote so the durable layer can
+   journal them as one atomic record. *)
+let enforce_statement cat rel ~before ~after =
+  let cat = Storage.Catalog.set_relation cat rel after in
+  (* One branch when nothing is declared (or the kill switch is off):
+     the seed diffs are never computed — the E23 overhead gate. *)
+  let extras =
+    if (not !Constr.enabled) || Storage.Catalog.constraints cat = [] then []
+    else Storage.Catalog.enforce cat [ seed_delta rel ~before ~after ]
+  in
+  let cat = List.fold_left apply_delta cat extras in
+  let touched =
+    List.sort_uniq String.compare
+      (rel :: List.map (fun d -> d.Constr.d_rel) extras)
+  in
+  let note =
+    let removed, set_null =
+      List.partition (fun d -> Tuple.Set.is_empty d.Constr.d_added) extras
+    in
+    let count per sets =
+      List.map
+        (fun d ->
+          Printf.sprintf per
+            (Tuple.Set.cardinal d.Constr.d_removed)
+            d.Constr.d_rel)
+        sets
+    in
+    match
+      count "%d removed from %s" removed @ count "%d set to null in %s" set_null
+    with
+    | [] -> ""
+    | parts -> "; cascade: " ^ String.concat ", " parts
+  in
+  (cat, touched, note)
+
+let auto_name rel spec =
+  match spec with
+  | Quel.Ast.C_unique attrs -> String.concat "_" (("uq" :: rel :: attrs))
+  | Quel.Ast.C_not_null attr -> String.concat "_" [ "nn"; rel; attr ]
+  | Quel.Ast.C_foreign_key { target; _ } ->
+      String.concat "_" [ "fk"; rel; target ]
+
+let checked_attrs schema rel attrs =
+  if attrs = [] then errorf "a constraint needs at least one attribute";
+  List.map
+    (fun a ->
+      let attr = Attr.make a in
+      if not (Schema.mem schema attr) then
+        errorf "relation %s has no attribute %s" rel a;
+      attr)
+    attrs
+
+let def_of_spec cat name rel spec =
+  let schema, _ = relation_of cat rel in
+  match spec with
+  | Quel.Ast.C_unique attrs ->
+      Constr.Unique { name; rel; attrs = checked_attrs schema rel attrs }
+  | Quel.Ast.C_not_null attr ->
+      Constr.Not_null
+        { name; rel; attr = List.hd (checked_attrs schema rel [ attr ]) }
+  | Quel.Ast.C_foreign_key { attrs; target; target_attrs; on_delete } ->
+      let tschema, _ = relation_of cat target in
+      let locals = checked_attrs schema rel attrs in
+      let remotes = checked_attrs tschema target target_attrs in
+      if List.length locals <> List.length remotes then
+        errorf "foreign key lists %d local but %d target attributes"
+          (List.length locals) (List.length remotes);
+      let on_delete =
+        match on_delete with
+        | Quel.Ast.Restrict -> Constr.Restrict
+        | Quel.Ast.Cascade -> Constr.Cascade
+        | Quel.Ast.Set_null -> Constr.Set_null
+      in
+      Constr.Foreign_key
+        { name; rel; target; pairs = List.combine locals remotes; on_delete }
+
 let exec cat statement =
   match statement with
   | Quel.Ast.Retrieve q ->
       let result = Quel.Eval.run (Storage.Catalog.to_db cat) q in
-      { catalog = cat; message = ""; result = Some result }
+      { catalog = cat; message = ""; result = Some result; touched = [] }
   | Quel.Ast.Append { rel; values } ->
       let schema, x = relation_of cat rel in
       let tuple = tuple_of_assignments schema rel values in
       let updated = Storage.Update.insert x [ tuple ] in
       let grew = Xrel.cardinal updated <> Xrel.cardinal x in
+      let catalog, touched, note =
+        enforce_statement cat rel ~before:x ~after:updated
+      in
       {
-        catalog = Storage.Catalog.set_relation cat rel updated;
+        catalog;
         message =
           (if Xrel.equal updated x then "appended tuple added no information"
            else if grew then "1 tuple appended"
-           else "1 tuple appended (absorbed less informative rows)");
+           else "1 tuple appended (absorbed less informative rows)")
+          ^ note;
         result = None;
+        touched;
       }
   | Quel.Ast.Delete { var; rel; where } ->
       let _, x = relation_of cat rel in
       let p = where_predicate var where in
       let updated = Storage.Update.delete_where p x in
       let removed = Xrel.cardinal x - Xrel.cardinal updated in
+      let catalog, touched, note =
+        enforce_statement cat rel ~before:x ~after:updated
+      in
       {
-        catalog = Storage.Catalog.set_relation cat rel updated;
-        message = plural removed "tuple" ^ " deleted";
+        catalog;
+        message = plural removed "tuple" ^ " deleted" ^ note;
         result = None;
+        touched;
       }
   | Quel.Ast.Replace { var; rel; values; where } ->
       let schema, x = relation_of cat rel in
@@ -95,15 +203,84 @@ let exec cat statement =
       let apply r =
         Tuple.fold (fun a v acc -> Tuple.set acc a v) patch r
       in
-      let touched = Xrel.cardinal (Algebra.select p x) in
+      let matched = Xrel.cardinal (Algebra.select p x) in
       let updated = Storage.Update.modify ~where:p ~using:apply x in
+      let catalog, touched, note =
+        enforce_statement cat rel ~before:x ~after:updated
+      in
       {
-        catalog = Storage.Catalog.set_relation cat rel updated;
-        message = plural touched "tuple" ^ " replaced";
+        catalog;
+        message = plural matched "tuple" ^ " replaced" ^ note;
         result = None;
+        touched;
+      }
+  | Quel.Ast.Constrain { cname; rel; spec } ->
+      let name = match cname with Some n -> n | None -> auto_name rel spec in
+      if Option.is_some (Storage.Catalog.constraint_def cat name) then
+        errorf "a constraint named %s already exists (unconstrain it first)"
+          name;
+      let def = def_of_spec cat name rel spec in
+      {
+        catalog = Storage.Catalog.add_constraint cat def;
+        message =
+          Printf.sprintf "constraint %s declared (existing data verified)"
+            name;
+        result = None;
+        touched = [];
+      }
+  | Quel.Ast.Unconstrain { cname } ->
+      if Option.is_none (Storage.Catalog.constraint_def cat cname) then
+        errorf "unknown constraint %s" cname;
+      {
+        catalog = Storage.Catalog.drop_constraint cat cname;
+        message = Printf.sprintf "constraint %s dropped" cname;
+        result = None;
+        touched = [];
       }
 
 let exec_string cat src = exec cat (Quel.Parser.parse_statement src)
+
+let is_read = function
+  | Quel.Ast.Retrieve _ -> true
+  | Quel.Ast.Append _ | Quel.Ast.Delete _ | Quel.Ast.Replace _
+  | Quel.Ast.Constrain _ | Quel.Ast.Unconstrain _ ->
+      false
+
+(* The operations that turn [cat0] into [cat1]: one non-noop change per
+   touched relation, plus the constraint-DDL difference. Together they
+   form the statement's single atomic journal record. *)
+let ops_between cat0 cat1 touched =
+  let changes =
+    List.filter_map
+      (fun rel ->
+        let before = Storage.Catalog.relation cat0 rel
+        and after = Storage.Catalog.relation cat1 rel in
+        let c = Storage.Wal.change ~rel ~before ~after in
+        if Storage.Wal.change_is_noop c then None
+        else Some (Storage.Wal.Change c))
+      touched
+  in
+  let defs0 = Storage.Catalog.constraints cat0
+  and defs1 = Storage.Catalog.constraints cat1 in
+  let line d = Constr.def_to_line d in
+  let dropped =
+    List.filter_map
+      (fun d0 ->
+        let name = Constr.name d0 in
+        if List.exists (fun d1 -> String.equal (Constr.name d1) name) defs1
+        then None
+        else Some (Storage.Wal.Drop_constraint name))
+      defs0
+  in
+  let added =
+    List.filter_map
+      (fun d1 ->
+        if List.exists (fun d0 -> String.equal (line d0) (line d1)) defs0 then
+          None
+        else Some (Storage.Wal.Add_constraint d1))
+      defs1
+  in
+  changes @ dropped @ added
 
 (* ------------------------ durable mode ------------------------ *)
 
@@ -147,17 +324,21 @@ let open_durable ?(io = Storage.Io.retrying Storage.Io.real)
     report )
 
 let target_relation = function
-  | Quel.Ast.Retrieve _ -> None
+  | Quel.Ast.Retrieve _ | Quel.Ast.Unconstrain _ -> None
   | Quel.Ast.Append { rel; _ }
   | Quel.Ast.Delete { rel; _ }
-  | Quel.Ast.Replace { rel; _ } ->
+  | Quel.Ast.Replace { rel; _ }
+  | Quel.Ast.Constrain { rel; _ } ->
       Some rel
 
 (* Journal, then apply, then (sometimes) checkpoint. The journal append
    is the commit point: a crash before it loses the statement, a crash
    after it is replayed by recovery, and the checkpoint itself is
    crash-safe ({!Storage.Persist.save}), so every interruption lands on
-   either the last checkpoint or the last journaled commit. *)
+   either the last checkpoint or the last journaled commit. The whole
+   statement — its own delta, every cascade/set-null delta its
+   constraints fired, and any constraint DDL — is one journal frame, so
+   recovery can never land between a delete and its cascade. *)
 let exec_durable d statement =
   (* Abort-before-apply: both cancellation points sit strictly before
      the journal append (the commit point), so a governed abort leaves
@@ -165,24 +346,19 @@ let exec_durable d statement =
      the append and the in-memory apply. *)
   Exec.checkpoint ();
   let outcome = exec d.cat statement in
-  match target_relation statement with
-  | None -> (d, outcome)
-  | Some rel ->
-      let before = Storage.Catalog.relation d.cat rel in
-      let after = Storage.Catalog.relation outcome.catalog rel in
-      let record =
-        Storage.Wal.delta ~lsn:(d.lsn + 1) ~rel ~before ~after
+  match ops_between d.cat outcome.catalog outcome.touched with
+  | [] -> (d, outcome)
+  | ops ->
+      Exec.checkpoint ();
+      d.io.Storage.Io.note "dml:apply";
+      Storage.Wal.append ~io:d.io ~dir:d.dir
+        { Storage.Wal.lsn = d.lsn + 1; ops };
+      d.io.Storage.Io.note "dml:journaled";
+      let d =
+        { d with cat = outcome.catalog; lsn = d.lsn + 1; dirty = d.dirty + 1 }
       in
-      if Storage.Wal.is_noop record then (d, outcome)
-      else begin
-        Exec.checkpoint ();
-        Storage.Wal.append ~io:d.io ~dir:d.dir record;
-        let d =
-          { d with cat = outcome.catalog; lsn = d.lsn + 1; dirty = d.dirty + 1 }
-        in
-        let d = if d.dirty >= d.every then checkpoint d else d in
-        (d, outcome)
-      end
+      let d = if d.dirty >= d.every then checkpoint d else d in
+      (d, outcome)
 
 let exec_durable_string d src =
   exec_durable d (Quel.Parser.parse_statement src)

@@ -21,16 +21,42 @@ type outcome = {
   message : string;  (** One-line human summary ("2 tuples deleted"). *)
   result : Quel.Eval.result option;
       (** The table, for [retrieve] statements only. *)
+  touched : string list;
+      (** Every relation the statement wrote, sorted — the target plus
+          any relations its constraints cascaded into. Empty for reads
+          and constraint DDL. *)
 }
 
 val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
+(** Executes one statement, {e including} incremental constraint
+    enforcement: inserts and updates are validated against the declared
+    unique / not-null / foreign-key constraints using index probes, and
+    a delete from a referenced relation fires its cascade / set-null
+    closure as part of the same statement — all of it reflected in the
+    returned catalog, or none of it ({!Constr.Error} aborts with the
+    catalog unchanged). [constrain] verifies the existing data first;
+    [unconstrain] drops by name. *)
+
 val exec_string : Storage.Catalog.t -> string -> outcome
 (** [exec] composed with {!Quel.Parser.parse_statement}. *)
 
+val is_read : Quel.Ast.statement -> bool
+(** True exactly for [retrieve]. *)
+
 val target_relation : Quel.Ast.statement -> string option
-(** The relation a statement writes: [None] for [retrieve], the target
-    name for [append]/[delete]/[replace]. The session layer uses this
-    to maintain per-transaction write sets. *)
+(** The relation a statement writes: [None] for [retrieve] and
+    [unconstrain], the target name otherwise. The session layer uses
+    this to maintain per-transaction write sets. *)
+
+val ops_between :
+  Storage.Catalog.t ->
+  Storage.Catalog.t ->
+  string list ->
+  Storage.Wal.op list
+(** [ops_between cat0 cat1 touched] is the journal-operation list that
+    turns [cat0] into [cat1]: one non-noop {!Storage.Wal.Change} per
+    touched relation plus the constraint-DDL difference — the payload
+    of one atomic transaction record. *)
 
 (** {1 Durable mode}
 

@@ -18,7 +18,7 @@ let rec product_factors = function
   | e -> [ e ]
 
 let rebuild_left_deep = function
-  | [] -> invalid_arg "rebuild_left_deep: no factors"
+  | [] -> Exec_error.bad_input "rebuild_left_deep: a product needs factors"
   | f :: rest -> List.fold_left (fun acc e -> Expr.Product (acc, e)) f rest
 
 let rec pairwise_disjoint = function

@@ -45,6 +45,18 @@ let pp ppf q =
 
 type assignment = string * Value.t
 
+type ref_action = Restrict | Cascade | Set_null
+
+type constraint_spec =
+  | C_unique of string list
+  | C_not_null of string
+  | C_foreign_key of {
+      attrs : string list;
+      target : string;
+      target_attrs : string list;
+      on_delete : ref_action;
+    }
+
 type statement =
   | Retrieve of query
   | Append of { rel : string; values : assignment list }
@@ -55,6 +67,8 @@ type statement =
       values : assignment list;
       where : cond option;
     }
+  | Constrain of { cname : string option; rel : string; spec : constraint_spec }
+  | Unconstrain of { cname : string }
 
 let pp_assignments ppf values =
   Format.fprintf ppf "(%a)"
@@ -70,6 +84,27 @@ let pp_where ppf = function
   | None -> ()
   | Some c -> Format.fprintf ppf "@\nwhere %a" pp_cond c
 
+let action_to_string = function
+  | Restrict -> "restrict"
+  | Cascade -> "cascade"
+  | Set_null -> "setnull"
+
+let pp_attr_list ppf attrs =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    attrs
+
+let pp_spec rel ppf = function
+  | C_unique attrs -> Format.fprintf ppf "unique %s %a" rel pp_attr_list attrs
+  | C_not_null attr ->
+      Format.fprintf ppf "notnull %s %a" rel pp_attr_list [ attr ]
+  | C_foreign_key { attrs; target; target_attrs; on_delete } ->
+      Format.fprintf ppf "fk %s %a to %s %a on delete %s" rel pp_attr_list
+        attrs target pp_attr_list target_attrs
+        (action_to_string on_delete)
+
 let pp_statement ppf = function
   | Retrieve q -> pp ppf q
   | Append { rel; values } ->
@@ -80,6 +115,13 @@ let pp_statement ppf = function
   | Replace { var; rel; values; where } ->
       Format.fprintf ppf "range of %s is %s@\nreplace %s %a%a" var rel var
         pp_assignments values pp_where where
+  | Constrain { cname; rel; spec } ->
+      Format.fprintf ppf "constrain %a%a" (pp_spec rel) spec
+        (fun ppf -> function
+          | None -> ()
+          | Some name -> Format.fprintf ppf " as %s" name)
+        cname
+  | Unconstrain { cname } -> Format.fprintf ppf "unconstrain %s" cname
 
 let cond_attrs c =
   let rec go acc = function

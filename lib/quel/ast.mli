@@ -46,6 +46,27 @@ type assignment = string * Value.t
 (** [ATTR = literal]; a null literal is not expressible — information
     is removed by saying nothing, not by storing ni explicitly. *)
 
+(** {1 Constraint DDL}
+
+    Declared integrity constraints over the stored catalog, with the
+    null semantics of the paper: a unique constraint never treats two
+    ni marks as equal, and a foreign key whose local attributes are not
+    all total asserts nothing. *)
+
+type ref_action = Restrict | Cascade | Set_null
+(** What a delete from the target relation does to total references. *)
+
+type constraint_spec =
+  | C_unique of string list  (** [constrain unique REL (A, B)] *)
+  | C_not_null of string  (** [constrain notnull REL (A)] *)
+  | C_foreign_key of {
+      attrs : string list;
+      target : string;
+      target_attrs : string list;
+      on_delete : ref_action;
+    }
+      (** [constrain fk REL (F) to TARGET (K) on delete cascade] *)
+
 type statement =
   | Retrieve of query
   | Append of { rel : string; values : assignment list }
@@ -58,5 +79,10 @@ type statement =
       values : assignment list;
       where : cond option;
     }  (** [range of v is REL replace v (A = 2) [where ...]] *)
+  | Constrain of { cname : string option; rel : string; spec : constraint_spec }
+      (** Declares a constraint; [as NAME] names it, else one is
+          derived. Existing data must satisfy it. *)
+  | Unconstrain of { cname : string }  (** Drops a constraint by name. *)
 
+val action_to_string : ref_action -> string
 val pp_statement : Format.formatter -> statement -> unit

@@ -15,6 +15,8 @@ type token =
   | Kw_to
   | Kw_delete
   | Kw_replace
+  | Kw_constrain
+  | Kw_unconstrain
   | Lparen
   | Rparen
   | Comma
@@ -38,6 +40,8 @@ let keyword s =
   | "to" -> Some Kw_to
   | "delete" -> Some Kw_delete
   | "replace" -> Some Kw_replace
+  | "constrain" -> Some Kw_constrain
+  | "unconstrain" -> Some Kw_unconstrain
   | _ -> None
 
 let is_ident_start c =
@@ -136,6 +140,8 @@ let pp_token ppf = function
   | Kw_to -> Format.pp_print_string ppf "'to'"
   | Kw_delete -> Format.pp_print_string ppf "'delete'"
   | Kw_replace -> Format.pp_print_string ppf "'replace'"
+  | Kw_constrain -> Format.pp_print_string ppf "'constrain'"
+  | Kw_unconstrain -> Format.pp_print_string ppf "'unconstrain'"
   | Lparen -> Format.pp_print_string ppf "'('"
   | Rparen -> Format.pp_print_string ppf "')'"
   | Comma -> Format.pp_print_string ppf "','"

@@ -17,6 +17,8 @@ type token =
   | Kw_to
   | Kw_delete
   | Kw_replace
+  | Kw_constrain
+  | Kw_unconstrain
   | Lparen
   | Rparen
   | Comma

@@ -165,8 +165,91 @@ let single_range what ranges var =
       raise
         (Error (what ^ " takes exactly one range clause binding its target"))
 
+(* [constrain]'s sub-syntax uses soft keywords — [unique], [notnull],
+   [fk], [on], [restrict], [cascade], [setnull], [as] are ordinary
+   identifiers everywhere else, so relations and attributes may still
+   carry those names. *)
+let attr_list st =
+  expect st Lexer.Lparen "'('";
+  let rec go acc =
+    let a = ident st in
+    if peek st = Lexer.Comma then (
+      advance st;
+      go (a :: acc))
+    else List.rev (a :: acc)
+  in
+  let attrs = go [] in
+  expect st Lexer.Rparen "')'";
+  attrs
+
+let soft_keyword st what =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      String.lowercase_ascii s
+  | _ -> fail_at st what
+
+let constraint_name st =
+  match peek st with
+  | Lexer.Ident s when String.lowercase_ascii s = "as" ->
+      advance st;
+      Some (ident st)
+  | _ -> None
+
+let constrain_statement st =
+  let kind = soft_keyword st "'unique', 'notnull' or 'fk'" in
+  let rel = ident st in
+  let spec =
+    match kind with
+    | "unique" -> Ast.C_unique (attr_list st)
+    | "notnull" -> (
+        match attr_list st with
+        | [ a ] -> Ast.C_not_null a
+        | _ -> raise (Error "notnull takes exactly one attribute"))
+    | "fk" ->
+        let attrs = attr_list st in
+        expect st Lexer.Kw_to "'to'";
+        let target = ident st in
+        let target_attrs = attr_list st in
+        (match soft_keyword st "'on'" with
+        | "on" -> ()
+        | _ -> raise (Error "expected 'on delete' after the target"));
+        expect st Lexer.Kw_delete "'delete'";
+        let on_delete =
+          match soft_keyword st "'restrict', 'cascade' or 'setnull'" with
+          | "restrict" -> Ast.Restrict
+          | "cascade" -> Ast.Cascade
+          | "setnull" -> Ast.Set_null
+          | other ->
+              raise
+                (Error
+                   (Printf.sprintf
+                      "unknown referential action %s (expected restrict, \
+                       cascade or setnull)"
+                      other))
+        in
+        Ast.C_foreign_key { attrs; target; target_attrs; on_delete }
+    | other ->
+        raise
+          (Error
+             (Printf.sprintf
+                "unknown constraint kind %s (expected unique, notnull or fk)"
+                other))
+  in
+  let cname = constraint_name st in
+  expect st Lexer.Eof "end of input";
+  Ast.Constrain { cname; rel; spec }
+
 let statement st =
   match peek st with
+  | Lexer.Kw_constrain ->
+      advance st;
+      constrain_statement st
+  | Lexer.Kw_unconstrain ->
+      advance st;
+      let cname = ident st in
+      expect st Lexer.Eof "end of input";
+      Ast.Unconstrain { cname }
   | Lexer.Kw_append ->
       advance st;
       expect st Lexer.Kw_to "'to'";

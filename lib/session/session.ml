@@ -40,7 +40,11 @@ let g_queue =
 type outcome_ = Committed of int | Rejected of Session_error.t
 
 type pending = {
-  deltas : Storage.Wal.record list;  (** lsn 0; the leader renumbers. *)
+  ops : Storage.Wal.op list;
+      (** The whole transaction — every relation change it staged,
+          including cascade/set-null deltas its constraints fired, plus
+          any constraint DDL. The leader numbers it as {e one} journal
+          record, so the frame is the atomicity unit. *)
   snap_lsn : int;
   mutable outcome : outcome_ option;  (** Written by the leader (or
       poisoner) under the engine lock; read by the waiter likewise. *)
@@ -175,53 +179,70 @@ let check_against ~rel ~a ~d ~touched ~removed =
   if not (Tuple.Set.disjoint d touched) then raise (Conflicting rel);
   if not (Tuple.Set.disjoint a removed) then raise (Conflicting rel)
 
-let validate_tuplewise eng ~snap_lsn ~batch_hist deltas =
+(* Tuple-wise first-committer-wins over a transaction's relation
+   changes. Constraint DDL carries no tuples; it is validated by the
+   speculative verifying apply in {!flush_batch} instead. *)
+let validate_tuplewise eng ~snap_lsn ~batch_hist ops =
   List.iter
-    (fun (r : Storage.Wal.record) ->
-      let a = tuples_of r.added and d = tuples_of r.removed in
-      List.iter
-        (fun (rel, touched, removed) ->
-          (* Everything accepted earlier in this batch commits after any
-             snapshot in it, so it always counts. *)
-          if String.equal rel r.rel then
-            check_against ~rel:r.rel ~a ~d ~touched ~removed)
-        !batch_hist;
-      match Hashtbl.find_opt eng.history r.rel with
-      | None -> ()
-      | Some h ->
-          if snap_lsn < h.pruned_upto then raise (Conflicting r.rel);
+    (function
+      | Storage.Wal.Add_constraint _ | Storage.Wal.Drop_constraint _ -> ()
+      | Storage.Wal.Change c ->
+          let a = tuples_of c.Storage.Wal.added
+          and d = tuples_of c.Storage.Wal.removed in
+          let rel = c.Storage.Wal.rel in
           List.iter
-            (fun (lsn, touched, removed) ->
-              if lsn > snap_lsn then
-                check_against ~rel:r.rel ~a ~d ~touched ~removed)
-            h.entries)
-    deltas
+            (fun (rel', touched, removed) ->
+              (* Everything accepted earlier in this batch commits after
+                 any snapshot in it, so it always counts. *)
+              if String.equal rel' rel then
+                check_against ~rel ~a ~d ~touched ~removed)
+            !batch_hist;
+          (match Hashtbl.find_opt eng.history rel with
+          | None -> ()
+          | Some h ->
+              if snap_lsn < h.pruned_upto then raise (Conflicting rel);
+              List.iter
+                (fun (lsn, touched, removed) ->
+                  if lsn > snap_lsn then
+                    check_against ~rel ~a ~d ~touched ~removed)
+                h.entries))
+    ops
 
 let record_history eng rs =
   List.iter
     (fun (r : Storage.Wal.record) ->
-      let h =
-        match Hashtbl.find_opt eng.history r.rel with
-        | Some h -> h
-        | None ->
-            let h = { entries = []; len = 0; pruned_upto = 0 } in
-            Hashtbl.add eng.history r.rel h;
-            h
-      in
-      let touched =
-        Tuple.Set.union (tuples_of r.added) (tuples_of r.removed)
-      in
-      h.entries <- (r.lsn, touched, tuples_of r.removed) :: h.entries;
-      h.len <- h.len + 1;
-      if h.len > 2 * history_cap then begin
-        (* Amortized prune: keep the newest [history_cap]. *)
-        let kept = List.filteri (fun i _ -> i < history_cap) h.entries in
-        (match List.nth_opt h.entries history_cap with
-        | Some (lsn, _, _) -> h.pruned_upto <- lsn
-        | None -> ());
-        h.entries <- kept;
-        h.len <- history_cap
-      end)
+      List.iter
+        (function
+          | Storage.Wal.Add_constraint _ | Storage.Wal.Drop_constraint _ -> ()
+          | Storage.Wal.Change c ->
+              let h =
+                match Hashtbl.find_opt eng.history c.Storage.Wal.rel with
+                | Some h -> h
+                | None ->
+                    let h = { entries = []; len = 0; pruned_upto = 0 } in
+                    Hashtbl.add eng.history c.Storage.Wal.rel h;
+                    h
+              in
+              let touched =
+                Tuple.Set.union
+                  (tuples_of c.Storage.Wal.added)
+                  (tuples_of c.Storage.Wal.removed)
+              in
+              h.entries <-
+                (r.lsn, touched, tuples_of c.Storage.Wal.removed) :: h.entries;
+              h.len <- h.len + 1;
+              if h.len > 2 * history_cap then begin
+                (* Amortized prune: keep the newest [history_cap]. *)
+                let kept =
+                  List.filteri (fun i _ -> i < history_cap) h.entries
+                in
+                (match List.nth_opt h.entries history_cap with
+                | Some (lsn, _, _) -> h.pruned_upto <- lsn
+                | None -> ());
+                h.entries <- kept;
+                h.len <- history_cap
+              end)
+        r.ops)
     rs
 
 (* -------------------------- flushing -------------------------- *)
@@ -256,49 +277,89 @@ let flush_batch (eng : engine) batch =
     let records = ref [] in
     let accepted = ref [] in
     let conflicts = ref 0 in
+    let first_rel ops =
+      match
+        List.filter_map
+          (function
+            | Storage.Wal.Change c -> Some c.Storage.Wal.rel | _ -> None)
+          ops
+      with
+      | rel :: _ -> rel
+      | [] -> "?"
+    in
     List.iter
       (fun p ->
         match
-          validate_tuplewise eng ~snap_lsn:p.snap_lsn ~batch_hist p.deltas;
+          validate_tuplewise eng ~snap_lsn:p.snap_lsn ~batch_hist p.ops;
           (* Replay onto the current state speculatively: a schema
              violation from merging with a concurrent commit (e.g. a
              key collision of two independent appends) is a conflict
-             too, caught here rather than crashing the publish. *)
+             too, caught here rather than crashing the publish. The
+             apply also re-verifies any constraint DDL against the
+             merged state, and the transaction's staged cascade closure
+             is re-enforced: if the merged state demands {e more}
+             cascade work than the snapshot did (a concurrent insert of
+             a reference, say), the closure is stale and the
+             transaction conflicts rather than committing a broken
+             constraint. *)
           (let cat_before = !scratch and lsn_before = !next_lsn in
            match
-             List.map
-               (fun (r : Storage.Wal.record) ->
-                 incr next_lsn;
-                 let r = { r with Storage.Wal.lsn = !next_lsn } in
-                 scratch := Storage.Wal.apply !scratch r;
-                 r)
-               p.deltas
+             incr next_lsn;
+             let r = { Storage.Wal.lsn = !next_lsn; ops = p.ops } in
+             scratch := Storage.Wal.apply ~verify_constraints:true !scratch r;
+             let seeds =
+               List.filter_map
+                 (function
+                   | Storage.Wal.Change c ->
+                       Some
+                         {
+                           Constr.d_rel = c.Storage.Wal.rel;
+                           d_added = tuples_of c.Storage.Wal.added;
+                           d_removed = tuples_of c.Storage.Wal.removed;
+                         }
+                   | Storage.Wal.Add_constraint _
+                   | Storage.Wal.Drop_constraint _ ->
+                       None)
+                 p.ops
+             in
+             (match Storage.Catalog.enforce !scratch seeds with
+             | [] -> ()
+             | extra :: _ -> raise (Conflicting extra.Constr.d_rel));
+             r
            with
-           | rs -> rs
-           | exception (Storage.Catalog.Violation _ | Storage.Wal.Error _) ->
+           | r -> r
+           | exception e ->
                scratch := cat_before;
                next_lsn := lsn_before;
-               raise
-                 (Conflicting
-                    (match p.deltas with
-                    | r :: _ -> r.Storage.Wal.rel
-                    | [] -> "?")))
+               (match e with
+               | Storage.Catalog.Violation _ | Storage.Wal.Error _ ->
+                   raise (Conflicting (first_rel p.ops))
+               | e -> raise e))
         with
-        | rs ->
+        | r ->
             List.iter
-              (fun (r : Storage.Wal.record) ->
-                batch_hist :=
-                  ( r.Storage.Wal.rel,
-                    Tuple.Set.union (tuples_of r.added) (tuples_of r.removed),
-                    tuples_of r.removed )
-                  :: !batch_hist)
-              rs;
-            records := List.rev_append rs !records;
+              (function
+                | Storage.Wal.Add_constraint _ | Storage.Wal.Drop_constraint _
+                  ->
+                    ()
+                | Storage.Wal.Change c ->
+                    batch_hist :=
+                      ( c.Storage.Wal.rel,
+                        Tuple.Set.union
+                          (tuples_of c.Storage.Wal.added)
+                          (tuples_of c.Storage.Wal.removed),
+                        tuples_of c.Storage.Wal.removed )
+                      :: !batch_hist)
+              r.Storage.Wal.ops;
+            records := r :: !records;
             accepted := (p, !next_lsn) :: !accepted
         | exception Conflicting rel ->
             incr conflicts;
             p.outcome <-
-              Some (Rejected (Session_error.Conflict { relation = rel })))
+              Some (Rejected (Session_error.Conflict { relation = rel }))
+        | exception Constr.Error v ->
+            incr conflicts;
+            p.outcome <- Some (Rejected (Session_error.Constraint v)))
       batch;
     let rs = List.rev !records in
     if rs <> [] then begin
@@ -460,56 +521,53 @@ let governed sess f =
 
 let exec sess stmt =
   require_idle sess;
-  match Dml.target_relation stmt with
-  | None ->
-      (* A read: run against the session's view, stage nothing. *)
-      governed sess (fun () -> Dml.exec (snapshot sess).catalog stmt)
-  | Some rel -> (
-      (* An update: pin the snapshot *first*, then stage against that
-         same catalog value. Reading the committed cell once is what
-         makes [deltas_of_txn] sound — a second load could observe a
-         concurrent publish and manufacture phantom removals. *)
-      let created = sess.txn = None in
-      let t =
-        match sess.txn with
-        | Some t -> t
-        | None ->
-            let t = fresh_txn sess in
-            sess.txn <- Some t;
-            t
-      in
-      match governed sess (fun () -> Dml.exec t.cat stmt) with
-      | out ->
-          t.cat <- out.Dml.catalog;
-          if not (List.exists (String.equal rel) t.writes) then
-            t.writes <- rel :: t.writes;
-          out
-      | exception e ->
-          (* A failed statement leaves the staged txn as it was — and
-             if this statement was the one opening it, no txn at all. *)
-          if created then sess.txn <- None;
-          raise e)
+  if Dml.is_read stmt then
+    (* A read: run against the session's view, stage nothing. *)
+    governed sess (fun () -> Dml.exec (snapshot sess).catalog stmt)
+  else begin
+    (* An update: pin the snapshot *first*, then stage against that
+       same catalog value. Reading the committed cell once is what
+       makes [ops_of_txn] sound — a second load could observe a
+       concurrent publish and manufacture phantom removals. *)
+    let created = sess.txn = None in
+    let t =
+      match sess.txn with
+      | Some t -> t
+      | None ->
+          let t = fresh_txn sess in
+          sess.txn <- Some t;
+          t
+    in
+    match governed sess (fun () -> Dml.exec t.cat stmt) with
+    | out ->
+        t.cat <- out.Dml.catalog;
+        List.iter
+          (fun rel ->
+            if not (List.exists (String.equal rel) t.writes) then
+              t.writes <- rel :: t.writes)
+          out.Dml.touched;
+        out
+    | exception e ->
+        (* A failed statement leaves the staged txn as it was — and
+           if this statement was the one opening it, no txn at all. *)
+        if created then sess.txn <- None;
+        raise e
+  end
 
 let exec_string sess src = exec sess (Quel.Parser.parse_statement src)
 let rollback sess = sess.txn <- None
 
-let deltas_of_txn t =
-  List.rev t.writes
-  |> List.filter_map (fun rel ->
-         let before = Storage.Catalog.relation t.base.catalog rel in
-         let after = Storage.Catalog.relation t.cat rel in
-         let r = Storage.Wal.delta ~lsn:0 ~rel ~before ~after in
-         if Storage.Wal.is_noop r then None else Some r)
+let ops_of_txn t = Dml.ops_between t.base.catalog t.cat (List.rev t.writes)
 
 let submit sess =
   require_idle sess;
   match sess.txn with
   | None -> ()
   | Some t -> (
-      match deltas_of_txn t with
+      match ops_of_txn t with
       | [] -> sess.txn <- None
-      | deltas ->
-          let p = { deltas; snap_lsn = t.base.lsn; outcome = None } in
+      | ops ->
+          let p = { ops; snap_lsn = t.base.lsn; outcome = None } in
           Mutex.lock sess.eng.lock;
           if sess.eng.dead then begin
             Mutex.unlock sess.eng.lock;
@@ -786,7 +844,9 @@ module Drive = struct
     acked := (2, n) :: !acked;
     let aborted_event = (3, n) in
     (match commit sb with
-    | _ -> failwith "drill expected a conflict"
+    | _ ->
+        Exec_error.bad_input
+          "crash drill: sB's commit was expected to conflict with sA's"
     | exception Session_error.Error (Session_error.Conflict _) -> ());
     shutdown eng;
     (* Phase 2: stage a multi-transaction group batch and crash. *)

@@ -2,6 +2,7 @@ type t =
   | Conflict of { relation : string }
   | Queue_full of { limit : int }
   | Shutdown
+  | Constraint of Constr.violation
 
 exception Error of t
 
@@ -9,6 +10,7 @@ let class_name = function
   | Conflict _ -> "conflict"
   | Queue_full _ -> "queue-full"
   | Shutdown -> "shutdown"
+  | Constraint _ -> "constraint"
 
 let m_abort =
   let make cls =
@@ -17,7 +19,7 @@ let m_abort =
         ~help:"Session transactions aborted at the engine boundary, by class"
         "nullrel_session_aborts_total" )
   in
-  List.map make [ "conflict"; "queue-full"; "shutdown" ]
+  List.map make [ "conflict"; "queue-full"; "shutdown"; "constraint" ]
 
 let raise_ e =
   if Obs.Metrics.is_enabled () then
@@ -34,6 +36,7 @@ let exit_code = function
   | Conflict _ -> 7
   | Queue_full _ -> 8
   | Shutdown -> 9
+  | Constraint _ -> Constr.exit_code
 
 let to_string = function
   | Conflict { relation } ->
@@ -46,6 +49,7 @@ let to_string = function
         "commit queue full (%d pending transactions); commit again to retry"
         limit
   | Shutdown -> "session engine is shut down"
+  | Constraint v -> Constr.to_string v
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let protect f = match f () with v -> Ok v | exception Error e -> Result.Error e

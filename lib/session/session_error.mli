@@ -20,6 +20,12 @@ type t =
   | Shutdown
       (** The engine is stopped (or poisoned by a mid-flush fault) and
           accepts no further work. *)
+  | Constraint of Constr.violation
+      (** Commit-time constraint validation failed: against the {e
+          merged} state (this transaction's effects on top of every
+          concurrent commit that won), a declared constraint no longer
+          holds. The transaction is rolled back; nothing was
+          journaled. *)
 
 exception Error of t
 
@@ -30,12 +36,12 @@ val shutdown : unit -> 'a
 
 val class_name : t -> string
 (** Stable one-word class: ["conflict"], ["queue-full"],
-    ["shutdown"]. *)
+    ["shutdown"], ["constraint"]. *)
 
 val exit_code : t -> int
 (** Distinct nonzero process exit codes, continuing
     {!Nullrel.Exec_error.exit_code}'s 2..6 range: conflict 7,
-    queue-full 8, shutdown 9. *)
+    queue-full 8, shutdown 9, constraint 10. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -52,7 +52,10 @@ let help =
   ".agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)\n\
    .analyze [NAME ...]    collect planner statistics (all relations by \
    default)\n\
-   .check                 run schema + referential integrity checks\n\
+   .check                 run schema, constraint + referential integrity \
+   checks\n\
+   .constraints           list declared constraints and their verification \
+   state\n\
    .domains [N]           show or set the parallelism degree (domains)\n\
    .explain analyze QUERY run a query; show est/actual rows, ticks, time per \
    operator\n\
@@ -79,7 +82,12 @@ let help =
    range of ... retrieve (...) [where ...]    evaluate ||Q||-\n\
    append to REL (A = 1, ...)                 insert (union)\n\
    range of v is REL delete v [where ...]     delete (difference)\n\
-   range of v is REL replace v (A = 2) [where ...]"
+   range of v is REL replace v (A = 2) [where ...]\n\
+   constrain unique REL (A, B) [as NAME]      declare a null-tolerant key\n\
+   constrain notnull REL (A) [as NAME]        forbid ni on A\n\
+   constrain fk REL (F) to T (K) on delete restrict|cascade|setnull [as \
+   NAME]\n\
+   unconstrain NAME                           drop a constraint"
 
 (* Guess per-column domains from the data so the loaded relation gets a
    usable schema. *)
@@ -314,9 +322,51 @@ let check st =
       (Pp.to_string Storage.Catalog.pp_reference_violation)
       (Storage.Catalog.check_references st.cat)
   in
-  match schema_issues @ reference_issues with
-  | [] -> "ok: no violations"
-  | issues -> String.concat "\n" issues
+  (* Re-verify any constraints whose data changed wholesale (.load /
+     restored stale): the ones that pass become verified again. *)
+  let stale_before = Storage.Catalog.unverified_constraints st.cat in
+  let cat, constraint_issues =
+    Storage.Catalog.revalidate_constraints st.cat
+  in
+  let constraint_issues =
+    List.map
+      (fun (_, v) -> Pp.to_string Constr.pp_violation v)
+      constraint_issues
+  in
+  let revalidated =
+    List.filter
+      (fun n ->
+        not (List.mem n (Storage.Catalog.unverified_constraints cat)))
+      stale_before
+  in
+  let notes =
+    if revalidated = [] then []
+    else
+      [
+        Printf.sprintf "re-verified %s"
+          (String.concat ", " revalidated);
+      ]
+  in
+  ( { st with cat },
+    match schema_issues @ reference_issues @ constraint_issues with
+    | [] -> String.concat "\n" ("ok: no violations" :: notes)
+    | issues -> String.concat "\n" (issues @ notes) )
+
+let constraints_listing st =
+  match Storage.Catalog.constraints st.cat with
+  | [] -> "(no constraints declared)"
+  | defs ->
+      let stale = Storage.Catalog.unverified_constraints st.cat in
+      String.concat "\n"
+        (List.map
+           (fun def ->
+             let mark =
+               if List.mem (Constr.name def) stale then
+                 "  [stale -- data changed since verification; run .check]"
+               else ""
+             in
+             Pp.to_string Constr.pp_def def ^ mark)
+           defs)
 
 let split_words line =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
@@ -453,7 +503,8 @@ let exec st line =
           (st, governed st (fun () -> run_aggregate st rest))
       | ".analyze" :: names -> governed st (fun () -> analyze st names)
       | [ ".stats-catalog" ] -> (st, stats_catalog st)
-      | [ ".check" ] -> (st, check st)
+      | [ ".check" ] -> check st
+      | [ ".constraints" ] -> (st, constraints_listing st)
       | [ ".domains" ] ->
           ( st,
             Printf.sprintf "domains: %d (hardware recommends %d, cap %d)"
@@ -501,6 +552,7 @@ let exec st line =
         "integrity violations:\n"
         ^ String.concat "\n"
             (List.map (Pp.to_string Schema.pp_violation) violations) )
+  | Constr.Error v -> (st, "constraint violation: " ^ Constr.to_string v)
   | Value.Type_error msg -> (st, "type error: " ^ msg)
   | Exec_error.Error e -> (st, "error: " ^ Exec_error.to_string e)
   | Domain.Infinite what ->

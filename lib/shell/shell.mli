@@ -6,7 +6,8 @@
     {v
     .agg KIND [v.A] QUERY  aggregate bounds (count | sum | min | max)
     .analyze [NAME ...]    collect planner statistics (all relations by default)
-    .check                 run schema + referential integrity checks
+    .check                 run schema, constraint + referential integrity checks
+    .constraints           list declared constraints and their verification state
     .explain analyze QUERY run a query; per-operator est/actual/ticks/time
     .fsck DIR              check a catalog directory and repair it
     .help                  this text
@@ -27,6 +28,10 @@
     append to REL (A = 1, ...)                 insert (union)
     range of v is REL delete v [where ...]     delete (difference)
     range of v is REL replace v (A = 2) [where ...]
+    constrain unique REL (A, B) [as NAME]      declare a null-tolerant key
+    constrain notnull REL (A) [as NAME]        forbid ni on A
+    constrain fk REL (F) to T (K) on delete restrict|cascade|setnull [as NAME]
+    unconstrain NAME                           drop a constraint
     v}
 
     When limits are set ([.limit time]/[.limit tuples]), every

@@ -6,65 +6,137 @@ module String_map = Map.Make (String)
    with the version current at collection time and count as fresh only
    while the two agree. WAL replay goes through {!set_relation} like
    every other mutation, so recovery can never resurrect stale stats —
-   replaying a record invalidates them by construction. *)
+   replaying a record invalidates them by construction.
+
+   The subsumption index is lazy and tied to the entry: a write builds
+   a fresh (unforced) one, so constraint probes against an unchanged
+   relation are amortized O(1) across statements while a changed
+   relation re-indexes at most once. *)
 type entry = {
   e_schema : Schema.t;
   e_x : Xrel.t;
   e_version : int;
   e_stats : (int * Stats.table) option;  (** (version stamp, summary) *)
+  e_index : Subsume_index.t Lazy.t;
 }
 
-type t = entry String_map.t
+type t = {
+  c_rels : entry String_map.t;
+  c_defs : Constr.def list;  (** Declaration order. *)
+  c_unverified : string list;
+      (** Constraints whose last full verification predates the data
+          (restored from a stale checkpoint, or the relation was
+          replaced wholesale). *)
+}
 
 exception Violation of Schema.violation list
 
-let empty = String_map.empty
+let empty = { c_rels = String_map.empty; c_defs = []; c_unverified = [] }
+let index_of x = lazy (Subsume_index.build (Xrel.rep x))
+
+(* A wholesale replacement of a relation (shell [.load] over an existing
+   name) voids the verification of every constraint involving it; the
+   incremental DML path goes through {!set_relation} + enforcement and
+   stays verified. *)
+let mark_unverified cat name =
+  let stale =
+    List.filter_map
+      (fun def ->
+        if
+          List.exists (String.equal name) (Constr.relations def)
+          && not (List.mem (Constr.name def) cat.c_unverified)
+        then Some (Constr.name def)
+        else None)
+      cat.c_defs
+  in
+  if stale = [] then cat
+  else { cat with c_unverified = cat.c_unverified @ stale }
+
+let add_entry cat schema x =
+  let name = Schema.name schema in
+  let entry =
+    match String_map.find_opt name cat.c_rels with
+    | Some e ->
+        {
+          e with
+          e_schema = schema;
+          e_x = x;
+          e_version = e.e_version + 1;
+          e_index = index_of x;
+        }
+    | None ->
+        {
+          e_schema = schema;
+          e_x = x;
+          e_version = 0;
+          e_stats = None;
+          e_index = index_of x;
+        }
+  in
+  { cat with c_rels = String_map.add name entry cat.c_rels }
 
 let add cat schema x =
   match Schema.check schema x with
-  | [] ->
-      let name = Schema.name schema in
-      let entry =
-        match String_map.find_opt name cat with
-        | Some e -> { e with e_schema = schema; e_x = x; e_version = e.e_version + 1 }
-        | None -> { e_schema = schema; e_x = x; e_version = 0; e_stats = None }
-      in
-      String_map.add name entry cat
+  | [] -> mark_unverified (add_entry cat schema x) (Schema.name schema)
   | violations -> raise (Violation violations)
 
 let add_unchecked cat schema x =
-  String_map.add (Schema.name schema)
-    { e_schema = schema; e_x = x; e_version = 0; e_stats = None }
-    cat
+  let name = Schema.name schema in
+  mark_unverified
+    {
+      cat with
+      c_rels =
+        String_map.add name
+          {
+            e_schema = schema;
+            e_x = x;
+            e_version = 0;
+            e_stats = None;
+            e_index = index_of x;
+          }
+          cat.c_rels;
+    }
+    name
 
 let find cat name =
   Option.map
     (fun e -> (e.e_schema, e.e_x))
-    (String_map.find_opt name cat)
+    (String_map.find_opt name cat.c_rels)
 
 let get cat name =
-  let e = String_map.find name cat in
+  let e = String_map.find name cat.c_rels in
   (e.e_schema, e.e_x)
 
 let relation cat name = snd (get cat name)
 let schema cat name = fst (get cat name)
-let names cat = List.map fst (String_map.bindings cat)
-let mem cat name = String_map.mem name cat
-let remove cat name = String_map.remove name cat
+let names cat = List.map fst (String_map.bindings cat.c_rels)
+let mem cat name = String_map.mem name cat.c_rels
+
+let remove cat name =
+  { cat with c_rels = String_map.remove name cat.c_rels }
 
 let set_relation cat name x =
-  let schema, _ = get cat name in
-  add cat schema x
+  let e = String_map.find name cat.c_rels in
+  match Schema.check e.e_schema x with
+  | [] -> add_entry cat e.e_schema x
+  | violations -> raise (Violation violations)
 
 let to_db cat =
-  List.map (fun (name, e) -> (name, (e.e_schema, e.e_x))) (String_map.bindings cat)
+  List.map
+    (fun (name, e) -> (name, (e.e_schema, e.e_x)))
+    (String_map.bindings cat.c_rels)
+
+let probe_index cat name =
+  Option.map
+    (fun e -> Lazy.force e.e_index)
+    (String_map.find_opt name cat.c_rels)
 
 (* ------------------------- statistics ------------------------- *)
 
 type stats_status = Fresh of Stats.table | Stale of Stats.table | Missing
 
 let stats_status cat name =
-  match String_map.find_opt name cat with
+  match String_map.find_opt name cat.c_rels with
   | None | Some { e_stats = None; _ } -> Missing
   | Some { e_stats = Some (stamp, t); e_version; _ } ->
       if stamp = e_version then Fresh t else Stale t
@@ -73,15 +145,99 @@ let stats cat name =
   match stats_status cat name with Fresh t -> Some t | Stale _ | Missing -> None
 
 let set_stats cat name t =
-  match String_map.find_opt name cat with
+  match String_map.find_opt name cat.c_rels with
   | None -> cat
   | Some e ->
-      String_map.add name { e with e_stats = Some (e.e_version, t) } cat
+      {
+        cat with
+        c_rels =
+          String_map.add name
+            { e with e_stats = Some (e.e_version, t) }
+            cat.c_rels;
+      }
 
 let clear_stats cat name =
-  match String_map.find_opt name cat with
+  match String_map.find_opt name cat.c_rels with
   | None -> cat
-  | Some e -> String_map.add name { e with e_stats = None } cat
+  | Some e ->
+      { cat with c_rels = String_map.add name { e with e_stats = None } cat.c_rels }
+
+(* ------------------------- constraints ------------------------ *)
+
+let constraints cat = cat.c_defs
+
+let constraint_def cat name =
+  List.find_opt (fun d -> String.equal (Constr.name d) name) cat.c_defs
+
+let unverified_constraints cat = cat.c_unverified
+
+let enforce_env cat =
+  {
+    Constr.lookup =
+      (fun name ->
+        Option.map (fun e -> e.e_x) (String_map.find_opt name cat.c_rels));
+    probe = (fun name -> probe_index cat name);
+    key_of =
+      (fun name ->
+        match String_map.find_opt name cat.c_rels with
+        | Some e -> Schema.key e.e_schema
+        | None -> Attr.Set.empty);
+  }
+
+let enforce cat seeds = Constr.enforce (enforce_env cat) cat.c_defs seeds
+
+let verify_constraint cat def = Constr.verify (enforce_env cat) def
+
+let attach_constraint ?(verified = true) cat def =
+  let n = Constr.name def in
+  let defs =
+    List.filter (fun d -> not (String.equal (Constr.name d) n)) cat.c_defs
+    @ [ def ]
+  in
+  let unverified = List.filter (fun m -> not (String.equal m n)) cat.c_unverified in
+  {
+    cat with
+    c_defs = defs;
+    c_unverified = (if verified then unverified else unverified @ [ n ]);
+  }
+
+let add_constraint cat def =
+  (* The TLA+ [Add*Constraint] precondition: the data already satisfies
+     the constraint being declared. *)
+  (match verify_constraint cat def with
+  | [] -> ()
+  | v :: _ -> Constr.error v);
+  attach_constraint ~verified:true cat def
+
+let drop_constraint cat name =
+  {
+    cat with
+    c_defs =
+      List.filter (fun d -> not (String.equal (Constr.name d) name)) cat.c_defs;
+    c_unverified =
+      List.filter (fun m -> not (String.equal m name)) cat.c_unverified;
+  }
+
+let revalidate_constraints cat =
+  List.fold_left
+    (fun (cat, bad) name ->
+      match constraint_def cat name with
+      | None -> (cat, bad)
+      | Some def -> (
+          match verify_constraint cat def with
+          | [] ->
+              ( {
+                  cat with
+                  c_unverified =
+                    List.filter
+                      (fun m -> not (String.equal m name))
+                      cat.c_unverified;
+                },
+                bad )
+          | violations -> (cat, bad @ List.map (fun v -> (name, v)) violations)))
+    (cat, []) cat.c_unverified
+
+(* --------------------- referential checks --------------------- *)
 
 type reference_violation = {
   relation : string;
@@ -122,11 +278,30 @@ let fk_violations cat rel_name fk x =
           if matched then None else Some { relation = rel_name; fk; tuple = r })
     (Xrel.to_list x)
 
+(* Declared foreign-key constraints take part in the advisory full-scan
+   check too, so `.check` (and the model-check acceptance criterion)
+   covers both the schema-level and the declared references. *)
 let check_references cat =
-  String_map.fold
-    (fun rel_name e acc ->
-      List.concat_map
-        (fun fk -> fk_violations cat rel_name fk e.e_x)
-        (Schema.foreign_keys e.e_schema)
-      @ acc)
-    cat []
+  let schema_level =
+    String_map.fold
+      (fun rel_name e acc ->
+        List.concat_map
+          (fun fk -> fk_violations cat rel_name fk e.e_x)
+          (Schema.foreign_keys e.e_schema)
+        @ acc)
+      cat.c_rels []
+  in
+  let declared =
+    List.concat_map
+      (function
+        | Constr.Foreign_key { rel; target; pairs; _ } -> (
+            match String_map.find_opt rel cat.c_rels with
+            | None -> []
+            | Some e ->
+                fk_violations cat rel
+                  { Schema.fk_target = target; fk_pairs = pairs }
+                  e.e_x)
+        | Constr.Unique _ | Constr.Not_null _ -> [])
+      cat.c_defs
+  in
+  schema_level @ declared

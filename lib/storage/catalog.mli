@@ -29,7 +29,15 @@ val mem : t -> string -> bool
 val remove : t -> string -> t
 
 val set_relation : t -> string -> Xrel.t -> t
-(** Replaces the relation stored under a name, re-checking its schema. *)
+(** Replaces the relation stored under a name, re-checking its schema.
+    Unlike {!add} over an existing name, this is the {e incremental}
+    write path (DML, WAL replay): declared constraints stay verified —
+    the caller is responsible for having enforced them ({!enforce}). *)
+
+val probe_index : t -> string -> Nullrel.Subsume_index.t option
+(** A subsumption index over the relation's current minimal
+    representation, built lazily at most once per write — the probe
+    side of incremental constraint enforcement. *)
 
 val to_db : t -> (string * (Schema.t * Xrel.t)) list
 (** Export in the shape the {!Quel.Resolve} evaluator consumes. *)
@@ -58,6 +66,53 @@ val set_stats : t -> string -> Stats.table -> t
 
 val clear_stats : t -> string -> t
 
+(** {1 Constraints}
+
+    Declared integrity constraints ({!Constr.def}) live in the catalog
+    beside the relations they govern. A declaration fully verifies the
+    current data (the TLA+ [Add*Constraint] precondition); afterwards
+    the DML layer keeps them satisfied incrementally through
+    {!enforce}. A wholesale replacement of a relation ({!add} over an
+    existing name — the shell's [.load]) marks every constraint
+    involving it {e unverified}: still enforced on new writes, but the
+    bulk-loaded data itself has not been checked — mirroring the stats
+    Fresh/Stale protocol. *)
+
+val constraints : t -> Constr.def list
+(** In declaration order. *)
+
+val constraint_def : t -> string -> Constr.def option
+
+val add_constraint : t -> Constr.def -> t
+(** Verifies the current data satisfies the definition (raises
+    {!Constr.Error} with the first violation otherwise), then attaches
+    it. A definition with the same name is replaced. *)
+
+val attach_constraint : ?verified:bool -> t -> Constr.def -> t
+(** Attaches without verification — the journal-replay and
+    checkpoint-load path ("replay re-enforces rather than re-checks").
+    [~verified:false] records it as unverified. *)
+
+val drop_constraint : t -> string -> t
+(** No-op on an unknown name. *)
+
+val unverified_constraints : t -> string list
+(** Names whose last verification predates the data. *)
+
+val revalidate_constraints : t -> t * (string * Constr.violation) list
+(** Re-runs full verification on every unverified constraint; the ones
+    that pass are marked verified, the violations of the rest are
+    returned (those stay unverified). *)
+
+val enforce_env : t -> Constr.env
+(** The catalog as an enforcement environment: relation lookup, lazy
+    probe indexes, primary keys. *)
+
+val enforce : t -> Constr.delta list -> Constr.delta list
+(** {!Constr.enforce} against this catalog's state and declarations. *)
+
+val verify_constraint : t -> Constr.def -> Constr.violation list
+
 type reference_violation = {
   relation : string;  (** Referencing relation. *)
   fk : Schema.foreign_key;
@@ -72,4 +127,5 @@ val check_references : t -> reference_violation list
     null on {e any} foreign-key attribute asserts nothing and passes; a
     total reference must be matched, for sure, by some tuple of the
     target relation. A foreign key whose target relation is absent
-    flags every total reference. *)
+    flags every total reference. Declared {!Constr.Foreign_key}
+    constraints are included alongside the schema-level ones. *)

@@ -197,6 +197,138 @@ let read_stats io dir =
   if not (io.Io.file_exists path) then None
   else stats_of_string (io.Io.read_file path)
 
+(* ------------------------ constraints ------------------------- *)
+
+(* The CONSTRAINTS file persists declared constraint definitions with
+   the checkpoint, under the same self-checksum trailer as STATS plus a
+   per-relation CRC stamp: a definition counts as verified only while
+   every relation it involves still carries the data file the stamp was
+   cut against. Unlike stats, a damaged file does not merely cost
+   acceleration — the declarations themselves are semantics — so the
+   loader reports the damage in the journal note instead of degrading
+   silently. *)
+let constraints_name = "CONSTRAINTS"
+let constraints_format_version = "1"
+
+let constraints_to_string ~lsn cat data_crcs =
+  let defs = Catalog.constraints cat in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "nullrel-constraints\t%s\t%d\n" constraints_format_version
+       lsn);
+  List.iter
+    (fun def ->
+      Buffer.add_string buf ("def\t" ^ Constr.def_to_line def ^ "\n"))
+    defs;
+  List.iter
+    (fun name -> Buffer.add_string buf ("stale\t" ^ name ^ "\n"))
+    (Catalog.unverified_constraints cat);
+  let stamped = List.sort_uniq String.compare (List.concat_map Constr.relations defs) in
+  List.iter
+    (fun rel ->
+      match List.assoc_opt rel data_crcs with
+      | Some crc -> Buffer.add_string buf (Printf.sprintf "stamp\t%s\t%s\n" rel crc)
+      | None -> ())
+    stamped;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%send\t%s\n" body (Crc32.to_hex (Crc32.digest body))
+
+type constraints_file = {
+  cf_lsn : int;
+  cf_defs : Constr.def list;
+  cf_stale : string list;
+  cf_stamps : (string * string) list;
+}
+
+let constraints_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec split_at_end body = function
+    | [] -> None
+    | line :: rest when String.length line >= 4 && String.sub line 0 4 = "end\t"
+      ->
+        if List.for_all (String.equal "") rest then
+          Some (List.rev body, String.sub line 4 (String.length line - 4))
+        else None
+    | line :: rest -> split_at_end (line :: body) rest
+  in
+  match split_at_end [] lines with
+  | None -> None
+  | Some (body_lines, crc_hex) -> (
+      let body = String.concat "" (List.map (fun l -> l ^ "\n") body_lines) in
+      match Crc32.of_hex crc_hex with
+      | Some crc when crc = Crc32.digest body -> (
+          match body_lines with
+          | header :: entry_lines -> (
+              match String.split_on_char '\t' header with
+              | [ "nullrel-constraints"; version; lsn ] -> (
+                  if not (String.equal version constraints_format_version) then
+                    errorf "unsupported constraints version %s" version;
+                  match int_of_string_opt lsn with
+                  | None -> None
+                  | Some cf_lsn ->
+                      let parse acc line =
+                        match acc with
+                        | None -> None
+                        | Some cf -> (
+                            match String.index_opt line '\t' with
+                            | None -> None
+                            | Some i -> (
+                                let tag = String.sub line 0 i in
+                                let rest =
+                                  String.sub line (i + 1)
+                                    (String.length line - i - 1)
+                                in
+                                match tag with
+                                | "def" -> (
+                                    match Constr.def_of_line rest with
+                                    | Some def ->
+                                        Some
+                                          { cf with cf_defs = def :: cf.cf_defs }
+                                    | None -> None)
+                                | "stale" ->
+                                    Some
+                                      { cf with cf_stale = rest :: cf.cf_stale }
+                                | "stamp" -> (
+                                    match String.split_on_char '\t' rest with
+                                    | [ rel; crc ] ->
+                                        Some
+                                          {
+                                            cf with
+                                            cf_stamps =
+                                              (rel, crc) :: cf.cf_stamps;
+                                          }
+                                    | _ -> None)
+                                | _ -> None))
+                      in
+                      Option.map
+                        (fun cf ->
+                          {
+                            cf with
+                            cf_defs = List.rev cf.cf_defs;
+                            cf_stale = List.rev cf.cf_stale;
+                            cf_stamps = List.rev cf.cf_stamps;
+                          })
+                        (List.fold_left parse
+                           (Some
+                              {
+                                cf_lsn;
+                                cf_defs = [];
+                                cf_stale = [];
+                                cf_stamps = [];
+                              })
+                           entry_lines))
+              | _ -> None)
+          | [] -> None)
+      | _ -> None)
+
+let read_constraints io dir =
+  let path = Filename.concat dir constraints_name in
+  if not (io.Io.file_exists path) then `Absent
+  else
+    match constraints_of_string (io.Io.read_file path) with
+    | Some cf -> `Loaded cf
+    | None -> `Damaged
+
 (* ---------------------------- save ---------------------------- *)
 
 let m_checkpoints =
@@ -254,6 +386,17 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
       entries
   in
   io.Io.write_file (path (stats_name ^ ".tmp")) (stats_to_string stats_entries);
+  (* Constraint definitions ride along the same way, stamped with the
+     CRCs of the data files being written: at load, a definition counts
+     as verified only while those stamps still match. *)
+  let data_crcs =
+    List.map
+      (fun (name, _, dtext) -> (name, Crc32.to_hex (Crc32.digest dtext)))
+      entries
+  in
+  io.Io.write_file
+    (path (constraints_name ^ ".tmp"))
+    (constraints_to_string ~lsn cat data_crcs);
   (* Rename data files into place. A crash here leaves a mix of old and
      new files, each atomic on its own; the reader disambiguates by
      checksum against MANIFEST (old) and MANIFEST.next (staged above). *)
@@ -263,6 +406,7 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
       io.Io.rename (path (name ^ ".csv.tmp")) (path (name ^ ".csv")))
     entries;
   io.Io.rename (path (stats_name ^ ".tmp")) (path stats_name);
+  io.Io.rename (path (constraints_name ^ ".tmp")) (path constraints_name);
   (* The commit point. *)
   io.Io.rename (path pending_name) (path manifest_name);
   io.Io.fsync_dir dir;
@@ -298,9 +442,20 @@ let report_lines report =
     (fun (name, status) ->
       Format.asprintf "%s: %a" name pp_status status)
     report.statuses
-  @ match report.journal_note with
+  @ (match report.journal_note with
     | None -> []
-    | Some note -> [ "journal: " ^ note ]
+    | Some note -> [ "journal: " ^ note ])
+  @
+  match Catalog.unverified_constraints report.catalog with
+  | [] -> []
+  | stale ->
+      [
+        Printf.sprintf
+          "constraints: %d stale (%s) — data changed since last \
+           verification; run .check"
+          (List.length stale)
+          (String.concat ", " stale);
+      ]
 
 (* One relation loaded from its pair of files, checked against the
    manifests when present. Returns the schema/xrel plus the LSN of the
@@ -431,48 +586,113 @@ let load_report ?(io = Io.real) ~dir () =
           catalog stats_entries
   in
   let manifest_lsn = match primary with Some m -> m.m_lsn | None -> 0 in
-  (* Replay the journal tail: records past the checkpoint a relation's
-     data file belongs to. Replaying onto a relation from a {e newer}
-     half-renamed checkpoint is skipped by the per-relation LSN gate. *)
+  (* Attach persisted constraint definitions before journal replay, so
+     replayed DDL (gated by the CONSTRAINTS checkpoint lsn) lands on
+     top of them. A definition is verified only while every relation it
+     involves still carries the data file its stamp was cut against;
+     otherwise it attaches as stale — enforced on new writes, but the
+     restored data itself unchecked. *)
+  let loaded_crc name =
+    List.find_map
+      (function
+        | n, `Loaded (_, _, _, dcrc) when String.equal n name -> Some dcrc
+        | _ -> None)
+      loaded
+  in
+  let catalog, constraints_lsn, constraints_note =
+    match read_constraints io dir with
+    | `Absent -> (catalog, manifest_lsn, None)
+    | `Damaged ->
+        ( catalog,
+          manifest_lsn,
+          Some
+            "CONSTRAINTS file damaged; declarations lost — re-declare or \
+             restore from backup" )
+    | `Loaded cf ->
+        let cat =
+          List.fold_left
+            (fun cat def ->
+              let fresh =
+                (not (List.mem (Constr.name def) cf.cf_stale))
+                && List.for_all
+                     (fun rel ->
+                       match
+                         (List.assoc_opt rel cf.cf_stamps, loaded_crc rel)
+                       with
+                       | Some stamp, Some dcrc -> String.equal stamp dcrc
+                       | _ -> false)
+                     (Constr.relations def)
+              in
+              Catalog.attach_constraint ~verified:fresh cat def)
+            catalog cf.cf_defs
+        in
+        (cat, cf.cf_lsn, None)
+  in
+  (* Replay the journal tail, one operation at a time: relation changes
+     past the checkpoint the relation's data file belongs to (replaying
+     onto a relation from a {e newer} half-renamed checkpoint is
+     skipped by the per-relation LSN gate), constraint DDL past the
+     CONSTRAINTS checkpoint. A record is one whole transaction — its
+     cascade deltas replay together or, if the frame is torn, not at
+     all. *)
   let records, tail_note = Wal.read ~io ~dir in
   let catalog, replayed, top_lsn, notes =
     List.fold_left
-      (fun (cat, replayed, top_lsn, notes) record ->
-        match List.assoc_opt record.Wal.rel base_lsns with
-        | Some base when record.Wal.lsn > base -> (
-            match Wal.apply cat record with
-            | cat ->
-                Obs.Metrics.inc m_wal_replayed;
-                let count =
-                  1
-                  + Option.value ~default:0
-                      (List.assoc_opt record.Wal.rel replayed)
-                in
-                ( cat,
-                  (record.Wal.rel, count)
-                  :: List.remove_assoc record.Wal.rel replayed,
-                  max top_lsn record.Wal.lsn,
-                  notes )
-            | exception (Wal.Error msg | Error msg) ->
-                (cat, replayed, top_lsn, msg :: notes)
-            | exception Catalog.Violation _ ->
-                ( cat,
-                  replayed,
-                  top_lsn,
-                  Printf.sprintf
-                    "replaying lsn %d left %s violating its schema"
-                    record.Wal.lsn record.Wal.rel
-                  :: notes ))
-        | Some _ -> (cat, replayed, top_lsn, notes) (* already reflected *)
-        | None ->
-            ( cat,
-              replayed,
-              top_lsn,
-              Printf.sprintf "lsn %d targets unloadable relation %s"
-                record.Wal.lsn record.Wal.rel
-              :: notes ))
+      (fun (cat, replayed, top_lsn, notes) (record : Wal.record) ->
+        List.fold_left
+          (fun (cat, replayed, top_lsn, notes) op ->
+            match op with
+            | Wal.Change c -> (
+                match List.assoc_opt c.Wal.rel base_lsns with
+                | Some base when record.Wal.lsn > base -> (
+                    match Wal.apply_op cat op with
+                    | cat ->
+                        Obs.Metrics.inc m_wal_replayed;
+                        let count =
+                          1
+                          + Option.value ~default:0
+                              (List.assoc_opt c.Wal.rel replayed)
+                        in
+                        ( cat,
+                          (c.Wal.rel, count)
+                          :: List.remove_assoc c.Wal.rel replayed,
+                          max top_lsn record.Wal.lsn,
+                          notes )
+                    | exception (Wal.Error msg | Error msg) ->
+                        (cat, replayed, top_lsn, msg :: notes)
+                    | exception Catalog.Violation _ ->
+                        ( cat,
+                          replayed,
+                          top_lsn,
+                          Printf.sprintf
+                            "replaying lsn %d left %s violating its schema"
+                            record.Wal.lsn c.Wal.rel
+                          :: notes ))
+                | Some _ ->
+                    (cat, replayed, top_lsn, notes) (* already reflected *)
+                | None ->
+                    ( cat,
+                      replayed,
+                      top_lsn,
+                      Printf.sprintf "lsn %d targets unloadable relation %s"
+                        record.Wal.lsn c.Wal.rel
+                      :: notes ))
+            | Wal.Add_constraint _ | Wal.Drop_constraint _ ->
+                if record.Wal.lsn > constraints_lsn then
+                  match Wal.apply_op cat op with
+                  | cat ->
+                      Obs.Metrics.inc m_wal_replayed;
+                      (cat, replayed, max top_lsn record.Wal.lsn, notes)
+                  | exception (Wal.Error msg | Error msg) ->
+                      (cat, replayed, top_lsn, msg :: notes)
+                else (cat, replayed, top_lsn, notes))
+          (cat, replayed, top_lsn, notes)
+          record.Wal.ops)
       (catalog, [], manifest_lsn, [])
       records
+  in
+  let notes =
+    match constraints_note with None -> notes | Some n -> n :: notes
   in
   let statuses =
     List.map

@@ -1,6 +1,13 @@
 open Nullrel
 
-type record = { lsn : int; rel : string; added : Xrel.t; removed : Xrel.t }
+type change = { rel : string; added : Xrel.t; removed : Xrel.t }
+
+type op =
+  | Change of change
+  | Add_constraint of Constr.def
+  | Drop_constraint of string
+
+type record = { lsn : int; ops : op list }
 
 exception Error of string
 
@@ -9,29 +16,54 @@ let file ~dir = Filename.concat dir "wal"
 
 (* ------------------------- deltas ----------------------------- *)
 
-let delta ~lsn ~rel ~before ~after =
+let change ~rel ~before ~after =
   let b = Relation.tuples (Xrel.rep before)
   and a = Relation.tuples (Xrel.rep after) in
   (* Both sides are subsets of minimal representations (antichains), so
      wrapping them unsafely is sound and they roundtrip exactly. *)
   let wrap set = Xrel.unsafe_of_minimal (Relation.of_tuples set) in
   {
-    lsn;
     rel;
     added = wrap (Tuple.Set.diff a b);
     removed = wrap (Tuple.Set.diff b a);
   }
 
-let is_noop r = Xrel.is_empty r.added && Xrel.is_empty r.removed
+let change_is_noop c = Xrel.is_empty c.added && Xrel.is_empty c.removed
 
-let apply cat r =
-  match Catalog.find cat r.rel with
-  | None -> errorf "journal references unknown relation %s" r.rel
+let delta ~lsn ~rel ~before ~after =
+  { lsn; ops = [ Change (change ~rel ~before ~after) ] }
+
+let is_noop r =
+  List.for_all
+    (function
+      | Change c -> change_is_noop c
+      | Add_constraint _ | Drop_constraint _ -> false)
+    r.ops
+
+let rels r =
+  List.filter_map
+    (function Change c -> Some c.rel | Add_constraint _ | Drop_constraint _ -> None)
+    r.ops
+  |> List.sort_uniq String.compare
+
+let apply_change cat c =
+  match Catalog.find cat c.rel with
+  | None -> errorf "journal references unknown relation %s" c.rel
   | Some (_, x) ->
       let tuples = Relation.tuples (Xrel.rep x) in
-      let tuples = Tuple.Set.diff tuples (Relation.tuples (Xrel.rep r.removed)) in
-      let tuples = Tuple.Set.union tuples (Relation.tuples (Xrel.rep r.added)) in
-      Catalog.set_relation cat r.rel (Xrel.of_tuples tuples)
+      let tuples = Tuple.Set.diff tuples (Relation.tuples (Xrel.rep c.removed)) in
+      let tuples = Tuple.Set.union tuples (Relation.tuples (Xrel.rep c.added)) in
+      Catalog.set_relation cat c.rel (Xrel.of_tuples tuples)
+
+let apply_op ?(verify_constraints = false) cat = function
+  | Change c -> apply_change cat c
+  | Add_constraint def ->
+      if verify_constraints then Catalog.add_constraint cat def
+      else Catalog.attach_constraint cat def
+  | Drop_constraint name -> Catalog.drop_constraint cat name
+
+let apply ?verify_constraints cat r =
+  List.fold_left (fun cat op -> apply_op ?verify_constraints cat op) cat r.ops
 
 (* ------------------------- framing ---------------------------- *)
 
@@ -49,12 +81,24 @@ let add_block buf s =
   add_u32 buf (String.length s);
   Buffer.add_string buf s
 
+let encode_op buf = function
+  | Change c ->
+      Buffer.add_char buf 'C';
+      add_block buf c.rel;
+      add_block buf (Binary.encode c.added);
+      add_block buf (Binary.encode c.removed)
+  | Add_constraint def ->
+      Buffer.add_char buf 'A';
+      add_block buf (Constr.def_to_line def)
+  | Drop_constraint name ->
+      Buffer.add_char buf 'D';
+      add_block buf name
+
 let encode_payload r =
   let buf = Buffer.create 256 in
   add_u64 buf r.lsn;
-  add_block buf r.rel;
-  add_block buf (Binary.encode r.added);
-  add_block buf (Binary.encode r.removed);
+  add_u32 buf (List.length r.ops);
+  List.iter (encode_op buf) r.ops;
   Buffer.contents buf
 
 let encode_frame r =
@@ -84,19 +128,37 @@ let read_block cur =
   cur.pos <- cur.pos + len;
   s
 
+let decode_op cur =
+  if remaining cur < 1 then errorf "truncated op tag";
+  let tag = cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  match tag with
+  | 'C' ->
+      let rel = read_block cur in
+      let decode what s =
+        try Binary.decode s
+        with Binary.Corrupt msg -> errorf "bad %s delta: %s" what msg
+      in
+      let added = decode "added" (read_block cur) in
+      let removed = decode "removed" (read_block cur) in
+      Change { rel; added; removed }
+  | 'A' -> (
+      let line = read_block cur in
+      match Constr.def_of_line line with
+      | Some def -> Add_constraint def
+      | None -> errorf "bad constraint definition %S" line)
+  | 'D' -> Drop_constraint (read_block cur)
+  | c -> errorf "unknown op tag %C" c
+
 let decode_payload payload =
   let cur = { data = payload; pos = 0 } in
-  if remaining cur < 8 then errorf "truncated lsn";
+  if remaining cur < 12 then errorf "truncated header";
   let lsn = read_u 8 cur in
-  let rel = read_block cur in
-  let decode what s =
-    try Binary.decode s
-    with Binary.Corrupt msg -> errorf "bad %s delta: %s" what msg
-  in
-  let added = decode "added" (read_block cur) in
-  let removed = decode "removed" (read_block cur) in
+  let n_ops = read_u 4 cur in
+  if n_ops < 0 then errorf "negative op count";
+  let ops = List.init n_ops (fun _ -> decode_op cur) in
   if remaining cur <> 0 then errorf "trailing payload bytes";
-  { lsn; rel; added; removed }
+  { lsn; ops }
 
 let m_appends =
   Obs.Metrics.counter ~help:"Write-ahead journal frames appended"

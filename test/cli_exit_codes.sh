@@ -1,7 +1,7 @@
 #!/bin/sh
 # Exit-code contract of the nullrel CLI:
 #   0 success, 2 bad input (parse/resolve/CSV), 3 storage faults,
-#   4 timeout, 5 budget exceeded.
+#   4 timeout, 5 budget exceeded, 10 constraint violation.
 # Usage: cli_exit_codes.sh PATH-TO-NULLREL-CLI
 set -u
 
@@ -118,6 +118,45 @@ expect 2 "agg sum without --attr" \
 expect 2 "agg with malformed --attr" \
     "$CLI" agg sum --attr nodot --rel "R=$tmp/r.csv" \
     'range of r is R retrieve (r.A)'
+
+# --- 10: constraint violations ---------------------------------
+cat > "$tmp/t.csv" <<EOF
+K,V
+1,10
+2,20
+EOF
+cat > "$tmp/fk.csv" <<EOF
+F,W
+1,5
+EOF
+
+mkdir -p "$tmp/restrictdb"
+expect 10 "restrict-blocked delete" \
+    "$CLI" dml --dir "$tmp/restrictdb" \
+    --load "T=$tmp/t.csv" --load "R=$tmp/fk.csv" \
+    'constrain fk R (F) to T (K) on delete restrict as fkr' \
+    'range of v is T delete v where v.K = 1'
+
+mkdir -p "$tmp/cascadedb"
+expect 0 "cascading delete" \
+    "$CLI" dml --dir "$tmp/cascadedb" \
+    --load "T=$tmp/t.csv" --load "R=$tmp/fk.csv" \
+    'constrain fk R (F) to T (K) on delete cascade as fkr' \
+    'range of v is T delete v where v.K = 1'
+# the cascade's effect must be durable: the referencing row is gone
+# on the next process's recovered snapshot
+"$CLI" dml --dir "$tmp/cascadedb" \
+    'range of v is R retrieve (v.F, v.W)' 2>/dev/null \
+    | grep -q '5' && fail "cascade did not remove the referencing row"
+
+mkdir -p "$tmp/uniquedb"
+expect 10 "duplicate under a unique constraint" \
+    "$CLI" dml --dir "$tmp/uniquedb" --load "T=$tmp/t.csv" \
+    'constrain unique T (K) as uq' \
+    'append to T (K = 1, V = 99)'
+# ni-tolerance: a tuple null on the unique attribute collides with nothing
+expect 0 "null key under a unique constraint" \
+    "$CLI" dml --dir "$tmp/uniquedb" 'append to T (V = 7)'
 
 # --- statistics-driven planning --------------------------------
 expect 0 "query with --analyze" \

@@ -169,9 +169,16 @@ let torn_everywhere =
         in
         {
           Storage.Wal.lsn;
-          rel = "EVENTS";
-          added = Nullrel.Xrel.of_tuples (Nullrel.Tuple.Set.singleton tuple);
-          removed = Nullrel.Xrel.of_tuples Nullrel.Tuple.Set.empty;
+          ops =
+            [
+              Storage.Wal.Change
+                {
+                  rel = "EVENTS";
+                  added =
+                    Nullrel.Xrel.of_tuples (Nullrel.Tuple.Set.singleton tuple);
+                  removed = Nullrel.Xrel.of_tuples Nullrel.Tuple.Set.empty;
+                };
+            ];
         }
       in
       let rs = List.init n (fun i -> record (i + 1)) in

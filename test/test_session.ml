@@ -317,9 +317,15 @@ let test_torn_batch_tail () =
     in
     {
       Storage.Wal.lsn;
-      rel = "EVENTS";
-      added = Xrel.of_tuples (Tuple.Set.singleton tuple);
-      removed = Xrel.of_tuples Tuple.Set.empty;
+      ops =
+        [
+          Storage.Wal.Change
+            {
+              rel = "EVENTS";
+              added = Xrel.of_tuples (Tuple.Set.singleton tuple);
+              removed = Xrel.of_tuples Tuple.Set.empty;
+            };
+        ];
     }
   in
   let rs = [ record 1 1; record 2 2; record 3 3 ] in
