@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo constraints-demo fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo constraints-demo monitor-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -90,6 +90,32 @@ constraints-demo:
 	  echo "expected exit 10 from the restricted delete, got $$status"; exit 1; \
 	fi; \
 	echo "restricted delete refused with exit 10, as declared"
+
+# The system catalog end to end: turn the flight recorder on, run a
+# session workload and a governed join, render the .monitor top view,
+# then answer the observability questions as plain Quel over sys_* —
+# stale stats from sys_relations, p99 commit latency from
+# sys_metrics_history, and a join of sys_sessions against the history
+# ring. Greps assert the stale verdict and the p99 series actually
+# appeared. Exercised by CI at 1 and 4 domains.
+monitor-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf 'S#,P#\ns1,p1\ns2,p1\ns3,p2\ns4,-\n' > "$$tmp/ps.csv"; \
+	{ printf '.monitor on\n'; \
+	  printf '.load PS %s/ps.csv\n' "$$tmp"; \
+	  printf '.analyze PS\n'; \
+	  printf 'append to PS (S# = "s5", P# = "p2")\n'; \
+	  printf '.session %s/demo\n' "$$tmp"; \
+	  printf 'range of p is PS range of q is PS retrieve (p.S#, q.S#) where p.P# = q.P#\n'; \
+	  printf '.monitor 4\n'; \
+	  printf 'range of r is sys_relations retrieve (r.NAME, r.STATS) where r.STATS = "stale" or r.UNVERIFIED > 0\n'; \
+	  printf 'range of h is sys_metrics_history retrieve (h.SEQ, h.VALUE) where h.NAME = "nullrel_session_commit_us_p99"\n'; \
+	  printf 'range of s is sys_sessions range of h is sys_metrics_history retrieve (s.SID, s.STATE, h.NAME, h.VALUE) where h.NAME = "nullrel_session_commits_total"\n'; \
+	  printf '.quit\n'; } | \
+	$(DUNE) exec bin/nullrel_cli.exe -- repl | tee "$$tmp/out.txt"; \
+	grep -q 'commit_p99_us' "$$tmp/out.txt" || { echo "monitor view missing its p99 column"; exit 1; }; \
+	grep -q 'stale' "$$tmp/out.txt" || { echo "sys_relations query missed the stale verdict"; exit 1; }
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

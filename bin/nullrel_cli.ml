@@ -43,52 +43,72 @@ let emit ~as_csv attrs x =
 
 (* One exception story for every subcommand: each error class gets its
    own nonzero exit code, so scripts can distinguish a typo (2) from a
-   failing disk (3) from a governor abort (4..6). *)
+   failing disk (3) from a governor abort (4..6). Every branch also
+   records a structured abort event, so a --trace-file dump written
+   from at_exit carries the reason the process died. *)
 let handle f =
+  let abort kind detail = Sysview.Trace.note_abort ~kind ~detail in
   try f () with
   | Session.Session_error.Error e ->
-      Printf.eprintf "error: %s\n" (Session.Session_error.to_string e);
+      let msg = Session.Session_error.to_string e in
+      abort "session" msg;
+      Printf.eprintf "error: %s\n" msg;
       exit (Session.Session_error.exit_code e)
   | Constr.Error v ->
-      Printf.eprintf "constraint violation: %s\n" (Constr.to_string v);
+      let msg = Constr.to_string v in
+      abort "constraint" msg;
+      Printf.eprintf "constraint violation: %s\n" msg;
       exit Constr.exit_code
   | Exec_error.Error e ->
-      Printf.eprintf "error: %s\n" (Exec_error.to_string e);
+      let msg = Exec_error.to_string e in
+      abort "governor" msg;
+      Printf.eprintf "error: %s\n" msg;
       exit (Exec_error.exit_code e)
   | Quel.Parser.Error msg ->
+      abort "parse" msg;
       Printf.eprintf "parse error: %s\n" msg;
       exit 2
   | Quel.Lexer.Error (msg, pos) ->
+      abort "parse" msg;
       Printf.eprintf "lexical error at %d: %s\n" pos msg;
       exit 2
   | Quel.Resolve.Error msg ->
+      abort "resolve" msg;
       Printf.eprintf "error: %s\n" msg;
       exit 2
   | Storage.Csv.Error msg ->
+      abort "csv" msg;
       Printf.eprintf "csv error: %s\n" msg;
       exit 2
   | Storage.Catalog.Violation violations ->
-      Printf.eprintf "integrity violations:\n%s\n"
-        (String.concat "\n"
-           (List.map (Pp.to_string Schema.pp_violation) violations));
+      let text =
+        String.concat "\n"
+          (List.map (Pp.to_string Schema.pp_violation) violations)
+      in
+      abort "integrity" text;
+      Printf.eprintf "integrity violations:\n%s\n" text;
       exit 2
   | Storage.Binary.Corrupt msg ->
+      abort "storage" msg;
       Printf.eprintf "error: corrupt relation file: %s\n" msg;
       exit 3
   | Storage.Persist.Error msg ->
+      abort "storage" msg;
       Printf.eprintf "error: %s\n" msg;
       exit 3
   | Sys_error msg ->
+      abort "io" msg;
       Printf.eprintf "error: %s\n" msg;
       exit 3
 
-(* --metrics-file / --trace both enable collection up front and flush
-   through [at_exit], so the dump is written even when [handle] leaves
-   with a nonzero code on a governor abort. *)
+(* --metrics-file / --trace / --trace-file all enable collection up
+   front and flush through [at_exit], so the dump is written even when
+   [handle] leaves with a nonzero code on a governor abort. *)
 let metrics_dumped = ref false
+let trace_dumped = ref false
 
-let setup_obs metrics_file trace =
-  if metrics_file <> None || trace then begin
+let setup_obs metrics_file trace trace_file =
+  if metrics_file <> None || trace || trace_file <> None then begin
     Obs.Metrics.set_enabled true;
     Obs.Span.set_enabled true;
     Option.iter
@@ -111,6 +131,19 @@ let setup_obs metrics_file trace =
               with Sys_error _ -> prerr_endline ("cannot write " ^ path)
             end))
       metrics_file;
+    Option.iter
+      (fun path ->
+        at_exit (fun () ->
+            (* Same once-guard + sibling-rename story as the metrics
+               dump: the JSONL file appears atomically and exactly
+               once, after every span (and any abort event noted by
+               [handle]) has been recorded. *)
+            if not !trace_dumped then begin
+              trace_dumped := true;
+              try Sysview.Trace.write_file path
+              with Sys_error _ -> prerr_endline ("cannot write " ^ path)
+            end))
+      trace_file;
     if trace then
       at_exit (fun () ->
           List.iter
@@ -123,9 +156,9 @@ let setup_obs metrics_file trace =
             (Obs.Span.events ()))
   end
 
-let governed deadline_s max_tuples metrics_file trace domains f =
+let governed deadline_s max_tuples metrics_file trace trace_file domains f =
   Option.iter Par.Pool.set_domains domains;
-  setup_obs metrics_file trace;
+  setup_obs metrics_file trace trace_file;
   handle (fun () ->
       match (deadline_s, max_tuples) with
       | None, None -> f ()
@@ -161,6 +194,15 @@ let trace_flag =
   let doc = "Enable span tracing; print recorded spans to stderr on exit." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let trace_file_arg =
+  let doc =
+    "Enable span tracing and write a structured JSONL trace (spans, slow \
+     statements, governed-abort events) to $(docv) on exit (including \
+     aborts)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-file" ] ~doc ~docv:"PATH")
+
 let domains_arg =
   let doc =
     "Parallelism degree: how many OCaml domains the kernels may use \
@@ -188,8 +230,8 @@ let attr_set_of_string s_ =
 (* ------------------------- commands ----------------------- *)
 
 let show_cmd =
-  let run as_csv timeout tuples metrics trace domains path =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains path =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let attrs, x = load path in
         emit ~as_csv attrs x)
   in
@@ -197,11 +239,11 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ file 0)
+      $ trace_flag $ trace_file_arg $ domains_arg $ file 0)
 
 let minimize_cmd =
-  let run as_csv timeout tuples metrics trace domains path =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains path =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let attrs, x = load path in
         (* load already canonicalizes; echoing it shows the minimal form *)
         emit ~as_csv attrs x;
@@ -211,11 +253,11 @@ let minimize_cmd =
   Cmd.v (Cmd.info "minimize" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ file 0)
+      $ trace_flag $ trace_file_arg $ domains_arg $ file 0)
 
 let binop_cmd name doc op =
-  let run as_csv timeout tuples metrics trace domains p1 p2 =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains p1 p2 =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = op x1 x2 in
@@ -224,7 +266,7 @@ let binop_cmd name doc op =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ file 0 $ file 1)
 
 let union_cmd =
   binop_cmd "union" "Generalized union (lattice least upper bound)."
@@ -238,8 +280,8 @@ let inter_cmd =
     Xrel.inter
 
 let join_cmd =
-  let run as_csv timeout tuples metrics trace domains on p1 p2 =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains on p1 p2 =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
@@ -249,11 +291,11 @@ let join_cmd =
   Cmd.v (Cmd.info "join" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ on_arg $ file 0 $ file 1)
 
 let outerjoin_cmd =
-  let run as_csv timeout tuples metrics trace domains on p1 p2 =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains on p1 p2 =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
@@ -263,11 +305,11 @@ let outerjoin_cmd =
   Cmd.v (Cmd.info "outerjoin" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ on_arg $ file 0 $ file 1)
 
 let divide_cmd =
-  let run as_csv timeout tuples metrics trace domains y p1 p2 =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains y p1 p2 =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let _, x1 = load p1 in
         let _, x2 = load p2 in
         let y = attr_set_of_string y in
@@ -278,11 +320,11 @@ let divide_cmd =
   Cmd.v (Cmd.info "divide" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ quotient_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ quotient_arg $ file 0 $ file 1)
 
 let project_cmd =
-  let run as_csv timeout tuples metrics trace domains attrs path =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains attrs path =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let _, x = load path in
         let xs = attr_set_of_string attrs in
         let result = Algebra.project xs x in
@@ -295,7 +337,7 @@ let project_cmd =
   Cmd.v (Cmd.info "project" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ attrs_arg $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ attrs_arg $ file 1)
 
 let rel_arg =
   let doc = "Bind a relation: NAME=FILE.csv (repeatable)." in
@@ -336,6 +378,14 @@ let db_of_rels rels =
           (name, (schema, x)))
     rels
 
+(* An in-memory catalog over the --rel bindings, feeding sys_relations
+   and sys_columns rows for them (stats are Missing, constraints none —
+   honestly reported as such). *)
+let catalog_of_db db =
+  List.fold_left
+    (fun cat (_, (schema, x)) -> Storage.Catalog.add cat schema x)
+    Storage.Catalog.empty db
+
 let query_cmd =
   let query_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
@@ -348,16 +398,20 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "analyze" ] ~doc)
   in
-  let run as_csv timeout tuples metrics trace domains analyze rels query_src =
-    governed timeout tuples metrics trace domains (fun () ->
-        let db = db_of_rels rels in
+  let run as_csv timeout tuples metrics trace tracef domains analyze rels query_src =
+    governed timeout tuples metrics trace tracef domains (fun () ->
+        let user_db = db_of_rels rels in
+        (* The system catalog rides along: sys_* virtual relations over
+           a throwaway catalog holding the bound CSVs, so a query can
+           range over sys_metrics or sys_relations with no setup. *)
+        let db = user_db @ Sysview.db (catalog_of_db user_db) in
         let result =
           if analyze then begin
             let collected =
               List.map
                 (fun (name, (schema, x)) ->
                   (name, Stats.collect ~attrs:(Schema.attrs schema) x))
-                db
+                user_db
             in
             let stats =
               {
@@ -381,7 +435,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ domains_arg $ analyze_flag $ rel_arg $ query_arg)
+      $ trace_flag $ trace_file_arg $ domains_arg $ analyze_flag $ rel_arg $ query_arg)
 
 let agg_cmd =
   let kind_arg =
@@ -397,9 +451,10 @@ let agg_cmd =
   let query_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
   in
-  let run timeout tuples metrics trace domains rels kind attr query_src =
-    governed timeout tuples metrics trace domains (fun () ->
-        let db = db_of_rels rels in
+  let run timeout tuples metrics trace tracef domains rels kind attr query_src =
+    governed timeout tuples metrics trace tracef domains (fun () ->
+        let user_db = db_of_rels rels in
+        let db = user_db @ Sysview.db (catalog_of_db user_db) in
         let parse_ref r =
           match String.index_opt r '.' with
           | Some idx ->
@@ -446,11 +501,11 @@ let agg_cmd =
   Cmd.v (Cmd.info "agg" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ domains_arg $ rel_arg $ kind_arg $ attr_arg $ query_arg)
+      $ trace_file_arg $ domains_arg $ rel_arg $ kind_arg $ attr_arg $ query_arg)
 
 let convert_cmd =
-  let run src dst =
-    handle (fun () ->
+  let run timeout tuples metrics trace tracef domains src dst =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let load_any path =
           if Filename.check_suffix path ".nrx" then
             let x = Storage.Binary.read_file path in
@@ -464,8 +519,10 @@ let convert_cmd =
   in
   let doc = "Convert between .csv and the compact .nrx binary format." in
   Cmd.v (Cmd.info "convert" ~doc)
-    Term.(const run $ file 0
-          $ Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"))
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ trace_file_arg $ domains_arg $ file 0
+      $ Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"))
 
 let fsck_cmd =
   let dry_flag =
@@ -473,8 +530,8 @@ let fsck_cmd =
     Arg.(value & flag & info [ "dry-run"; "n" ] ~doc)
   in
   let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
-  let run dry dir =
-    handle (fun () ->
+  let run timeout tuples metrics trace tracef domains dry dir =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let report =
           if dry then Storage.Persist.load_report ~dir ()
           else Storage.Persist.recover ~dir ()
@@ -498,7 +555,10 @@ let fsck_cmd =
      clean checkpoint. Exits 1 if anything was quarantined, 3 if the \
      directory itself is unreadable."
   in
-  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dry_flag $ dir_arg)
+  Cmd.v (Cmd.info "fsck" ~doc)
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ trace_file_arg $ domains_arg $ dry_flag $ dir_arg)
 
 let sessions_cmd =
   let rec rm_rf path =
@@ -542,9 +602,9 @@ let sessions_cmd =
     in
     Arg.(value & flag & info [ "demo" ] ~doc)
   in
-  let run timeout tuples metrics trace domains dir nsessions txns
+  let run timeout tuples metrics trace tracef domains dir nsessions txns
       conflict_every serial demo =
-    governed timeout tuples metrics trace domains (fun () ->
+    governed timeout tuples metrics trace tracef domains (fun () ->
         let with_dir f =
           match dir with
           | Some d -> f d
@@ -594,7 +654,7 @@ let sessions_cmd =
   Cmd.v (Cmd.info "sessions" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ domains_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
+      $ trace_file_arg $ domains_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
       $ serial_flag $ demo_flag)
 
 let dml_cmd =
@@ -646,8 +706,8 @@ let dml_cmd =
              | None -> Domain.Strings ))
          attrs)
   in
-  let run timeout tuples metrics trace domains dir loads keys stmts =
-    governed timeout tuples metrics trace domains (fun () ->
+  let run timeout tuples metrics trace tracef domains dir loads keys stmts =
+    governed timeout tuples metrics trace tracef domains (fun () ->
         (* Phase 1: register any CSVs as relations of the directory's
            catalog (a checkpoint write, like the shell's .load+.save). *)
         if loads <> [] then begin
@@ -705,12 +765,12 @@ let dml_cmd =
   Cmd.v (Cmd.info "dml" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ domains_arg $ dir_arg $ load_args $ key_args $ stmt_args)
+      $ trace_file_arg $ domains_arg $ dir_arg $ load_args $ key_args $ stmt_args)
 
 let repl_cmd =
-  let run metrics trace domains =
+  let run metrics trace tracef domains =
     Option.iter Par.Pool.set_domains domains;
-    setup_obs metrics trace;
+    setup_obs metrics trace tracef;
     print_endline "nullrel shell -- .help for commands, .quit to leave";
     let rec loop st =
       if Shell.finished st then ()
@@ -728,7 +788,7 @@ let repl_cmd =
   in
   let doc = "Interactive shell: load CSVs, run queries, inspect plans." in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const run $ metrics_file_arg $ trace_flag $ domains_arg)
+    Term.(const run $ metrics_file_arg $ trace_flag $ trace_file_arg $ domains_arg)
 
 let () =
   let doc = "relational algebra with no-information nulls (Zaniolo 1982)" in

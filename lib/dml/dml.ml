@@ -159,7 +159,27 @@ let def_of_spec cat name rel spec =
       Constr.Foreign_key
         { name; rel; target; pairs = List.combine locals remotes; on_delete }
 
+(* The [sys_] namespace belongs to the virtual system catalog
+   (lib/sysview): those relations are computed views of engine state,
+   never stored, so no write statement may target them. The check is on
+   the name prefix — dml sits below sysview in the library graph. *)
+let reject_sys_target statement =
+  match statement with
+  | Quel.Ast.Retrieve _ -> ()
+  | Quel.Ast.Append { rel; _ }
+  | Quel.Ast.Delete { rel; _ }
+  | Quel.Ast.Replace { rel; _ }
+  | Quel.Ast.Constrain { rel; _ } ->
+      if
+        String.length rel >= 4
+        && String.equal (String.sub rel 0 4) "sys_"
+      then
+        errorf "%s is a read-only system relation (the sys_ namespace \
+                is virtual)" rel
+  | Quel.Ast.Unconstrain _ -> ()
+
 let exec cat statement =
+  reject_sys_target statement;
   match statement with
   | Quel.Ast.Retrieve q ->
       let result = Quel.Eval.run (Storage.Catalog.to_db cat) q in

@@ -35,7 +35,10 @@ val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
     closure as part of the same statement — all of it reflected in the
     returned catalog, or none of it ({!Constr.Error} aborts with the
     catalog unchanged). [constrain] verifies the existing data first;
-    [unconstrain] drops by name. *)
+    [unconstrain] drops by name. Write statements targeting the
+    reserved [sys_] namespace are rejected with [Bad_input] — those are
+    the virtual system-catalog relations (lib/sysview), computed views
+    that no statement can store into. *)
 
 val exec_string : Storage.Catalog.t -> string -> outcome
 (** [exec] composed with {!Quel.Parser.parse_statement}. *)

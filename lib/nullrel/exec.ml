@@ -128,7 +128,11 @@ let tick ?(cost = 1) () =
        (* Span state lives on the main domain; governed session
           domains skip the span charge but still count ticks (the
           counter is atomic). *)
-       if Stdlib.Domain.is_main_domain () then Obs.Span.charge cost;
+       if Stdlib.Domain.is_main_domain () then begin
+         Obs.Span.charge cost;
+         (* The history ring is single-writer; this is the writer. *)
+         Obs.History.charge cost
+       end;
        Obs.Metrics.add m_ticks cost
      end);
     if g != unlimited_observed then begin

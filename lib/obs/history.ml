@@ -1,0 +1,117 @@
+(* Bounded ring of periodic metric snapshots, driven by governor ticks
+   from Nullrel.Exec. Single-writer: [charge] is only called from the
+   main domain (the Exec call site guards with [Domain.is_main_domain]),
+   so the ring needs no lock. Readers (sysview's sys_metrics_history)
+   observe the atomic write index and copy immutable snapshot records;
+   a concurrent reader can at worst see one snapshot fewer, never a
+   torn record. *)
+
+let enabled = ref false
+
+(* Ticks between snapshots. Large enough that a snapshot (a registry
+   walk) is amortized to noise against the work that generated the
+   ticks. *)
+let interval = ref 50_000
+let default_capacity = 64
+let capacity_ref = ref default_capacity
+
+type snap = {
+  seq : int;
+  ticks : int;  (* cumulative ticks charged when the snapshot was taken *)
+  time : float;  (* Unix.gettimeofday at snapshot *)
+  series : (string * float) list;
+      (* flattened metric series: counters and gauges by exported name;
+         histograms contribute name_sum/_count/_p50/_p99 *)
+}
+
+let ring : snap option array ref = ref (Array.make default_capacity None)
+
+let widx = Atomic.make 0
+let acc = ref 0
+let total_ticks = ref 0
+
+let set_enabled b = enabled := b
+
+let configure ?interval:(i : int option) ?capacity () =
+  (match i with Some i when i > 0 -> interval := i | _ -> ());
+  match capacity with
+  | Some c when c > 0 && c <> Array.length !ring ->
+      capacity_ref := c;
+      ring := Array.make c None;
+      Atomic.set widx 0
+  | _ -> ()
+
+let capacity () = !capacity_ref
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  Atomic.set widx 0;
+  acc := 0;
+  total_ticks := 0
+
+(* Render a registry entry's exported series name: the metric name plus
+   its label set in Prometheus syntax, so joins against a live
+   [sys_metrics] row are string-equal on NAME. *)
+let series_name (i : Metrics.info) = i.Metrics.i_name ^ Metrics.label_string i.Metrics.i_labels
+
+let flatten (infos : Metrics.info list) =
+  List.concat_map
+    (fun (i : Metrics.info) ->
+      let n = series_name i in
+      match i.Metrics.i_value with
+      | Metrics.Counter_v v -> [ (n, float_of_int v) ]
+      | Metrics.Gauge_v v -> [ (n, v) ]
+      | Metrics.Histogram_v { sum; count; counts } ->
+          let q p =
+            match Metrics.quantile_of_counts counts p with
+            | Some v -> v
+            | None -> nan
+          in
+          [
+            (n ^ "_sum", float_of_int sum);
+            (n ^ "_count", float_of_int count);
+            (n ^ "_p50", q 0.5);
+            (n ^ "_p99", q 0.99);
+          ])
+    infos
+
+let snap_now () =
+  if not !enabled then ()
+  else begin
+    let w = Atomic.get widx in
+  let s =
+    {
+      seq = w;
+      ticks = !total_ticks;
+      time = Unix.gettimeofday ();
+      series = flatten (Metrics.snapshot ());
+    }
+  in
+    let r = !ring in
+    r.(w mod Array.length r) <- Some s;
+    Atomic.set widx (w + 1)
+  end
+
+let charge c =
+  if !enabled then begin
+    total_ticks := !total_ticks + c;
+    acc := !acc + c;
+    if !acc >= !interval then begin
+      acc := 0;
+      snap_now ()
+    end
+  end
+
+let entries () =
+  let r = !ring in
+  let cap = Array.length r in
+  let w = Atomic.get widx in
+  let n = if w < cap then w else cap in
+  let out = ref [] in
+  for k = 0 to n - 1 do
+    (* newest-first index, prepend so the result is oldest-first *)
+    match r.((w - 1 - k) mod cap) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  !out

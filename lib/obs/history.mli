@@ -1,0 +1,54 @@
+(** Bounded ring of periodic metric snapshots ("the flight recorder").
+
+    {!Nullrel.Exec.tick} charges governor ticks here from its observed
+    branch — main domain only, so the ring is single-writer and
+    lock-free. Every {!val-interval} ticks a snapshot of the whole
+    {!Metrics} registry is pushed; the last {!capacity} snapshots are
+    retained and exposed by sysview as [sys_metrics_history], making
+    rates and p99-over-time computable by ordinary Quel queries.
+
+    Disabled by default ({!enabled} = false): when off, {!charge} is a
+    single predicted branch, which is what bench E24 gates (<3%
+    overhead with history off). *)
+
+type snap = {
+  seq : int;  (** monotonically increasing snapshot number *)
+  ticks : int;  (** cumulative ticks charged when the snapshot was taken *)
+  time : float;  (** [Unix.gettimeofday] at snapshot *)
+  series : (string * float) list;
+      (** flattened metric series: counters/gauges under their exported
+          name (with Prometheus-style label suffix); each histogram
+          contributes [name_sum], [name_count], [name_p50], [name_p99]
+          (quantiles are [nan] when no observations exist — surfaced as
+          [ni] by sysview). *)
+}
+
+val enabled : bool ref
+(** Kill switch consulted by every {!charge}. *)
+
+val set_enabled : bool -> unit
+
+val configure : ?interval:int -> ?capacity:int -> unit -> unit
+(** Adjust ticks-per-snapshot (default 50000) and ring capacity
+    (default 64). Changing capacity clears the ring. *)
+
+val capacity : unit -> int
+
+val charge : int -> unit
+(** Accumulate ticks toward the next snapshot; take one when the
+    accumulated count reaches the interval. Must only be called from
+    the main domain (the Exec call site guarantees this). *)
+
+val snap_now : unit -> unit
+(** Force an immediate snapshot regardless of the tick accumulator —
+    used by the shell's [.monitor] and by tests. A no-op while the
+    recorder is disabled, like {!charge}. *)
+
+val entries : unit -> snap list
+(** Retained snapshots, oldest first. Safe to call from any domain:
+    records are immutable; a racing reader sees at worst one snapshot
+    fewer. *)
+
+val clear : unit -> unit
+(** Drop all snapshots and reset the accumulators (not [seq]-preserving:
+    the next snapshot restarts at 0). *)

@@ -153,13 +153,44 @@ let le_string i =
   else if i >= buckets - 1 then "+Inf"
   else string_of_int ((1 lsl i) - 1)
 
+(* Prometheus label-value escaping is its own dialect: only backslash,
+   double-quote and newline become escape sequences; every other byte
+   is emitted verbatim. OCaml's %S is close but wrong — it writes tabs
+   as backslash-t and non-ASCII bytes as decimal escapes, both of which
+   scrapers reject as invalid exposition lines. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* HELP text allows [\\] and [\n] escapes only (no quoting). *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let label_string labels =
   match labels with
   | [] -> ""
   | _ ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
       ^ "}"
 
 let label_string_extra labels extra =
@@ -173,7 +204,7 @@ let dump_prometheus () =
       if not (Hashtbl.mem seen_family e.name) then begin
         Hashtbl.add seen_family e.name ();
         Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" e.name e.help);
+          (Printf.sprintf "# HELP %s %s\n" e.name (escape_help e.help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" e.name (kind_of e.metric))
       end;
@@ -206,6 +237,68 @@ let dump_prometheus () =
                (Atomic.get h.n)))
     !registry;
   Buffer.contents buf
+
+(* Point-in-time view of one registry entry. Each atomic is read once,
+   so within a single [snapshot] every counter value is a real value the
+   counter held; there is no torn read of an individual metric. *)
+type value_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { sum : int; count : int; counts : int array }
+
+type info = {
+  i_name : string;
+  i_labels : (string * string) list;
+  i_help : string;
+  i_kind : string;
+  i_value : value_snapshot;
+}
+
+let snapshot () =
+  List.map
+    (fun e ->
+      let v =
+        match e.metric with
+        | C c -> Counter_v (Atomic.get c)
+        | G g -> Gauge_v g.g
+        | H h ->
+            Histogram_v
+              {
+                sum = Atomic.get h.sum;
+                count = Atomic.get h.n;
+                counts = Array.map Atomic.get h.counts;
+              }
+      in
+      {
+        i_name = e.name;
+        i_labels = e.labels;
+        i_help = e.help;
+        i_kind = kind_of e.metric;
+        i_value = v;
+      })
+    !registry
+
+(* Quantile estimate from per-bucket counts: the upper bound of the
+   first bucket whose cumulative count reaches q of the total. Log2
+   buckets make this exact to within 2x, which is all a p99-over-time
+   series needs. *)
+let quantile_of_counts counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int total)) in
+      if t < 1 then 1 else if t > total then total else t
+    in
+    let rec go i cum =
+      if i >= Array.length counts then None
+      else
+        let cum = cum + counts.(i) in
+        if cum >= target then
+          Some (if i = 0 then 0. else float_of_int ((1 lsl i) - 1))
+        else go (i + 1) cum
+    in
+    go 0 0
 
 let dump_sexp () =
   let buf = Buffer.create 1024 in

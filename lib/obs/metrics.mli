@@ -80,6 +80,54 @@ val bucket_count : histogram -> int -> int
 val histogram_sum : histogram -> int
 val histogram_count : histogram -> int
 
+(** {1 Introspection}
+
+    Point-in-time view of the whole registry, consumed by
+    {!Obs.History} and the sysview virtual relations. Each atomic is
+    read exactly once per snapshot, so an individual metric's value is
+    never torn; distinct metrics may be skewed by concurrent updates
+    (see DESIGN on the snapshot-consistency rule). *)
+
+type value_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { sum : int; count : int; counts : int array }
+
+type info = {
+  i_name : string;
+  i_labels : (string * string) list;
+  i_help : string;
+  i_kind : string;  (** "counter" | "gauge" | "histogram" *)
+  i_value : value_snapshot;
+}
+
+val snapshot : unit -> info list
+(** Every registered metric with its current value, in registration
+    order. *)
+
+val quantile_of_counts : int array -> float -> float option
+(** [quantile_of_counts counts q] estimates the q-quantile (0..1) of a
+    log2-bucketed histogram given its per-bucket counts: the upper
+    bound of the first bucket whose cumulative count reaches q of the
+    total. [None] when no observations were recorded. *)
+
+val le_string : int -> string
+(** Upper bound of bucket [i] as the Prometheus [le] label: "0",
+    ["2^i - 1"], or "+Inf" for the last bucket. *)
+
+val buckets : int
+(** Number of histogram buckets (63: one per possible bit count). *)
+
+val label_string : (string * string) list -> string
+(** Prometheus-style rendering of a label set: empty string for no
+    labels, otherwise [{k="v",...}] with values escaped. Used to build
+    stable series names shared by dumps, {!History} and sysview. *)
+
+val escape_label_value : string -> string
+(** Prometheus label-value escaping: only backslash, double-quote and
+    newline become escape sequences; every other byte passes through
+    verbatim (unlike OCaml's [%S]). *)
+
 (** {1 Registry-wide operations} *)
 
 val reset : unit -> unit

@@ -99,6 +99,21 @@ type stats = {
   max_batch : int;
 }
 
+(* Registry of live engines, so sysview can enumerate them without
+   threading an engine through every query path. Guarded by its own
+   lock (never held together with an engine lock — registration and
+   enumeration are cold paths). *)
+let registry_lock = Mutex.create ()
+let engines_ref : engine list ref = ref []
+
+let list_engines () =
+  Mutex.lock registry_lock;
+  let es = !engines_ref in
+  Mutex.unlock registry_lock;
+  es
+
+let engine_dir (eng : engine) = eng.dir
+
 let open_engine ?(io = Storage.Io.retrying Storage.Io.real)
     ?(config = default_config) ~dir () =
   if config.max_queue < 1 then
@@ -137,6 +152,11 @@ let open_engine ?(io = Storage.Io.retrying Storage.Io.real)
       n_max_batch = 0;
     },
     report )
+  |> fun (eng, report) ->
+  Mutex.lock registry_lock;
+  engines_ref := !engines_ref @ [ eng ];
+  Mutex.unlock registry_lock;
+  (eng, report)
 
 let engine_snapshot (eng : engine) = Atomic.get eng.committed
 
@@ -463,7 +483,10 @@ let shutdown eng =
     eng.queued <- 0;
     Condition.broadcast eng.done_cond
   end;
-  Mutex.unlock eng.lock
+  Mutex.unlock eng.lock;
+  Mutex.lock registry_lock;
+  engines_ref := List.filter (fun e -> e != eng) !engines_ref;
+  Mutex.unlock registry_lock
 
 (* -------------------------- sessions -------------------------- *)
 
@@ -482,12 +505,72 @@ type t = {
   mutable inflight : pending option;
 }
 
+(* Weak tracking of attached sessions, for sysview's sys_sessions. A
+   weak singleton per session: enumeration never keeps a session alive,
+   and dead entries are pruned on the next attach. *)
+let sessions_lock = Mutex.create ()
+let session_refs : t Weak.t list ref = ref []
+
 let attach ?deadline_s ?max_tuples eng =
   Mutex.lock eng.lock;
   let sid = eng.next_sid in
   eng.next_sid <- sid + 1;
   Mutex.unlock eng.lock;
-  { sid; eng; deadline_s; max_tuples; txn = None; inflight = None }
+  let sess = { sid; eng; deadline_s; max_tuples; txn = None; inflight = None } in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some sess);
+  Mutex.lock sessions_lock;
+  session_refs :=
+    w :: List.filter (fun w -> Weak.check w 0) !session_refs;
+  Mutex.unlock sessions_lock;
+  sess
+
+type session_state = Idle | Open | Submitted
+
+type session_info = {
+  si_sid : int;
+  si_state : session_state;
+  si_snap_lsn : int option;
+      (** The pinned snapshot LSN — [None] when idle (no pinned view:
+          reads track the moving committed snapshot). *)
+  si_staged : int option;
+      (** Relations staged so far — [None] once submitted: the
+          transaction is in flight and its fate (and final shape) is
+          unknown until the flush decides. *)
+  si_deadline_s : float option;
+  si_max_tuples : int option;
+}
+
+(* A racy-but-sound enumeration: each field is read once (word-sized
+   loads never tear in OCaml), so a row describes a state the session
+   actually was in at some recent moment. *)
+let sessions_info eng =
+  Mutex.lock sessions_lock;
+  let refs = !session_refs in
+  Mutex.unlock sessions_lock;
+  List.filter_map
+    (fun w ->
+      match Weak.get w 0 with
+      | Some s when s.eng == eng ->
+          let inflight = s.inflight and txn = s.txn in
+          let state, snap_lsn, staged =
+            match (inflight, txn) with
+            | Some p, _ -> (Submitted, Some p.snap_lsn, None)
+            | None, Some t -> (Open, Some t.base.lsn, Some (List.length t.writes))
+            | None, None -> (Idle, None, Some 0)
+          in
+          Some
+            {
+              si_sid = s.sid;
+              si_state = state;
+              si_snap_lsn = snap_lsn;
+              si_staged = staged;
+              si_deadline_s = s.deadline_s;
+              si_max_tuples = s.max_tuples;
+            }
+      | _ -> None)
+    refs
+  |> List.sort (fun a b -> compare a.si_sid b.si_sid)
 
 let id sess = sess.sid
 let engine sess = sess.eng

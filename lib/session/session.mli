@@ -101,6 +101,14 @@ type stats = {
 
 val stats : engine -> stats
 
+val list_engines : unit -> engine list
+(** Every engine opened and not yet shut down, in open order — the
+    enumeration sysview uses to materialize [sys_sessions] without an
+    engine being threaded through the query path. *)
+
+val engine_dir : engine -> string
+(** The durable directory this engine serves. *)
+
 val flush : engine -> unit
 (** Drains the commit queue now (leading as many flushes as needed),
     returning once it is empty or the engine is dead. *)
@@ -168,6 +176,31 @@ val await : t -> int
     flush if no other session is already flushing (so a single-threaded
     caller never deadlocks: [submit; submit'; await] forms a 2-record
     batch under one fsync). *)
+
+(** {1 Introspection}
+
+    The raw material of sysview's [sys_sessions]. Sessions are tracked
+    weakly (enumeration never extends a session's lifetime); fields are
+    read racily but each load is atomic, so a row describes a state the
+    session really was in. Unknown-by-construction fields are [None] —
+    surfaced as the paper's [ni] by sysview: an idle session has no
+    pinned snapshot, and a submitted transaction's staged shape is in
+    flight until the flush decides its fate. *)
+
+type session_state = Idle | Open | Submitted
+
+type session_info = {
+  si_sid : int;
+  si_state : session_state;
+  si_snap_lsn : int option;  (** [None] when idle. *)
+  si_staged : int option;
+      (** Relations staged; [None] once submitted (in flight). *)
+  si_deadline_s : float option;
+  si_max_tuples : int option;
+}
+
+val sessions_info : engine -> session_info list
+(** Live sessions attached to [eng], sorted by session id. *)
 
 (** {1 Drills and demos}
 

@@ -11,12 +11,40 @@ let () =
 
 type limits = { time_s : float option; max_tuples : int option }
 
-type state = { cat : Storage.Catalog.t; finished : bool; limits : limits }
+type state = {
+  cat : Storage.Catalog.t;
+  finished : bool;
+  limits : limits;
+  dir : string option;
+      (* The durable directory behind the catalog (.open) — lets the
+         sys_wal and CRC columns of the system catalog see the disk. *)
+}
 
 let no_limits = { time_s = None; max_tuples = None }
-let initial = { cat = Storage.Catalog.empty; finished = false; limits = no_limits }
+
+let initial =
+  { cat = Storage.Catalog.empty; finished = false; limits = no_limits;
+    dir = None }
+
 let catalog st = st.cat
 let finished st = st.finished
+
+(* The database one statement sees: the user catalog plus the sys_*
+   virtual relations, materialized together at this instant (the
+   snapshot-consistency rule — build once per statement, share between
+   admission, planning and evaluation). The system catalog is only
+   materialized when the statement's range clauses actually mention a
+   sys_* name: building those xrels runs minimization under the
+   governor, and a statement over user data alone must not spend its
+   tick budget (or any time) on telemetry it never asked for. *)
+let full_db ?ranges st =
+  let wanted =
+    match ranges with
+    | None -> true
+    | Some rs -> List.exists (fun (_, rel) -> Sysview.is_sys rel) rs
+  in
+  Storage.Catalog.to_db st.cat
+  @ (if wanted then Sysview.db ?dir:st.dir st.cat else [])
 
 let describe_limits = function
   | { time_s = None; max_tuples = None } -> "limits: off"
@@ -65,8 +93,11 @@ let help =
    .limit off             clear all limits\n\
    .limit time SECS       abort statements running longer than SECS\n\
    .limit tuples N        abort statements touching more than N tuples\n\
-   .list                  list relations\n\
+   .list                  list relations (the sys_* system catalog is \
+   always queryable)\n\
    .load NAME FILE.csv    register a CSV file as relation NAME\n\
+   .monitor [N | on | off] live top-style view from sys_sessions + \
+   sys_metrics_history\n\
    .open DIR              load a saved catalog directory\n\
    .plan QUERY            show the optimized algebra plan for a query\n\
    .quit                  leave\n\
@@ -111,6 +142,12 @@ let guessed_schema name attrs x =
 
 let with_relation st name f =
   match Storage.Catalog.find st.cat name with
+  | None when Sysview.is_sys name -> (
+      (* Materialize just for display: sys_* names resolve in .show and
+         .schema exactly as they do in queries. *)
+      match List.assoc_opt name (Sysview.db ?dir:st.dir st.cat) with
+      | Some (schema, x) -> f schema x
+      | None -> Printf.sprintf "error: no relation %s (try .list)" name)
   | None -> Printf.sprintf "error: no relation %s (try .list)" name
   | Some (schema, x) -> f schema x
 
@@ -130,8 +167,8 @@ type db_context = {
   env : string -> Xrel.t option;
 }
 
-let db_context cat =
-  let find name = Storage.Catalog.find cat name in
+let db_context db cat =
+  let find name = List.assoc_opt name db in
   {
     schemas = (fun name -> Option.map (fun (s_, _) -> Schema.attrs s_) (find name));
     env_scope =
@@ -142,16 +179,20 @@ let db_context cat =
           (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
         table =
           (fun name ->
-            match Storage.Catalog.stats_status cat name with
-            | Storage.Catalog.Fresh t ->
-                Stats.count_hit ();
-                Some t
-            | Storage.Catalog.Stale _ ->
-                Stats.count_stale ();
-                None
-            | Storage.Catalog.Missing ->
-                Stats.count_miss ();
-                None);
+            (* Virtual relations have live cardinalities but no stored
+               statistics; keep them out of the hit/miss accounting. *)
+            if Sysview.is_sys name then None
+            else
+              match Storage.Catalog.stats_status cat name with
+              | Storage.Catalog.Fresh t ->
+                  Stats.count_hit ();
+                  Some t
+              | Storage.Catalog.Stale _ ->
+                  Stats.count_stale ();
+                  None
+              | Storage.Catalog.Missing ->
+                  Stats.count_miss ();
+                  None);
       };
     env = (fun name -> Option.map snd (find name));
   }
@@ -159,13 +200,12 @@ let db_context cat =
 (* Admission control: before a governed retrieve runs at all, compare
    the optimizer's cost estimate for the chosen plan against the tuple
    budget and reject queries that cannot plausibly fit. *)
-let admission st q =
+let admission st db q =
   match st.limits.max_tuples with
   | None -> None
   | Some budget ->
-      let db = Storage.Catalog.to_db st.cat in
       Quel.Resolve.check db q;
-      let ctx = db_context st.cat in
+      let ctx = db_context db st.cat in
       let plan =
         Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope
           (Plan.Compile.query ~schemas:ctx.schemas q)
@@ -178,7 +218,8 @@ let admission st q =
 let run_statement st src =
   match Quel.Parser.parse_statement src with
   | Quel.Ast.Retrieve q -> (
-      match admission st q with
+      let db = full_db ~ranges:q.Quel.Ast.ranges st in
+      match admission st db q with
       | Some (est, budget) ->
           ( st,
             Printf.sprintf
@@ -186,8 +227,7 @@ let run_statement st src =
                (raise .limit tuples, or refine the query)"
               est budget )
       | None ->
-          let db = Storage.Catalog.to_db st.cat in
-          let ctx = db_context st.cat in
+          let ctx = db_context db st.cat in
           let result = Plan.Compile.run ~stats:ctx.stats db q in
           ( st,
             Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel
@@ -197,10 +237,10 @@ let run_statement st src =
       ({ st with cat = outcome.Dml.catalog }, outcome.Dml.message)
 
 let show_plan st src =
-  let db = Storage.Catalog.to_db st.cat in
   let q = Quel.Parser.parse src in
+  let db = full_db ~ranges:q.Quel.Ast.ranges st in
   Quel.Resolve.check db q;
-  let ctx = db_context st.cat in
+  let ctx = db_context db st.cat in
   let raw = Plan.Compile.query ~schemas:ctx.schemas q in
   let optimized =
     Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope raw
@@ -212,10 +252,10 @@ let show_plan st src =
     (Plan.Cost.cost ~stats:ctx.stats optimized)
 
 let explain_analyze st src =
-  let db = Storage.Catalog.to_db st.cat in
   let q = Quel.Parser.parse src in
+  let db = full_db ~ranges:q.Quel.Ast.ranges st in
   Quel.Resolve.check db q;
-  let ctx = db_context st.cat in
+  let ctx = db_context db st.cat in
   let plan =
     Plan.Rewrite.optimize ~cost:ctx.stats ~env_scope:ctx.env_scope
       (Plan.Compile.query ~schemas:ctx.schemas q)
@@ -269,6 +309,72 @@ let stats_catalog st =
                    Stats.pp t)
            names)
 
+(* .monitor [N]: a top-style snapshot rendered from the same virtual
+   relations a query would see — sys_sessions for the live session
+   table, sys_metrics_history for the last N flight-recorder rows. *)
+let monitor n =
+  let on = !Obs.History.enabled in
+  (* Fold "now" into the view so the newest line is current. *)
+  if on then Obs.History.snap_now ();
+  let engine_lines =
+    match Session.list_engines () with
+    | [] -> [ "engines: none open" ]
+    | engines ->
+        List.map
+          (fun eng ->
+            let s = Session.stats eng in
+            Printf.sprintf
+              "engine %s: queue %d, committed %d, conflicts %d, batches %d"
+              (Session.engine_dir eng) (Session.queue_depth eng)
+              s.Session.committed s.Session.conflicts s.Session.batches)
+          engines
+  in
+  let _, (sess_schema, sess_x) = Sysview.sys_sessions () in
+  let session_lines =
+    if Xrel.is_empty sess_x then [ "sessions: none attached" ]
+    else [ Pp.to_string (Pp.table_of_schema sess_schema) sess_x ]
+  in
+  let snaps = Obs.History.entries () in
+  let keep =
+    let len = List.length snaps in
+    if len <= n then snaps else List.filteri (fun i _ -> i >= len - n) snaps
+  in
+  let history_lines =
+    match keep with
+    | [] ->
+        [
+          (if on then "history: no snapshots yet (run some governed work)"
+           else "history: off (.monitor on starts the flight recorder)");
+        ]
+    | snaps ->
+        let series snap name =
+          match List.assoc_opt name snap.Obs.History.series with
+          | Some v when not (Float.is_nan v) -> Printf.sprintf "%.0f" v
+          | _ -> "-"
+        in
+        Printf.sprintf "%6s %12s %10s %14s %12s" "seq" "ticks" "Δticks"
+          "commit_p99_us" "commits"
+        :: List.rev
+             (fst
+                (List.fold_left
+                   (fun (acc, prev) snap ->
+                     let line =
+                       Printf.sprintf "%6d %12d %10d %14s %12s"
+                         snap.Obs.History.seq snap.Obs.History.ticks
+                         (snap.Obs.History.ticks - prev)
+                         (series snap "nullrel_session_commit_us_p99")
+                         (series snap "nullrel_session_commits_total")
+                     in
+                     (line :: acc, snap.Obs.History.ticks))
+                   ([], 0) snaps))
+  in
+  String.concat "\n"
+    ((Printf.sprintf "monitor: history %s, %d/%d snapshots retained"
+        (if on then "on" else "off")
+        (List.length snaps) (Obs.History.capacity ())
+     :: engine_lines)
+    @ session_lines @ history_lines)
+
 let pp_span_event (e : Obs.Span.event) =
   Printf.sprintf "%s%s  %.1fms  %d ticks"
     (String.make (2 * e.Obs.Span.depth) ' ')
@@ -278,7 +384,6 @@ let pp_span_event (e : Obs.Span.event) =
 
 (* .agg KIND [v.ATTR] QUERY *)
 let run_aggregate st words =
-  let db = Storage.Catalog.to_db st.cat in
   let parse_ref r =
     match String.index_opt r '.' with
     | Some idx ->
@@ -301,6 +406,7 @@ let run_aggregate st words =
     | _ -> Exec_error.bad_input ".agg count|sum|min|max [v.ATTR] QUERY"
   in
   let q = Quel.Parser.parse (String.concat " " rest) in
+  let db = full_db ~ranges:q.Quel.Ast.ranges st in
   let b = Quel.Aggregate.bounds db q kind in
   Printf.sprintf "bounds: %d .. %d%s" b.Quel.Aggregate.lower
     b.Quel.Aggregate.upper
@@ -389,6 +495,12 @@ let exec st line =
           match Storage.Catalog.names st.cat with
           | [] -> (st, "(no relations loaded)")
           | names -> (st, String.concat "\n" names))
+      | [ ".load"; name; _file ] when Sysview.is_sys name ->
+          ( st,
+            Printf.sprintf
+              "error: %s is in the reserved sys_ namespace (read-only \
+               system catalog)"
+              name )
       | [ ".load"; name; file ] ->
           let attrs, x = Storage.Csv.read_file file in
           let schema = guessed_schema name attrs x in
@@ -407,7 +519,7 @@ let exec st line =
             Printf.sprintf "opened %s (%d relations)" dir
               (List.length (Storage.Catalog.names cat))
           in
-          ( { st with cat },
+          ( { st with cat; dir = Some dir },
             if clean then headline
             else
               String.concat "\n"
@@ -427,7 +539,7 @@ let exec st line =
                    (Storage.Persist.report_lines report)) )
       | [ ".save"; dir ] ->
           Storage.Persist.save ~dir st.cat;
-          (st, Printf.sprintf "saved to %s" dir)
+          ({ st with dir = Some dir }, Printf.sprintf "saved to %s" dir)
       | [ ".open" ] | [ ".fsck" ] | [ ".save" ] | [ ".load" ] | [ ".show" ]
       | [ ".schema" ] ->
           (st, "error: missing argument (try .help)")
@@ -518,6 +630,21 @@ let exec st line =
               (st, Printf.sprintf "domains: %d" (Par.Pool.domains ()))
           | _ -> (st, "error: .domains N (a positive integer)"))
       | ".domains" :: _ -> (st, "error: usage: .domains [N]")
+      | [ ".monitor" ] -> (st, monitor 8)
+      | [ ".monitor"; "on" ] ->
+          (* History snapshots are charged from the governed hot path,
+             so recording needs metrics collection live too. *)
+          Obs.Metrics.set_enabled true;
+          Obs.History.set_enabled true;
+          (st, "monitor: history on (metrics collection enabled too)")
+      | [ ".monitor"; "off" ] ->
+          Obs.History.set_enabled false;
+          (st, "monitor: history off (metrics collection left as it was)")
+      | [ ".monitor"; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k >= 1 -> (st, monitor k)
+          | _ -> (st, "error: .monitor [N | on | off]"))
+      | ".monitor" :: _ -> (st, "error: usage: .monitor [N | on | off]")
       | [ ".limit" ] -> (st, describe_limits st.limits)
       | [ ".limit"; "off" ] -> ({ st with limits = no_limits }, "limits: off")
       | [ ".limit"; "time"; secs ] -> (

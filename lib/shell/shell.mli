@@ -14,6 +14,7 @@
     .limit [off|time SECS|tuples N]   execution limits (see below)
     .list                  list relations
     .load NAME FILE.csv    register a CSV file as relation NAME
+    .monitor [N | on | off]  top-style view from sys_sessions + sys_metrics_history
     .open DIR              load a saved catalog directory
     .plan QUERY            show the optimized algebra plan for a query
     .quit                  leave
@@ -43,7 +44,19 @@
 
     Observability ([.trace on], [.stats], [.slowlog], [.explain
     analyze]) is backed by the {!Obs} registry; collection is off by
-    default and costs one branch per governor tick when off. *)
+    default and costs one branch per governor tick when off.
+
+    Every statement additionally sees the {e system catalog}
+    ({!Sysview}): the [sys_*] virtual relations — metrics, histogram
+    buckets, spans, the slow log, live sessions, relation freshness,
+    journal contents, constraints, and the {!Obs.History} metric ring —
+    materialized fresh per statement and queryable/joinable like user
+    data, with [ni] for honestly unknown fields. Statements that never
+    range over a [sys_*] name skip the materialization entirely, so
+    ordinary queries pay nothing (in particular no governor ticks) for
+    the system catalog. The namespace is read-only: writes targeting
+    [sys_*] fail, [.load] refuses the prefix, and [.save] never
+    persists them. *)
 
 type state
 

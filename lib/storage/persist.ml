@@ -157,6 +157,18 @@ let read_manifest io dir name =
   if not (io.Io.file_exists path) then None
   else manifest_of_string (io.Io.read_file path)
 
+(* Expose the checkpoint's per-relation CRC stamps (schema, data) as
+   hex, for sysview's sys_relations. Empty when the directory has no
+   readable primary manifest — the caller renders that as ni. *)
+let manifest_crcs ?(io = Io.real) ~dir () =
+  match read_manifest io dir manifest_name with
+  | None -> []
+  | Some m ->
+      List.map
+        (fun (name, (scrc, dcrc)) ->
+          (name, (Crc32.to_hex scrc, Crc32.to_hex dcrc)))
+        m.m_entries
+
 (* --------------------------- stats ---------------------------- *)
 
 (* The STATS file rides along with the checkpoint: the {!Stats} body

@@ -98,6 +98,12 @@ val recover : ?io:Io.t -> dir:string -> unit -> report
     relations keep their on-disk files (for post-mortems) but are no
     longer listed in the manifest. *)
 
+val manifest_crcs :
+  ?io:Io.t -> dir:string -> unit -> (string * (string * string)) list
+(** The primary [MANIFEST]'s per-relation (schema CRC, data CRC) stamps
+    as hex strings, in manifest order. Empty when the directory has no
+    readable manifest — sysview renders that absence as [ni]. *)
+
 val pp_status : Format.formatter -> status -> unit
 val report_lines : report -> string list
 (** Human-readable per-relation lines ("EMP: ok", "SP: quarantined —

@@ -1,0 +1,83 @@
+(* Structured trace export: span closures and governed-abort events as
+   JSON Lines. Zero dependencies — the JSON subset emitted here is
+   strings, numbers, and flat objects, so a hand-rolled escaper is the
+   whole serializer. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers may not be nan/inf; those become null. %.17g
+   round-trips every finite float exactly. *)
+let number f =
+  if Float.is_nan f || not (Float.is_finite f) then "null"
+  else Printf.sprintf "%.17g" f
+
+(* Abort events (governed deadline/budget kills, session conflicts,
+   constraint violations) recorded by the CLI and shell as they map
+   errors to exit codes. Bounded so a pathological loop cannot grow the
+   process: oldest events are dropped past [abort_cap]. *)
+type abort = { at : float; kind : string; detail : string }
+
+let abort_cap = 1024
+let aborts : abort list ref = ref []
+let n_aborts = ref 0
+
+let note_abort ~kind ~detail =
+  let a = { at = Unix.gettimeofday (); kind; detail } in
+  aborts := a :: (if !n_aborts >= abort_cap then [] else !aborts);
+  n_aborts := (if !n_aborts >= abort_cap then 1 else !n_aborts + 1)
+
+let clear_aborts () =
+  aborts := [];
+  n_aborts := 0
+
+let span_line (e : Obs.Span.event) =
+  Printf.sprintf
+    {|{"type":"span","label":"%s","depth":%d,"duration_s":%s,"ticks":%d}|}
+    (escape e.Obs.Span.label) e.Obs.Span.depth
+    (number e.Obs.Span.duration_s)
+    e.Obs.Span.ticks
+
+let slow_line (e : Obs.Span.event) =
+  Printf.sprintf
+    {|{"type":"slow","label":"%s","depth":%d,"duration_s":%s,"ticks":%d}|}
+    (escape e.Obs.Span.label) e.Obs.Span.depth
+    (number e.Obs.Span.duration_s)
+    e.Obs.Span.ticks
+
+let abort_line (a : abort) =
+  Printf.sprintf {|{"type":"abort","at":%s,"kind":"%s","detail":"%s"}|}
+    (number a.at) (escape a.kind) (escape a.detail)
+
+let dump () =
+  let buf = Buffer.create 1024 in
+  let line l =
+    Buffer.add_string buf l;
+    Buffer.add_char buf '\n'
+  in
+  List.iter (fun e -> line (span_line e)) (Obs.Span.events ());
+  List.iter (fun e -> line (slow_line e)) (Obs.Span.slow_log ());
+  List.iter (fun a -> line (abort_line a)) (List.rev !aborts);
+  Buffer.contents buf
+
+(* Atomic like the Prometheus dump: stage then rename, so a reader (or
+   a crash mid-exit) never sees half a file. *)
+let write_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (dump ());
+  close_out oc;
+  Sys.rename tmp path

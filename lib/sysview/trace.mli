@@ -1,0 +1,30 @@
+(** Structured trace export as JSON Lines.
+
+    Each line is one flat JSON object:
+    - [{"type":"span","label":s,"depth":n,"duration_s":x,"ticks":n}] —
+      a span closure from the {!Obs.Span} event ring;
+    - [{"type":"slow","label":s,"depth":n,"duration_s":x,"ticks":n}] —
+      an entry of the slow-query log;
+    - [{"type":"abort","at":t,"kind":s,"detail":s}] — a governed abort
+      or error the CLI/shell mapped to an exit code, [at] in Unix
+      seconds.
+
+    The CLI's [--trace-file PATH] dumps this on exit (including
+    governed aborts — the dump runs from [at_exit]). *)
+
+val note_abort : kind:string -> detail:string -> unit
+(** Record an abort event (bounded: the oldest events beyond an
+    internal cap are dropped). *)
+
+val clear_aborts : unit -> unit
+
+val dump : unit -> string
+(** The full JSONL document: spans, slow-log entries, then aborts in
+    the order recorded. *)
+
+val write_file : string -> unit
+(** {!dump} to a file, staged and renamed so the file is never seen
+    half-written. *)
+
+val escape : string -> string
+(** JSON string-body escaping, exposed for tests. *)

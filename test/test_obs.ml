@@ -147,6 +147,59 @@ let test_prometheus_dump () =
           "test_obs_dump_sizes_count 2";
         ])
 
+(* Prometheus escaping: a label value escapes backslash, double-quote
+   and newline — and nothing else (no OCaml-style decimal or \t
+   escapes); HELP text escapes backslash and newline only. *)
+let test_prometheus_escaping () =
+  Alcotest.(check string)
+    "label escaping"
+    "a\\\\b\\\"c\\nd\te"
+    (Obs.Metrics.escape_label_value "a\\b\"c\nd\te");
+  with_obs (fun () ->
+      let c =
+        Obs.Metrics.counter
+          ~labels:[ ("path", "C:\\tmp\"x\"\nend") ]
+          ~help:"multi\nline \\ help" "test_obs_escape_total"
+      in
+      Obs.Metrics.inc c;
+      let dump = Obs.Metrics.dump_prometheus () in
+      Alcotest.(check bool) "label line escaped" true
+        (contains dump
+           "test_obs_escape_total{path=\"C:\\\\tmp\\\"x\\\"\\nend\"} 1");
+      Alcotest.(check bool) "help line escaped" true
+        (contains dump "# HELP test_obs_escape_total multi\\nline \\\\ help");
+      (* the raw newline must not survive into the exposition text *)
+      Alcotest.(check bool) "no raw newline in label" false
+        (contains dump "x\"\nend"))
+
+let test_snapshot_and_quantiles () =
+  with_obs (fun () ->
+      let h = Obs.Metrics.histogram ~help:"t" "test_obs_snap_sizes" in
+      Obs.Metrics.observe h 1;
+      Obs.Metrics.observe h 2;
+      Obs.Metrics.observe h 1000;
+      let info =
+        List.find
+          (fun (i : Obs.Metrics.info) ->
+            i.Obs.Metrics.i_name = "test_obs_snap_sizes")
+          (Obs.Metrics.snapshot ())
+      in
+      (match info.Obs.Metrics.i_value with
+      | Obs.Metrics.Histogram_v { sum; count; counts } ->
+          Alcotest.(check int) "sum" 1003 sum;
+          Alcotest.(check int) "count" 3 count;
+          (* p50 lands in the bucket of 2, p99 in the bucket of 1000 *)
+          (match Obs.Metrics.quantile_of_counts counts 0.5 with
+          | Some q -> Alcotest.(check bool) "p50 small" true (q <= 3.)
+          | None -> Alcotest.fail "p50 missing");
+          (match Obs.Metrics.quantile_of_counts counts 0.99 with
+          | Some q -> Alcotest.(check bool) "p99 large" true (q >= 1000.)
+          | None -> Alcotest.fail "p99 missing")
+      | _ -> Alcotest.fail "expected a histogram snapshot");
+      Alcotest.(check (option (float 0.)))
+        "empty histogram has no quantiles" None
+        (Obs.Metrics.quantile_of_counts (Array.make Obs.Metrics.buckets 0) 0.5))
+
 let test_explain_analyze_shape () =
   with_obs (fun () ->
       let path = Filename.temp_file "nullrel_obs" ".csv" in
@@ -202,6 +255,9 @@ let suite =
       test_span_inclusive_ticks;
     Alcotest.test_case "prometheus dump is well-formed" `Quick
       test_prometheus_dump;
+    Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "snapshot and quantiles" `Quick
+      test_snapshot_and_quantiles;
     Alcotest.test_case "explain analyze shape" `Quick
       test_explain_analyze_shape;
   ]
