@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo constraints-demo monitor-demo fmt clean
+.PHONY: all check test bench bench-smoke metrics-demo analyze-demo session-demo constraints-demo monitor-demo semantics-demo fmt clean
 
 all:
 	$(DUNE) build @all
@@ -116,6 +116,41 @@ monitor-demo:
 	$(DUNE) exec bin/nullrel_cli.exe -- repl | tee "$$tmp/out.txt"; \
 	grep -q 'commit_p99_us' "$$tmp/out.txt" || { echo "monitor view missing its p99 column"; exit 1; }; \
 	grep -q 'stale' "$$tmp/out.txt" || { echo "sys_relations query missed the stale verdict"; exit 1; }
+
+# The semantics dialects end to end: the differential harness checks
+# the containment lattice on generated queries (exit 1 on any oracle
+# failure), the shell switches dialects mid-session and must print a
+# MAYBE band plus the SEMANTICS column of sys_sessions, and the CLI
+# answers the same query under --semantics sql with an UNKNOWN band.
+# Exercised by CI at 1 and 4 domains like the other demos.
+semantics-demo:
+	$(DUNE) build bin/nullrel_cli.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(DUNE) exec bin/nullrel_cli.exe -- semantics --queries 300 \
+	  | tee "$$tmp/diff.txt"; \
+	grep -q 'containment lattice: ok' "$$tmp/diff.txt" || { \
+	  echo "differential harness failed"; exit 1; }; \
+	printf 'S#,P#\ns1,p1\ns2,p1\ns3,p2\ns4,-\n' > "$$tmp/ps.csv"; \
+	{ printf '.load PS %s/ps.csv\n' "$$tmp"; \
+	  printf '.semantics\n.semantics codd\n'; \
+	  printf 'range of p is PS retrieve (p.S#) where p.P# = "p1"\n'; \
+	  printf '.semantics certain\n'; \
+	  printf 'range of p is PS retrieve (p.S#, p.P#)\n'; \
+	  printf 'range of s is sys_sessions retrieve (s.SID, s.SEMANTICS)\n'; \
+	  printf '.quit\n'; } | \
+	$(DUNE) exec bin/nullrel_cli.exe -- repl | tee "$$tmp/shell.txt"; \
+	grep -q 'MAYBE band' "$$tmp/shell.txt" || { \
+	  echo "shell did not print the MAYBE band under codd"; exit 1; }; \
+	grep -q 'SEMANTICS' "$$tmp/shell.txt" || { \
+	  echo "sys_sessions did not report the SEMANTICS column"; exit 1; }; \
+	grep -q 'certain' "$$tmp/shell.txt" || { \
+	  echo "the certain dialect never round-tripped"; exit 1; }; \
+	$(DUNE) exec bin/nullrel_cli.exe -- query --semantics sql \
+	  --rel "PS=$$tmp/ps.csv" \
+	  'range of p is PS retrieve (p.S#) where p.P# = "p1"' \
+	  | tee "$$tmp/cli.txt"; \
+	grep -q 'UNKNOWN band' "$$tmp/cli.txt" || { \
+	  echo "--semantics sql did not print the UNKNOWN band"; exit 1; }
 
 # No-op when ocamlformat is not installed; otherwise rewrites in place.
 fmt:

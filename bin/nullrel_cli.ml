@@ -156,8 +156,15 @@ let setup_obs metrics_file trace trace_file =
             (Obs.Span.events ()))
   end
 
-let governed deadline_s max_tuples metrics_file trace trace_file domains f =
+let set_semantics dialect =
+  Option.iter
+    (fun d -> Semantics.set_default (Semantics.of_dialect d))
+    dialect
+
+let governed deadline_s max_tuples metrics_file trace trace_file domains
+    semantics f =
   Option.iter Par.Pool.set_domains domains;
+  set_semantics semantics;
   setup_obs metrics_file trace trace_file;
   handle (fun () ->
       match (deadline_s, max_tuples) with
@@ -211,6 +218,24 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
 
+let semantics_arg =
+  let doc =
+    "Null-semantics dialect queries answer under: $(b,ni) (the paper's \
+     lower bound, the default), $(b,codd) (TRUE answers plus a MAYBE \
+     band), $(b,sql) (TRUE plus an UNKNOWN band), $(b,certain) (total \
+     sure answers only)."
+  in
+  let dialect_conv =
+    Arg.enum
+      (List.map
+         (fun n -> (n, Option.get (Semantics.of_string n)))
+         Semantics.names)
+  in
+  Arg.(
+    value
+    & opt (some dialect_conv) None
+    & info [ "semantics" ] ~doc ~docv:"DIALECT")
+
 let file n = Arg.(required & pos n (some file) None & info [] ~docv:"FILE")
 
 let on_arg =
@@ -230,8 +255,8 @@ let attr_set_of_string s_ =
 (* ------------------------- commands ----------------------- *)
 
 let show_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains path =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d path =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let attrs, x = load path in
         emit ~as_csv attrs x)
   in
@@ -239,11 +264,11 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ file 0)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ file 0)
 
 let minimize_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains path =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d path =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let attrs, x = load path in
         (* load already canonicalizes; echoing it shows the minimal form *)
         emit ~as_csv attrs x;
@@ -253,11 +278,11 @@ let minimize_cmd =
   Cmd.v (Cmd.info "minimize" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ file 0)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ file 0)
 
 let binop_cmd name doc op =
-  let run as_csv timeout tuples metrics trace tracef domains p1 p2 =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d p1 p2 =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = op x1 x2 in
@@ -266,7 +291,7 @@ let binop_cmd name doc op =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ file 0 $ file 1)
 
 let union_cmd =
   binop_cmd "union" "Generalized union (lattice least upper bound)."
@@ -280,8 +305,8 @@ let inter_cmd =
     Xrel.inter
 
 let join_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains on p1 p2 =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d on p1 p2 =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.equijoin (attr_set_of_string on) x1 x2 in
@@ -291,11 +316,11 @@ let join_cmd =
   Cmd.v (Cmd.info "join" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ on_arg $ file 0 $ file 1)
 
 let outerjoin_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains on p1 p2 =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d on p1 p2 =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let a1, x1 = load p1 in
         let _, x2 = load p2 in
         let result = Algebra.union_join (attr_set_of_string on) x1 x2 in
@@ -305,11 +330,11 @@ let outerjoin_cmd =
   Cmd.v (Cmd.info "outerjoin" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ on_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ on_arg $ file 0 $ file 1)
 
 let divide_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains y p1 p2 =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d y p1 p2 =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let _, x1 = load p1 in
         let _, x2 = load p2 in
         let y = attr_set_of_string y in
@@ -320,11 +345,11 @@ let divide_cmd =
   Cmd.v (Cmd.info "divide" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ quotient_arg $ file 0 $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ quotient_arg $ file 0 $ file 1)
 
 let project_cmd =
-  let run as_csv timeout tuples metrics trace tracef domains attrs path =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d attrs path =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let _, x = load path in
         let xs = attr_set_of_string attrs in
         let result = Algebra.project xs x in
@@ -337,7 +362,7 @@ let project_cmd =
   Cmd.v (Cmd.info "project" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ attrs_arg $ file 1)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ attrs_arg $ file 1)
 
 let rel_arg =
   let doc = "Bind a relation: NAME=FILE.csv (repeatable)." in
@@ -398,15 +423,22 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "analyze" ] ~doc)
   in
-  let run as_csv timeout tuples metrics trace tracef domains analyze rels query_src =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run as_csv timeout tuples metrics trace tracef domains sem_d analyze rels query_src =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let user_db = db_of_rels rels in
         (* The system catalog rides along: sys_* virtual relations over
            a throwaway catalog holding the bound CSVs, so a query can
            range over sys_metrics or sys_relations with no setup. *)
         let db = user_db @ Sysview.db (catalog_of_db user_db) in
-        let result =
-          if analyze then begin
+        let sem = Semantics.current () in
+        match (sem.Semantics.dialect, analyze) with
+        | Semantics.Ni_lower, false ->
+            let result = Quel.Eval.run_string db query_src in
+            emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel
+        | _, true ->
+            (* The planner path: under a reporting dialect the result is
+               the sure band (re-minimized); bands need the calculus
+               evaluator, i.e. drop --analyze. *)
             let collected =
               List.map
                 (fun (name, (schema, x)) ->
@@ -423,11 +455,30 @@ let query_cmd =
                 table = (fun name -> List.assoc_opt name collected);
               }
             in
-            Plan.Compile.run ~stats db (Quel.Parser.parse query_src)
-          end
-          else Quel.Eval.run_string db query_src
-        in
-        emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel)
+            let result =
+              Plan.Compile.run ~stats ~semantics:sem db
+                (Quel.Parser.parse query_src)
+            in
+            emit ~as_csv result.Quel.Eval.attrs result.Quel.Eval.rel
+        | (Semantics.Codd_maybe | Semantics.Sql_3vl | Semantics.Certain), false
+          ->
+            if as_csv then
+              Exec_error.bad_input
+                "--csv emits x-relations; the reporting dialects produce \
+                 plain-set bands (drop --csv, or use --semantics ni)";
+            let q = Quel.Parser.parse query_src in
+            let b = Quel.Eval.query (Quel.Eval.ctx ~semantics:sem ()) db q in
+            Format.printf "%a@?"
+              (Pp.table_rel b.Quel.Eval.attrs)
+              b.Quel.Eval.sure;
+            Option.iter
+              (fun band ->
+                Format.printf "%a@?"
+                  (Pp.table_rel
+                     ~title:(sem.Semantics.maybe_label ^ " band")
+                     b.Quel.Eval.attrs)
+                  band)
+              b.Quel.Eval.maybe)
   in
   let doc =
     "Evaluate a mini-QUEL query (the paper's lower bound ||Q||-)."
@@ -435,7 +486,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ csv_flag $ timeout_arg $ max_tuples_arg $ metrics_file_arg
-      $ trace_flag $ trace_file_arg $ domains_arg $ analyze_flag $ rel_arg $ query_arg)
+      $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg $ analyze_flag $ rel_arg $ query_arg)
 
 let agg_cmd =
   let kind_arg =
@@ -451,8 +502,8 @@ let agg_cmd =
   let query_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
   in
-  let run timeout tuples metrics trace tracef domains rels kind attr query_src =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run timeout tuples metrics trace tracef domains sem_d rels kind attr query_src =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let user_db = db_of_rels rels in
         let db = user_db @ Sysview.db (catalog_of_db user_db) in
         let parse_ref r =
@@ -501,11 +552,11 @@ let agg_cmd =
   Cmd.v (Cmd.info "agg" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ trace_file_arg $ domains_arg $ rel_arg $ kind_arg $ attr_arg $ query_arg)
+      $ trace_file_arg $ domains_arg $ semantics_arg $ rel_arg $ kind_arg $ attr_arg $ query_arg)
 
 let convert_cmd =
-  let run timeout tuples metrics trace tracef domains src dst =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run timeout tuples metrics trace tracef domains sem_d src dst =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let load_any path =
           if Filename.check_suffix path ".nrx" then
             let x = Storage.Binary.read_file path in
@@ -521,7 +572,7 @@ let convert_cmd =
   Cmd.v (Cmd.info "convert" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ trace_file_arg $ domains_arg $ file 0
+      $ trace_file_arg $ domains_arg $ semantics_arg $ file 0
       $ Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"))
 
 let fsck_cmd =
@@ -530,8 +581,8 @@ let fsck_cmd =
     Arg.(value & flag & info [ "dry-run"; "n" ] ~doc)
   in
   let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
-  let run timeout tuples metrics trace tracef domains dry dir =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run timeout tuples metrics trace tracef domains sem_d dry dir =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let report =
           if dry then Storage.Persist.load_report ~dir ()
           else Storage.Persist.recover ~dir ()
@@ -558,7 +609,7 @@ let fsck_cmd =
   Cmd.v (Cmd.info "fsck" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ trace_file_arg $ domains_arg $ dry_flag $ dir_arg)
+      $ trace_file_arg $ domains_arg $ semantics_arg $ dry_flag $ dir_arg)
 
 let sessions_cmd =
   let rec rm_rf path =
@@ -602,9 +653,9 @@ let sessions_cmd =
     in
     Arg.(value & flag & info [ "demo" ] ~doc)
   in
-  let run timeout tuples metrics trace tracef domains dir nsessions txns
+  let run timeout tuples metrics trace tracef domains sem_d dir nsessions txns
       conflict_every serial demo =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         let with_dir f =
           match dir with
           | Some d -> f d
@@ -654,7 +705,7 @@ let sessions_cmd =
   Cmd.v (Cmd.info "sessions" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ trace_file_arg $ domains_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
+      $ trace_file_arg $ domains_arg $ semantics_arg $ dir_arg $ sessions_arg $ txns_arg $ conflict_arg
       $ serial_flag $ demo_flag)
 
 let dml_cmd =
@@ -706,8 +757,8 @@ let dml_cmd =
              | None -> Domain.Strings ))
          attrs)
   in
-  let run timeout tuples metrics trace tracef domains dir loads keys stmts =
-    governed timeout tuples metrics trace tracef domains (fun () ->
+  let run timeout tuples metrics trace tracef domains sem_d dir loads keys stmts =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
         (* Phase 1: register any CSVs as relations of the directory's
            catalog (a checkpoint write, like the shell's .load+.save). *)
         if loads <> [] then begin
@@ -765,11 +816,52 @@ let dml_cmd =
   Cmd.v (Cmd.info "dml" ~doc)
     Term.(
       const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
-      $ trace_file_arg $ domains_arg $ dir_arg $ load_args $ key_args $ stmt_args)
+      $ trace_file_arg $ domains_arg $ semantics_arg $ dir_arg $ load_args $ key_args $ stmt_args)
+
+let semantics_cmd =
+  let queries_arg =
+    let doc = "Generated queries per run." in
+    Arg.(value & opt int 500 & info [ "queries" ] ~doc ~docv:"N")
+  in
+  let seed_arg =
+    let doc = "PRNG seed (the run is deterministic given it)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let rows_arg =
+    let doc = "Rows per generated relation." in
+    Arg.(value & opt int 40 & info [ "rows" ] ~doc ~docv:"N")
+  in
+  let nulls_arg =
+    let doc = "Probability that a generated cell is null." in
+    Arg.(value & opt float 0.25 & info [ "null-density" ] ~doc ~docv:"P")
+  in
+  let run timeout tuples metrics trace tracef domains sem_d queries seed rows
+      nulls =
+    governed timeout tuples metrics trace tracef domains sem_d (fun () ->
+        let spec =
+          { Workload.Diff.default_spec with Workload.Gen.rows;
+            null_density = nulls }
+        in
+        let report = Workload.Diff.run ~seed ~queries ~spec () in
+        print_endline (Workload.Diff.render report);
+        if not (Workload.Diff.ok report) then exit 1)
+  in
+  let doc =
+    "Differential semantics harness: random queries evaluated under all \
+     four dialects (ni, codd, sql, certain), with the containment lattice \
+     between their answers checked query by query. Exits 1 on any oracle \
+     failure."
+  in
+  Cmd.v (Cmd.info "semantics" ~doc)
+    Term.(
+      const run $ timeout_arg $ max_tuples_arg $ metrics_file_arg $ trace_flag
+      $ trace_file_arg $ domains_arg $ semantics_arg $ queries_arg $ seed_arg
+      $ rows_arg $ nulls_arg)
 
 let repl_cmd =
-  let run metrics trace tracef domains =
+  let run metrics trace tracef domains sem_d =
     Option.iter Par.Pool.set_domains domains;
+    set_semantics sem_d;
     setup_obs metrics trace tracef;
     print_endline "nullrel shell -- .help for commands, .quit to leave";
     let rec loop st =
@@ -788,7 +880,7 @@ let repl_cmd =
   in
   let doc = "Interactive shell: load CSVs, run queries, inspect plans." in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const run $ metrics_file_arg $ trace_flag $ trace_file_arg $ domains_arg)
+    Term.(const run $ metrics_file_arg $ trace_flag $ trace_file_arg $ domains_arg $ semantics_arg)
 
 let () =
   let doc = "relational algebra with no-information nulls (Zaniolo 1982)" in
@@ -812,5 +904,6 @@ let () =
             fsck_cmd;
             sessions_cmd;
             dml_cmd;
+            semantics_cmd;
             repl_cmd;
           ]))

@@ -35,7 +35,7 @@ let readings =
 
 let db : Quel.Resolve.db = [ ("SENSOR", (schema, readings)) ]
 
-let show title result =
+let show title (result : Quel.Eval.result) =
   printf "%a@."
     (Pp.table ~title result.Quel.Eval.attrs)
     result.Quel.Eval.rel

@@ -12,10 +12,21 @@ let member3 ~over t rel =
 
 let member_sure ~over t rel = Tvl.equal (member3 ~over t rel) Tvl.True
 let member_possible ~over t rel = not (Tvl.equal (member3 ~over t rel) Tvl.False)
-let select_true p rel = Relation.filter (Predicate.holds p) rel
 
-let select_maybe p rel =
-  Relation.filter (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni) rel
+(* Selection goes through the dialect seam rather than re-encoding the
+   TRUE/MAYBE split: the Codd_maybe capability record owns the
+   admission rule (TRUE -> sure band, ni -> maybe band), so this module
+   and [Quel.Eval] under the codd dialect can never disagree about
+   which rows are MAYBE. *)
+let codd = Semantics.of_dialect Semantics.Codd_maybe
+
+let select_band band p rel =
+  Relation.filter
+    (fun r -> codd.Semantics.admit (Semantics.eval codd p r) = band)
+    rel
+
+let select_true p rel = select_band Semantics.Sure p rel
+let select_maybe p rel = select_band Semantics.Maybe p rel
 
 let project x rel = Relation.map (fun r -> Tuple.restrict r x) rel
 

@@ -32,12 +32,14 @@ val member_possible : over:Attr.Set.t -> Tuple.t -> Relation.t -> bool
 
 val select_true : Predicate.t -> Relation.t -> Relation.t
 (** The TRUE version of selection — identical to the paper's own
-    lower-bound selection (Section 5 notes the equivalence). *)
+    lower-bound selection (Section 5 notes the equivalence). Routed
+    through the [Codd_maybe] {!Nullrel.Semantics} admission rule, so
+    the band split here and in [Quel.Eval] share one definition. *)
 
 val select_maybe : Predicate.t -> Relation.t -> Relation.t
 (** The MAYBE version: the tuples whose qualification evaluates to
-    MAYBE. Low selectivity at high cost is the practical complaint
-    recorded in Section 1. *)
+    MAYBE (the [Codd_maybe] dialect's maybe band). Low selectivity at
+    high cost is the practical complaint recorded in Section 1. *)
 
 val project : Attr.Set.t -> Relation.t -> Relation.t
 (** Plain projection with syntactic duplicate removal (no

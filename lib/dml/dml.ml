@@ -6,6 +6,7 @@ type outcome = {
   catalog : Storage.Catalog.t;
   message : string;
   result : Quel.Eval.result option;
+  bands : Quel.Eval.bands option;
   touched : string list;
 }
 
@@ -178,12 +179,30 @@ let reject_sys_target statement =
                 is virtual)" rel
   | Quel.Ast.Unconstrain _ -> ()
 
-let exec cat statement =
+let exec ?semantics cat statement =
   reject_sys_target statement;
   match statement with
-  | Quel.Ast.Retrieve q ->
-      let result = Quel.Eval.run (Storage.Catalog.to_db cat) q in
-      { catalog = cat; message = ""; result = Some result; touched = [] }
+  | Quel.Ast.Retrieve q -> (
+      let db = Storage.Catalog.to_db cat in
+      let sem =
+        match semantics with Some sem -> sem | None -> Semantics.current ()
+      in
+      match sem.Semantics.dialect with
+      | Semantics.Ni_lower ->
+          (* The planner-compatible path: updates and the durable journal
+             only ever see this dialect's answers. *)
+          let result = Quel.Eval.run db q in
+          { catalog = cat; message = ""; result = Some result; bands = None;
+            touched = [] }
+      | Semantics.Codd_maybe | Semantics.Sql_3vl | Semantics.Certain ->
+          let b = Quel.Eval.query (Quel.Eval.ctx ~semantics:sem ()) db q in
+          { catalog = cat;
+            message = "";
+            result =
+              Some { Quel.Eval.attrs = b.Quel.Eval.attrs;
+                     rel = Xrel.of_relation b.Quel.Eval.sure };
+            bands = Some b;
+            touched = [] })
   | Quel.Ast.Append { rel; values } ->
       let schema, x = relation_of cat rel in
       let tuple = tuple_of_assignments schema rel values in
@@ -200,6 +219,7 @@ let exec cat statement =
            else "1 tuple appended (absorbed less informative rows)")
           ^ note;
         result = None;
+        bands = None;
         touched;
       }
   | Quel.Ast.Delete { var; rel; where } ->
@@ -214,6 +234,7 @@ let exec cat statement =
         catalog;
         message = plural removed "tuple" ^ " deleted" ^ note;
         result = None;
+        bands = None;
         touched;
       }
   | Quel.Ast.Replace { var; rel; values; where } ->
@@ -232,6 +253,7 @@ let exec cat statement =
         catalog;
         message = plural matched "tuple" ^ " replaced" ^ note;
         result = None;
+        bands = None;
         touched;
       }
   | Quel.Ast.Constrain { cname; rel; spec } ->
@@ -246,6 +268,7 @@ let exec cat statement =
           Printf.sprintf "constraint %s declared (existing data verified)"
             name;
         result = None;
+        bands = None;
         touched = [];
       }
   | Quel.Ast.Unconstrain { cname } ->
@@ -255,10 +278,12 @@ let exec cat statement =
         catalog = Storage.Catalog.drop_constraint cat cname;
         message = Printf.sprintf "constraint %s dropped" cname;
         result = None;
+        bands = None;
         touched = [];
       }
 
-let exec_string cat src = exec cat (Quel.Parser.parse_statement src)
+let exec_string ?semantics cat src =
+  exec ?semantics cat (Quel.Parser.parse_statement src)
 
 let is_read = function
   | Quel.Ast.Retrieve _ -> true

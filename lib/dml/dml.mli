@@ -20,15 +20,27 @@ type outcome = {
   catalog : Storage.Catalog.t;  (** The catalog after the statement. *)
   message : string;  (** One-line human summary ("2 tuples deleted"). *)
   result : Quel.Eval.result option;
-      (** The table, for [retrieve] statements only. *)
+      (** The table, for [retrieve] statements only. Under a reporting
+          dialect this is the sure band re-minimized into the
+          [Xrel.t]-shaped compat result; [bands] has the plain sets. *)
+  bands : Quel.Eval.bands option;
+      (** The dialect's banded answer, for [retrieve] statements
+          evaluated under a non-[Ni_lower] {!Nullrel.Semantics}
+          dialect; [None] for writes and for [Ni_lower] reads. *)
   touched : string list;
       (** Every relation the statement wrote, sorted — the target plus
           any relations its constraints cascaded into. Empty for reads
           and constraint DDL. *)
 }
 
-val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
-(** Executes one statement, {e including} incremental constraint
+val exec :
+  ?semantics:Nullrel.Semantics.t -> Storage.Catalog.t ->
+  Quel.Ast.statement -> outcome
+(** Executes one statement. [semantics] (default
+    {!Nullrel.Semantics.current}) selects the dialect [retrieve]
+    answers under — writes always qualify tuples by the paper's
+    lower-bound rule regardless, so updates are dialect-independent.
+    Execution is {e including} incremental constraint
     enforcement: inserts and updates are validated against the declared
     unique / not-null / foreign-key constraints using index probes, and
     a delete from a referenced relation fires its cascade / set-null
@@ -40,7 +52,8 @@ val exec : Storage.Catalog.t -> Quel.Ast.statement -> outcome
     the virtual system-catalog relations (lib/sysview), computed views
     that no statement can store into. *)
 
-val exec_string : Storage.Catalog.t -> string -> outcome
+val exec_string :
+  ?semantics:Nullrel.Semantics.t -> Storage.Catalog.t -> string -> outcome
 (** [exec] composed with {!Quel.Parser.parse_statement}. *)
 
 val is_read : Quel.Ast.statement -> bool

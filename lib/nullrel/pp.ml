@@ -1,7 +1,6 @@
 let cell r a = Value.to_string (Tuple.get r a)
 
-let table ?title attrs ppf x =
-  let rows = Xrel.to_list x in
+let rows_table ?title attrs ppf rows =
   let header = List.map Attr.name attrs in
   let body = List.map (fun r -> List.map (cell r) attrs) rows in
   let widths =
@@ -24,6 +23,11 @@ let table ?title attrs ppf x =
   List.iter (fun row -> Format.fprintf ppf "%s@\n" (render_row row)) body;
   Format.fprintf ppf "(%d tuple%s)@\n" (List.length body)
     (if List.length body = 1 then "" else "s")
+
+let table ?title attrs ppf x = rows_table ?title attrs ppf (Xrel.to_list x)
+
+let table_rel ?title attrs ppf rel =
+  rows_table ?title attrs ppf (Relation.to_list rel)
 
 let table_s ?title names ppf x = table ?title (List.map Attr.make names) ppf x
 

@@ -9,6 +9,12 @@ val table :
     of [attrs], in order, tuples sorted by their values for stable
     output. *)
 
+val table_rel :
+  ?title:string -> Attr.t list -> Format.formatter -> Relation.t -> unit
+(** {!table} over a plain representation — no minimization, so the
+    Codd-style bands of the non-[ni] semantics dialects print exactly
+    the rows they contain. *)
+
 val table_s :
   ?title:string -> string list -> Format.formatter -> Xrel.t -> unit
 (** {!table} with attribute names as strings. *)

@@ -1,0 +1,133 @@
+type dialect = Ni_lower | Codd_maybe | Sql_3vl | Certain
+
+type band = Sure | Maybe | Out
+
+type t = {
+  dialect : dialect;
+  name : string;
+  description : string;
+  not_ : Tvl.t -> Tvl.t;
+  and_ : Tvl.t -> Tvl.t -> Tvl.t;
+  or_ : Tvl.t -> Tvl.t -> Tvl.t;
+  conj_empty : Tvl.t;
+  std_tables : bool;
+  admit : Tvl.t -> band;
+  total_only : bool;
+  minimize : bool;
+  reports_maybe : bool;
+  exclude_sure : bool;
+  maybe_label : string;
+}
+
+(* All four dialects read qualifications through Table III; what
+   differs is admission, set discipline and reporting. [conj_empty] is
+   True everywhere: an absent qualification (and an empty divisor) is
+   vacuously satisfied — the Section 5 reading that [Tvl.conj []] and
+   the Codd division both already implement, pinned here so no dialect
+   can drift. *)
+let kleene name dialect ~description admit ~total_only ~minimize
+    ~reports_maybe ~exclude_sure ~maybe_label =
+  {
+    dialect;
+    name;
+    description;
+    not_ = Tvl.not_;
+    and_ = Tvl.and_;
+    or_ = Tvl.or_;
+    conj_empty = Tvl.True;
+    std_tables = true;
+    admit;
+    total_only;
+    minimize;
+    reports_maybe;
+    exclude_sure;
+    maybe_label;
+  }
+
+let ni_lower =
+  kleene "ni" Ni_lower
+    ~description:
+      "the paper's lower bound ||Q||-: TRUE rows only, minimized x-relation"
+    (function Tvl.True -> Sure | Tvl.False | Tvl.Ni -> Out)
+    ~total_only:false ~minimize:true ~reports_maybe:false ~exclude_sure:false
+    ~maybe_label:"MAYBE"
+
+let codd_maybe =
+  kleene "codd" Codd_maybe
+    ~description:
+      "Codd's baseline: a TRUE band plus the MAYBE band of all ni rows, \
+       plain sets"
+    (function Tvl.True -> Sure | Tvl.Ni -> Maybe | Tvl.False -> Out)
+    ~total_only:false ~minimize:false ~reports_maybe:true ~exclude_sure:false
+    ~maybe_label:"MAYBE"
+
+let sql_3vl =
+  kleene "sql" Sql_3vl
+    ~description:
+      "SQL's 3VL: the TRUE band plus an UNKNOWN band (maybe minus the \
+       already-certain answers)"
+    (function Tvl.True -> Sure | Tvl.Ni -> Maybe | Tvl.False -> Out)
+    ~total_only:false ~minimize:false ~reports_maybe:true ~exclude_sure:true
+    ~maybe_label:"UNKNOWN"
+
+let certain =
+  kleene "certain" Certain
+    ~description:
+      "certain answers by naive evaluation: TRUE rows with a total output \
+       tuple"
+    (function Tvl.True -> Sure | Tvl.False | Tvl.Ni -> Out)
+    ~total_only:true ~minimize:false ~reports_maybe:false ~exclude_sure:false
+    ~maybe_label:"MAYBE"
+
+let of_dialect = function
+  | Ni_lower -> ni_lower
+  | Codd_maybe -> codd_maybe
+  | Sql_3vl -> sql_3vl
+  | Certain -> certain
+
+let dialects = [ Ni_lower; Codd_maybe; Sql_3vl; Certain ]
+let all = List.map of_dialect dialects
+let to_string d = (of_dialect d).name
+let names = List.map (fun sem -> sem.name) all
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "ni" | "ni-lower" -> Some Ni_lower
+  | "codd" | "maybe" -> Some Codd_maybe
+  | "sql" | "3vl" -> Some Sql_3vl
+  | "certain" | "certain-answers" -> Some Certain
+  | _ -> None
+
+(* Evaluation through the record's tables. The atomic comparisons are
+   dialect-independent (every dialect reads a null comparison as its
+   third value); only the connectives route through the record — and
+   with [std_tables] the whole walk collapses to [Predicate.eval],
+   which is the Ni_lower fast path E25 holds within 3%. *)
+let rec eval_tables sem p r =
+  match p with
+  | Predicate.Cmp_attrs _ | Predicate.Cmp_const _ | Predicate.Const _ ->
+      Predicate.eval p r
+  | Predicate.And (p1, p2) -> sem.and_ (eval_tables sem p1 r) (eval_tables sem p2 r)
+  | Predicate.Or (p1, p2) -> sem.or_ (eval_tables sem p1 r) (eval_tables sem p2 r)
+  | Predicate.Not p -> sem.not_ (eval_tables sem p r)
+
+let eval sem p r =
+  if sem.std_tables then Predicate.eval p r else eval_tables sem p r
+
+let admit_tuple sem scope r =
+  (not sem.total_only) || Tuple.is_total_on scope r
+
+(* The ambient slot, shaped like Exec's governor: one ref per domain
+   (allocated by DLS), swapped and restored by [with_semantics]. *)
+let ambient : t ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> ref ni_lower)
+
+let slot () = Stdlib.Domain.DLS.get ambient
+let current () = !(slot ())
+let set_default sem = slot () := sem
+
+let with_semantics sem f =
+  let r = slot () in
+  let saved = !r in
+  r := sem;
+  Fun.protect ~finally:(fun () -> r := saved) f

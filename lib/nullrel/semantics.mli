@@ -1,0 +1,123 @@
+(** First-class null-semantics dialects.
+
+    The engine grew four ways of reading the same three-valued
+    qualification verdicts: the paper's [ni] lower bound [||Q||-]
+    (Section 5), Codd's TRUE/MAYBE pair the paper argues against
+    (Sections 1, 5), SQL's three-valued logic (Franconi & Tessaris,
+    "On the Logic of SQL Nulls"), and certain answers by naive
+    evaluation (Grahne & Moallemi, "Universal (and Existential)
+    Nulls"). They differ not in the truth tables — all four share
+    Table III — but in three policies this record makes explicit:
+
+    - {b admission}: which verdicts place a combined tuple in which
+      output band ([Sure], [Maybe], [Out]);
+    - {b set discipline}: whether the output is an x-relation
+      (subsumption-minimized, the paper's Section 4 quotient) or a
+      plain Codd-style set of rows where the null rides along as a
+      syntactic value;
+    - {b reporting}: whether a second MAYBE/UNKNOWN band accompanies
+      the sure answers, and what it is called.
+
+    A dialect value is threaded through evaluation the same way
+    {!Exec} governors are: an ambient per-domain slot with an
+    explicit override ({!with_semantics}), so the shell, the CLI and
+    the session layer can select a dialect per statement without
+    changing any evaluator signature. *)
+
+type dialect =
+  | Ni_lower  (** The paper's [ni] interpretation: keep TRUE rows only,
+                  minimize the result (the lower bound [||Q||-]). *)
+  | Codd_maybe
+      (** Codd's baseline: a TRUE band plus a MAYBE band holding every
+          row whose qualification is [ni]; plain sets, no
+          minimization. *)
+  | Sql_3vl
+      (** SQL's 3VL: the TRUE band of [Codd_maybe] plus an UNKNOWN
+          band — the MAYBE rows minus the answers already certain, so
+          UNKNOWN is always a subset of Codd's MAYBE. *)
+  | Certain
+      (** Certain answers by naive evaluation: TRUE rows whose output
+          tuple is total. Sound because [ni] nulls are pairwise
+          uninformative labels; see DESIGN section 12 for why this
+          coincides with naive evaluation on the positive fragment. *)
+
+type band = Sure | Maybe | Out
+(** Where an admission rule places one combined tuple. *)
+
+type t = {
+  dialect : dialect;
+  name : string;  (** The round-trip name: ni, codd, sql, certain. *)
+  description : string;
+  not_ : Tvl.t -> Tvl.t;
+  and_ : Tvl.t -> Tvl.t -> Tvl.t;
+  or_ : Tvl.t -> Tvl.t -> Tvl.t;
+      (** The connective tables. All four instances use Table III —
+          the record carries them so a non-Kleene dialect could be
+          added without touching any evaluator. *)
+  conj_empty : Tvl.t;
+      (** The empty-conjunction unit: what an absent qualification
+          (and an empty divisor) evaluates to. Pinned to [Tvl.True]
+          in every instance — the Section 5 vacuous-truth reading
+          that {!Tvl.conj} and [Codd.Maybe_algebra.divide_with]
+          both implement. *)
+  std_tables : bool;
+      (** The tables above are exactly {!Tvl}'s; evaluators may then
+          use {!Predicate.eval} directly (the [Ni_lower] fast path
+          benchmarked by E25). *)
+  admit : Tvl.t -> band;  (** The tuple-admission rule. *)
+  total_only : bool;
+      (** Keep only output tuples total on the target attributes
+          ([Certain]). *)
+  minimize : bool;
+      (** X-relation discipline: minimize the sure band by
+          subsumption ([Ni_lower]); otherwise plain sets. *)
+  reports_maybe : bool;  (** A second band accompanies the answers. *)
+  exclude_sure : bool;
+      (** Subtract the sure band from the reported second band after
+          projection ([Sql_3vl]'s UNKNOWN; Codd's MAYBE keeps the
+          overlap). *)
+  maybe_label : string;  (** "MAYBE" (Codd) or "UNKNOWN" (SQL). *)
+}
+
+val of_dialect : dialect -> t
+val dialects : dialect list
+val all : t list
+
+val to_string : dialect -> string
+(** ["ni"], ["codd"], ["sql"], ["certain"] — inverse of
+    {!of_string}. *)
+
+val of_string : string -> dialect option
+(** Accepts the canonical names plus the aliases [ni-lower],
+    [maybe], [3vl] and [certain-answers]. *)
+
+val names : string list
+(** The canonical names, in {!dialects} order. *)
+
+val eval : t -> Predicate.t -> Tuple.t -> Tvl.t
+(** Three-valued evaluation through the dialect's tables. When
+    [std_tables] holds this {e is} {!Predicate.eval} — no per-node
+    indirection on the common path. *)
+
+val admit_tuple : t -> Attr.Set.t -> Tuple.t -> bool
+(** The output-tuple admission rule over the target scope: total
+    tuples only under [total_only], everything otherwise. *)
+
+(** {1 The ambient dialect}
+
+    Mirrors {!Exec}'s governor slot: a per-domain default, explicit
+    scoping with {!with_semantics}. Worker domains of the parallel
+    pool start at [Ni_lower] — the kernels only ever run the paper's
+    algebra; dialect dispatch happens before plans reach them. *)
+
+val current : unit -> t
+(** The ambient dialect of the calling domain ([Ni_lower] unless
+    set). *)
+
+val set_default : t -> unit
+(** Replace the calling domain's ambient dialect (the CLI's
+    [--semantics] flag). *)
+
+val with_semantics : t -> (unit -> 'a) -> 'a
+(** Run with the ambient dialect swapped, restoring on exit —
+    exception-safe, like [Exec.with_governor]. *)

@@ -70,7 +70,15 @@ let ratio n =
   if n.actual_rows = 0 then "-"
   else Printf.sprintf "%.2f" (n.est_rows /. float n.actual_rows)
 
-let render root =
+let render ?semantics root =
+  let heading =
+    (* Annotate the active dialect: an analyzed physical plan is
+       always the Ni_lower pipeline, so naming the dialect makes the
+       dispatch visible instead of implicit. *)
+    match semantics with
+    | None -> []
+    | Some name -> [ "semantics: " ^ name ]
+  in
   let body = rows "" root in
   let est n = Printf.sprintf "%g" n.est_rows in
   let ms n = Printf.sprintf "%.1f" (n.elapsed_s *. 1000.) in
@@ -95,8 +103,9 @@ let render root =
   and w5 = w (fun (_, _, _, _, e, _) -> e)
   and w6 = w (fun (_, _, _, _, _, f) -> f) in
   String.concat "\n"
-    (List.map
-       (fun (a, b, c, d, e, f) ->
-         Printf.sprintf "%-*s  %*s  %*s  %*s  %*s  %*s" w1 a w2 b w3 c w4 d w5 e
-           w6 f)
-       cells)
+    (heading
+    @ List.map
+        (fun (a, b, c, d, e, f) ->
+          Printf.sprintf "%-*s  %*s  %*s  %*s  %*s  %*s" w1 a w2 b w3 c w4 d
+            w5 e w6 f)
+        cells)

@@ -26,7 +26,10 @@ val run :
     {!Expr.eval}, and propagates governor aborts. [join_strategy] as
     in {!Expr.eval}. *)
 
-val render : node -> string
+val render : ?semantics:string -> node -> string
 (** Aligned text tree: one row per operator (children indented), with
     est / actual / est-over-actual / ticks / ms columns (the ratio
-    prints ["-"] on an actual-empty node). *)
+    prints ["-"] on an actual-empty node). [semantics] prepends a
+    ["semantics: NAME"] line naming the dialect the plan was analyzed
+    under (physical plans always run the [Ni_lower] pipeline; the
+    annotation makes that dispatch visible). *)

@@ -46,7 +46,27 @@ let join_strategy_of ~stats node =
         (int_of_float (Float.max 0. (Cost.cardinality ~stats e1)))
   | _ -> Kernel.Auto
 
-let run ?(optimize = true) ?stats (db : Quel.Resolve.db) q =
+(* Physical execution serves the Ni_lower dialect only: every operator
+   of the physical algebra bakes subsumption minimization in (that is
+   the paper's Section 4 discipline), so the plain-set dialects would
+   lose their Codd-style row identity inside any plan node. They
+   evaluate through the calculus evaluator instead — the planner
+   dispatches on the dialect up front, and the Ni_lower path below is
+   byte-for-byte the pre-dialect pipeline (held within 3% by E25). *)
+let run_bands ?semantics (db : Quel.Resolve.db) q =
+  let ctx = Quel.Eval.ctx ?semantics () in
+  Quel.Eval.query ctx db q
+
+let run ?(optimize = true) ?stats ?semantics (db : Quel.Resolve.db) q =
+  let sem =
+    match semantics with Some sem -> sem | None -> Semantics.current ()
+  in
+  match sem.Semantics.dialect with
+  | Semantics.Codd_maybe | Semantics.Sql_3vl | Semantics.Certain ->
+      let b = run_bands ~semantics:sem db q in
+      { Quel.Eval.attrs = b.Quel.Eval.attrs;
+        rel = Xrel.of_relation b.Quel.Eval.sure }
+  | Semantics.Ni_lower ->
   Quel.Resolve.check db q;
   let schemas name =
     Option.map (fun (schema, _) -> Schema.attrs schema) (List.assoc_opt name db)

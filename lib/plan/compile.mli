@@ -24,12 +24,27 @@ val join_strategy_of : stats:Cost.source -> Expr.t -> Kernel.strategy
     probe (left) side through {!Nullrel.Kernel.strategy_for}. [Auto]
     for any other node. *)
 
+val run_bands :
+  ?semantics:Semantics.t -> Quel.Resolve.db -> Quel.Ast.query ->
+  Quel.Eval.bands
+(** Evaluate under a dialect ({!Nullrel.Semantics.current} by
+    default) and return its bands — the planner-side entry the shells
+    use for the reporting dialects. Physical plans serve [Ni_lower]
+    only (the physical algebra minimizes at every operator, which is
+    precisely the set discipline the other dialects reject), so this
+    routes through the calculus evaluator {!Quel.Eval.query}. *)
+
 val run :
-  ?optimize:bool -> ?stats:Cost.source -> Quel.Resolve.db -> Quel.Ast.query ->
+  ?optimize:bool -> ?stats:Cost.source -> ?semantics:Semantics.t ->
+  Quel.Resolve.db -> Quel.Ast.query ->
   Quel.Eval.result
 (** Compile (optimizing by default), then evaluate against the
     database. Agrees with {!Quel.Eval.run}. A statistics source turns
     on the cost-based parts of the pipeline: product chains reorder
     smallest-first ({!Rewrite.optimize}'s [?cost]) and each join node
     carries a {!Nullrel.Kernel.strategy} hint derived from its
-    estimated probe side. *)
+    estimated probe side. Under a non-[Ni_lower] dialect (explicit
+    [semantics], or the ambient default) the physical pipeline is
+    bypassed for {!run_bands} and the result is the sure band,
+    re-minimized to fit the [Xrel.t]-shaped result — callers wanting
+    the dialect's plain-set bands use {!run_bands} directly. *)

@@ -2,6 +2,27 @@ open Nullrel
 
 type result = { attrs : Attr.t list; rel : Xrel.t }
 
+type bands = {
+  attrs : Attr.t list;
+  sure : Relation.t;
+  maybe : Relation.t option;
+}
+
+type tautology_strategy = Brute_force | Symbolic_first
+
+type ctx = {
+  semantics : Semantics.t;
+  governor : Exec.t option;
+  strategy : tautology_strategy;
+  legal : (Tuple.t -> bool) option;
+}
+
+let ctx ?semantics ?governor ?(strategy = Symbolic_first) ?legal () =
+  let semantics =
+    match semantics with Some sem -> sem | None -> Semantics.current ()
+  in
+  { semantics; governor; strategy; legal }
+
 let target_attr targets (v, a) =
   let same_attr = List.filter (fun (_, a') -> String.equal a a') targets in
   if List.length same_attr <= 1 then Attr.make a else Resolve.prefixed v a
@@ -53,19 +74,25 @@ let combined_tuples db q =
         acc)
     [ Tuple.empty ] q.Ast.ranges
 
-let project_targets q rows =
-  let attrs = List.map (target_attr q.Ast.targets) q.Ast.targets in
-  let project r =
-    List.fold_left2
-      (fun acc (v, a) out ->
-        Tuple.set acc out (Tuple.get r (Resolve.prefixed v a)))
-      Tuple.empty q.Ast.targets attrs
-  in
-  { attrs; rel = Xrel.of_list (List.map project rows) }
+let output_attrs q = List.map (target_attr q.Ast.targets) q.Ast.targets
 
-let qualification q =
+let project_row q attrs r =
+  List.fold_left2
+    (fun acc (v, a) out -> Tuple.set acc out (Tuple.get r (Resolve.prefixed v a)))
+    Tuple.empty q.Ast.targets attrs
+
+let project_targets q rows =
+  let attrs = output_attrs q in
+  { attrs; rel = Xrel.of_list (List.map (project_row q attrs) rows) }
+
+(* The dialect's empty-qualification default comes from the capability
+   record, not from a literal: Section 5 reads an absent qualification
+   as vacuously satisfied, and [Semantics.conj_empty] pins that for
+   every dialect (the regression tests hold this against
+   [Tvl.conj []] and the empty-divisor division). *)
+let qualification ?(semantics = Semantics.of_dialect Semantics.Ni_lower) q =
   match q.Ast.where with
-  | None -> Predicate.Const Tvl.True
+  | None -> Predicate.Const semantics.Semantics.conj_empty
   | Some c -> predicate_of_cond c
 
 (* Qualification loops charge one tick per candidate row: predicate
@@ -75,27 +102,65 @@ let ticked keep r =
   Exec.tick ();
   keep r
 
+(* The dialect-parameterized core: one pass over the combined tuples,
+   each placed in a band by the dialect's admission rule, then the
+   dialect's set discipline applied to the projections. Every entry
+   point below is a shim over this. *)
+let query ctx db q =
+  let sem = ctx.semantics in
+  let run () =
+    Obs.Span.with_span ("quel.query." ^ sem.Semantics.name) (fun () ->
+        let p = qualification ~semantics:sem q in
+        let sure_rows, maybe_rows =
+          List.fold_left
+            (fun (sure, maybe) r ->
+              Exec.tick ();
+              match sem.Semantics.admit (Semantics.eval sem p r) with
+              | Semantics.Sure -> (r :: sure, maybe)
+              | Semantics.Maybe -> (sure, r :: maybe)
+              | Semantics.Out -> (sure, maybe))
+            ([], []) (combined_tuples db q)
+        in
+        let attrs = output_attrs q in
+        let scope = Attr.Set.of_list attrs in
+        let project rows =
+          List.filter
+            (Semantics.admit_tuple sem scope)
+            (List.map (project_row q attrs) (List.rev rows))
+        in
+        let sure =
+          let projected = project sure_rows in
+          (* Through Xrel so the minimizing dialect pays the kernel
+             minimizer (bucketed, parallel-capable), not the naive
+             quadratic Relation.minimize — E25 gates this path. *)
+          if sem.Semantics.minimize then Xrel.rep (Xrel.of_list projected)
+          else Relation.of_list projected
+        in
+        let maybe =
+          if not sem.Semantics.reports_maybe then None
+          else
+            let band = Relation.of_list (project maybe_rows) in
+            Some
+              (if sem.Semantics.exclude_sure then
+                 Relation.filter (fun r -> not (Relation.mem r sure)) band
+               else band)
+        in
+        { attrs; sure; maybe })
+  in
+  match ctx.governor with
+  | None -> run ()
+  | Some g -> Exec.with_governor g run
+
 let run db q =
-  Obs.Span.with_span "quel.run" (fun () ->
-      let p = qualification q in
-      let rows =
-        List.filter (ticked (Predicate.holds p)) (combined_tuples db q)
-      in
-      project_targets q rows)
+  let b = query (ctx ~semantics:(Semantics.of_dialect Semantics.Ni_lower) ()) db q in
+  { attrs = b.attrs; rel = Xrel.unsafe_of_minimal b.sure }
 
 let run_string db src = run db (Parser.parse src)
 
 let run_maybe db q =
-  Obs.Span.with_span "quel.run_maybe" (fun () ->
-      let p = qualification q in
-      let rows =
-        List.filter
-          (ticked (fun r -> Tvl.equal (Predicate.eval p r) Tvl.Ni))
-          (combined_tuples db q)
-      in
-      project_targets q rows)
-
-type tautology_strategy = Brute_force | Symbolic_first
+  let b = query (ctx ~semantics:(Semantics.of_dialect Semantics.Codd_maybe) ()) db q in
+  let band = match b.maybe with Some m -> m | None -> Relation.empty in
+  { attrs = b.attrs; rel = Xrel.of_relation band }
 
 (* Domain of a prefixed attribute [v.A], from [v]'s schema. *)
 let domains_for db q =

@@ -501,6 +501,9 @@ type t = {
   eng : engine;
   deadline_s : float option;
   max_tuples : int option;
+  semantics : Semantics.t;
+      (** Resolved at attach time (ambient default), so the dialect a
+          session answers under is a fixed, reportable property. *)
   mutable txn : txn option;
   mutable inflight : pending option;
 }
@@ -511,12 +514,17 @@ type t = {
 let sessions_lock = Mutex.create ()
 let session_refs : t Weak.t list ref = ref []
 
-let attach ?deadline_s ?max_tuples eng =
+let attach ?deadline_s ?max_tuples ?semantics eng =
   Mutex.lock eng.lock;
   let sid = eng.next_sid in
   eng.next_sid <- sid + 1;
   Mutex.unlock eng.lock;
-  let sess = { sid; eng; deadline_s; max_tuples; txn = None; inflight = None } in
+  let semantics =
+    match semantics with Some sem -> sem | None -> Semantics.current ()
+  in
+  let sess =
+    { sid; eng; deadline_s; max_tuples; semantics; txn = None; inflight = None }
+  in
   let w = Weak.create 1 in
   Weak.set w 0 (Some sess);
   Mutex.lock sessions_lock;
@@ -539,6 +547,7 @@ type session_info = {
           unknown until the flush decides. *)
   si_deadline_s : float option;
   si_max_tuples : int option;
+  si_semantics : string;  (** {!Nullrel.Semantics.to_string} of the dialect. *)
 }
 
 (* A racy-but-sound enumeration: each field is read once (word-sized
@@ -567,6 +576,7 @@ let sessions_info eng =
               si_staged = staged;
               si_deadline_s = s.deadline_s;
               si_max_tuples = s.max_tuples;
+              si_semantics = Semantics.to_string s.semantics.Semantics.dialect;
             }
       | _ -> None)
     refs
@@ -574,6 +584,7 @@ let sessions_info eng =
 
 let id sess = sess.sid
 let engine sess = sess.eng
+let semantics sess = sess.semantics
 let in_txn sess = sess.txn <> None
 
 let snapshot sess =
@@ -597,6 +608,11 @@ let begin_ sess =
   | None -> sess.txn <- Some (fresh_txn sess)
 
 let governed sess f =
+  (* The session's dialect rides the same ambient discipline as the
+     governor: installed around each statement, restored on the way
+     out, so concurrent sessions on one domain cannot leak dialects
+     into each other. *)
+  let f () = Semantics.with_semantics sess.semantics f in
   match (sess.deadline_s, sess.max_tuples) with
   | None, None -> f ()
   | deadline_s, max_tuples ->

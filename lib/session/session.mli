@@ -123,14 +123,23 @@ val shutdown : engine -> unit
 
 type t
 
-val attach : ?deadline_s:float -> ?max_tuples:int -> engine -> t
+val attach :
+  ?deadline_s:float -> ?max_tuples:int -> ?semantics:Nullrel.Semantics.t ->
+  engine -> t
 (** A new session. The optional limits build a fresh per-statement
     {!Nullrel.Exec} governor around every {!exec} — each session is
     governed independently, on whatever domain it runs (the ambient
-    governor slot is domain-local). *)
+    governor slot is domain-local). [semantics] fixes the dialect this
+    session's [retrieve] statements answer under (default: the ambient
+    {!Nullrel.Semantics.current} at attach time); it is installed
+    around every statement with {!Nullrel.Semantics.with_semantics},
+    exactly like the governor, and reported by [sys_sessions]. *)
 
 val id : t -> int
 val engine : t -> engine
+
+val semantics : t -> Nullrel.Semantics.t
+(** The dialect fixed at {!attach}. *)
 
 val in_txn : t -> bool
 val snapshot : t -> snapshot
@@ -197,6 +206,8 @@ type session_info = {
       (** Relations staged; [None] once submitted (in flight). *)
   si_deadline_s : float option;
   si_max_tuples : int option;
+  si_semantics : string;
+      (** {!Nullrel.Semantics.to_string} of the session's dialect. *)
 }
 
 val sessions_info : engine -> session_info list

@@ -18,13 +18,20 @@ type state = {
   dir : string option;
       (* The durable directory behind the catalog (.open) — lets the
          sys_wal and CRC columns of the system catalog see the disk. *)
+  semantics : Semantics.t option;
+      (* [.semantics NAME] selection; [None] defers to the ambient
+         dialect, so a CLI [--semantics] flag and the dot-command
+         compose instead of fighting. *)
 }
 
 let no_limits = { time_s = None; max_tuples = None }
 
 let initial =
   { cat = Storage.Catalog.empty; finished = false; limits = no_limits;
-    dir = None }
+    dir = None; semantics = None }
+
+let effective_semantics st =
+  match st.semantics with Some sem -> sem | None -> Semantics.current ()
 
 let catalog st = st.cat
 let finished st = st.finished
@@ -103,6 +110,8 @@ let help =
    .quit                  leave\n\
    .save DIR              save the catalog (atomic, checksummed)\n\
    .schema NAME           print a relation's schema\n\
+   .semantics [NAME]      show or set the null-semantics dialect (ni | codd \
+   | sql | certain)\n\
    .session [DIR]         two-session walkthrough: snapshot isolation, group \
    commit, a conflict, a retry\n\
    .show NAME             print a relation\n\
@@ -226,14 +235,34 @@ let run_statement st src =
               "rejected: estimated cost %.0f exceeds the tuple budget %d \
                (raise .limit tuples, or refine the query)"
               est budget )
-      | None ->
-          let ctx = db_context db st.cat in
-          let result = Plan.Compile.run ~stats:ctx.stats db q in
-          ( st,
-            Pp.to_string (Pp.table result.Quel.Eval.attrs) result.Quel.Eval.rel
-          ))
+      | None -> (
+          let sem = effective_semantics st in
+          match sem.Semantics.dialect with
+          | Semantics.Ni_lower ->
+              let ctx = db_context db st.cat in
+              let result =
+                Plan.Compile.run ~stats:ctx.stats ~semantics:sem db q
+              in
+              ( st,
+                Pp.to_string (Pp.table result.Quel.Eval.attrs)
+                  result.Quel.Eval.rel )
+          | Semantics.Codd_maybe | Semantics.Sql_3vl | Semantics.Certain ->
+              let b = Plan.Compile.run_bands ~semantics:sem db q in
+              let sure =
+                Pp.to_string (Pp.table_rel b.Quel.Eval.attrs) b.Quel.Eval.sure
+              in
+              ( st,
+                match b.Quel.Eval.maybe with
+                | None -> sure
+                | Some band ->
+                    sure ^ "\n"
+                    ^ Pp.to_string
+                        (Pp.table_rel
+                           ~title:(sem.Semantics.maybe_label ^ " band")
+                           b.Quel.Eval.attrs)
+                        band )))
   | statement ->
-      let outcome = Dml.exec st.cat statement in
+      let outcome = Dml.exec ?semantics:st.semantics st.cat statement in
       ({ st with cat = outcome.Dml.catalog }, outcome.Dml.message)
 
 let show_plan st src =
@@ -265,7 +294,10 @@ let explain_analyze st src =
       ~join_strategy:(Plan.Compile.join_strategy_of ~stats:ctx.stats)
       ~stats:ctx.stats ~env:ctx.env plan
   in
-  Plan.Analyze.render node
+  Plan.Analyze.render
+    ~semantics:
+      (Semantics.to_string (effective_semantics st).Semantics.dialect)
+    node
 
 (* .analyze [NAME ...]: one governed statistics scan per relation,
    results stamped into the catalog (fresh until the next mutation). *)
@@ -543,6 +575,31 @@ let exec st line =
       | [ ".open" ] | [ ".fsck" ] | [ ".save" ] | [ ".load" ] | [ ".show" ]
       | [ ".schema" ] ->
           (st, "error: missing argument (try .help)")
+      | [ ".semantics" ] ->
+          let sem = effective_semantics st in
+          ( st,
+            String.concat "\n"
+              (Printf.sprintf "semantics: %s — %s" sem.Semantics.name
+                 sem.Semantics.description
+              :: List.map
+                   (fun (s_ : Semantics.t) ->
+                     Printf.sprintf "  %s%s  %s"
+                       (if s_.Semantics.name = sem.Semantics.name then "* "
+                        else "  ")
+                       s_.Semantics.name s_.Semantics.description)
+                   Semantics.all) )
+      | [ ".semantics"; name ] -> (
+          match Semantics.of_string name with
+          | Some d ->
+              let sem = Semantics.of_dialect d in
+              ( { st with semantics = Some sem },
+                Printf.sprintf "semantics: %s — %s" sem.Semantics.name
+                  sem.Semantics.description )
+          | None ->
+              ( st,
+                Printf.sprintf "error: unknown dialect %s (one of: %s)" name
+                  (String.concat ", " Semantics.names) ))
+      | ".semantics" :: _ -> (st, "error: usage: .semantics [NAME]")
       | [ ".session" ] ->
           let dir = Filename.temp_file "nullrel_session_demo" "" in
           Sys.remove dir;

@@ -20,6 +20,7 @@
     .quit                  leave
     .save DIR              save the catalog
     .schema NAME           print a relation's schema
+    .semantics [NAME]      show or set the null-semantics dialect
     .show NAME             print a relation
     .slowlog [MS | off]    show the slow-statement log, or set its threshold
     .stats [reset]         dump metrics (Prometheus text), or zero them
@@ -56,7 +57,14 @@
     ordinary queries pay nothing (in particular no governor ticks) for
     the system catalog. The namespace is read-only: writes targeting
     [sys_*] fail, [.load] refuses the prefix, and [.save] never
-    persists them. *)
+    persists them.
+
+    [.semantics NAME] selects the {!Nullrel.Semantics} dialect
+    retrieves answer under (ni, codd, sql, certain — DESIGN §12).
+    With no selection the shell follows the ambient dialect (the
+    CLI's [--semantics] flag); the reporting dialects print the sure
+    band followed by a separately-titled MAYBE/UNKNOWN band, as plain
+    (unminimized) representations. *)
 
 type state
 

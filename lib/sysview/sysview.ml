@@ -160,6 +160,7 @@ let sessions_schema =
       ("STAGED", Domain.Ints);
       ("DEADLINE_S", Domain.Floats);
       ("MAX_TUPLES", Domain.Ints);
+      ("SEMANTICS", Domain.Enum Semantics.names);
     ]
 
 let state_string = function
@@ -183,6 +184,7 @@ let sys_sessions () =
                 ("STAGED", opt_int si.Session.si_staged);
                 ("DEADLINE_S", opt_float si.Session.si_deadline_s);
                 ("MAX_TUPLES", opt_int si.Session.si_max_tuples);
+                ("SEMANTICS", Value.Str si.Session.si_semantics);
               ])
           (Session.sessions_info eng))
       (Session.list_engines ())

@@ -1,0 +1,205 @@
+open Nullrel
+
+(* ------------------------ query generation -------------------- *)
+
+(* Small trees over a generated db: 1-2 range variables, a random
+   non-empty target list, and a random qualification whose atoms
+   compare attribute references to constants (or to each other).
+   Constants are drawn slightly wider than the column domain so some
+   comparisons are unsatisfiable — the band splits must survive both
+   dense and empty answers. *)
+
+let vars = [ "x"; "y" ]
+
+let gen_cond g (refs : (string * string) list) depth =
+  let const () = Value.Int (Prng.int g 8) in
+  let atom () =
+    let r = Quel.Ast.Attr (fst (Prng.choose g refs), snd (Prng.choose g refs)) in
+    let cmp =
+      Prng.choose g
+        [ Predicate.Eq; Predicate.Neq; Predicate.Lt; Predicate.Le;
+          Predicate.Gt; Predicate.Ge ]
+    in
+    if Prng.bool g 0.3 then
+      let s = Quel.Ast.Attr (fst (Prng.choose g refs), snd (Prng.choose g refs)) in
+      Quel.Ast.Cmp (r, cmp, s)
+    else Quel.Ast.Cmp (r, cmp, Quel.Ast.Const (const ()))
+  in
+  let rec go depth =
+    if depth = 0 || Prng.bool g 0.5 then atom ()
+    else
+      match Prng.int g 3 with
+      | 0 -> Quel.Ast.And (go (depth - 1), go (depth - 1))
+      | 1 -> Quel.Ast.Or (go (depth - 1), go (depth - 1))
+      | _ -> Quel.Ast.Not (go (depth - 1))
+  in
+  go depth
+
+let gen_query g (db : (string * (Schema.t * Xrel.t)) list) =
+  let n_ranges = 1 + Prng.int g 2 in
+  let ranges =
+    List.init n_ranges (fun i ->
+        (List.nth vars i, fst (Prng.choose g db)))
+  in
+  let refs =
+    List.concat_map
+      (fun (v, rel) ->
+        let schema, _ = List.assoc rel db in
+        List.map (fun a -> (v, Attr.name a)) (Schema.attrs schema))
+      ranges
+  in
+  let n_targets = 1 + Prng.int g (min 3 (List.length refs)) in
+  (* Sampling without replacement keeps output attribute names unique
+     (duplicate targets would collide after renaming). *)
+  let targets, _ =
+    List.fold_left
+      (fun (acc, pool) _ ->
+        match pool with
+        | [] -> (acc, [])
+        | pool ->
+            let pick = Prng.choose g pool in
+            (pick :: acc, List.filter (fun r -> r <> pick) pool))
+      ([], refs)
+      (List.init n_targets Fun.id)
+  in
+  let where =
+    if Prng.bool g 0.15 then None else Some (gen_cond g refs (1 + Prng.int g 2))
+  in
+  { Quel.Ast.ranges; targets = List.rev targets; where }
+
+(* --------------------------- oracles --------------------------- *)
+
+type verdict = { oracle : string; passed : bool; detail : string }
+
+let sem d = Semantics.of_dialect d
+
+let bands_under d db q =
+  Quel.Eval.query (Quel.Eval.ctx ~semantics:(sem d) ()) db q
+
+let subset a b = Tuple.Set.subset (Relation.tuples a) (Relation.tuples b)
+
+let v oracle passed detail = { oracle; passed; detail }
+
+let card r = Tuple.Set.cardinal (Relation.tuples r)
+
+let check db q =
+  let ni = bands_under Semantics.Ni_lower db q in
+  let codd = bands_under Semantics.Codd_maybe db q in
+  let sql = bands_under Semantics.Sql_3vl db q in
+  let certain = bands_under Semantics.Certain db q in
+  let maybe_of b =
+    match b.Quel.Eval.maybe with Some m -> m | None -> Relation.empty
+  in
+  let codd_maybe = maybe_of codd and sql_unknown = maybe_of sql in
+  let scope = Attr.Set.of_list ni.Quel.Eval.attrs in
+  let planner =
+    Plan.Compile.run ~semantics:(sem Semantics.Ni_lower) db q
+  in
+  let counts a b = Printf.sprintf "%d vs %d tuples" (card a) (card b) in
+  [
+    (* The containment lattice: each dialect's sure band sits inside
+       the next-weaker reading's. *)
+    v "certain-subset-ni"
+      (subset certain.Quel.Eval.sure ni.Quel.Eval.sure)
+      (counts certain.Quel.Eval.sure ni.Quel.Eval.sure);
+    v "ni-subset-codd-true"
+      (subset ni.Quel.Eval.sure codd.Quel.Eval.sure)
+      (counts ni.Quel.Eval.sure codd.Quel.Eval.sure);
+    v "sql-true-equals-codd-true"
+      (Relation.equal sql.Quel.Eval.sure codd.Quel.Eval.sure)
+      (counts sql.Quel.Eval.sure codd.Quel.Eval.sure);
+    v "sql-unknown-subset-codd-maybe"
+      (subset sql_unknown codd_maybe)
+      (counts sql_unknown codd_maybe);
+    v "sql-bands-disjoint"
+      (Tuple.Set.is_empty
+         (Tuple.Set.inter
+            (Relation.tuples sql_unknown)
+            (Relation.tuples sql.Quel.Eval.sure)))
+      (counts sql_unknown sql.Quel.Eval.sure);
+    v "certain-all-total"
+      (List.for_all
+         (Tuple.is_total_on scope)
+         (Relation.to_list certain.Quel.Eval.sure))
+      (Printf.sprintf "%d tuples" (card certain.Quel.Eval.sure));
+    v "ni-band-minimal"
+      (Relation.is_minimal ni.Quel.Eval.sure)
+      (Printf.sprintf "%d tuples" (card ni.Quel.Eval.sure));
+    v "planner-agrees-on-ni"
+      (Xrel.equal planner.Quel.Eval.rel (Xrel.unsafe_of_minimal ni.Quel.Eval.sure))
+      (counts (Xrel.rep planner.Quel.Eval.rel) ni.Quel.Eval.sure);
+  ]
+  @
+  (* The Section 5 pin: an absent qualification is the empty
+     conjunction, True in every dialect — nothing may land in a
+     maybe band. *)
+  match q.Quel.Ast.where with
+  | Some _ -> []
+  | None ->
+      [
+        v "empty-qualification-no-maybe"
+          (Tuple.Set.is_empty (Relation.tuples codd_maybe)
+          && Tuple.Set.is_empty (Relation.tuples sql_unknown))
+          (counts codd_maybe sql_unknown);
+      ]
+
+(* ---------------------------- runs ----------------------------- *)
+
+type report = {
+  queries : int;
+  per_oracle : (string * (int * int)) list;  (** passed, run — in order. *)
+  failures : string list;
+}
+
+let ok r = List.for_all (fun (_, (passed, run)) -> passed = run) r.per_oracle
+
+let max_failures = 5
+
+let default_spec =
+  { Gen.rows = 40; domain_size = 6; arity = 3; null_density = 0.25 }
+
+let run ?(seed = 42) ?(queries = 500) ?(spec = default_spec) ?(relations = 3)
+    () =
+  let g = Prng.create seed in
+  let db = Gen.db (Prng.split g) spec relations in
+  let tally = Hashtbl.create 16 in
+  let order = ref [] in
+  let failures = ref [] in
+  for _ = 1 to queries do
+    let q = gen_query g db in
+    List.iter
+      (fun { oracle; passed; detail } ->
+        if not (Hashtbl.mem tally oracle) then order := oracle :: !order;
+        let p, r =
+          Option.value (Hashtbl.find_opt tally oracle) ~default:(0, 0)
+        in
+        Hashtbl.replace tally oracle ((p + if passed then 1 else 0), r + 1);
+        if (not passed) && List.length !failures < max_failures then
+          failures :=
+            Format.asprintf "%s: %s — %a" oracle detail Quel.Ast.pp q
+            :: !failures)
+      (check db q)
+  done;
+  {
+    queries;
+    per_oracle =
+      List.rev_map (fun o -> (o, Hashtbl.find tally o)) !order;
+    failures = List.rev !failures;
+  }
+
+let render r =
+  let lines =
+    Printf.sprintf "differential harness: %d queries" r.queries
+    :: List.map
+         (fun (oracle, (passed, run)) ->
+           Printf.sprintf "  %-30s %s (%d/%d)" oracle
+             (if passed = run then "ok" else "FAIL")
+             passed run)
+         r.per_oracle
+    @ List.map (fun f -> "  failure: " ^ f) r.failures
+    @ [
+        (if ok r then "containment lattice: ok"
+         else "containment lattice: FAILED");
+      ]
+  in
+  String.concat "\n" lines

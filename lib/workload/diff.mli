@@ -1,0 +1,69 @@
+(** The differential semantics harness: random mini-QUEL queries
+    evaluated under every {!Nullrel.Semantics} dialect, with the
+    containment lattice between their answers checked as oracles.
+
+    The lattice is the point of the dialect family: on any database
+    and query,
+
+    - certain answers ⊆ the paper's ni lower bound (certain adds the
+      totality requirement to the same TRUE rows; total tuples are
+      never subsumption-minimized away);
+    - ni lower bound ⊆ Codd's TRUE band (minimization only drops
+      rows from the same plain set);
+    - SQL's TRUE band = Codd's TRUE band (identical admission);
+    - SQL's UNKNOWN band ⊆ Codd's MAYBE band, and is disjoint from
+      SQL's own TRUE band (UNKNOWN subtracts the sure answers —
+      Codd's MAYBE keeps the overlap, which is why no disjointness
+      is asserted for Codd);
+
+    plus three structural oracles: certain answers are all-total, the
+    ni band is subsumption-minimal, and the optimizing planner agrees
+    with the calculus evaluator on the ni dialect. Queries with no
+    qualification additionally pin the Section 5 vacuous-truth
+    reading: the empty conjunction is True, so nothing may land in a
+    maybe band.
+
+    Used by the CLI's [semantics] subcommand, the [props_semantics]
+    qcheck suite, and bench E25. Deterministic given the seed. *)
+
+val gen_query :
+  Prng.t -> (string * (Nullrel.Schema.t * Nullrel.Xrel.t)) list ->
+  Quel.Ast.query
+(** A random query over a generated db ({!Gen.db}): 1–2 range
+    variables, 1–3 distinct targets, and (usually) a random
+    qualification tree of comparisons; ~15% of queries have no
+    qualification, to exercise the empty-conjunction pin. *)
+
+type verdict = { oracle : string; passed : bool; detail : string }
+
+val check :
+  (string * (Nullrel.Schema.t * Nullrel.Xrel.t)) list ->
+  Quel.Ast.query -> verdict list
+(** Evaluate one query under all four dialects and judge every
+    applicable oracle. An all-[passed] list is the expected outcome on
+    any input. *)
+
+type report = {
+  queries : int;
+  per_oracle : (string * (int * int)) list;
+      (** Oracle name to (passed, run), in first-seen order. *)
+  failures : string list;
+      (** The first few failing checks, rendered with their query. *)
+}
+
+val ok : report -> bool
+
+val default_spec : Gen.spec
+(** Small relations over small domains with 25% nulls — dense enough
+    that every band is regularly non-empty. *)
+
+val run :
+  ?seed:int -> ?queries:int -> ?spec:Gen.spec -> ?relations:int -> unit ->
+  report
+(** Generate a db and [queries] (default 500) random queries, check
+    each, tally per oracle. *)
+
+val render : report -> string
+(** Human-readable tally: one ["oracle: ok (N/N)"] line per oracle,
+    the retained failures, and a final ["containment lattice: ok"] /
+    [FAILED] verdict line. *)

@@ -30,3 +30,17 @@ let xrel g spec = Xrel.of_relation (relation g spec)
 let total_relation g spec =
   Relation.of_list
     (List.init spec.rows (fun _ -> tuple_with g spec ~nulls:false))
+
+let schema spec name =
+  Schema.make name
+    (List.map
+       (fun a -> (Attr.name a, Domain.Int_range (0, spec.domain_size - 1)))
+       (attrs spec))
+
+(* Structurally a [Quel.Resolve.db] — the pair list is the database
+   shape every evaluator consumes, but building it needs nothing from
+   quel, so the generator library keeps its nullrel-only dependency. *)
+let db g spec k =
+  List.init k (fun i ->
+      let name = Printf.sprintf "R%d" (i + 1) in
+      (name, (schema spec name, xrel g spec)))

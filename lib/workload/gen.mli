@@ -40,3 +40,13 @@ val xrel : Prng.t -> spec -> Xrel.t
 val total_relation : Prng.t -> spec -> Relation.t
 (** A random fully-defined (null-free) representation, whatever
     [spec.null_density] says. *)
+
+val schema : spec -> string -> Schema.t
+(** A schema for [name] over {!universe}'s columns and domains. *)
+
+val db : Prng.t -> spec -> int -> (string * (Schema.t * Xrel.t)) list
+(** [db g spec k] is [k] random relations named [R1 .. Rk], each a
+    fresh draw of {!xrel} under [spec] — structurally a
+    [Quel.Resolve.db], built without depending on quel (the pair list
+    is the shared database shape). The differential harness
+    ({!Diff}) queries it under every dialect. *)

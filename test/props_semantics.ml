@@ -1,0 +1,38 @@
+(* Property coverage for the dialect family: the differential harness
+   at the acceptance volume, plus seed-randomized spot checks so the
+   lattice is exercised on databases the fixed seed never generates. *)
+
+open Workload
+
+let acceptance_run () =
+  (* The PR's acceptance bar: >= 500 generated queries, every oracle
+     green, at whatever NULLREL_DOMAINS the suite runs under. *)
+  let r = Diff.run ~queries:500 () in
+  if not (Diff.ok r) then Alcotest.failf "%s" (Diff.render r);
+  Alcotest.(check int) "all 500 ran" 500 r.Diff.queries
+
+let seeded_lattice =
+  QCheck.Test.make ~count:40 ~name:"containment lattice holds on random dbs"
+    (QCheck.make
+       ~print:(fun (seed, rows, nulls) ->
+         Printf.sprintf "seed=%d rows=%d null_density=%.2f" seed rows
+           (float_of_int nulls /. 10.))
+       QCheck.Gen.(triple (int_bound 100_000) (int_range 5 30) (int_range 0 6)))
+    (fun (seed, rows, nulls) ->
+      let spec =
+        {
+          Diff.default_spec with
+          Gen.rows;
+          null_density = float_of_int nulls /. 10.;
+        }
+      in
+      let r = Diff.run ~seed ~queries:25 ~spec ~relations:2 () in
+      if not (Diff.ok r) then QCheck.Test.fail_report (Diff.render r);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "differential harness, 500 queries" `Quick
+      acceptance_run;
+    QCheck_alcotest.to_alcotest seeded_lattice;
+  ]

@@ -219,12 +219,14 @@ let test_explain_analyze_shape () =
           in
           let lines = String.split_on_char '\n' out in
           (match lines with
-          | header :: _ ->
+          | sem_line :: header :: _ ->
+              Alcotest.(check bool) "semantics line" true
+                (contains sem_line "semantics: ni");
               Alcotest.(check bool) "header row" true
                 (contains header "operator" && contains header "est"
                 && contains header "actual" && contains header "ticks"
                 && contains header "ms")
-          | [] -> Alcotest.fail "empty output");
+          | _ -> Alcotest.fail "expected semantics line and header");
           List.iter
             (fun op ->
               Alcotest.(check bool) ("plan shows " ^ op) true

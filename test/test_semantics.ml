@@ -1,0 +1,427 @@
+(* The first-class semantics dialects: the capability records, the
+   banded evaluator behind them, the compat shims, and every selection
+   surface (shell dot-command, Dml, sessions, sys_sessions). *)
+
+open Nullrel
+open Helpers
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let sem d = Semantics.of_dialect d
+let rel_check = Alcotest.check relation
+
+(* ------------------- the records themselves ------------------- *)
+
+(* All four instances carry Table III: the record's connectives agree
+   with Tvl on every input (exhaustive — Tvl.all is the whole type). *)
+let test_truth_tables () =
+  List.iter
+    (fun (s_ : Semantics.t) ->
+      let name op = Printf.sprintf "%s.%s" s_.Semantics.name op in
+      List.iter
+        (fun a ->
+          check_tvl (name "not") (Tvl.not_ a) (s_.Semantics.not_ a);
+          List.iter
+            (fun b ->
+              check_tvl (name "and") (Tvl.conj [ a; b ])
+                (s_.Semantics.and_ a b);
+              check_tvl (name "or") (Tvl.disj [ a; b ]) (s_.Semantics.or_ a b))
+            Tvl.all)
+        Tvl.all;
+      check_tvl (name "conj_empty") Tvl.True s_.Semantics.conj_empty;
+      Alcotest.(check bool) (name "std_tables") true s_.Semantics.std_tables)
+    Semantics.all
+
+let test_admission_rules () =
+  let admit d v = (sem d).Semantics.admit v in
+  let band = Alcotest.testable
+      (fun ppf -> function
+        | Semantics.Sure -> Format.pp_print_string ppf "Sure"
+        | Semantics.Maybe -> Format.pp_print_string ppf "Maybe"
+        | Semantics.Out -> Format.pp_print_string ppf "Out")
+      ( = )
+  in
+  let check_band = Alcotest.check band in
+  List.iter
+    (fun d ->
+      check_band "True is Sure everywhere" Semantics.Sure
+        (admit d Tvl.True);
+      check_band "False is Out everywhere" Semantics.Out
+        (admit d Tvl.False))
+    Semantics.dialects;
+  check_band "ni drops Ni" Semantics.Out (admit Semantics.Ni_lower Tvl.Ni);
+  check_band "certain drops Ni" Semantics.Out (admit Semantics.Certain Tvl.Ni);
+  check_band "codd banks Ni" Semantics.Maybe
+    (admit Semantics.Codd_maybe Tvl.Ni);
+  check_band "sql banks Ni" Semantics.Maybe (admit Semantics.Sql_3vl Tvl.Ni)
+
+let test_names_round_trip () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Semantics.to_string d ^ " round-trips") true
+        (Semantics.of_string (Semantics.to_string d) = Some d))
+    Semantics.dialects;
+  Alcotest.(check bool) "alias ni-lower" true
+    (Semantics.of_string "ni-lower" = Some Semantics.Ni_lower);
+  Alcotest.(check bool) "alias maybe" true
+    (Semantics.of_string "maybe" = Some Semantics.Codd_maybe);
+  Alcotest.(check bool) "alias 3vl" true
+    (Semantics.of_string "3vl" = Some Semantics.Sql_3vl);
+  Alcotest.(check bool) "alias certain-answers" true
+    (Semantics.of_string "certain-answers" = Some Semantics.Certain);
+  Alcotest.(check bool) "unknown name" true
+    (Semantics.of_string "fuzzy" = None);
+  Alcotest.(check (list string))
+    "names in dialect order"
+    (List.map Semantics.to_string Semantics.dialects)
+    Semantics.names
+
+let test_admit_tuple () =
+  let scope = aset [ "S#"; "P#" ] in
+  let total = t [ ("S#", s "s1"); ("P#", s "p1") ] in
+  let partial = t [ ("S#", s "s1") ] in
+  List.iter
+    (fun (s_ : Semantics.t) ->
+      Alcotest.(check bool)
+        (s_.Semantics.name ^ " admits total") true
+        (Semantics.admit_tuple s_ scope total);
+      Alcotest.(check bool)
+        (s_.Semantics.name ^ " on partial")
+        (not s_.Semantics.total_only)
+        (Semantics.admit_tuple s_ scope partial))
+    Semantics.all
+
+let test_ambient_slot () =
+  Alcotest.(check string) "default is ni" "ni"
+    (Semantics.current ()).Semantics.name;
+  let inside =
+    Semantics.with_semantics (sem Semantics.Sql_3vl) (fun () ->
+        (Semantics.current ()).Semantics.name)
+  in
+  Alcotest.(check string) "scoped override" "sql" inside;
+  Alcotest.(check string) "restored after" "ni"
+    (Semantics.current ()).Semantics.name;
+  (* Exception-safe restore, like Exec.with_governor. *)
+  (try
+     Semantics.with_semantics (sem Semantics.Certain) (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check string) "restored after raise" "ni"
+    (Semantics.current ()).Semantics.name
+
+(* ----------------- the banded evaluator on PS ------------------ *)
+
+let ps_db =
+  [
+    ( "PS",
+      ( Schema.make "PS" [ ("S#", Domain.Strings); ("P#", Domain.Strings) ],
+        Paperdata.Fixtures.ps ) );
+  ]
+
+let p1_query = "range of p is PS retrieve (p.S#) where p.P# = \"p1\""
+
+let bands_under d src =
+  Quel.Eval.query
+    (Quel.Eval.ctx ~semantics:(sem d) ())
+    ps_db (Quel.Parser.parse src)
+
+let s_rel names = rel (List.map (fun n -> t [ ("S#", s n) ]) names)
+
+(* The paper's "who supplies p1" on PS, under all four dialects: the
+   golden differential table this PR is about. *)
+let test_ps_differential () =
+  let ni = bands_under Semantics.Ni_lower p1_query in
+  let codd = bands_under Semantics.Codd_maybe p1_query in
+  let sql = bands_under Semantics.Sql_3vl p1_query in
+  let certain = bands_under Semantics.Certain p1_query in
+  rel_check "ni sure" (s_rel [ "s1"; "s2" ]) ni.Quel.Eval.sure;
+  Alcotest.(check bool) "ni has no maybe band" true
+    (ni.Quel.Eval.maybe = None);
+  rel_check "codd sure" (s_rel [ "s1"; "s2" ]) codd.Quel.Eval.sure;
+  rel_check "codd maybe" (s_rel [ "s3" ])
+    (Option.get codd.Quel.Eval.maybe);
+  rel_check "sql sure" (s_rel [ "s1"; "s2" ]) sql.Quel.Eval.sure;
+  rel_check "sql unknown" (s_rel [ "s3" ]) (Option.get sql.Quel.Eval.maybe);
+  rel_check "certain" (s_rel [ "s1"; "s2" ]) certain.Quel.Eval.sure;
+  Alcotest.(check bool) "certain has no maybe band" true
+    (certain.Quel.Eval.maybe = None)
+
+(* Projection keeps partial tuples under ni but not under certain:
+   retrieve the whole of PS and the dialects finally disagree. *)
+let test_certain_strictly_below_ni () =
+  let src = "range of p is PS retrieve (p.S#, p.P#)" in
+  let ni = bands_under Semantics.Ni_lower src in
+  let certain = bands_under Semantics.Certain src in
+  rel_check "ni keeps the s3 partial tuple"
+    (Relation.minimize Paperdata.Fixtures.ps_rel)
+    ni.Quel.Eval.sure;
+  rel_check "certain drops it"
+    (Relation.filter
+       (Tuple.is_total_on (aset [ "S#"; "P#" ]))
+       (Relation.minimize Paperdata.Fixtures.ps_rel))
+    certain.Quel.Eval.sure;
+  Alcotest.(check bool) "strictly fewer" true
+    (Relation.cardinal certain.Quel.Eval.sure
+    < Relation.cardinal ni.Quel.Eval.sure)
+
+(* The Section 5 pin, twice over: an absent qualification is the empty
+   conjunction (True — nothing lands in a maybe band), and an empty
+   divisor divides vacuously the same way in both algebras. *)
+let test_empty_qualification_pin () =
+  let src = "range of p is PS retrieve (p.S#)" in
+  List.iter
+    (fun d ->
+      let b = bands_under d src in
+      match b.Quel.Eval.maybe with
+      | None -> ()
+      | Some m ->
+          rel_check
+            (Semantics.to_string d ^ " maybe band empty without a where")
+            Relation.empty m)
+    Semantics.dialects;
+  List.iter
+    (fun (s_ : Semantics.t) ->
+      check_tvl
+        (s_.Semantics.name ^ " empty conjunction is True")
+        Tvl.True
+        (Semantics.eval s_ (Predicate.Const s_.Semantics.conj_empty)
+           Tuple.empty))
+    Semantics.all;
+  let y = aset [ "S#" ] in
+  let by_algebra =
+    Algebra.divide y Paperdata.Fixtures.ps (Xrel.of_list [])
+  in
+  let by_codd =
+    Codd.Maybe_algebra.divide_true ~y
+      (Xrel.rep Paperdata.Fixtures.ps)
+      Relation.empty
+  in
+  rel_check "empty divisor: both algebras vacuous the same way"
+    (Xrel.rep by_algebra) by_codd
+
+(* -------------------------- the shims -------------------------- *)
+
+let test_compat_shims () =
+  let q = Quel.Parser.parse p1_query in
+  let run = Quel.Eval.run ps_db q in
+  let ni = bands_under Semantics.Ni_lower p1_query in
+  check_xrel "run is the ni sure band"
+    (Xrel.of_relation ni.Quel.Eval.sure)
+    run.Quel.Eval.rel;
+  let maybe = Quel.Eval.run_maybe ps_db q in
+  let codd = bands_under Semantics.Codd_maybe p1_query in
+  check_xrel "run_maybe is the codd maybe band"
+    (Xrel.of_relation (Option.get codd.Quel.Eval.maybe))
+    maybe.Quel.Eval.rel;
+  (* Codd's own select operators run through the same admission rule. *)
+  let p =
+    Predicate.Cmp_const (a_ "P#", Predicate.Eq, Value.Str "p1")
+  in
+  let r = Xrel.rep Paperdata.Fixtures.ps in
+  rel_check "select_true = sure rows"
+    (Relation.filter (fun t_ -> Predicate.eval p t_ = Tvl.True) r)
+    (Codd.Maybe_algebra.select_true p r);
+  rel_check "select_maybe = ni rows"
+    (Relation.filter (fun t_ -> Predicate.eval p t_ = Tvl.Ni) r)
+    (Codd.Maybe_algebra.select_maybe p r)
+
+(* Planner dispatch: under a reporting dialect Plan.Compile.run returns
+   the sure band; under ni it is the physical pipeline, same answer. *)
+let test_planner_dispatch () =
+  let q = Quel.Parser.parse p1_query in
+  List.iter
+    (fun d ->
+      let by_plan = Plan.Compile.run ~semantics:(sem d) ps_db q in
+      let b = bands_under d p1_query in
+      check_xrel
+        (Semantics.to_string d ^ " planner agrees")
+        (Xrel.of_relation b.Quel.Eval.sure)
+        by_plan.Quel.Eval.rel)
+    Semantics.dialects;
+  Alcotest.(check bool) "render names the dialect" true
+    (contains
+       (Plan.Analyze.render ~semantics:"codd"
+          {
+            Plan.Analyze.label = "rel PS";
+            est_rows = 1.;
+            actual_rows = 1;
+            ticks = 0;
+            elapsed_s = 0.;
+            children = [];
+          })
+       "semantics: codd")
+
+(* ------------------------ the surfaces ------------------------- *)
+
+let feed inputs =
+  List.fold_left
+    (fun (st, outputs) input ->
+      let st, out = Shell.exec st input in
+      (st, out :: outputs))
+    (Shell.initial, []) inputs
+  |> fun (st, outputs) -> (st, List.rev outputs)
+
+let with_ps_csv f =
+  let path = Filename.temp_file "nullrel_semantics" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.Csv.write_file path [ a_ "S#"; a_ "P#" ] Paperdata.Fixtures.ps;
+      f path)
+
+let shell_query = "range of p is PS retrieve (p.S#) where p.P# = \"p1\""
+
+let test_shell_round_trip () =
+  with_ps_csv @@ fun path ->
+  let _, outputs =
+    feed
+      [
+        Printf.sprintf ".load PS %s" path;
+        ".semantics";
+        ".semantics codd";
+        shell_query;
+        ".semantics sql";
+        shell_query;
+        ".semantics certain";
+        shell_query;
+        ".semantics ni";
+        shell_query;
+        ".semantics bogus";
+        ".semantics one two";
+      ]
+  in
+  match outputs with
+  | [ _; show; set_codd; codd; _; sql; _; certain; _; ni; bogus; usage ] ->
+      Alcotest.(check bool) "default shown with the list" true
+        (contains show "semantics: ni" && contains show "codd"
+        && contains show "certain");
+      Alcotest.(check bool) "selection echoed" true
+        (contains set_codd "semantics: codd");
+      Alcotest.(check bool) "codd prints a MAYBE band" true
+        (contains codd "MAYBE band" && contains codd "s3");
+      Alcotest.(check bool) "sql prints an UNKNOWN band" true
+        (contains sql "UNKNOWN band" && contains sql "s3");
+      Alcotest.(check bool) "certain prints no band" true
+        (not (contains certain "band"));
+      Alcotest.(check bool) "ni prints no band" true
+        (not (contains ni "band"));
+      Alcotest.(check bool) "unknown dialect is an error" true
+        (contains bogus "error: unknown dialect"
+        && contains bogus "ni, codd, sql, certain");
+      Alcotest.(check bool) "usage on extra words" true
+        (contains usage "usage: .semantics")
+  | outs -> Alcotest.failf "expected 12 outputs, got %d" (List.length outs)
+
+let test_dml_bands () =
+  let cat =
+    Storage.Catalog.add Storage.Catalog.empty
+      (Schema.make "PS" [ ("S#", Domain.Strings); ("P#", Domain.Strings) ])
+      Paperdata.Fixtures.ps
+  in
+  let stmt = Quel.Parser.parse_statement shell_query in
+  let ni = Dml.exec cat stmt in
+  Alcotest.(check bool) "ni read has no bands" true (ni.Dml.bands = None);
+  Alcotest.(check bool) "ni read has a result" true (ni.Dml.result <> None);
+  let codd = Dml.exec ~semantics:(sem Semantics.Codd_maybe) cat stmt in
+  let b = Option.get codd.Dml.bands in
+  rel_check "dml codd maybe band" (s_rel [ "s3" ])
+    (Option.get b.Quel.Eval.maybe);
+  check_xrel "dml compat result is the sure band"
+    (Xrel.of_relation b.Quel.Eval.sure)
+    (Option.get codd.Dml.result).Quel.Eval.rel;
+  (* The ambient slot reaches Dml too — that is how sessions and the
+     shell select a dialect without threading arguments. *)
+  let ambient =
+    Semantics.with_semantics (sem Semantics.Sql_3vl) (fun () ->
+        Dml.exec cat stmt)
+  in
+  Alcotest.(check bool) "ambient dialect reaches Dml" true
+    (ambient.Dml.bands <> None);
+  (* Writes are dialect-independent: same outcome under every dialect. *)
+  let append = Quel.Parser.parse_statement "append to PS (S# = \"s9\")" in
+  let w1 = Dml.exec cat append in
+  let w2 = Dml.exec ~semantics:(sem Semantics.Certain) cat append in
+  Alcotest.(check bool) "writes carry no bands" true
+    (w1.Dml.bands = None && w2.Dml.bands = None);
+  check_xrel "writes agree across dialects"
+    (snd (Storage.Catalog.get w1.Dml.catalog "PS"))
+    (snd (Storage.Catalog.get w2.Dml.catalog "PS"))
+
+(* Sessions: the dialect is fixed at attach, reported by sys_sessions,
+   and installed around every statement. *)
+let temp_dir prefix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) (Random.int 1_000_000))
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let test_session_semantics () =
+  let dir = temp_dir "nullrel_semantics" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Session.Drive.seed ~dir ();
+  let eng, _ = Session.open_engine ~dir () in
+  Fun.protect ~finally:(fun () -> Session.shutdown eng) @@ fun () ->
+  let a = Session.attach eng in
+  let b = Session.attach ~semantics:(sem Semantics.Codd_maybe) eng in
+  Alcotest.(check string) "default attach is ambient ni" "ni"
+    (Session.semantics a).Semantics.name;
+  Alcotest.(check string) "explicit attach" "codd"
+    (Session.semantics b).Semantics.name;
+  let infos = Session.sessions_info eng in
+  Alcotest.(check (list string))
+    "sessions_info reports the dialects" [ "ni"; "codd" ]
+    (List.map (fun si -> si.Session.si_semantics) infos);
+  (* The SEMANTICS column of sys_sessions round-trips the selection. *)
+  let _, (_, x) = Sysview.sys_sessions () in
+  let column =
+    List.filter_map
+      (fun t_ ->
+        match (Tuple.get t_ (a_ "SID"), Tuple.get t_ (a_ "SEMANTICS")) with
+        | Value.Int sid, Value.Str s_ -> Some (sid, s_)
+        | _ -> None)
+      (Xrel.to_list x)
+  in
+  Alcotest.(check bool) "SEMANTICS column round-trips" true
+    (List.mem (Session.id a, "ni") column
+    && List.mem (Session.id b, "codd") column);
+  (* A read through the codd session carries bands; through the ni
+     session it does not — with no ambient set-up in this test. *)
+  let stmt =
+    Quel.Parser.parse_statement
+      "range of e is EVENTS retrieve (e.SID, e.SEQ)"
+  in
+  Alcotest.(check bool) "ni session read: no bands" true
+    ((Session.exec a stmt).Dml.bands = None);
+  Alcotest.(check bool) "codd session read: bands" true
+    ((Session.exec b stmt).Dml.bands <> None)
+
+let suite =
+  [
+    Alcotest.test_case "truth tables are Table III" `Quick test_truth_tables;
+    Alcotest.test_case "admission rules" `Quick test_admission_rules;
+    Alcotest.test_case "names round-trip" `Quick test_names_round_trip;
+    Alcotest.test_case "admit_tuple totality" `Quick test_admit_tuple;
+    Alcotest.test_case "ambient slot scoping" `Quick test_ambient_slot;
+    Alcotest.test_case "PS differential (golden)" `Quick test_ps_differential;
+    Alcotest.test_case "certain strictly below ni" `Quick
+      test_certain_strictly_below_ni;
+    Alcotest.test_case "empty-qualification pin" `Quick
+      test_empty_qualification_pin;
+    Alcotest.test_case "compat shims" `Quick test_compat_shims;
+    Alcotest.test_case "planner dispatch" `Quick test_planner_dispatch;
+    Alcotest.test_case "shell .semantics round-trip" `Quick
+      test_shell_round_trip;
+    Alcotest.test_case "dml bands and ambient" `Quick test_dml_bands;
+    Alcotest.test_case "session attach + sys_sessions" `Quick
+      test_session_semantics;
+  ]
