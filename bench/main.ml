@@ -1352,7 +1352,11 @@ let e21 ~with_timings () =
         let tables =
           [ ("R", Stats.collect ~attrs r); ("S", Stats.collect ~attrs s) ]
         in
-        { Plan.Cost.rowcount; table = (fun n -> List.assoc_opt n tables) }
+        {
+          Plan.Cost.rowcount;
+          table = (fun n -> List.assoc_opt n tables);
+          equipped = (fun _ _ -> false);
+        }
       in
       let env = function "R" -> Some r | "S" -> Some s | _ -> None in
       let mid = spec.Workload.Gen.domain_size / 2 in
@@ -1427,6 +1431,7 @@ let e21 ~with_timings () =
       Plan.Cost.rowcount =
         (fun n -> Option.map (fun (_, x) -> Xrel.cardinal x) (List.assoc_opt n db));
       table = (fun n -> List.assoc_opt n tables);
+      equipped = (fun _ _ -> false);
     }
   in
   let chain =
@@ -2103,6 +2108,323 @@ let e25 ~with_timings () =
   end
 
 (* ---------------------------------------------------------------- *)
+(* E26: incremental minimality and persistent secondary indexes --
+   writes maintain the minimal representation by probing the
+   subsumption index instead of re-minimizing, and declared
+   equi-indexes survive a restart under the CRC stamp protocol.       *)
+
+let e26_gate_failed = ref false
+
+let e26_read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let e26_write path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let e26_prefixed prefix line =
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+(* Keep only the [keep] lines of the INDEX file and restamp the
+   self-checksum trailer, so the loader sees a well-formed file that is
+   merely missing entries (a stale or partial writer, not a torn one). *)
+let e26_filter_index dir keep =
+  let path = Filename.concat dir "INDEX" in
+  let body =
+    String.concat ""
+      (List.filter_map
+         (fun l ->
+           if l = "" || e26_prefixed "end\t" l then None
+           else if keep l then Some (l ^ "\n")
+           else None)
+         (String.split_on_char '\n' (e26_read path)))
+  in
+  e26_write path
+    (Printf.sprintf "%send\t%s\n" body
+       (Storage.Crc32.to_hex (Storage.Crc32.digest body)))
+
+let e26_contains s sub =
+  let n = String.length sub in
+  let rec go k =
+    k + n <= String.length s && (String.sub s k n = sub || go (k + 1))
+  in
+  go 0
+
+let e26 ~with_timings () =
+  section "E26" "Incremental minimality and persistent secondary indexes";
+  printf
+    "  A write maintains the minimal representation by probing the\n\
+    \  relation's subsumption index -- admit, absorb, or evict -- never by\n\
+    \  re-minimizing from scratch, and declared equi-indexes persist\n\
+    \  beside the data under a per-relation CRC stamp.  Gates: a mixed\n\
+    \  schedule lands on the full-rewrite oracle's catalog word for word,\n\
+    \  per-append cost is sublinear where the oracle's is not, and a cold\n\
+    \  start attaching fresh dumps beats rebuilding >= 2x.@.";
+  (* --- symbolic: incremental DML = the full-rewrite oracle --------- *)
+  let schedule =
+    [
+      "append to R (A = 1)";
+      "append to R (B = 2)";
+      "append to R (A = 1, B = 2)";
+      "append to R (A = 1, B = 2)";
+      "append to R (A = 3)";
+      "append to S (K = 1, V = \"one\")";
+      "append to S (K = 1, V = \"two\")";
+      "range of r is R replace r (B = 9) where r.A = 3";
+      "range of r is R delete r where r.B = 2";
+    ]
+  in
+  let run incremental =
+    let was = !Dml.incremental in
+    Dml.incremental := incremental;
+    Fun.protect
+      ~finally:(fun () -> Dml.incremental := was)
+      (fun () ->
+        let seed =
+          let r =
+            Schema.make "R" [ ("A", Domain.Ints); ("B", Domain.Ints) ]
+          in
+          let s =
+            Schema.make "S" ~key:[ "K" ]
+              [ ("K", Domain.Ints); ("V", Domain.Strings) ]
+          in
+          Storage.Catalog.add
+            (Storage.Catalog.add Storage.Catalog.empty r Xrel.bottom)
+            s Xrel.bottom
+        in
+        List.fold_left
+          (fun (cat, log) stmt ->
+            match Dml.exec_string cat stmt with
+            | o -> (o.Dml.catalog, o.Dml.message :: log)
+            | exception Storage.Catalog.Violation _ ->
+                (cat, "rejected (key violation)" :: log))
+          (seed, []) schedule)
+  in
+  let cat_inc, log_inc = run true in
+  let cat_ora, log_ora = run false in
+  List.iter2
+    (fun stmt msg -> printf "  %-48s -> %s@." stmt msg)
+    schedule (List.rev log_inc);
+  let catalogs_agree =
+    Storage.Catalog.names cat_inc = Storage.Catalog.names cat_ora
+    && List.for_all
+         (fun n ->
+           Xrel.equal
+             (Storage.Catalog.relation cat_inc n)
+             (Storage.Catalog.relation cat_ora n))
+         (Storage.Catalog.names cat_inc)
+  in
+  let ok_parity =
+    catalogs_agree && List.equal String.equal log_inc log_ora
+  in
+  if not ok_parity then e26_gate_failed := true;
+  verdict "the incremental path lands on the oracle's catalog, word for word"
+    ok_parity "minimality is maintained, never re-established";
+  show_table ~title:"R after the schedule (either pipeline)" [ "A"; "B" ]
+    (Storage.Catalog.relation cat_inc "R");
+  (* --- symbolic: the INDEX stamp protocol -------------------------- *)
+  let dept = Attr.Set.singleton (Attr.make "DEPT") in
+  let proto_rows =
+    Xrel.of_list
+      [
+        t [ ("ENAME", Value.Str "anne"); ("DEPT", Value.Str "toys"); ("SAL", i 12) ];
+        t [ ("ENAME", Value.Str "bert"); ("DEPT", Value.Str "toys"); ("SAL", i 10) ];
+        t [ ("ENAME", Value.Str "carl"); ("DEPT", Value.Str "candy"); ("SAL", i 9) ];
+        t [ ("ENAME", Value.Str "dora"); ("SAL", i 11) ];
+      ]
+  in
+  let proto_dir = e22_temp_dir "e26proto" in
+  Fun.protect
+    ~finally:(fun () -> e22_rm_rf proto_dir)
+    (fun () ->
+      let cat =
+        Storage.Catalog.add Storage.Catalog.empty
+          (Schema.make "EMP"
+             [
+               ("ENAME", Domain.Strings);
+               ("DEPT", Domain.Strings);
+               ("SAL", Domain.Ints);
+             ])
+          proto_rows
+      in
+      let cat = Storage.Catalog.create_index cat "EMP" ~kind:"hash" dept in
+      let cat =
+        Storage.Catalog.create_index cat "EMP" ~kind:"range"
+          (Attr.Set.singleton (Attr.make "SAL"))
+      in
+      Storage.Persist.save ~dir:proto_dir cat;
+      let probes_toys rpt =
+        match
+          Storage.Catalog.equi_probe rpt.Storage.Persist.catalog "EMP" dept
+        with
+        | None -> false
+        | Some probe ->
+            List.length (probe (t [ ("DEPT", Value.Str "toys") ])) = 2
+      in
+      let indexes rpt =
+        List.length (Storage.Catalog.all_indexes rpt.Storage.Persist.catalog)
+      in
+      let fresh = Storage.Persist.load_report ~dir:proto_dir () in
+      let ok_attach =
+        fresh.Storage.Persist.journal_note = None
+        && indexes fresh = 2 && probes_toys fresh
+      in
+      verdict "a fresh stamp re-attaches both dumps, no rebuild, no note"
+        ok_attach "attach is the cold-start fast path";
+      e26_filter_index proto_dir (fun l -> not (e26_prefixed "line\t" l));
+      let rebuilt = Storage.Persist.load_report ~dir:proto_dir () in
+      let ok_rebuild =
+        rebuilt.Storage.Persist.journal_note = None
+        && indexes rebuilt = 2 && probes_toys rebuilt
+      in
+      verdict "a missing dump degrades to a from-scratch rebuild"
+        ok_rebuild "slower, never wrong";
+      let path = Filename.concat proto_dir "INDEX" in
+      let data = e26_read path in
+      e26_write path (String.sub data 0 (String.length data / 2));
+      let torn = Storage.Persist.load_report ~dir:proto_dir () in
+      let ok_torn =
+        (match torn.Storage.Persist.journal_note with
+        | Some note -> e26_contains note "INDEX"
+        | None -> false)
+        && Storage.Catalog.all_indexes torn.Storage.Persist.catalog = []
+        && Xrel.equal
+             (Storage.Catalog.relation torn.Storage.Persist.catalog "EMP")
+             proto_rows
+      in
+      if not (ok_attach && ok_rebuild && ok_torn) then
+        e26_gate_failed := true;
+      verdict "a torn INDEX file drops the declarations loudly, data intact"
+        ok_torn "acceleration is never allowed to be wrong");
+  if not with_timings then printf "  (timings skipped)@."
+  else begin
+    (* --- (a) one append, incremental vs the oracle, n and 8n ------- *)
+    (* The incremental path probes the relation's memoized subsumption
+       index and applies the one-tuple delta; the oracle re-runs
+       [Update.insert] against the whole relation and re-diffs the
+       catalogs.  Both are measured on a warmed catalog (the lazy index
+       is forced by a throwaway statement first). *)
+    let mk_cat n =
+      let schema =
+        Schema.make "T" [ ("A", Domain.Ints); ("B", Domain.Ints) ]
+      in
+      let rows =
+        Xrel.of_list
+          (List.init n (fun k -> t [ ("A", i k); ("B", i (k * 7 mod n)) ]))
+      in
+      Storage.Catalog.add Storage.Catalog.empty schema rows
+    in
+    let stmt =
+      Quel.Parser.parse_statement "append to T (A = 999983, B = 999983)"
+    in
+    let measure cat =
+      let time flag =
+        let was = !Dml.incremental in
+        Dml.incremental := flag;
+        Fun.protect
+          ~finally:(fun () -> Dml.incremental := was)
+          (fun () ->
+            ignore (Dml.exec cat stmt);
+            Timing.ns_per_run (fun () -> ignore (Dml.exec cat stmt)))
+      in
+      let p = time true in
+      let s = time false in
+      (p, s)
+    in
+    let n = 2_000 in
+    let p1, s1 = measure (mk_cat n) in
+    let p8, s8 = measure (mk_cat (8 * n)) in
+    let growth_p = p8 /. p1 and growth_s = s8 /. s1 in
+    printf "  one append, relation at %d rows -> %d rows:@." n (8 * n);
+    printf "  incremental probe: %s -> %s (%.1fx)@." (Timing.pp_ns p1)
+      (Timing.pp_ns p8) growth_p;
+    printf "  full-rewrite oracle: %s -> %s (%.1fx)@." (Timing.pp_ns s1)
+      (Timing.pp_ns s8) growth_s;
+    let ok_sublinear = growth_p < 0.5 *. growth_s && p8 < s8 in
+    if not ok_sublinear then e26_gate_failed := true;
+    verdict "per-statement cost is sublinear where the oracle's is not"
+      ok_sublinear "maintenance pays for the delta, not the relation";
+    (* --- (b) cold start: attach fresh dumps vs rebuild ------------- *)
+    (* The loader's index phase is [Catalog.restore_index] once per
+       declaration: a positional re-attach of the dump when the stamp
+       matched the data file, a from-scratch build otherwise.  Both are
+       run here against the same already-decoded data catalog, so the
+       measured difference is exactly the attach-vs-build work (the
+       data decode, identical on either path, is excluded). *)
+    let n = 8_000 in
+    let schema =
+      Schema.make "C"
+        [ ("K", Domain.Ints); ("S", Domain.Strings); ("W", Domain.Ints) ]
+    in
+    let rows =
+      Xrel.of_list
+        (List.init n (fun k ->
+             t
+               [
+                 ("K", i (k * 7919 mod n));
+                 ("S", Value.Str (Printf.sprintf "s%05d" (k mod 97)));
+                 ("W", i (k mod 251));
+               ]))
+    in
+    let data_cat = Storage.Catalog.add Storage.Catalog.empty schema rows in
+    let decls =
+      [
+        ("range", [ "K" ]); ("range", [ "S" ]); ("range", [ "W" ]);
+        ("hash", [ "S" ]); ("hash", [ "W" ]);
+      ]
+    in
+    let indexed_cat =
+      List.fold_left
+        (fun cat (kind, attrs) ->
+          Storage.Catalog.create_index cat "C" ~kind (Attr.set_of_list attrs))
+        data_cat decls
+    in
+    let dumps =
+      List.filter_map
+        (fun (kind, attrs0) ->
+          let attrs = Attr.set_of_list attrs0 in
+          Option.map
+            (fun ls -> (kind, attrs, ls))
+            (Storage.Catalog.dump_index indexed_cat "C" ~kind attrs))
+        decls
+    in
+    let restore lines_of =
+      List.fold_left
+        (fun (cat, all) (kind, attrs, ls) ->
+          let cat, attached =
+            Storage.Catalog.restore_index cat "C" ~kind attrs
+              ~lines:(lines_of ls)
+          in
+          (cat, all && attached))
+        (data_cat, true) dumps
+    in
+    let all_attached =
+      List.length dumps = List.length decls && snd (restore (fun ls -> Some ls))
+    in
+    let attach_ns =
+      Timing.ns_per_run (fun () -> ignore (restore (fun ls -> Some ls)))
+    in
+    let rebuild_ns =
+      Timing.ns_per_run (fun () -> ignore (restore (fun _ -> None)))
+    in
+    printf "  cold-start index phase, %d rows, %d declarations:@." n
+      (List.length decls);
+    printf "  attach fresh dumps: %s; rebuild from declarations: %s (%.1fx)@."
+      (Timing.pp_ns attach_ns) (Timing.pp_ns rebuild_ns)
+      (rebuild_ns /. attach_ns);
+    let ok_cold = all_attached && rebuild_ns >= 2. *. attach_ns in
+    if not ok_cold then e26_gate_failed := true;
+    verdict "attaching fresh dumps beats rebuilding >= 2x" ok_cold
+      "persisted indexes are worth their bytes"
+  end
+
+(* ---------------------------------------------------------------- *)
 (* E14: the conclusion's open problem -- FD generalizations lose
    Armstrong properties.                                              *)
 
@@ -2188,10 +2510,11 @@ let () =
   e23 ~with_timings ();
   e24 ~with_timings ();
   e25 ~with_timings ();
+  e26 ~with_timings ();
   e14 ();
   printf "@.All sections completed.@.";
   if
     !e19_gate_failed || !e20_gate_failed || !e21_gate_failed
     || !e22_gate_failed || !e23_gate_failed || !e24_gate_failed
-    || !e25_gate_failed
+    || !e25_gate_failed || !e26_gate_failed
   then exit 1

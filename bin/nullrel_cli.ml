@@ -453,6 +453,7 @@ let query_cmd =
                       (fun (_, x) -> Xrel.cardinal x)
                       (List.assoc_opt name db));
                 table = (fun name -> List.assoc_opt name collected);
+                equipped = (fun _ _ -> false);
               }
             in
             let result =

@@ -8,7 +8,20 @@ type outcome = {
   result : Quel.Eval.result option;
   bands : Quel.Eval.bands option;
   touched : string list;
+  deltas : Constr.delta list;
+      (** The net per-relation changes actually applied — the statement's
+          own delta followed by the cascades, in firing order. The
+          durable layer journals these directly; empty for reads, DDL
+          and no-op writes (and on the legacy full-rewrite path, which
+          journals by re-diffing the catalogs instead). *)
 }
+
+(* Kill switch for the incremental write path: when off, every
+   statement falls back to the legacy full-rewrite pipeline
+   ([Update.insert] / re-minimize / [Catalog.set_relation]) — the
+   oracle the incremental discipline is property-tested against, and
+   the baseline bench E26 measures the probe-vs-rescan curve over. *)
+let incremental = ref true
 
 let flip = function
   | Predicate.Eq -> Predicate.Eq
@@ -86,6 +99,24 @@ let apply_delta cat (d : Constr.delta) =
    the returned catalog is the whole committed state, and [touched]
    names every relation the transaction wrote so the durable layer can
    journal them as one atomic record. *)
+let cascade_note extras =
+  let removed, set_null =
+    List.partition (fun d -> Tuple.Set.is_empty d.Constr.d_added) extras
+  in
+  let count per sets =
+    List.map
+      (fun d ->
+        Printf.sprintf per
+          (Tuple.Set.cardinal d.Constr.d_removed)
+          d.Constr.d_rel)
+      sets
+  in
+  match
+    count "%d removed from %s" removed @ count "%d set to null in %s" set_null
+  with
+  | [] -> ""
+  | parts -> "; cascade: " ^ String.concat ", " parts
+
 let enforce_statement cat rel ~before ~after =
   let cat = Storage.Catalog.set_relation cat rel after in
   (* One branch when nothing is declared (or the kill switch is off):
@@ -99,25 +130,46 @@ let enforce_statement cat rel ~before ~after =
     List.sort_uniq String.compare
       (rel :: List.map (fun d -> d.Constr.d_rel) extras)
   in
-  let note =
-    let removed, set_null =
-      List.partition (fun d -> Tuple.Set.is_empty d.Constr.d_added) extras
-    in
-    let count per sets =
-      List.map
-        (fun d ->
-          Printf.sprintf per
-            (Tuple.Set.cardinal d.Constr.d_removed)
-            d.Constr.d_rel)
-        sets
-    in
-    match
-      count "%d removed from %s" removed @ count "%d set to null in %s" set_null
-    with
-    | [] -> ""
-    | parts -> "; cascade: " ^ String.concat ", " parts
+  (cat, touched, cascade_note extras)
+
+(* The incremental counterpart: hand the statement delta to
+   {!Storage.Catalog.apply_delta} — which maintains minimality by
+   bounded probes and advances the relation's indexes — and seed
+   enforcement with the net delta it returns, for free. Cascade deltas
+   ride the same path, so a set-null rewrite whose patched row is
+   absorbed by an existing tuple settles without any re-minimize. *)
+let enforce_delta cat rel ~added ~removed =
+  let cat, (net_a, net_r) =
+    Storage.Catalog.apply_delta cat rel ~added ~removed
   in
-  (cat, touched, note)
+  let noop = Tuple.Set.is_empty net_a && Tuple.Set.is_empty net_r in
+  let seed = { Constr.d_rel = rel; d_added = net_a; d_removed = net_r } in
+  let extras =
+    if noop || (not !Constr.enabled) || Storage.Catalog.constraints cat = []
+    then []
+    else Storage.Catalog.enforce cat [ seed ]
+  in
+  let cat, applied_rev =
+    List.fold_left
+      (fun (cat, acc) (d : Constr.delta) ->
+        let cat, (a, r) =
+          Storage.Catalog.apply_delta cat d.Constr.d_rel
+            ~added:(Tuple.Set.elements d.Constr.d_added)
+            ~removed:(Tuple.Set.elements d.Constr.d_removed)
+        in
+        if Tuple.Set.is_empty a && Tuple.Set.is_empty r then (cat, acc)
+        else
+          ( cat,
+            { Constr.d_rel = d.Constr.d_rel; d_added = a; d_removed = r }
+            :: acc ))
+      (cat, []) extras
+  in
+  let deltas = (if noop then [] else [ seed ]) @ List.rev applied_rev in
+  let touched =
+    List.sort_uniq String.compare
+      (rel :: List.map (fun d -> d.Constr.d_rel) extras)
+  in
+  (cat, touched, cascade_note extras, (net_a, net_r), deltas)
 
 let auto_name rel spec =
   match spec with
@@ -193,7 +245,7 @@ let exec ?semantics cat statement =
              only ever see this dialect's answers. *)
           let result = Quel.Eval.run db q in
           { catalog = cat; message = ""; result = Some result; bands = None;
-            touched = [] }
+            touched = []; deltas = [] }
       | Semantics.Codd_maybe | Semantics.Sql_3vl | Semantics.Certain ->
           let b = Quel.Eval.query (Quel.Eval.ctx ~semantics:sem ()) db q in
           { catalog = cat;
@@ -202,41 +254,83 @@ let exec ?semantics cat statement =
               Some { Quel.Eval.attrs = b.Quel.Eval.attrs;
                      rel = Xrel.of_relation b.Quel.Eval.sure };
             bands = Some b;
-            touched = [] })
+            touched = []; deltas = [] })
   | Quel.Ast.Append { rel; values } ->
       let schema, x = relation_of cat rel in
       let tuple = tuple_of_assignments schema rel values in
-      let updated = Storage.Update.insert x [ tuple ] in
-      let grew = Xrel.cardinal updated <> Xrel.cardinal x in
-      let catalog, touched, note =
-        enforce_statement cat rel ~before:x ~after:updated
-      in
-      {
-        catalog;
-        message =
-          (if Xrel.equal updated x then "appended tuple added no information"
-           else if grew then "1 tuple appended"
-           else "1 tuple appended (absorbed less informative rows)")
-          ^ note;
-        result = None;
-        bands = None;
-        touched;
-      }
+      if !incremental then begin
+        let catalog, touched, note, (net_a, net_r), deltas =
+          enforce_delta cat rel ~added:[ tuple ] ~removed:[]
+        in
+        {
+          catalog;
+          message =
+            (if Tuple.Set.is_empty net_a && Tuple.Set.is_empty net_r then
+               "appended tuple added no information"
+             else if Tuple.Set.is_empty net_r then "1 tuple appended"
+             else "1 tuple appended (absorbed less informative rows)")
+            ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas;
+        }
+      end
+      else begin
+        let updated = Storage.Update.insert x [ tuple ] in
+        let catalog, touched, note =
+          enforce_statement cat rel ~before:x ~after:updated
+        in
+        {
+          catalog;
+          message =
+            (* An admitted tuple with no absorption grows the relation
+               by exactly one; any other growth means subsumed rows
+               were evicted (possibly several, so comparing against the
+               old cardinality alone under-reports). *)
+            (if Xrel.equal updated x then "appended tuple added no information"
+             else if Xrel.cardinal updated = Xrel.cardinal x + 1 then
+               "1 tuple appended"
+             else "1 tuple appended (absorbed less informative rows)")
+            ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas = [];
+        }
+      end
   | Quel.Ast.Delete { var; rel; where } ->
       let _, x = relation_of cat rel in
       let p = where_predicate var where in
-      let updated = Storage.Update.delete_where p x in
-      let removed = Xrel.cardinal x - Xrel.cardinal updated in
-      let catalog, touched, note =
-        enforce_statement cat rel ~before:x ~after:updated
-      in
-      {
-        catalog;
-        message = plural removed "tuple" ^ " deleted" ^ note;
-        result = None;
-        bands = None;
-        touched;
-      }
+      if !incremental then begin
+        let matched = Xrel.to_list (Xrel.filter (Predicate.holds p) x) in
+        let catalog, touched, note, _net, deltas =
+          enforce_delta cat rel ~added:[] ~removed:matched
+        in
+        {
+          catalog;
+          message = plural (List.length matched) "tuple" ^ " deleted" ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas;
+        }
+      end
+      else begin
+        let updated = Storage.Update.delete_where p x in
+        let removed = Xrel.cardinal x - Xrel.cardinal updated in
+        let catalog, touched, note =
+          enforce_statement cat rel ~before:x ~after:updated
+        in
+        {
+          catalog;
+          message = plural removed "tuple" ^ " deleted" ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas = [];
+        }
+      end
   | Quel.Ast.Replace { var; rel; values; where } ->
       let schema, x = relation_of cat rel in
       let p = where_predicate var where in
@@ -244,18 +338,36 @@ let exec ?semantics cat statement =
       let apply r =
         Tuple.fold (fun a v acc -> Tuple.set acc a v) patch r
       in
-      let matched = Xrel.cardinal (Algebra.select p x) in
-      let updated = Storage.Update.modify ~where:p ~using:apply x in
-      let catalog, touched, note =
-        enforce_statement cat rel ~before:x ~after:updated
-      in
-      {
-        catalog;
-        message = plural matched "tuple" ^ " replaced" ^ note;
-        result = None;
-        bands = None;
-        touched;
-      }
+      if !incremental then begin
+        let matched = Xrel.to_list (Algebra.select p x) in
+        let images = List.map apply matched in
+        let catalog, touched, note, _net, deltas =
+          enforce_delta cat rel ~added:images ~removed:matched
+        in
+        {
+          catalog;
+          message = plural (List.length matched) "tuple" ^ " replaced" ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas;
+        }
+      end
+      else begin
+        let matched = Xrel.cardinal (Algebra.select p x) in
+        let updated = Storage.Update.modify ~where:p ~using:apply x in
+        let catalog, touched, note =
+          enforce_statement cat rel ~before:x ~after:updated
+        in
+        {
+          catalog;
+          message = plural matched "tuple" ^ " replaced" ^ note;
+          result = None;
+          bands = None;
+          touched;
+          deltas = [];
+        }
+      end
   | Quel.Ast.Constrain { cname; rel; spec } ->
       let name = match cname with Some n -> n | None -> auto_name rel spec in
       if Option.is_some (Storage.Catalog.constraint_def cat name) then
@@ -270,6 +382,7 @@ let exec ?semantics cat statement =
         result = None;
         bands = None;
         touched = [];
+        deltas = [];
       }
   | Quel.Ast.Unconstrain { cname } ->
       if Option.is_none (Storage.Catalog.constraint_def cat cname) then
@@ -280,6 +393,7 @@ let exec ?semantics cat statement =
         result = None;
         bands = None;
         touched = [];
+        deltas = [];
       }
 
 let exec_string ?semantics cat src =
@@ -384,6 +498,24 @@ let target_relation = function
    statement — its own delta, every cascade/set-null delta its
    constraints fired, and any constraint DDL — is one journal frame, so
    recovery can never land between a delete and its cascade. *)
+(* The journal record of an incremental statement, straight from the
+   net deltas the write path carried out — no O(n) re-diff of the
+   catalogs, so the journaling cost is bounded by the delta too. *)
+let ops_of_deltas deltas =
+  List.filter_map
+    (fun (d : Constr.delta) ->
+      let wrap set = Xrel.unsafe_of_minimal (Relation.of_tuples set) in
+      let c =
+        {
+          Storage.Wal.rel = d.Constr.d_rel;
+          added = wrap d.Constr.d_added;
+          removed = wrap d.Constr.d_removed;
+        }
+      in
+      if Storage.Wal.change_is_noop c then None
+      else Some (Storage.Wal.Change c))
+    deltas
+
 let exec_durable d statement =
   (* Abort-before-apply: both cancellation points sit strictly before
      the journal append (the commit point), so a governed abort leaves
@@ -391,7 +523,12 @@ let exec_durable d statement =
      the append and the in-memory apply. *)
   Exec.checkpoint ();
   let outcome = exec d.cat statement in
-  match ops_between d.cat outcome.catalog outcome.touched with
+  let ops =
+    match outcome.deltas with
+    | [] -> ops_between d.cat outcome.catalog outcome.touched
+    | deltas -> ops_of_deltas deltas
+  in
+  match ops with
   | [] -> (d, outcome)
   | ops ->
       Exec.checkpoint ();

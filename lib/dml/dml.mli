@@ -31,7 +31,22 @@ type outcome = {
       (** Every relation the statement wrote, sorted — the target plus
           any relations its constraints cascaded into. Empty for reads
           and constraint DDL. *)
+  deltas : Constr.delta list;
+      (** The net per-relation changes actually applied, in firing
+          order (the statement's own delta, then the cascades). The
+          durable layer journals these directly, so the journaling
+          cost is bounded by the delta rather than the relation. Empty
+          for reads, DDL, no-op writes, and on the legacy path
+          ({!incremental} off), which re-diffs catalogs instead. *)
 }
+
+val incremental : bool ref
+(** Kill switch for the incremental write path (default on). When off,
+    statements run the legacy full-rewrite pipeline —
+    [Update.insert] / re-minimize / [Catalog.set_relation] — which is
+    the oracle the incremental discipline is property-tested against
+    and the baseline bench E26 measures the probe-vs-rescan curve
+    over. *)
 
 val exec :
   ?semantics:Nullrel.Semantics.t -> Storage.Catalog.t ->

@@ -226,7 +226,7 @@ let x_mem ?(strategy = Auto) t r =
   | Indexed ->
       Exec.tick ();
       Obs.Metrics.inc m_subsumption;
-      Subsume_index.x_mem r t
+      Subsume_index.subsuming_exists (Subsume_index.build r) t
   | Parallel -> parallel_x_mem t r
 
 (* ------------------------------------------------------------------ *)

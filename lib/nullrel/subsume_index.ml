@@ -3,24 +3,92 @@
    binding list) to:
    - [count]: how many indexed tuples agree with it on [pi];
    - [exact]: whether one of them is that restriction itself
-     (i.e. its non-null attribute set is exactly [pi]). *)
+     (i.e. its non-null attribute set is exactly [pi]).
+
+   The index is persistent under DML: an immutable [base] of probe
+   tables plus a small functional overlay ([added]/[removed]) that
+   {!advance} extends without touching the base, so snapshots pinned
+   by older catalog entries keep probing their own view. The overlay
+   is folded into a fresh base once it outgrows ~sqrt(n); a probe pays
+   O(overlay) on top of the hash lookup, which keeps the per-statement
+   cost sublinear in the relation size. *)
+
+module Sigmap = Map.Make (Attr.Set)
 
 type bucket = { mutable count : int; mutable exact : bool }
 
-type t = {
+type base = {
   tuples : Tuple.t list;
   tables : (string list, ((Attr.t * Value.t) list, bucket) Hashtbl.t) Hashtbl.t;
+  (* Forced only by DML-style callers ({!advance}, {!mem},
+     {!subsumed_within}); pure probe workloads never pay for them. *)
+  set : Tuple.Set.t Lazy.t;
+  size : int Lazy.t;
 }
 
-let build rel = { tuples = Relation.to_list rel; tables = Hashtbl.create 8 }
+type t = {
+  base : base;
+  added : Tuple.t list; (* live, not in base *)
+  removed : Tuple.Set.t; (* in base, not live *)
+  overlay : int; (* |added| + |removed| *)
+  live : Tuple.Set.t Lazy.t; (* base.set minus removed plus added *)
+  sigs : int Sigmap.t Lazy.t; (* live tuples per non-null signature *)
+  size : int Lazy.t; (* |live| *)
+}
+
+let m_builds =
+  Obs.Metrics.counter
+    ~help:"Subsumption indexes built from scratch (bulk load / oracle path)"
+    "nullrel_subsume_index_builds_total"
+
+let m_advances =
+  Obs.Metrics.counter
+    ~help:"Subsumption indexes advanced by a statement delta"
+    "nullrel_subsume_index_advances_total"
+
+let m_compactions =
+  Obs.Metrics.counter
+    ~help:"Subsumption-index overlay compactions (overlay folded into base)"
+    "nullrel_subsume_index_compactions_total"
+
+let sigs_of tuples =
+  List.fold_left
+    (fun m t ->
+      Sigmap.update (Tuple.attrs t)
+        (function None -> Some 1 | Some c -> Some (c + 1))
+        m)
+    Sigmap.empty tuples
+
+let of_base base =
+  {
+    base;
+    added = [];
+    removed = Tuple.Set.empty;
+    overlay = 0;
+    live = base.set;
+    sigs = lazy (sigs_of base.tuples);
+    size = base.size;
+  }
+
+let build rel =
+  if !Obs.Metrics.enabled then Obs.Metrics.inc m_builds;
+  let tuples = Relation.to_list rel in
+  of_base
+    {
+      tuples;
+      tables = Hashtbl.create 8;
+      set = lazy (Tuple.Set.of_list tuples);
+      size = lazy (List.length tuples);
+    }
+
 let sig_key pi = List.map Attr.name (Attr.Set.elements pi)
 
 let table idx pi =
   let key = sig_key pi in
-  match Hashtbl.find_opt idx.tables key with
+  match Hashtbl.find_opt idx.base.tables key with
   | Some tbl -> tbl
   | None ->
-      let tbl = Hashtbl.create (List.length idx.tuples) in
+      let tbl = Hashtbl.create (List.length idx.base.tuples) in
       List.iter
         (fun t ->
           if Tuple.is_total_on pi t then begin
@@ -36,26 +104,139 @@ let table idx pi =
             bucket.count <- bucket.count + 1;
             if Attr.Set.equal (Tuple.attrs t) pi then bucket.exact <- true
           end)
-        idx.tuples;
-      Hashtbl.add idx.tables key tbl;
+        idx.base.tuples;
+      Hashtbl.add idx.base.tables key tbl;
       tbl
 
 let prepare idx probes =
-  List.iter (fun t -> ignore (table idx (Tuple.attrs t))) probes
+  List.iter (fun t -> ignore (table idx (Tuple.attrs t))) probes;
+  (* With a live overlay the strict probe consults [live]; freeze it
+     here so probing stays a pure read on every domain. *)
+  if idx.overlay > 0 then ignore (Lazy.force idx.live)
 
 let bucket_at idx r =
   let pi = Tuple.attrs r in
   Hashtbl.find_opt (table idx pi) (Tuple.to_list r)
 
-let count_at idx r =
+let base_count idx r =
   match bucket_at idx r with Some b -> b.count | None -> 0
+
+(* How the overlay changes the number of indexed tuples subsuming [r]. *)
+let overlay_count idx r =
+  let plus =
+    List.fold_left
+      (fun acc t -> if Tuple.more_informative t r then acc + 1 else acc)
+      0 idx.added
+  in
+  Tuple.Set.fold
+    (fun t acc -> if Tuple.more_informative t r then acc - 1 else acc)
+    idx.removed plus
+
+let count_at idx r =
+  if idx.overlay = 0 then base_count idx r
+  else base_count idx r + overlay_count idx r
 
 let subsuming_exists idx r = count_at idx r > 0
 
 let strictly_subsuming_exists idx r =
-  match bucket_at idx r with
-  | None -> false
-  | Some b -> b.count - (if b.exact then 1 else 0) > 0
+  if idx.overlay = 0 then
+    match bucket_at idx r with
+    | None -> false
+    | Some b -> b.count - (if b.exact then 1 else 0) > 0
+  else
+    let self = if Tuple.Set.mem r (Lazy.force idx.live) then 1 else 0 in
+    count_at idx r - self > 0
+
+let mem idx t = Tuple.Set.mem t (Lazy.force idx.live)
+let cardinal idx = Lazy.force idx.size
+
+let subsumed_within idx u =
+  let live = Lazy.force idx.live in
+  let au = Tuple.attrs u in
+  Sigmap.fold
+    (fun pi _count acc ->
+      (* A live tuple with signature [pi] strictly below [u] can only
+         be [u]'s own [pi]-restriction (canonical forms), so one set
+         lookup per distinct signature decides eviction. *)
+      if Attr.Set.subset pi au && not (Attr.Set.equal pi au) then begin
+        let c = Tuple.restrict u pi in
+        if Tuple.Set.mem c live then c :: acc else acc
+      end
+      else acc)
+    (Lazy.force idx.sigs) []
+
+(* Compaction threshold: the slack keeps tiny relations from
+   compacting on every other statement. *)
+let compaction_slack = 16
+
+let compact ~live ~sigs ~size =
+  if !Obs.Metrics.enabled then Obs.Metrics.inc m_compactions;
+  of_base
+    {
+      tuples = Tuple.Set.elements live;
+      tables = Hashtbl.create 8;
+      set = Lazy.from_val live;
+      size = Lazy.from_val size;
+    }
+  |> fun idx -> { idx with sigs = Lazy.from_val sigs }
+
+let advance idx ~added ~removed =
+  if !Obs.Metrics.enabled then Obs.Metrics.inc m_advances;
+  let live = Lazy.force idx.live in
+  let sigs = Lazy.force idx.sigs in
+  let size = Lazy.force idx.size in
+  let bump delta pi m =
+    Sigmap.update pi
+      (function
+        | None -> if delta > 0 then Some delta else None
+        | Some c -> if c + delta <= 0 then None else Some (c + delta))
+      m
+  in
+  (* Removals first, then additions, each gated on the live set, keep
+     the invariants: [added] disjoint from base, [removed] inside it. *)
+  let a, rm, live, sigs, size =
+    List.fold_left
+      (fun (a, rm, live, sigs, size) t ->
+        if not (Tuple.Set.mem t live) then (a, rm, live, sigs, size)
+        else
+          let live = Tuple.Set.remove t live
+          and sigs = bump (-1) (Tuple.attrs t) sigs
+          and size = size - 1 in
+          if List.exists (Tuple.equal t) a then
+            (List.filter (fun u -> not (Tuple.equal u t)) a, rm, live, sigs, size)
+          else (a, Tuple.Set.add t rm, live, sigs, size))
+      (idx.added, idx.removed, live, sigs, size)
+      removed
+  in
+  let a, rm, live, sigs, size =
+    List.fold_left
+      (fun (a, rm, live, sigs, size) t ->
+        if Tuple.Set.mem t live then (a, rm, live, sigs, size)
+        else
+          let live = Tuple.Set.add t live
+          and sigs = bump 1 (Tuple.attrs t) sigs
+          and size = size + 1 in
+          if Tuple.Set.mem t rm then (a, Tuple.Set.remove t rm, live, sigs, size)
+          else (t :: a, rm, live, sigs, size))
+      (a, rm, live, sigs, size) added
+  in
+  let overlay = List.length a + Tuple.Set.cardinal rm in
+  if overlay > compaction_slack + int_of_float (sqrt (float_of_int size)) then
+    compact ~live ~sigs ~size
+  else
+    {
+      idx with
+      added = a;
+      removed = rm;
+      overlay;
+      live = Lazy.from_val live;
+      sigs = Lazy.from_val sigs;
+      size = Lazy.from_val size;
+    }
+
+let to_list idx =
+  if idx.overlay = 0 then idx.base.tuples
+  else Tuple.Set.elements (Lazy.force idx.live)
 
 let diff r1 r2 =
   let idx = build r2 in
@@ -67,5 +248,3 @@ let minimize rel =
     (fun r ->
       (not (Tuple.is_null_tuple r)) && not (strictly_subsuming_exists idx r))
     rel
-
-let x_mem rel r = subsuming_exists (build rel) r

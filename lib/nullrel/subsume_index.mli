@@ -17,13 +17,35 @@
     [pi]-restrictions, shared across the (usually few) null patterns of
     the data. Tables are built lazily, one per distinct probe
     signature — which mutates the index, so concurrent probing requires
-    {!prepare} first. *)
+    {!prepare} first.
+
+    The index is {e persistent} under DML: {!advance} layers a
+    statement's delta over the existing probe tables without rebuilding
+    them, returning a new value that shares the old base — an older
+    snapshot holding the previous value keeps probing its own view.
+    The overlay is compacted into a fresh base once it outgrows about
+    the square root of the relation size, so a statement's probe cost
+    stays sublinear where a from-scratch rebuild is linear. *)
 
 type t
-(** An index over a fixed relation. *)
+(** An index over a relation: an immutable probe-table base plus a
+    functional overlay of tuples added/removed since the base was
+    built. *)
 
 val build : Relation.t -> t
-(** Indexes a relation. O(n) now; probe tables are built on first use. *)
+(** Indexes a relation from scratch. O(n) now; probe tables are built
+    on first use. Counted by [nullrel_subsume_index_builds_total]. *)
+
+val advance : t -> added:Tuple.t list -> removed:Tuple.t list -> t
+(** [advance idx ~added ~removed] is the index over the relation with
+    [removed] taken out and then [added] put in. Tuples already absent
+    (for [removed]) or already present (for [added]) are ignored, so
+    applying a recorded statement delta is idempotent. The result
+    shares [idx]'s probe tables; [idx] itself is unchanged and remains
+    valid for the old contents. Cost: O(delta · log n) plus an
+    amortized O(sqrt n) share of the next compaction. Counted by
+    [nullrel_subsume_index_advances_total] (compactions by
+    [nullrel_subsume_index_compactions_total]). *)
 
 val prepare : t -> Tuple.t list -> unit
 (** [prepare idx probes] force-builds the table of every probe
@@ -45,6 +67,23 @@ val strictly_subsuming_exists : t -> Tuple.t -> bool
     elements with equal restrictions must differ elsewhere); otherwise it
     checks the candidates directly. *)
 
+val mem : t -> Tuple.t -> bool
+(** Exact membership of the indexed relation (not subsumption). *)
+
+val cardinal : t -> int
+(** Number of indexed tuples. *)
+
+val subsumed_within : t -> Tuple.t -> Tuple.t list
+(** [subsumed_within idx u]: the indexed tuples strictly less
+    informative than [u] — exactly the tuples an insert of [u] must
+    evict to keep the relation minimal. Because tuples are canonical,
+    the only candidate per distinct null signature [pi] is [u]'s own
+    [pi]-restriction, so the cost is O(signatures · log n), independent
+    of the relation's cardinality. *)
+
+val to_list : t -> Tuple.t list
+(** The indexed tuples (base plus overlay), in no particular order. *)
+
 val diff : Relation.t -> Relation.t -> Relation.t
 (** Indexed difference per (4.8): keeps the minuend tuples with no
     subsuming tuple in the subtrahend. Expected O(|R1| + |R2|), vs the
@@ -54,7 +93,3 @@ val minimize : Relation.t -> Relation.t
 (** Indexed reduction to minimal form (Definition 4.6). Expected
     O(n x s) with [s] the number of distinct null patterns. Agrees with
     [Relation.minimize]. *)
-
-val x_mem : Relation.t -> Tuple.t -> bool
-(** One-shot indexed x-membership (builds a throwaway index; prefer
-    {!build} + {!subsuming_exists} for repeated probes). *)

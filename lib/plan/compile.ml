@@ -38,13 +38,58 @@ let query ~schemas (q : Quel.Ast.query) =
 
 (* With statistics, hint each join node's dispatch from the estimated
    probe side (the hash join probes its left operand) instead of
-   leaving the physical operator to measure the actual input. *)
+   leaving the physical operator to measure the actual input. A join
+   whose build side is covered by a declared secondary index is
+   dispatched [Indexed]: the probe loop runs sequentially against the
+   shared persistent index. *)
 let join_strategy_of ~stats node =
   match node with
-  | Expr.Equijoin (_, e1, _) | Expr.Union_join (_, e1, _) ->
+  | Expr.Equijoin (x, e1, e2) ->
+      if Cost.probe_target stats x e2 <> None then Kernel.Indexed
+      else
+        Kernel.strategy_for
+          (int_of_float (Float.max 0. (Cost.cardinality ~stats e1)))
+  | Expr.Union_join (_, e1, _) ->
       Kernel.strategy_for
         (int_of_float (Float.max 0. (Cost.cardinality ~stats e1)))
+  | Expr.Select (p, Expr.Product (e1, e2))
+    when Cost.select_product_probe stats p e2 <> None
+         || Cost.select_product_probe stats p e1 <> None ->
+      Kernel.Indexed
   | _ -> Kernel.Auto
+
+(* The probe a declared secondary index serves for one join node, seen
+   through the plan's renames. [probe_for] supplies the raw probe over
+   a base relation (the shells wire {!Storage.Catalog.equi_probe});
+   the translations from {!Cost.probe_target} carry probe tuples down
+   to base names and indexed hits back up. *)
+let index_probe_of ~stats ~probe_for node =
+  match node with
+  | Expr.Equijoin (x, _, e2) -> (
+      match Cost.probe_target stats x e2 with
+      | None -> None
+      | Some (name, x0, down, up) -> (
+          match probe_for name x0 with
+          | None -> None
+          | Some p -> Some (fun t -> List.map up (p (down t)))))
+  | Expr.Select (p, Expr.Product (_, e2)) -> (
+      (* The compiled-query join shape: a cross-scope equality directly
+         over a product. Key each left tuple's value of the non-indexed
+         attribute into the index under the indexed attribute's base
+         name; a null key surely-equals nothing, so it probes to
+         nothing. *)
+      match Cost.select_product_probe stats p e2 with
+      | None -> None
+      | Some (ka, kb, (name, x0, down, up)) -> (
+          match probe_for name x0 with
+          | None -> None
+          | Some p ->
+              Some
+                (fun t ->
+                  match Tuple.get t ka with
+                  | Value.Null -> []
+                  | v -> List.map up (p (down (Tuple.of_list [ (kb, v) ]))))))
+  | _ -> None
 
 (* Physical execution serves the Ni_lower dialect only: every operator
    of the physical algebra bakes subsumption minimization in (that is
@@ -57,7 +102,8 @@ let run_bands ?semantics (db : Quel.Resolve.db) q =
   let ctx = Quel.Eval.ctx ?semantics () in
   Quel.Eval.query ctx db q
 
-let run ?(optimize = true) ?stats ?semantics (db : Quel.Resolve.db) q =
+let run ?(optimize = true) ?stats ?semantics ?(index_probe = fun _ -> None)
+    (db : Quel.Resolve.db) q =
   let sem =
     match semantics with Some sem -> sem | None -> Semantics.current ()
   in
@@ -87,4 +133,4 @@ let run ?(optimize = true) ?stats ?semantics (db : Quel.Resolve.db) q =
   let attrs =
     List.map (Quel.Eval.target_attr q.Quel.Ast.targets) q.Quel.Ast.targets
   in
-  { Quel.Eval.attrs; rel = Expr.eval ~join_strategy ~env plan }
+  { Quel.Eval.attrs; rel = Expr.eval ~join_strategy ~index_probe ~env plan }

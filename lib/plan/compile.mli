@@ -21,8 +21,25 @@ val query :
 val join_strategy_of : stats:Cost.source -> Expr.t -> Kernel.strategy
 (** The dispatch hint [run] hands the physical join for an
     [Equijoin]/[Union_join] node: {!Cost.cardinality} of the estimated
-    probe (left) side through {!Nullrel.Kernel.strategy_for}. [Auto]
-    for any other node. *)
+    probe (left) side through {!Nullrel.Kernel.strategy_for}; an
+    [Equijoin] whose build side has a {!Cost.probe_target}, or a
+    [Select]-over-[Product] with a {!Cost.select_product_probe}, is
+    [Indexed]. [Auto] for any other node. *)
+
+val index_probe_of :
+  stats:Cost.source ->
+  probe_for:(string -> Attr.Set.t -> (Tuple.t -> Tuple.t list) option) ->
+  Expr.t ->
+  (Tuple.t -> Tuple.t list) option
+(** The probe a declared secondary index serves for one join node:
+    {!Cost.probe_target} on an [Equijoin]'s build arm, or
+    {!Cost.select_product_probe} on a [Select]-over-[Product] node —
+    the join shape every compiled query takes. The raw base-relation
+    probe comes from [probe_for] (the shells wire
+    [Storage.Catalog.equi_probe]); inputs and hits are translated
+    through the plan's renames. The shape [eval]'s [index_probe]
+    parameter expects, partially applied to the stats source and
+    catalog. *)
 
 val run_bands :
   ?semantics:Semantics.t -> Quel.Resolve.db -> Quel.Ast.query ->
@@ -36,6 +53,7 @@ val run_bands :
 
 val run :
   ?optimize:bool -> ?stats:Cost.source -> ?semantics:Semantics.t ->
+  ?index_probe:(Expr.t -> (Tuple.t -> Tuple.t list) option) ->
   Quel.Resolve.db -> Quel.Ast.query ->
   Quel.Eval.result
 (** Compile (optimizing by default), then evaluate against the

@@ -9,9 +9,84 @@ let join_selectivity = 0.1
 type source = {
   rowcount : string -> int option;
   table : string -> Stats.table option;
+  equipped : string -> Attr.Set.t -> bool;
 }
 
-let of_rowcount rowcount = { rowcount; table = (fun _ -> None) }
+let of_rowcount rowcount =
+  { rowcount; table = (fun _ -> None); equipped = (fun _ _ -> false) }
+
+(* ------------------- secondary-index targets ------------------- *)
+
+(* Invert one rename layer on one attribute: [None] when the attribute
+   was renamed away at this layer (so it is not visible below). *)
+let invert_attr mapping a =
+  match List.find_opt (fun (_, fresh) -> Attr.equal fresh a) mapping with
+  | Some (old, _) -> Some old
+  | None ->
+      if List.exists (fun (old, _) -> Attr.equal old a) mapping then None
+      else Some a
+
+let invert_set mapping x =
+  Attr.Set.fold
+    (fun a acc ->
+      match acc with
+      | None -> None
+      | Some s -> Option.map (fun a0 -> Attr.Set.add a0 s) (invert_attr mapping a))
+    x (Some Attr.Set.empty)
+
+(* A join arm that bottoms out, through renames only, in a base
+   relation equipped with a declared index on exactly the join
+   attributes. Returns the base name, the attributes under their base
+   names, and the tuple translations between the node's scope and the
+   base relation's: [down] carries a probe tuple into base names, [up]
+   carries an indexed hit back out. The compiler always wraps a range
+   variable as [Rename (prefix_mapping …, Rel name)], so this is the
+   shape every compiled join has. *)
+let rec probe_target stats x = function
+  | Expr.Rel name ->
+      if stats.equipped name x then Some (name, x, Fun.id, Fun.id) else None
+  | Expr.Rename (mapping, e) -> (
+      match invert_set mapping x with
+      | None -> None
+      | Some x0 ->
+          let backward = List.map (fun (old, fresh) -> (fresh, old)) mapping in
+          Option.map
+            (fun (name, xb, down, up) ->
+              ( name,
+                xb,
+                (fun t -> down (Tuple.rename backward t)),
+                fun t -> Tuple.rename mapping (up t) ))
+            (probe_target stats x0 e))
+  | _ -> None
+
+(* A compiled query never forms [Equijoin] (the algebra cannot merge
+   two differently-named columns into one), so the join shape the
+   planner actually sees is a cross-scope equality selection directly
+   over a product. When the right factor bottoms out in a base
+   relation indexed on its side of the equality, each left tuple's
+   value probes the index instead of the product materializing:
+   returns (left attribute, indexed attribute, target). Sound because
+   a sure equality is upward-closed under subsumption, so filtering
+   commutes with minimization. *)
+let select_product_probe stats p e2 =
+  match p with
+  | Predicate.Cmp_attrs (a, Predicate.Eq, b) -> (
+      match probe_target stats (Attr.Set.singleton b) e2 with
+      | Some target -> Some (a, b, target)
+      | None ->
+          Option.map
+            (fun target -> (b, a, target))
+            (probe_target stats (Attr.Set.singleton a) e2))
+  | _ -> None
+
+let equipped_join stats = function
+  | Expr.Equijoin (x, _, e2) -> probe_target stats x e2 <> None
+  | Expr.Select (p, Expr.Product (e1, e2)) ->
+      (* Either factor can serve the probe: the evaluator commutes the
+         product when the indexed factor sits on the left. *)
+      select_product_probe stats p e2 <> None
+      || select_product_probe stats p e1 <> None
+  | _ -> false
 
 (* Column summary for an attribute visible at a plan node, found by
    digging down to a base relation that binds it, inverting renames on
@@ -197,10 +272,24 @@ let rec cost ~stats expr =
   let card = cardinality ~stats in
   match expr with
   | Expr.Rel _ | Expr.Const _ -> 0.
+  | Expr.Select (p, Expr.Product (e1, e2))
+    when select_product_probe stats p e2 <> None
+         || select_product_probe stats p e1 <> None ->
+      (* A declared index on one factor turns the equality selection
+         over the product into a probe pass over the other factor:
+         the product is never materialized. *)
+      if select_product_probe stats p e2 <> None then
+        card e1 +. cost ~stats e1
+      else card e2 +. cost ~stats e2
   | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) ->
       card e +. cost ~stats e
+  | Expr.Equijoin (x, e1, e2) ->
+      (* A declared index on the build side turns the join into a probe
+         pass over the left operand: the build side is never evaluated
+         or materialized. *)
+      if probe_target stats x e2 <> None then card e1 +. cost ~stats e1
+      else (card e1 *. card e2) +. cost ~stats e1 +. cost ~stats e2
   | Expr.Product (e1, e2)
-  | Expr.Equijoin (_, e1, e2)
   | Expr.Union_join (_, e1, e2)
   | Expr.Diff (e1, e2)
   | Expr.Inter (e1, e2)

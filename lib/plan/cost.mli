@@ -21,10 +21,62 @@ type source = {
       (** Live row count of a base relation (cheap, always current). *)
   table : string -> Stats.table option;
       (** Collected statistics, when fresh ones exist. *)
+  equipped : string -> Nullrel.Attr.Set.t -> bool;
+      (** Whether a declared secondary index covers exactly these
+          attributes of the named base relation (the shells wire
+          [Storage.Catalog.has_equi]). An equipped equijoin build side
+          is costed as a probe pass — the build side is never
+          materialized — and dispatched [Indexed]. *)
 }
 
 val of_rowcount : (string -> int option) -> source
-(** A source with row counts only — the pre-statistics cost model. *)
+(** A source with row counts only — the pre-statistics cost model,
+    with no statistics tables and no indexes. *)
+
+val probe_target :
+  source ->
+  Nullrel.Attr.Set.t ->
+  Expr.t ->
+  (string
+  * Nullrel.Attr.Set.t
+  * (Nullrel.Tuple.t -> Nullrel.Tuple.t)
+  * (Nullrel.Tuple.t -> Nullrel.Tuple.t))
+  option
+(** [probe_target stats x e] identifies a join arm that bottoms out,
+    through renames only, in a base relation equipped with an index on
+    exactly the join attributes [x]: the base name, the attributes
+    under their base names, and the tuple translations [down] (probe
+    tuple into base scope) and [up] (indexed hit back into the node's
+    scope). [None] when the arm is not that shape or nothing covers
+    it. *)
+
+val select_product_probe :
+  source ->
+  Nullrel.Predicate.t ->
+  Expr.t ->
+  (Nullrel.Attr.t
+  * Nullrel.Attr.t
+  * (string
+    * Nullrel.Attr.Set.t
+    * (Nullrel.Tuple.t -> Nullrel.Tuple.t)
+    * (Nullrel.Tuple.t -> Nullrel.Tuple.t)))
+  option
+(** [select_product_probe stats p e2] recognizes the join shape
+    compiled queries actually take — a cross-scope equality selection
+    [a = b] directly over a product (the algebra cannot merge two
+    differently-named columns, so compiled plans never contain
+    [Equijoin]) — and finds a {!probe_target} for whichever side of
+    the equality the right factor [e2] binds. Returns [(ka, kb, tgt)]:
+    the left factor's attribute [ka] supplies the probe key, looked up
+    under the right factor's attribute [kb] through target [tgt].
+    Serving the selection by index probes is sound because a sure
+    equality is upward-closed under subsumption, so the selection
+    commutes with the minimization the product bakes in. *)
+
+val equipped_join : source -> Expr.t -> bool
+(** True exactly on [Equijoin] nodes whose build (right) arm has a
+    {!probe_target}, and on [Select]-over-[Product] nodes with a
+    {!select_product_probe}. *)
 
 val column : source -> Nullrel.Attr.t -> Expr.t -> (Stats.column * int) option
 (** [column stats a e] digs to a base relation below [e] that binds

@@ -47,8 +47,36 @@ let union_join_impl :
     (Kernel.strategy -> Attr.Set.t -> Xrel.t -> Xrel.t -> Xrel.t) ref =
   ref (fun _ x r1 r2 -> Algebra.union_join x r1 r2)
 
-let rec eval ?(join_strategy = fun _ -> Kernel.Auto) ~env e =
-  let eval = eval ~join_strategy in
+(* Equijoin against a pre-built equality probe (a declared secondary
+   index served by the catalog): the build side is never materialized.
+   The default is a governed sequential probe loop, so a bare [eval]
+   handed an [index_probe] stays correct without any installation; the
+   shells install [Storage.Join.probe_equijoin] for the parallel-aware
+   version. *)
+let equijoin_probe_impl :
+    (Kernel.strategy ->
+    Attr.Set.t ->
+    Xrel.t ->
+    (Tuple.t -> Tuple.t list) ->
+    Xrel.t)
+    ref =
+  ref (fun _ _ r1 probe ->
+      Xrel.of_relation
+        (List.fold_left
+           (fun acc t1 ->
+             Exec.tick ();
+             List.fold_left
+               (fun acc t2 ->
+                 Exec.tick ();
+                 match Tuple.join t1 t2 with
+                 | Some joined -> Relation.add joined acc
+                 | None -> acc)
+               acc (probe t1))
+           Relation.empty (Xrel.to_list r1)))
+
+let rec eval ?(join_strategy = fun _ -> Kernel.Auto)
+    ?(index_probe = fun _ -> None) ~env e =
+  let eval = eval ~join_strategy ~index_probe in
   Exec.checkpoint ();
   Obs.Span.with_span (op_label e) (fun () ->
       match e with
@@ -57,11 +85,44 @@ let rec eval ?(join_strategy = fun _ -> Kernel.Auto) ~env e =
           | Some x -> x
           | None -> raise (Unbound_relation name))
       | Const x -> x
-      | Select (p, e) -> Algebra.select p (eval ~env e)
+      | Select (p, e) as node -> (
+          (* Compiled queries join by a cross-scope equality selection
+             over a product (the algebra cannot merge two differently-
+             named columns, so [Equijoin] never appears in them); when
+             a declared index on the right factor serves the equality,
+             probe it per left tuple and never materialize the
+             product. Sound because a sure equality is upward-closed
+             under subsumption, so selection commutes with the
+             minimization the product bakes in. *)
+          match e with
+          | Product (e1, e2) -> (
+              match index_probe node with
+              | Some probe ->
+                  !equijoin_probe_impl (join_strategy node)
+                    (Predicate.attrs p) (eval ~env e1) probe
+              | None -> (
+                  (* The product is symmetric, so when the indexed
+                     factor sits on the left (the cost-based reorder
+                     puts the smallest factor there), probe the
+                     commuted node instead. *)
+                  let commuted = Select (p, Product (e2, e1)) in
+                  match index_probe commuted with
+                  | Some probe ->
+                      !equijoin_probe_impl (join_strategy commuted)
+                        (Predicate.attrs p) (eval ~env e2) probe
+                  | None -> Algebra.select p (eval ~env e)))
+          | _ -> Algebra.select p (eval ~env e))
       | Project (x, e) -> Algebra.project x (eval ~env e)
       | Product (e1, e2) -> Algebra.product (eval ~env e1) (eval ~env e2)
-      | Equijoin (x, e1, e2) as node ->
-          !equijoin_impl (join_strategy node) x (eval ~env e1) (eval ~env e2)
+      | Equijoin (x, e1, e2) as node -> (
+          (* A probe served by a declared index replaces evaluating the
+             build side entirely. *)
+          match index_probe node with
+          | Some probe ->
+              !equijoin_probe_impl (join_strategy node) x (eval ~env e1) probe
+          | None ->
+              !equijoin_impl (join_strategy node) x (eval ~env e1)
+                (eval ~env e2))
       | Union_join (x, e1, e2) as node ->
           !union_join_impl (join_strategy node) x (eval ~env e1) (eval ~env e2)
       | Union (e1, e2) -> Xrel.union (eval ~env e1) (eval ~env e2)

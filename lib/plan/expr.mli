@@ -45,15 +45,41 @@ val union_join_impl :
     implementation must agree with the logical operator extensionally —
     that agreement is property-tested. *)
 
+val equijoin_probe_impl :
+  (Kernel.strategy ->
+  Attr.Set.t ->
+  Xrel.t ->
+  (Tuple.t -> Tuple.t list) ->
+  Xrel.t)
+  ref
+(** The physical operator run for an [Equijoin] node whose build side
+    is served by a pre-built equality probe (see [eval]'s
+    [index_probe]): the build operand is never evaluated. The default
+    is a governed sequential probe loop; the shells install
+    [Storage.Join.probe_equijoin]. The probe contract is
+    [Storage.Join.probe_equijoin]'s: exact matches on the join
+    attributes for X-total tuples, [[]] otherwise. *)
+
 val eval :
-  ?join_strategy:(t -> Kernel.strategy) -> env:(string -> Xrel.t option) ->
+  ?join_strategy:(t -> Kernel.strategy) ->
+  ?index_probe:(t -> (Tuple.t -> Tuple.t list) option) ->
+  env:(string -> Xrel.t option) ->
   t -> Xrel.t
 (** Bottom-up evaluation. Raises {!Unbound_relation} when a [Rel] name
     is not in the environment. [join_strategy] is consulted once per
     [Equijoin]/[Union_join] node (receiving the node itself) and its
     answer passed to the installed physical operator; the default
     answers {!Nullrel.Kernel.Auto} everywhere, i.e. the operator's own
-    size cutovers decide. *)
+    size cutovers decide. [index_probe] is consulted once per
+    [Equijoin] node and once per [Select]-over-[Product] node (the
+    join shape compiled queries take, since the algebra cannot merge
+    two differently-named columns into an [Equijoin]); when it
+    answers a probe — a declared secondary
+    index covering the build side, translated through the plan's
+    renames by [Compile.index_probe_of] — the node runs through
+    {!equijoin_probe_impl} and the build operand (for a
+    select-over-product, the right factor) is never evaluated. The
+    default answers [None] everywhere. *)
 
 val scope_bound :
   env_scope:(string -> Attr.Set.t option) -> t -> Attr.Set.t

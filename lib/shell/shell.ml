@@ -7,7 +7,9 @@ let () =
   Plan.Expr.equijoin_impl :=
     (fun strategy x r1 r2 -> Storage.Join.hash_equijoin ~strategy x r1 r2);
   Plan.Expr.union_join_impl :=
-    (fun strategy x r1 r2 -> Storage.Join.hash_union_join ~strategy x r1 r2)
+    (fun strategy x r1 r2 -> Storage.Join.hash_union_join ~strategy x r1 r2);
+  Plan.Expr.equijoin_probe_impl :=
+    (fun strategy _x r1 probe -> Storage.Join.probe_equijoin ~strategy ~probe r1)
 
 type limits = { time_s : float option; max_tuples : int option }
 
@@ -96,6 +98,10 @@ let help =
    operator\n\
    .fsck DIR              check a catalog directory and repair it\n\
    .help                  this text\n\
+   .index REL KIND ATTRS  declare a secondary index (hash | range; \
+   ATTRS comma-separated)\n\
+   .index drop REL KIND ATTRS  drop one\n\
+   .indexes               list declared secondary indexes\n\
    .limit                 show the current execution limits\n\
    .limit off             clear all limits\n\
    .limit time SECS       abort statements running longer than SECS\n\
@@ -174,36 +180,45 @@ type db_context = {
   env_scope : string -> Attr.Set.t option;
   stats : Plan.Cost.source;
   env : string -> Xrel.t option;
+  index_probe : Plan.Expr.t -> (Tuple.t -> Tuple.t list) option;
+      (* Per-join-node probes served by declared secondary indexes,
+         rename-translated — [Plan.Compile.run]'s [index_probe]. *)
 }
 
 let db_context db cat =
   let find name = List.assoc_opt name db in
+  let stats =
+    {
+      Plan.Cost.rowcount =
+        (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
+      table =
+        (fun name ->
+          (* Virtual relations have live cardinalities but no stored
+             statistics; keep them out of the hit/miss accounting. *)
+          if Sysview.is_sys name then None
+          else
+            match Storage.Catalog.stats_status cat name with
+            | Storage.Catalog.Fresh t ->
+                Stats.count_hit ();
+                Some t
+            | Storage.Catalog.Stale _ ->
+                Stats.count_stale ();
+                None
+            | Storage.Catalog.Missing ->
+                Stats.count_miss ();
+                None);
+      equipped = Storage.Catalog.has_equi cat;
+    }
+  in
   {
     schemas = (fun name -> Option.map (fun (s_, _) -> Schema.attrs s_) (find name));
     env_scope =
       (fun name -> Option.map (fun (s_, _) -> Schema.attr_set s_) (find name));
-    stats =
-      {
-        Plan.Cost.rowcount =
-          (fun name -> Option.map (fun (_, x) -> Xrel.cardinal x) (find name));
-        table =
-          (fun name ->
-            (* Virtual relations have live cardinalities but no stored
-               statistics; keep them out of the hit/miss accounting. *)
-            if Sysview.is_sys name then None
-            else
-              match Storage.Catalog.stats_status cat name with
-              | Storage.Catalog.Fresh t ->
-                  Stats.count_hit ();
-                  Some t
-              | Storage.Catalog.Stale _ ->
-                  Stats.count_stale ();
-                  None
-              | Storage.Catalog.Missing ->
-                  Stats.count_miss ();
-                  None);
-      };
+    stats;
     env = (fun name -> Option.map snd (find name));
+    index_probe =
+      Plan.Compile.index_probe_of ~stats
+        ~probe_for:(Storage.Catalog.equi_probe cat);
   }
 
 (* Admission control: before a governed retrieve runs at all, compare
@@ -241,7 +256,8 @@ let run_statement st src =
           | Semantics.Ni_lower ->
               let ctx = db_context db st.cat in
               let result =
-                Plan.Compile.run ~stats:ctx.stats ~semantics:sem db q
+                Plan.Compile.run ~stats:ctx.stats ~semantics:sem
+                  ~index_probe:ctx.index_probe db q
               in
               ( st,
                 Pp.to_string (Pp.table result.Quel.Eval.attrs)
@@ -506,6 +522,33 @@ let constraints_listing st =
              Pp.to_string Constr.pp_def def ^ mark)
            defs)
 
+let pp_attr_list attrs =
+  String.concat "," (List.map Attr.name (Attr.Set.elements attrs))
+
+let parse_index_attrs s =
+  let names = List.map String.trim (String.split_on_char ',' s) in
+  if names = [] || List.exists (String.equal "") names then None
+  else Some (Attr.set_of_list names)
+
+let indexes_listing st =
+  match Storage.Catalog.all_indexes st.cat with
+  | [] -> "(no indexes declared -- .index REL KIND ATTRS declares one)"
+  | decls ->
+      String.concat "\n"
+        (List.map
+           (fun (rel, kind, attrs) ->
+             let card =
+               List.find_map
+                 (fun (k, a, n) ->
+                   if String.equal k kind && Attr.Set.equal a attrs then Some n
+                   else None)
+                 (Storage.Catalog.indexes st.cat rel)
+             in
+             Printf.sprintf "%s %s(%s) -- %d tuples indexed" rel kind
+               (pp_attr_list attrs)
+               (Option.value ~default:0 card))
+           decls)
+
 let split_words line =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
 
@@ -674,6 +717,31 @@ let exec st line =
       | [ ".stats-catalog" ] -> (st, stats_catalog st)
       | [ ".check" ] -> check st
       | [ ".constraints" ] -> (st, constraints_listing st)
+      | [ ".indexes" ] -> (st, indexes_listing st)
+      | [ ".index"; "drop"; rel; kind; attrs ] -> (
+          match parse_index_attrs attrs with
+          | None -> (st, "error: usage: .index [drop] REL KIND ATTR[,ATTR...]")
+          | Some attrs ->
+              ( { st with cat = Storage.Catalog.drop_index st.cat rel ~kind attrs },
+                Printf.sprintf "dropped index %s %s(%s)" rel kind
+                  (pp_attr_list attrs) ))
+      | [ ".index"; rel; kind; attrs ] -> (
+          match parse_index_attrs attrs with
+          | None -> (st, "error: usage: .index [drop] REL KIND ATTR[,ATTR...]")
+          | Some attrs ->
+              let cat = Storage.Catalog.create_index st.cat rel ~kind attrs in
+              ( { st with cat },
+                Printf.sprintf "index %s %s(%s) -- %d tuples indexed" rel kind
+                  (pp_attr_list attrs)
+                  (Option.value ~default:0
+                     (List.find_map
+                        (fun (k, a, n) ->
+                          if String.equal k kind && Attr.Set.equal a attrs then
+                            Some n
+                          else None)
+                        (Storage.Catalog.indexes cat rel))) ))
+      | ".index" :: _ ->
+          (st, "error: usage: .index [drop] REL KIND ATTR[,ATTR...]")
       | [ ".domains" ] ->
           ( st,
             Printf.sprintf "domains: %d (hardware recommends %d, cap %d)"

@@ -58,7 +58,17 @@ let encode x =
   let index_of =
     let table = Hashtbl.create 16 in
     List.iteri (fun idx a -> Hashtbl.replace table (Attr.name a) idx) dict;
-    fun a -> Hashtbl.find table (Attr.name a)
+    fun a ->
+      (* The dictionary is derived from these very tuples, so a miss
+         means the in-memory value is inconsistent — surface it as the
+         classified integrity error, not a bare [Not_found] that
+         callers cannot tell from a lookup bug. *)
+      match Hashtbl.find_opt table (Attr.name a) with
+      | Some idx -> idx
+      | None ->
+          corrupt
+            (Printf.sprintf "attribute %s missing from the dictionary"
+               (Attr.name a))
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf magic;
@@ -127,8 +137,13 @@ let decode data =
   let cur = { data; pos = 0 } in
   if read_bytes cur 4 <> magic then corrupt "bad magic";
   let dict_len = read_varint cur in
+  (* Every dictionary entry and tuple costs at least one byte, so a
+     count exceeding the input length is corruption — reject it before
+     [Array.init]/[List.init] turn it into an allocation failure. *)
+  if dict_len > String.length data then corrupt "implausible dictionary length";
   let dict = Array.init dict_len (fun _ -> Attr.make (read_string_pfx cur)) in
   let tuple_count = read_varint cur in
+  if tuple_count > String.length data then corrupt "implausible tuple count";
   let read_tuple () =
     let bindings = read_varint cur in
     let rec go k acc =

@@ -4,20 +4,31 @@ module String_map = Map.Make (String)
 (* Each entry carries a monotonically increasing data version. Any
    write to the relation bumps it; collected statistics are stamped
    with the version current at collection time and count as fresh only
-   while the two agree. WAL replay goes through {!set_relation} like
-   every other mutation, so recovery can never resurrect stale stats —
-   replaying a record invalidates them by construction.
+   while the two agree. WAL replay applies the recorded statement
+   deltas through {!apply_delta} like the live DML path, so recovery
+   can never resurrect stale stats — replaying a record invalidates
+   them by construction.
 
-   The subsumption index is lazy and tied to the entry: a write builds
-   a fresh (unforced) one, so constraint probes against an unchanged
-   relation are amortized O(1) across statements while a changed
-   relation re-indexes at most once. *)
+   The subsumption index is lazy and tied to the entry. A {e wholesale}
+   write ([.load], {!set_relation}) builds a fresh (unforced) one; the
+   incremental DML path ({!apply_delta}) instead {e advances} the
+   index by the statement's net delta, so the probe tables survive
+   across statements and the per-statement cost stays bounded by the
+   delta, not the relation. *)
+
+(* A declared secondary (equi-probe) index, packed existentially so
+   hash and range implementations ride the same entry slot. *)
+type packed = Packed : (module Index_intf.S with type t = 'a) * 'a -> packed
+
+type sec = { s_kind : string; s_attrs : Attr.Set.t; s_idx : packed }
+
 type entry = {
   e_schema : Schema.t;
   e_x : Xrel.t;
   e_version : int;
   e_stats : (int * Stats.table) option;  (** (version stamp, summary) *)
   e_index : Subsume_index.t Lazy.t;
+  e_sec : sec list;  (** Declaration order. *)
 }
 
 type t = {
@@ -33,6 +44,40 @@ exception Violation of Schema.violation list
 
 let empty = { c_rels = String_map.empty; c_defs = []; c_unverified = [] }
 let index_of x = lazy (Subsume_index.build (Xrel.rep x))
+
+(* ---------------------- secondary indexes --------------------- *)
+
+let index_module kind : (module Index_intf.S) option =
+  match kind with
+  | "hash" -> Some (module Hash_index.Equi)
+  | "range" -> Some (module Range_index.Equi)
+  | _ -> None
+
+let index_kinds = [ "hash"; "range" ]
+
+let packed_probe (Packed ((module I), idx)) t = I.probe idx t
+let packed_cardinal (Packed ((module I), idx)) = I.cardinal idx
+let packed_dump (Packed ((module I), idx)) ~pos = I.dump idx ~pos
+
+let packed_advance ~added ~removed (Packed ((module I), idx)) =
+  Packed ((module I), I.advance idx ~added ~removed)
+
+(* Rebuild the declared indexes after a wholesale replacement; a
+   declaration whose attributes fell out of the schema (or whose kind
+   can no longer index them) is silently dropped — the declaration is
+   an acceleration, never a source of truth. *)
+let rebuild_secs schema x secs =
+  List.filter_map
+    (fun s ->
+      if not (Attr.Set.subset s.s_attrs (Schema.attr_set schema)) then None
+      else
+        match index_module s.s_kind with
+        | None -> None
+        | Some (module I) -> (
+            match I.build s.s_attrs x with
+            | idx -> Some { s with s_idx = Packed ((module I), idx) }
+            | exception _ -> None))
+    secs
 
 (* A wholesale replacement of a relation (shell [.load] over an existing
    name) voids the verification of every constraint involving it; the
@@ -63,6 +108,7 @@ let add_entry cat schema x =
           e_x = x;
           e_version = e.e_version + 1;
           e_index = index_of x;
+          e_sec = rebuild_secs schema x e.e_sec;
         }
     | None ->
         {
@@ -71,6 +117,7 @@ let add_entry cat schema x =
           e_version = 0;
           e_stats = None;
           e_index = index_of x;
+          e_sec = [];
         }
   in
   { cat with c_rels = String_map.add name entry cat.c_rels }
@@ -93,6 +140,7 @@ let add_unchecked cat schema x =
             e_version = 0;
             e_stats = None;
             e_index = index_of x;
+            e_sec = [];
           }
           cat.c_rels;
     }
@@ -117,9 +165,93 @@ let remove cat name =
 
 let set_relation cat name x =
   let e = String_map.find name cat.c_rels in
-  match Schema.check e.e_schema x with
-  | [] -> add_entry cat e.e_schema x
-  | violations -> raise (Violation violations)
+  (* A write of the identical relation is a no-op: keep the entry —
+     and with it the memoized subsumption index, the declared
+     secondary indexes and the statistics stamp — instead of
+     invalidating them all for nothing. *)
+  if Xrel.equal x e.e_x then cat
+  else
+    match Schema.check e.e_schema x with
+    | [] -> add_entry cat e.e_schema x
+    | violations -> raise (Violation violations)
+
+(* ---------------------- incremental DML ----------------------- *)
+
+(* [apply_delta] is the DML-path counterpart of {!set_relation}: it
+   maintains the minimal representation by the insert discipline of
+   Section 7 — probe, admit, evict the newly-subsumed — in one bounded
+   pass over the statement delta, never re-minimizing the relation.
+   Deletions need no repair at all: removing elements from an antichain
+   leaves an antichain. The entry's subsumption index and every
+   declared secondary index are advanced by the same net delta, so
+   they survive the write. *)
+let apply_delta cat name ~added ~removed =
+  let e = String_map.find name cat.c_rels in
+  let idx0 = Lazy.force e.e_index in
+  let removed = List.filter (fun t -> Subsume_index.mem idx0 t) removed in
+  let idx1 = Subsume_index.advance idx0 ~added:[] ~removed in
+  let key = Schema.key e.e_schema in
+  let idx2, admitted, evicted =
+    List.fold_left
+      (fun (idx, adm, ev) t ->
+        if Tuple.is_null_tuple t || Subsume_index.subsuming_exists idx t then
+          (idx, adm, ev)
+        else begin
+          (* Incremental integrity: domains and entity integrity are
+             per-tuple; key uniqueness is one probe of the key
+             restriction after the eviction pass (the index counts the
+             live tuples agreeing with [t] on the key, [t] included). *)
+          (match Schema.check_tuple e.e_schema t with
+          | [] -> ()
+          | vs -> raise (Violation vs));
+          let dead = Subsume_index.subsumed_within idx t in
+          let idx = Subsume_index.advance idx ~added:[ t ] ~removed:dead in
+          if (not (Attr.Set.is_empty key)) && Tuple.is_total_on key t then begin
+            let kr = Tuple.restrict t key in
+            if Subsume_index.count_at idx kr > 1 then
+              raise (Violation [ Schema.Duplicate_key kr ])
+          end;
+          ( idx,
+            Tuple.Set.add t adm,
+            List.fold_left (fun s d -> Tuple.Set.add d s) ev dead )
+        end)
+      (idx1, Tuple.Set.empty, Tuple.Set.empty)
+      added
+  in
+  let net_added = Tuple.Set.diff admitted evicted in
+  let net_removed =
+    Tuple.Set.union (Tuple.Set.of_list removed) (Tuple.Set.diff evicted admitted)
+  in
+  if Tuple.Set.is_empty net_added && Tuple.Set.is_empty net_removed then
+    (cat, (Tuple.Set.empty, Tuple.Set.empty))
+  else begin
+    (* Patch the persistent set by the net delta — O(|delta| log n) —
+       instead of rebuilding it from the index, which would put an
+       O(n) term back into every statement. The index's live set and
+       this rep stay equal by construction: both apply exactly
+       [net_added] / [net_removed] to the same previous antichain. *)
+    let x =
+      Xrel.unsafe_of_minimal
+        (Tuple.Set.fold Relation.add net_added
+           (Tuple.Set.fold Relation.remove net_removed (Xrel.rep e.e_x)))
+    in
+    let al = Tuple.Set.elements net_added
+    and rl = Tuple.Set.elements net_removed in
+    let entry =
+      {
+        e with
+        e_x = x;
+        e_version = e.e_version + 1;
+        e_index = Lazy.from_val idx2;
+        e_sec =
+          List.map
+            (fun s -> { s with s_idx = packed_advance ~added:al ~removed:rl s.s_idx })
+            e.e_sec;
+      }
+    in
+    ( { cat with c_rels = String_map.add name entry cat.c_rels },
+      (net_added, net_removed) )
+  end
 
 let to_db cat =
   List.map
@@ -130,6 +262,129 @@ let probe_index cat name =
   Option.map
     (fun e -> Lazy.force e.e_index)
     (String_map.find_opt name cat.c_rels)
+
+(* ------------------ secondary-index catalog ------------------- *)
+
+let find_sec e ~kind attrs =
+  List.find_opt
+    (fun s -> String.equal s.s_kind kind && Attr.Set.equal s.s_attrs attrs)
+    e.e_sec
+
+let create_index cat name ~kind attrs =
+  let e =
+    match String_map.find_opt name cat.c_rels with
+    | Some e -> e
+    | None -> Exec_error.bad_inputf "create index: unknown relation %s" name
+  in
+  if Attr.Set.is_empty attrs then
+    Exec_error.bad_input "create index: empty attribute set";
+  Attr.Set.iter
+    (fun a ->
+      if not (Schema.mem e.e_schema a) then
+        Exec_error.bad_inputf "create index: %s is not a column of %s"
+          (Attr.name a) name)
+    attrs;
+  match index_module kind with
+  | None -> Exec_error.bad_inputf "create index: unknown kind %s" kind
+  | Some (module I) ->
+      if find_sec e ~kind attrs <> None then cat
+      else begin
+        let sec =
+          { s_kind = kind; s_attrs = attrs; s_idx = Packed ((module I), I.build attrs e.e_x) }
+        in
+        {
+          cat with
+          c_rels =
+            String_map.add name { e with e_sec = e.e_sec @ [ sec ] } cat.c_rels;
+        }
+      end
+
+let drop_index cat name ~kind attrs =
+  match String_map.find_opt name cat.c_rels with
+  | None -> cat
+  | Some e ->
+      let secs =
+        List.filter
+          (fun s ->
+            not (String.equal s.s_kind kind && Attr.Set.equal s.s_attrs attrs))
+          e.e_sec
+      in
+      { cat with c_rels = String_map.add name { e with e_sec = secs } cat.c_rels }
+
+let indexes cat name =
+  match String_map.find_opt name cat.c_rels with
+  | None -> []
+  | Some e ->
+      List.map (fun s -> (s.s_kind, s.s_attrs, packed_cardinal s.s_idx)) e.e_sec
+
+let all_indexes cat =
+  List.concat_map
+    (fun (name, e) ->
+      List.map (fun s -> (name, s.s_kind, s.s_attrs)) e.e_sec)
+    (String_map.bindings cat.c_rels)
+
+let equi_probe cat name attrs =
+  match String_map.find_opt name cat.c_rels with
+  | None -> None
+  | Some e ->
+      List.find_map
+        (fun s ->
+          if Attr.Set.equal s.s_attrs attrs then
+            Some (fun t -> packed_probe s.s_idx t)
+          else None)
+        e.e_sec
+
+let has_equi cat name attrs = equi_probe cat name attrs <> None
+
+let dump_index cat name ~kind attrs =
+  match String_map.find_opt name cat.c_rels with
+  | None -> None
+  | Some e -> (
+      match find_sec e ~kind attrs with
+      | None -> None
+      | Some s ->
+          let _, posmap =
+            List.fold_left
+              (fun (i, m) t -> (i + 1, Tuple.Map.add t i m))
+              (0, Tuple.Map.empty) (Xrel.to_list e.e_x)
+          in
+          packed_dump s.s_idx ~pos:(fun t -> Tuple.Map.find_opt t posmap))
+
+let restore_index cat name ~kind attrs ~lines =
+  match String_map.find_opt name cat.c_rels with
+  | None -> (cat, false)
+  | Some e ->
+      if
+        (not (Attr.Set.subset attrs (Schema.attr_set e.e_schema)))
+        || find_sec e ~kind attrs <> None
+      then (cat, false)
+      else (
+        match index_module kind with
+        | None -> (cat, false)
+        | Some (module I) -> (
+            let attach idx attached =
+              let sec = { s_kind = kind; s_attrs = attrs; s_idx = Packed ((module I), idx) } in
+              ( {
+                  cat with
+                  c_rels =
+                    String_map.add name
+                      { e with e_sec = e.e_sec @ [ sec ] }
+                      cat.c_rels;
+                },
+                attached )
+            in
+            let rebuilt () =
+              match I.build attrs e.e_x with
+              | idx -> attach idx false
+              | exception _ -> (cat, false)
+            in
+            match lines with
+            | None -> rebuilt ()
+            | Some ls -> (
+                let arr = Array.of_list (Xrel.to_list e.e_x) in
+                match I.restore attrs arr ls with
+                | Some idx -> attach idx true
+                | None -> rebuilt ())))
 
 (* ------------------------- statistics ------------------------- *)
 

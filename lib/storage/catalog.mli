@@ -30,14 +30,90 @@ val remove : t -> string -> t
 
 val set_relation : t -> string -> Xrel.t -> t
 (** Replaces the relation stored under a name, re-checking its schema.
-    Unlike {!add} over an existing name, this is the {e incremental}
-    write path (DML, WAL replay): declared constraints stay verified —
-    the caller is responsible for having enforced them ({!enforce}). *)
+    Declared constraints stay verified — the caller is responsible for
+    having enforced them ({!enforce}). A write of the {e identical}
+    relation is a no-op: the entry (memoized subsumption index,
+    secondary indexes, statistics stamp) is kept untouched. Prefer
+    {!apply_delta} when the statement's delta is known — it maintains
+    minimality and the indexes incrementally instead of rebuilding. *)
+
+val apply_delta :
+  t ->
+  string ->
+  added:Tuple.t list ->
+  removed:Tuple.t list ->
+  t * (Tuple.Set.t * Tuple.Set.t)
+(** The incremental DML write path. Removes [removed] (tuples not
+    present are ignored; removing from an antichain needs no repair),
+    then admits each tuple of [added] by the Section 7 insert
+    discipline: reject it if some stored tuple already subsumes it,
+    otherwise admit it and evict the stored tuples it strictly
+    subsumes — one bounded index probe per tuple, never a full
+    re-minimize. The entry's subsumption index and every declared
+    secondary index are {e advanced} by the statement's net delta and
+    survive the write. Returns the new catalog and the net
+    [(added, removed)] tuple sets actually applied — the seeds
+    constraint enforcement consumes. When the net delta is empty the
+    catalog is returned unchanged (no version bump, stats stay
+    fresh). Raises {!Violation} (and leaves the catalog unchanged) if
+    an admitted tuple breaks its schema: domains and entity integrity
+    per tuple, key uniqueness by one probe of the key restriction.
+    Raises [Not_found] on an unknown name. *)
 
 val probe_index : t -> string -> Nullrel.Subsume_index.t option
 (** A subsumption index over the relation's current minimal
     representation, built lazily at most once per write — the probe
     side of incremental constraint enforcement. *)
+
+(** {1 Secondary indexes}
+
+    Declared equi-probe indexes ([hash] or [range]) live in the entry
+    beside the data they accelerate. They are advanced in place by
+    {!apply_delta}, rebuilt by wholesale replacement, and persisted by
+    {!Persist} under the same CRC-stamp freshness protocol as
+    statistics: re-attach on stamp match, degrade to rebuild, never
+    wrong. *)
+
+val index_kinds : string list
+(** The declarable kinds: [["hash"; "range"]]. *)
+
+val create_index : t -> string -> kind:string -> Attr.Set.t -> t
+(** Declares and builds an index. Idempotent on an identical
+    declaration. Raises [Exec_error] on an unknown relation or kind,
+    on attributes outside the schema, or (for [range]) on a key of
+    more than one attribute. *)
+
+val drop_index : t -> string -> kind:string -> Attr.Set.t -> t
+(** No-op on an unknown declaration. *)
+
+val indexes : t -> string -> (string * Attr.Set.t * int) list
+(** The declared indexes of one relation: kind, attributes, indexed
+    cardinality. *)
+
+val all_indexes : t -> (string * string * Attr.Set.t) list
+(** Every declaration in the catalog: relation, kind, attributes. *)
+
+val equi_probe : t -> string -> Attr.Set.t -> (Tuple.t -> Tuple.t list) option
+(** An equality probe over the named relation on exactly these
+    attributes, served by a declared index of any kind; [None] when no
+    index covers them. *)
+
+val has_equi : t -> string -> Attr.Set.t -> bool
+
+val dump_index : t -> string -> kind:string -> Attr.Set.t -> string list option
+(** Serializes a declared index as text lines referring to tuples by
+    canonical position ([Xrel.to_list] order) — the {!Persist} INDEX
+    payload. [None] when the declaration is absent or inconsistent. *)
+
+val restore_index :
+  t -> string -> kind:string -> Attr.Set.t -> lines:string list option -> t * bool
+(** Re-declares an index from a persisted dump. [lines = Some _]
+    attempts a positional re-attach and falls back to a from-scratch
+    build on any anomaly; [None] (stale or damaged payload) builds
+    directly. Returns whether the dump was attached verbatim. Skips
+    silently (catalog unchanged, [false]) when the relation or its
+    attributes no longer exist — a persisted declaration is never a
+    source of truth. *)
 
 val to_db : t -> (string * (Schema.t * Xrel.t)) list
 (** Export in the shape the {!Quel.Resolve} evaluator consumes. *)

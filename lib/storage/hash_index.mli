@@ -23,10 +23,25 @@
 open Nullrel
 
 type t
-(** An index over a fixed relation. *)
+(** An index over a relation: an immutable probe-table base plus a
+    functional overlay of tuples added/removed since the base was
+    built. *)
 
 val build : Relation.t -> t
-(** Indexes a relation. O(n) now; probe tables are built on first use. *)
+(** Indexes a relation from scratch. O(n) now; probe tables are built
+    on first use. *)
+
+val advance : t -> added:Tuple.t list -> removed:Tuple.t list -> t
+(** [advance idx ~added ~removed] is the index over the relation with
+    [removed] taken out and then [added] put in, sharing [idx]'s probe
+    tables through a functional overlay. Idempotent on tuples already
+    absent/present; O(delta · log n) plus an amortized O(sqrt n)
+    compaction share. [idx] itself is unchanged. *)
+
+val prepare : t -> Tuple.t list -> unit
+(** Force-builds the probe table of every signature occurring in the
+    given probes, so subsequent probing is a pure read (required
+    before sharing the index across {!Par.Pool} domains). *)
 
 val count_at : t -> Tuple.t -> int
 (** [count_at idx r]: how many indexed tuples are more informative than
@@ -41,6 +56,19 @@ val strictly_subsuming_exists : t -> Tuple.t -> bool
     elements with equal restrictions must differ elsewhere); otherwise it
     checks the candidates directly. *)
 
+val mem : t -> Tuple.t -> bool
+(** Exact membership of the indexed relation (not subsumption). *)
+
+val cardinal : t -> int
+(** Number of indexed tuples. *)
+
+val subsumed_within : t -> Tuple.t -> Tuple.t list
+(** The indexed tuples strictly less informative than the probe —
+    exactly what an insert must evict to keep the relation minimal. *)
+
+val to_list : t -> Tuple.t list
+(** The indexed tuples, in no particular order. *)
+
 val diff : Relation.t -> Relation.t -> Relation.t
 (** Indexed difference per (4.8): keeps the minuend tuples with no
     subsuming tuple in the subtrahend. Expected O(|R1| + |R2|), vs the
@@ -50,10 +78,6 @@ val minimize : Relation.t -> Relation.t
 (** Indexed reduction to minimal form (Definition 4.6). Expected
     O(n x s) with [s] the number of distinct null patterns. Agrees with
     [Relation.minimize]. *)
-
-val x_mem : Relation.t -> Tuple.t -> bool
-(** One-shot indexed x-membership (builds a throwaway index; prefer
-    {!build} + {!subsuming_exists} for repeated probes). *)
 
 module Equi : Index_intf.S
 (** Equality probes for the equijoin: X-total tuples bucketed by their

@@ -27,4 +27,32 @@ module type S = sig
   val probe : t -> Tuple.t -> Tuple.t list
   (** [probe idx r]: the indexed tuples whose X-restriction equals
       [r]'s. [] when [r] is not total on X. *)
+
+  val advance : t -> added:Tuple.t list -> removed:Tuple.t list -> t
+  (** [advance idx ~added ~removed] is the index over the relation with
+      [removed] taken out and then [added] put in — a statement delta,
+      applied without rebuilding. The result shares [idx]'s bulk
+      structure through a small functional overlay; [idx] itself is
+      unchanged, so snapshots pinned by older catalog entries keep
+      probing their own view. Idempotent: tuples already absent (for
+      [removed]) or present (for [added]) are ignored. The overlay is
+      folded into a fresh base once it outgrows about the square root
+      of the indexed cardinality. *)
+
+  val dump : t -> pos:(Tuple.t -> int option) -> string list option
+  (** [dump idx ~pos] serializes the index as text lines referring to
+      tuples by their position in the relation's canonical enumeration
+      ([Xrel.to_list] order), as given by [pos]. Lines contain no tabs
+      or newlines. [None] if some indexed tuple has no position (the
+      index does not match the relation) — callers then skip
+      persistence rather than write a wrong file. *)
+
+  val restore : Attr.Set.t -> Tuple.t array -> string list -> t option
+  (** [restore x arr lines] re-attaches an index dumped by {!dump},
+      resolving positions against [arr] (the relation's canonical
+      enumeration). [None] on any structural anomaly — out-of-range
+      position, malformed line, tuple not total on X — in which case
+      the caller degrades to {!build}. Only sound when [arr] is the
+      same enumeration [dump] saw; the persistence layer guarantees
+      that with a CRC stamp over the data file. *)
 end

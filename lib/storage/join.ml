@@ -49,10 +49,7 @@ let join_chunk ~probe probes ~tick lo hi =
   done;
   !acc
 
-let equijoin_core strategy index x r1 r2 =
-  let (module I : Index_intf.S) = index in
-  let idx = I.build x r2 in
-  let probe = I.probe idx in
+let probe_core strategy probe r1 =
   let probes = Array.of_list (Xrel.to_list r1) in
   let n = Array.length probes in
   let parallel =
@@ -83,9 +80,28 @@ let equijoin_core strategy index x r1 r2 =
     Array.fold_left Relation.union Relation.empty parts
   end
 
+let equijoin_core strategy index x r1 r2 =
+  let (module I : Index_intf.S) = index in
+  let idx = I.build x r2 in
+  probe_core strategy (I.probe idx) r1
+
 let hash_equijoin ?(strategy = Kernel.Auto) ?(index = default_index) x r1 r2 =
   observed2 "hash-equijoin" r1 r2
     (Xrel.of_relation (equijoin_core strategy index x r1 r2))
+
+(* Same probe loop against a pre-built index probe (a declared
+   secondary index served by the catalog): the build side is never
+   materialized, so the cost is the probe side plus the output. *)
+let observed_probe op r1 result =
+  if Obs.Metrics.is_enabled () then begin
+    Obs.Metrics.add (op_counter op "in") (Xrel.cardinal r1);
+    Obs.Metrics.add (op_counter op "out") (Xrel.cardinal result)
+  end;
+  result
+
+let probe_equijoin ?(strategy = Kernel.Indexed) ~probe r1 =
+  observed_probe "probe-equijoin" r1
+    (Xrel.of_relation (probe_core strategy probe r1))
 
 let hash_union_join ?strategy ?index x r1 r2 =
   observed2 "hash-union-join" r1 r2

@@ -40,3 +40,17 @@ val hash_union_join :
   Xrel.t ->
   Xrel.t
 (** The union-join (outer join) on top of {!hash_equijoin}. *)
+
+val probe_equijoin :
+  ?strategy:Kernel.strategy ->
+  probe:(Tuple.t -> Tuple.t list) ->
+  Xrel.t ->
+  Xrel.t
+(** The same probe loop against a {e pre-built} equality probe — a
+    declared secondary index served by {!Catalog.equi_probe} — so the
+    build side is never materialized: cost O(|r1| + |output|) instead
+    of O(|r1| + |r2| + |output|). The probe must return, for each
+    X-total tuple, exactly the indexed tuples matching it on the join
+    attributes (and [[]] for tuples not total on them) — then the
+    result equals [Algebra.equijoin]. [strategy] defaults to [Indexed]
+    (sequential probes on the calling domain). *)

@@ -341,6 +341,143 @@ let read_constraints io dir =
     | Some cf -> `Loaded cf
     | None -> `Damaged
 
+(* -------------------------- indexes --------------------------- *)
+
+(* The INDEX file persists secondary-index declarations and, for each,
+   a positional dump of the built structure, under the same protocol
+   as STATS and CONSTRAINTS: a self-checksum trailer plus a
+   per-relation CRC stamp cut against the data file written beside it.
+   At load a dump re-attaches only while its stamp still matches the
+   data just read; a stale stamp, a missing dump, or any anomaly in
+   the payload degrades to a from-scratch rebuild of the declared
+   index — slower, never wrong. *)
+let indexes_name = "INDEX"
+let indexes_format_version = "1"
+
+let attrs_to_field attrs =
+  String.concat "," (List.map Attr.name (Attr.Set.elements attrs))
+
+let attrs_of_field s =
+  match String.split_on_char ',' s with
+  | names when List.for_all (fun n -> String.length n > 0) names && names <> []
+    ->
+      Some (Attr.set_of_list names)
+  | _ -> None
+
+let indexes_to_string ~lsn cat data_crcs =
+  let decls = Catalog.all_indexes cat in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "nullrel-indexes\t%s\t%d\n" indexes_format_version lsn);
+  List.iter
+    (fun (rel, kind, attrs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "decl\t%s\t%s\t%s\n" rel kind (attrs_to_field attrs)))
+    decls;
+  let stamped =
+    List.sort_uniq String.compare (List.map (fun (rel, _, _) -> rel) decls)
+  in
+  List.iter
+    (fun rel ->
+      match List.assoc_opt rel data_crcs with
+      | Some crc ->
+          Buffer.add_string buf (Printf.sprintf "stamp\t%s\t%s\n" rel crc)
+      | None -> ())
+    stamped;
+  List.iter
+    (fun (rel, kind, attrs) ->
+      match Catalog.dump_index cat rel ~kind attrs with
+      | None -> () (* no dump: the loader rebuilds from the decl *)
+      | Some lines ->
+          List.iter
+            (fun payload ->
+              Buffer.add_string buf
+                (Printf.sprintf "line\t%s\t%s\t%s\t%s\n" rel kind
+                   (attrs_to_field attrs) payload))
+            lines)
+    decls;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%send\t%s\n" body (Crc32.to_hex (Crc32.digest body))
+
+type indexes_file = {
+  xf_decls : (string * string * string) list;
+      (* relation, kind, attrs field — declaration order *)
+  xf_stamps : (string * string) list;
+  xf_lines : ((string * string * string) * string) list;
+      (* (relation, kind, attrs field) -> payload lines, file order *)
+}
+
+let indexes_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec split_at_end body = function
+    | [] -> None
+    | line :: rest when String.length line >= 4 && String.sub line 0 4 = "end\t"
+      ->
+        if List.for_all (String.equal "") rest then
+          Some (List.rev body, String.sub line 4 (String.length line - 4))
+        else None
+    | line :: rest -> split_at_end (line :: body) rest
+  in
+  match split_at_end [] lines with
+  | None -> None
+  | Some (body_lines, crc_hex) -> (
+      let body = String.concat "" (List.map (fun l -> l ^ "\n") body_lines) in
+      match Crc32.of_hex crc_hex with
+      | Some crc when crc = Crc32.digest body -> (
+          match body_lines with
+          | header :: entry_lines -> (
+              match String.split_on_char '\t' header with
+              | [ "nullrel-indexes"; version; _lsn ] ->
+                  if not (String.equal version indexes_format_version) then
+                    errorf "unsupported indexes version %s" version;
+                  let parse acc line =
+                    match acc with
+                    | None -> None
+                    | Some xf -> (
+                        match String.split_on_char '\t' line with
+                        | [ "decl"; rel; kind; attrs ] ->
+                            Some
+                              {
+                                xf with
+                                xf_decls = (rel, kind, attrs) :: xf.xf_decls;
+                              }
+                        | [ "stamp"; rel; crc ] ->
+                            Some
+                              {
+                                xf with
+                                xf_stamps = (rel, crc) :: xf.xf_stamps;
+                              }
+                        | [ "line"; rel; kind; attrs; payload ] ->
+                            Some
+                              {
+                                xf with
+                                xf_lines =
+                                  ((rel, kind, attrs), payload) :: xf.xf_lines;
+                              }
+                        | _ -> None)
+                  in
+                  Option.map
+                    (fun xf ->
+                      {
+                        xf_decls = List.rev xf.xf_decls;
+                        xf_stamps = List.rev xf.xf_stamps;
+                        xf_lines = List.rev xf.xf_lines;
+                      })
+                    (List.fold_left parse
+                       (Some { xf_decls = []; xf_stamps = []; xf_lines = [] })
+                       entry_lines)
+              | _ -> None)
+          | [] -> None)
+      | _ -> None)
+
+let read_indexes io dir =
+  let path = Filename.concat dir indexes_name in
+  if not (io.Io.file_exists path) then `Absent
+  else
+    match indexes_of_string (io.Io.read_file path) with
+    | Some xf -> `Loaded xf
+    | None -> `Damaged
+
 (* ---------------------------- save ---------------------------- *)
 
 let m_checkpoints =
@@ -355,6 +492,18 @@ let m_checkpoint_bytes =
 let m_wal_replayed =
   Obs.Metrics.counter ~help:"Journal records replayed during recovery"
     "storage_wal_replayed_total"
+
+let m_index_attached =
+  Obs.Metrics.counter
+    ~help:"Persisted secondary-index dumps re-attached verbatim at load"
+    "storage_index_attach_total"
+
+let m_index_rebuilt =
+  Obs.Metrics.counter
+    ~help:
+      "Persisted secondary-index declarations rebuilt from data at load \
+       (stale stamp, missing or anomalous dump)"
+    "storage_index_rebuild_total"
 
 let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
   if not (io.Io.file_exists dir) then io.Io.mkdir dir;
@@ -409,6 +558,13 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
   io.Io.write_file
     (path (constraints_name ^ ".tmp"))
     (constraints_to_string ~lsn cat data_crcs);
+  (* Secondary-index declarations and their positional dumps ride
+     along too, stamped the same way: at load a dump re-attaches only
+     while the relation still carries the data file it was cut
+     against, and degrades to a rebuild otherwise. *)
+  io.Io.write_file
+    (path (indexes_name ^ ".tmp"))
+    (indexes_to_string ~lsn cat data_crcs);
   (* Rename data files into place. A crash here leaves a mix of old and
      new files, each atomic on its own; the reader disambiguates by
      checksum against MANIFEST (old) and MANIFEST.next (staged above). *)
@@ -419,6 +575,7 @@ let save ?(io = Io.real) ?(lsn = 0) ~dir cat =
     entries;
   io.Io.rename (path (stats_name ^ ".tmp")) (path stats_name);
   io.Io.rename (path (constraints_name ^ ".tmp")) (path constraints_name);
+  io.Io.rename (path (indexes_name ^ ".tmp")) (path indexes_name);
   (* The commit point. *)
   io.Io.rename (path pending_name) (path manifest_name);
   io.Io.fsync_dir dir;
@@ -640,6 +797,60 @@ let load_report ?(io = Io.real) ~dir () =
         in
         (cat, cf.cf_lsn, None)
   in
+  (* Re-attach persisted secondary indexes before journal replay, so
+     replayed deltas advance them in place like live statements do. A
+     dump is trusted only while the relation's stamp matches the data
+     file just loaded; a stale stamp, a missing dump, or any payload
+     anomaly keeps the declaration and rebuilds the index from data —
+     slower, never wrong. A damaged INDEX file loses the declarations
+     themselves, reported like CONSTRAINTS damage. *)
+  let catalog, indexes_note =
+    match read_indexes io dir with
+    | `Absent -> (catalog, None)
+    | `Damaged ->
+        ( catalog,
+          Some
+            "INDEX file damaged; secondary indexes dropped — re-declare \
+             with .index" )
+    | `Loaded xf ->
+        let cat =
+          List.fold_left
+            (fun cat (rel, kind, attrs_field) ->
+              match attrs_of_field attrs_field with
+              | None -> cat
+              | Some attrs ->
+                  let fresh =
+                    match
+                      (List.assoc_opt rel xf.xf_stamps, loaded_crc rel)
+                    with
+                    | Some stamp, Some dcrc -> String.equal stamp dcrc
+                    | _ -> false
+                  in
+                  let lines =
+                    if not fresh then None
+                    else
+                      match
+                        List.filter_map
+                          (fun (key, payload) ->
+                            if key = (rel, kind, attrs_field) then
+                              Some payload
+                            else None)
+                          xf.xf_lines
+                      with
+                      | [] -> None
+                      | ls -> Some ls
+                  in
+                  let cat, attached =
+                    Catalog.restore_index cat rel ~kind attrs ~lines
+                  in
+                  (if attached then Obs.Metrics.inc m_index_attached
+                   else if Option.is_some (Catalog.find cat rel) then
+                     Obs.Metrics.inc m_index_rebuilt);
+                  cat)
+            catalog xf.xf_decls
+        in
+        (cat, None)
+  in
   (* Replay the journal tail, one operation at a time: relation changes
      past the checkpoint the relation's data file belongs to (replaying
      onto a relation from a {e newer} half-renamed checkpoint is
@@ -705,6 +916,9 @@ let load_report ?(io = Io.real) ~dir () =
   in
   let notes =
     match constraints_note with None -> notes | Some n -> n :: notes
+  in
+  let notes =
+    match indexes_note with None -> notes | Some n -> n :: notes
   in
   let statuses =
     List.map

@@ -42,6 +42,29 @@
     are pure acceleration state: a missing, torn or superseded [STATS]
     file silently yields a catalog without stats, never a load failure.
 
+    An [INDEX] file rides along the same way: every secondary-index
+    declaration ([decl] lines), a per-relation CRC stamp cut against
+    the data file written beside it ([stamp] lines), and a positional
+    dump of each built structure ([line] lines referring to tuples by
+    their canonical position), closed by the self-checksum trailer:
+    {v
+    nullrel-indexes <TAB> 1 <TAB> LSN
+    decl <TAB> REL <TAB> hash|range <TAB> ATTR[,ATTR...]
+    stamp <TAB> REL <TAB> DATA-CRC
+    line <TAB> REL <TAB> KIND <TAB> ATTRS <TAB> PAYLOAD
+    end <TAB> CRC
+    v}
+    The loader re-attaches a dump ({!Catalog.restore_index}) only while
+    its stamp matches the data file actually loaded — skipping the
+    build entirely — and degrades to a from-scratch rebuild of the
+    declaration on a stale stamp, missing dump, or any payload anomaly:
+    slower, never wrong. Attachment happens {e before} journal replay,
+    so replayed deltas advance the restored indexes exactly as live
+    statements would. A damaged [INDEX] file (torn trailer, checksum
+    mismatch) loses the declarations themselves; like CONSTRAINTS
+    damage this is reported in the journal note rather than silently
+    degraded, since the declarations affect planning.
+
     {!load_report} degrades gracefully: a corrupt, truncated or
     checksum-mismatched relation is quarantined with a reason instead of
     aborting the whole catalog, and committed journal records

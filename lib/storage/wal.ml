@@ -49,11 +49,15 @@ let rels r =
 let apply_change cat c =
   match Catalog.find cat c.rel with
   | None -> errorf "journal references unknown relation %s" c.rel
-  | Some (_, x) ->
-      let tuples = Relation.tuples (Xrel.rep x) in
-      let tuples = Tuple.Set.diff tuples (Relation.tuples (Xrel.rep c.removed)) in
-      let tuples = Tuple.Set.union tuples (Relation.tuples (Xrel.rep c.added)) in
-      Catalog.set_relation cat c.rel (Xrel.of_tuples tuples)
+  | Some _ ->
+      (* Replay runs the same incremental discipline as the live DML
+         path: on the exact before-state the recorded net delta admits
+         and evicts precisely what the original statement did, and on
+         any other state the insert discipline still yields a minimal
+         relation — degraded, never wrong. *)
+      fst
+        (Catalog.apply_delta cat c.rel ~added:(Xrel.to_list c.added)
+           ~removed:(Xrel.to_list c.removed))
 
 let apply_op ?(verify_constraints = false) cat = function
   | Change c -> apply_change cat c

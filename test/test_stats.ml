@@ -249,6 +249,7 @@ let test_cardinality_bounded () =
               | "R" -> Some r_tbl
               | "S" -> Some s_tbl
               | _ -> None);
+          equipped = (fun _ _ -> false);
         }
       in
       let check label plan actual =

@@ -69,10 +69,13 @@ let test_index_randomized_agreement () =
   done
 
 let test_index_x_mem () =
-  Alcotest.(check bool) "one-shot x_mem" true
-    (Storage.Hash_index.x_mem (rel [ ab ]) a1);
-  Alcotest.(check bool) "one-shot x_mem negative" false
-    (Storage.Hash_index.x_mem (rel [ ab ]) a2)
+  (* The one-shot [x_mem] helper is gone: a membership probe is a
+     [build] + [subsuming_exists], so repeated probes share the index. *)
+  let idx = Storage.Hash_index.build (rel [ ab ]) in
+  Alcotest.(check bool) "indexed x_mem" true
+    (Storage.Hash_index.subsuming_exists idx a1);
+  Alcotest.(check bool) "indexed x_mem negative" false
+    (Storage.Hash_index.subsuming_exists idx a2)
 
 (* --------------------------- Csv -------------------------- *)
 
